@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the application substrates (DESIGN.md extension rows).
+
+func BenchmarkDeBruijnSequence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seq, err := DeBruijnSequence(2, 12)
+		if err != nil || len(seq) != 4096 {
+			b.Fatal("bad sequence")
+		}
+	}
+}
+
+func BenchmarkHamiltonianCycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cycle, err := HamiltonianCycle(2, 10)
+		if err != nil || len(cycle) != 1024 {
+			b.Fatal("bad cycle")
+		}
+	}
+}
+
+func BenchmarkViterbiDecode(b *testing.B) {
+	code := NASACode()
+	rng := rand.New(rand.NewSource(50))
+	msg := make([]byte, 256)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	enc, err := code.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy, _ := BSCChannel(enc, 0.02, rng)
+	b.SetBytes(int64(len(msg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Decode(noisy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViterbiDecodeGalileoK11(b *testing.B) {
+	code := GalileoCode(11)
+	rng := rand.New(rand.NewSource(51))
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	enc, _ := code.Encode(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT1024ViaDeBruijnDataflow(b *testing.B) {
+	rng := rand.New(rand.NewSource(52))
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBroadcastSinglePort(b *testing.B) {
+	g := DeBruijn(2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := BroadcastSinglePort(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := VerifyBroadcastSchedule(g, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGossipAllPort(b *testing.B) {
+	g := DeBruijn(2, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if GossipAllPort(g) != 7 {
+			b.Fatal("wrong rounds")
+		}
+	}
+}
+
+func BenchmarkButterflyWitness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(ButterflyWitness(2, 8)) != 8*256 {
+			b.Fatal("bad witness")
+		}
+	}
+}
+
+func BenchmarkConjectureScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := ConjectureScan(6, 2)
+		if len(NonPowerLayouts(res)) != 0 {
+			b.Fatal("conjecture broke")
+		}
+	}
+}
+
+func BenchmarkRealizedStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(RealizedStructure(2, 3, 6)) != 2 {
+			b.Fatal("bad stacks")
+		}
+	}
+}

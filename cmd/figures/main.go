@@ -1,0 +1,200 @@
+// figures regenerates every figure and worked example of the paper as
+// text, and optionally runs the full claim registry (every proposition,
+// corollary, remark, table and figure, each with a constructive check).
+//
+// Usage:
+//
+//	figures            # print Figures 1-8
+//	figures -verify    # also run the claim registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/otis"
+	"repro/internal/word"
+)
+
+func main() {
+	verify := flag.Bool("verify", false, "run the full claim registry after printing the figures")
+	dotDir := flag.String("dot", "", "also write the figure digraphs as Graphviz .dot files into this directory")
+	flag.Parse()
+
+	figure123()
+	figure4()
+	figure5()
+	figure6()
+	figure78()
+
+	if *dotDir != "" {
+		writeDots(*dotDir)
+	}
+
+	if *verify {
+		fmt.Println("\n=== claim registry ===")
+		failed := 0
+		for _, r := range core.VerifyAll() {
+			fmt.Println(r)
+			if !r.OK() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "figures: %d claims FAILED\n", failed)
+			os.Exit(1)
+		}
+		fmt.Println("all claims verified")
+	}
+}
+
+func writeDots(dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	wordLabel := func(d, D int) func(int) string {
+		return func(u int) string { return word.MustFromInt(d, D, u).String() }
+	}
+	targets := []struct {
+		file  string
+		g     *digraph.Digraph
+		label func(int) string
+	}{
+		{"fig1_debruijn_2_3.dot", debruijn.DeBruijn(2, 3), wordLabel(2, 3)},
+		{"fig2_rrk_2_8.dot", debruijn.RRK(2, 8), nil},
+		{"fig3_ii_2_8.dot", debruijn.ImaseItoh(2, 8), nil},
+		{"fig5_example332.dot", core.Example332().Digraph(), wordLabel(2, 3)},
+		{"fig7_h_4_8_2.dot", otis.MustH(4, 8, 2), wordLabel(2, 4)},
+	}
+	for _, t := range targets {
+		path := dir + "/" + t.file
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := t.g.WriteDOT(f, t.file, t.label); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote", path)
+	}
+}
+
+func adjacencyByWord(g *digraph.Digraph, d, D int) {
+	word.Enumerate(d, D, func(x word.Word) bool {
+		fmt.Printf("  %s ->", x)
+		for _, v := range g.SortedOut(x.Int()) {
+			fmt.Printf(" %s", word.MustFromInt(d, D, v))
+		}
+		fmt.Println()
+		return true
+	})
+}
+
+func adjacencyByInt(g *digraph.Digraph) {
+	for u := 0; u < g.N(); u++ {
+		fmt.Printf("  %d -> %v\n", u, g.SortedOut(u))
+	}
+}
+
+func figure123() {
+	fmt.Println("Figure 1: de Bruijn B(2,3) (degree 2, diameter 3, 8 nodes)")
+	adjacencyByWord(debruijn.DeBruijn(2, 3), 2, 3)
+	fmt.Println("\nFigure 2: RRK(2,8)  —  u -> {2u, 2u+1 mod 8}")
+	adjacencyByInt(debruijn.RRK(2, 8))
+	fmt.Println("\nFigure 3: II(2,8)   —  u -> {-2u-1, -2u-2 mod 8}")
+	adjacencyByInt(debruijn.ImaseItoh(2, 8))
+	mapping, err := debruijn.IsoIIToB(2, 3)
+	if err != nil {
+		fmt.Println("  isomorphism FAILED:", err)
+		return
+	}
+	fmt.Println("\n  isomorphism II(2,8) → B(2,3) (Proposition 3.3 witness):")
+	fmt.Print("  ")
+	for u, v := range mapping {
+		fmt.Printf("%d↦%s ", u, word.MustFromInt(2, 3, v))
+	}
+	fmt.Println()
+}
+
+func figure4() {
+	fmt.Println("\nFigure 4: example 3.3.1 — H = A(f, Id, 2), d = 2, dimension 6")
+	a := core.Example331()
+	f := a.F()
+	fmt.Printf("  f = %v (one-line %v), cyclic: %v\n", f, f.OneLine(), f.IsCyclic())
+	g, _ := a.GPerm()
+	fmt.Printf("  g(i) = f^i(2): %v — the orbit drawn in Figure 4\n", g.OneLine())
+	if _, err := a.VerifiedIsoToDeBruijn(); err != nil {
+		fmt.Println("  isomorphism to B(2,6) FAILED:", err)
+		return
+	}
+	fmt.Println("  H ≅ B(2,6): verified via the Proposition 3.9 witness")
+}
+
+func figure5() {
+	fmt.Println("\nFigure 5: example 3.3.2 — H = A(f, Id, 1), f(i) = 2-i on Z_3, d = 2")
+	a := core.Example332()
+	fmt.Println("  adjacency:")
+	adjacencyByWord(a.Digraph(), 2, 3)
+	fmt.Println("  components (Remark 3.10):")
+	for _, comp := range a.Decompose() {
+		fmt.Printf("    C_%d ⊗ B(2,%d) on {", comp.CircuitLen, comp.DeBruijnDim)
+		for i, v := range comp.Vertices {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(word.MustFromInt(2, 3, v))
+		}
+		fmt.Println("}")
+	}
+	if err := a.VerifyDecomposition(); err != nil {
+		fmt.Println("  decomposition FAILED:", err)
+	} else {
+		fmt.Println("  every component verified isomorphic to its model")
+	}
+}
+
+func figure6() {
+	fmt.Println("\nFigure 6: OTIS(3,6) — transmitter (i,j) -> receiver (5-j, 2-i)")
+	s, _ := otis.NewSystem(3, 6)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			ri, rj := s.Receiver(i, j)
+			fmt.Printf("  T(%d,%d) -> R(%d,%d)", i, j, ri, rj)
+			if j == 5 {
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Printf("  lenses: %d + %d = %d\n", 3, 6, s.Lenses())
+}
+
+func figure78() {
+	fmt.Println("\nFigure 7: H(4,8,2) — 16 nodes from OTIS(4,8), degree 2")
+	h := otis.MustH(4, 8, 2)
+	adjacencyByWord(h, 2, 4)
+	fmt.Println("\nFigure 8: H(4,8,2) ≅ B(2,4) with adjacency x3x2x1x0 -> {x̄1x̄0αx̄3}")
+	mapping, err := otis.LayoutWitness(2, 2, 3)
+	if err != nil {
+		fmt.Println("  FAILED:", err)
+		return
+	}
+	if err := digraph.VerifyIsomorphism(h, debruijn.DeBruijn(2, 4), mapping); err != nil {
+		fmt.Println("  witness verification FAILED:", err)
+		return
+	}
+	fmt.Println("  witness H -> B(2,4):")
+	for u, v := range mapping {
+		fmt.Printf("  %s↦%s", word.MustFromInt(2, 4, u), word.MustFromInt(2, 4, v))
+		if u%8 == 7 {
+			fmt.Println()
+		}
+	}
+}

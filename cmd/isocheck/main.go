@@ -1,0 +1,117 @@
+// isocheck decides whether H(p, q, d) is isomorphic to the de Bruijn
+// digraph B(d, D), using the O(D) criterion of Corollary 4.5 when p and q
+// are powers of d, and falling back to materializing the digraphs and
+// running the generic isomorphism search otherwise.
+//
+// Usage:
+//
+//	isocheck -d 2 -p 16 -q 32        # → B(2,8): yes
+//	isocheck -d 2 -p 8 -q 64        # → not a de Bruijn layout
+//	isocheck -d 2 -p 2 -q 384 -kautz # compare against K(2,8) instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/otis"
+)
+
+func main() {
+	d := flag.Int("d", 2, "degree")
+	p := flag.Int("p", 16, "transmitter groups")
+	q := flag.Int("q", 32, "transmitters per group")
+	kautz := flag.Bool("kautz", false, "compare against the Kautz digraph instead of de Bruijn")
+	flag.Parse()
+
+	h, err := otis.H(*p, *q, *d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isocheck:", err)
+		os.Exit(2)
+	}
+	n := h.N()
+	fmt.Printf("H(%d,%d,%d): %d nodes, degree %d, %d lenses\n", *p, *q, *d, n, *d, *p+*q)
+
+	if *kautz {
+		checkKautz(h, *d, n)
+		return
+	}
+
+	// Fast path: powers of d (Corollary 4.5, O(D) time).
+	if pp, ok := logExact(*p, *d); ok {
+		if qp, ok := logExact(*q, *d); ok {
+			D := pp + qp - 1
+			fmt.Printf("powers of d: p = %d^%d, q = %d^%d, D = %d\n", *d, pp, *d, qp, D)
+			f := otis.IndexPermutation(pp, qp)
+			fmt.Printf("Proposition 4.1 permutation f = %v\n", f)
+			if otis.IsDeBruijnLayout(pp, qp) {
+				fmt.Printf("f is cyclic → H(%d,%d,%d) ≅ B(%d,%d)   [Corollary 4.2]\n", *p, *q, *d, *d, D)
+				mapping, err := otis.LayoutWitness(*d, pp, qp)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "isocheck: witness construction failed:", err)
+					os.Exit(1)
+				}
+				if err := digraph.VerifyIsomorphism(h, debruijn.DeBruijn(*d, D), mapping); err != nil {
+					fmt.Fprintln(os.Stderr, "isocheck: witness verification failed:", err)
+					os.Exit(1)
+				}
+				fmt.Println("explicit isomorphism constructed and verified")
+			} else {
+				fmt.Printf("f is not cyclic → H(%d,%d,%d) ≇ B(%d,%d)   [Corollary 4.2]\n", *p, *q, *d, *d, D)
+				comps := h.WeaklyConnectedComponents()
+				fmt.Printf("the digraph has %d weak components (Remark 3.10)\n", len(comps))
+			}
+			return
+		}
+	}
+
+	// Slow path: generic isomorphism search against B(d, D) with d^D = n.
+	D, ok := logExact(n, *d)
+	if !ok {
+		fmt.Printf("n = %d is not a power of %d: cannot be a de Bruijn digraph B(%d,·)\n", n, *d, *d)
+		return
+	}
+	fmt.Printf("general split: running the generic isomorphism search against B(%d,%d)\n", *d, D)
+	if digraph.AreIsomorphic(h, debruijn.DeBruijn(*d, D)) {
+		fmt.Printf("H(%d,%d,%d) ≅ B(%d,%d)\n", *p, *q, *d, *d, D)
+	} else {
+		fmt.Printf("H(%d,%d,%d) ≇ B(%d,%d)\n", *p, *q, *d, *d, D)
+	}
+}
+
+func checkKautz(h *digraph.Digraph, d, n int) {
+	// K(d,D) has d^{D-1}(d+1) nodes; find D.
+	D := 1
+	for debruijn.KautzOrder(d, D) < n {
+		D++
+	}
+	if debruijn.KautzOrder(d, D) != n {
+		fmt.Printf("n = %d is not a Kautz order for degree %d\n", n, d)
+		return
+	}
+	k, _ := debruijn.Kautz(d, D)
+	if digraph.AreIsomorphic(h, k) {
+		fmt.Printf("H ≅ K(%d,%d)\n", d, D)
+	} else {
+		fmt.Printf("H ≇ K(%d,%d)\n", d, D)
+	}
+}
+
+// logExact returns e with base^e = v, if v is an exact power.
+func logExact(v, base int) (int, bool) {
+	if v < 1 || base < 2 {
+		return 0, false
+	}
+	e := 0
+	for v > 1 {
+		if v%base != 0 {
+			return 0, false
+		}
+		v /= base
+		e++
+	}
+	return e, true
+}

@@ -1,0 +1,127 @@
+// layout computes optimal OTIS layouts of de Bruijn digraphs: for B(d, D)
+// it reports every feasible power-of-d split, the lens-minimizing one
+// (Corollaries 4.4/4.6), and the hardware comparison against the O(n)
+// Imase–Itoh baseline layout of [14].
+//
+// Usage:
+//
+//	layout -d 2 -diam 8          # one diameter in detail
+//	layout -d 2 -sweep 20        # the Θ(√n) vs O(n) series up to D=20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/optics"
+	"repro/internal/otis"
+	"repro/internal/word"
+)
+
+func main() {
+	d := flag.Int("d", 2, "degree")
+	diam := flag.Int("diam", 8, "diameter of the de Bruijn digraph")
+	sweep := flag.Int("sweep", 0, "if > 0, print the lens-scaling series for D = 1..sweep")
+	svg := flag.String("svg", "", "write a scale drawing of the optimal bench to this file")
+	flag.Parse()
+
+	if *d < 2 {
+		fmt.Fprintln(os.Stderr, "layout: need -d >= 2")
+		os.Exit(2)
+	}
+	if *sweep > 0 {
+		printSweep(*d, *sweep)
+		return
+	}
+	printDetail(*d, *diam)
+	if *svg != "" {
+		writeSVG(*d, *diam, *svg)
+	}
+}
+
+func writeSVG(d, D int, path string) {
+	best, ok := otis.OptimalLayout(d, D)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "layout: no layout to draw")
+		os.Exit(1)
+	}
+	bench, err := optics.NewBench(best.P(), best.Q(), optics.DefaultPitch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layout:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layout:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	stride := 1
+	if beams := best.P() * best.Q(); beams > 256 {
+		stride = beams / 256
+	}
+	if err := bench.WriteSVG(f, stride); err != nil {
+		fmt.Fprintln(os.Stderr, "layout:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbench drawing written to %s\n", path)
+}
+
+func printDetail(d, D int) {
+	n := word.Pow(d, D)
+	fmt.Printf("OTIS layouts of B(%d,%d) (n = %d nodes, degree %d):\n\n", d, D, n, d)
+	fmt.Printf("%4s %4s %10s %10s %12s  %s\n", "p'", "q'", "p", "q", "lenses", "layout?")
+	for pPrime := 1; pPrime <= D; pPrime++ {
+		qPrime := D + 1 - pPrime
+		ok := otis.IsDeBruijnLayout(pPrime, qPrime)
+		status := "no (f not cyclic)"
+		if ok {
+			status = "YES"
+		}
+		fmt.Printf("%4d %4d %10d %10d %12d  %s\n",
+			pPrime, qPrime, word.Pow(d, pPrime), word.Pow(d, qPrime),
+			word.Pow(d, pPrime)+word.Pow(d, qPrime), status)
+	}
+	best, ok := otis.OptimalLayout(d, D)
+	if !ok {
+		fmt.Println("\nno de Bruijn layout exists for this diameter")
+		return
+	}
+	fmt.Printf("\noptimal: %v\n", best)
+	fmt.Printf("baseline (Imase–Itoh layout of [14]): OTIS(%d,%d), %d lenses\n",
+		d, n, otis.IILayoutLenses(d, n))
+	fmt.Printf("hardware saving: %.1f×\n",
+		float64(otis.IILayoutLenses(d, n))/float64(best.Lenses()))
+
+	bench, err := optics.NewBench(best.P(), best.Q(), optics.DefaultPitch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layout:", err)
+		os.Exit(1)
+	}
+	if err := bench.VerifyTranspose(); err != nil {
+		fmt.Fprintln(os.Stderr, "layout: optical verification failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\noptical bench (paraxial model, %.0f µm pitch):\n", optics.DefaultPitch*1e6)
+	fmt.Printf("  %v\n", optics.BillOfMaterials(bench, d))
+	margin, worst := optics.WorstCaseMargin(bench, optics.DefaultBudget())
+	fmt.Printf("  worst-case link margin %.2f dB (beam %d,%d)\n", margin, worst.I, worst.J)
+	fmt.Println("  all", best.P()*best.Q(), "beams land on the transpose receiver — verified")
+}
+
+func printSweep(d, maxD int) {
+	fmt.Printf("lens scaling for B(%d,D): optimized Θ(√n) vs baseline O(n)\n\n", d)
+	fmt.Printf("%4s %12s %14s %14s %8s\n", "D", "n", "optimized", "baseline", "ratio")
+	for D := 1; D <= maxD; D++ {
+		n := word.Pow(d, D)
+		base := otis.IILayoutLenses(d, n)
+		best, ok := otis.OptimalLayout(d, D)
+		if !ok {
+			fmt.Printf("%4d %12d %14s %14d %8s\n", D, n, "none", base, "-")
+			continue
+		}
+		fmt.Printf("%4d %12d %14d %14d %7.1fx\n",
+			D, n, best.Lenses(), base, float64(base)/float64(best.Lenses()))
+	}
+}

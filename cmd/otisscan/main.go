@@ -1,0 +1,72 @@
+// otisscan reruns the exhaustive degree–diameter search of Table 1: for a
+// degree d and diameter D it lists every node count n (in a range) for
+// which some OTIS(p, q) realizes a digraph H(p, q, d) of diameter exactly
+// D, with all qualifying (p, q) splits.
+//
+// Usage:
+//
+//	otisscan -d 2 -diam 8              # the paper's D=8 block
+//	otisscan -d 2 -diam 9 -min 500     # custom lower bound
+//	otisscan -d 3 -diam 4              # beyond the paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/otis"
+	"repro/internal/word"
+)
+
+func main() {
+	d := flag.Int("d", 2, "degree")
+	diam := flag.Int("diam", 8, "target diameter")
+	minN := flag.Int("min", 0, "smallest node count to scan (default: d^diam - 3)")
+	maxN := flag.Int("max", 0, "largest node count to scan (default: Moore bound)")
+	catalog := flag.Int("catalog", 0, "if > 0, print the structural catalog of all power-of-d splits up to this dimension instead")
+	flag.Parse()
+
+	if *d < 2 || *diam < 1 {
+		fmt.Fprintln(os.Stderr, "otisscan: need -d >= 2 and -diam >= 1")
+		os.Exit(2)
+	}
+	if *catalog > 0 {
+		fmt.Printf("structural catalog of OTIS(%d^p', %d^q') splits, D <= %d:\n\n", *d, *d, *catalog)
+		for _, e := range otis.Catalog(*d, *catalog) {
+			fmt.Printf("  D=%-2d p'=%d q'=%d  %s\n", e.D, e.PPrime, e.QPrime, e)
+		}
+		return
+	}
+	lo := *minN
+	if lo <= 0 {
+		lo = word.Pow(*d, *diam) - 3
+		if lo < 1 {
+			lo = 1
+		}
+	}
+	hi := *maxN
+	if hi <= 0 {
+		hi = digraph.MooreBound(*d, *diam)
+	}
+
+	fmt.Printf("H(p,q,%d) with diameter exactly %d, n in [%d, %d] (Moore bound %d):\n",
+		*d, *diam, lo, hi, digraph.MooreBound(*d, *diam))
+	fmt.Printf("%6s  %s\n", "n", "p q splits")
+	rows := otis.SearchDegreeDiameter(*d, *diam, lo, hi)
+	for _, row := range rows {
+		fmt.Println(row)
+	}
+	if len(rows) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	last := rows[len(rows)-1]
+	fmt.Printf("\nlargest: n = %d", last.N)
+	if last.N == debruijn.KautzOrder(*d, *diam) {
+		fmt.Printf(" — the Kautz digraph K(%d,%d), as the paper observes", *d, *diam)
+	}
+	fmt.Println()
+}

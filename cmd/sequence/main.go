@@ -1,0 +1,65 @@
+// sequence generates de Bruijn sequences and Hamiltonian ring embeddings
+// of B(d, D) — the embedding payload of the networks the paper lays out.
+//
+// Usage:
+//
+//	sequence -d 2 -D 4            # print the 16-letter binary sequence
+//	sequence -d 2 -D 4 -cycle     # print the Hamiltonian cycle instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/debruijn"
+	"repro/internal/word"
+)
+
+func main() {
+	d := flag.Int("d", 2, "alphabet size")
+	D := flag.Int("D", 4, "order (window length)")
+	cycle := flag.Bool("cycle", false, "print the Hamiltonian cycle of B(d,D) instead of the sequence")
+	flag.Parse()
+
+	if *cycle {
+		cyc, err := debruijn.HamiltonianCycle(*d, *D)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sequence:", err)
+			os.Exit(1)
+		}
+		if err := debruijn.VerifyHamiltonianCycle(debruijn.DeBruijn(*d, *D), cyc); err != nil {
+			fmt.Fprintln(os.Stderr, "sequence: verification failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Hamiltonian cycle of B(%d,%d) (%d vertices):\n", *d, *D, len(cyc))
+		for i, u := range cyc {
+			if i > 0 && i%8 == 0 {
+				fmt.Println()
+			}
+			fmt.Printf("%s ", word.MustFromInt(*d, *D, u))
+		}
+		fmt.Println()
+		return
+	}
+
+	seq, err := debruijn.Sequence(*d, *D)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sequence:", err)
+		os.Exit(1)
+	}
+	if err := debruijn.VerifySequence(*d, *D, seq); err != nil {
+		fmt.Fprintln(os.Stderr, "sequence: verification failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("de Bruijn sequence B(%d,%d), length %d (every %d-window distinct):\n",
+		*d, *D, len(seq), *D)
+	for _, letter := range seq {
+		if *d <= 10 {
+			fmt.Printf("%d", letter)
+		} else {
+			fmt.Printf("%d.", letter)
+		}
+	}
+	fmt.Println()
+}

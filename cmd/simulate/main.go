@@ -1,0 +1,117 @@
+// simulate runs packet-level experiments over the networks the paper lays
+// out: de Bruijn B(d,D) (natively routed or table-routed), the OTIS
+// digraph H(p,q,d) of the optimal layout, or the Kautz digraph.
+//
+// Usage:
+//
+//	simulate -topo debruijn -d 2 -diam 8 -workload uniform -packets 5000
+//	simulate -topo otis -d 2 -diam 10 -workload permutation
+//	simulate -topo kautz -d 2 -diam 8 -workload broadcast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/otis"
+	"repro/internal/simnet"
+)
+
+func main() {
+	topo := flag.String("topo", "debruijn", "topology: debruijn | otis | kautz")
+	d := flag.Int("d", 2, "degree")
+	diam := flag.Int("diam", 8, "diameter")
+	workload := flag.String("workload", "uniform", "workload: uniform | permutation | broadcast | alltoall | poisson")
+	packets := flag.Int("packets", 2000, "packet count (uniform/poisson)")
+	rate := flag.Float64("rate", 0.5, "arrival rate for poisson (packets/cycle)")
+	hop := flag.Int("hop", 1, "hop latency in cycles")
+	seed := flag.Int64("seed", 1, "workload seed")
+	sweep := flag.Bool("sweep", false, "run a load-latency sweep instead of a single workload")
+	flag.Parse()
+
+	if *sweep {
+		g, router, name := buildTopology(*topo, *d, *diam)
+		fmt.Printf("topology: %s — %d nodes\n", name, g.N())
+		zero, _ := simnet.ZeroLoadLatency(g, 1)
+		fmt.Printf("analytic zero-load latency: %.3f cycles\n\n", zero)
+		rates := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9}
+		points, err := simnet.LoadSweep(g, router, rates, *packets, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		for _, p := range points {
+			fmt.Println(" ", p)
+		}
+		return
+	}
+
+	g, router, name := buildTopology(*topo, *d, *diam)
+	fmt.Printf("topology: %s — %d nodes, degree %d, diameter %d\n",
+		name, g.N(), *d, g.Diameter())
+
+	pkts := buildWorkload(*workload, g.N(), *packets, *rate, *seed)
+	fmt.Printf("workload: %s, %d packets\n", *workload, len(pkts))
+
+	nw, err := simnet.New(g, router, simnet.Config{HopLatency: *hop})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	res := nw.Run(pkts)
+	fmt.Printf("result:   %v\n", res)
+	if mean, ok := g.MeanDistance(); ok {
+		fmt.Printf("graph:    mean distance %.3f, diameter %d (hop-count bounds)\n",
+			mean, g.Diameter())
+	}
+	if res.Delivered > 0 {
+		fmt.Printf("queueing: %.3f cycles/packet average wait\n",
+			float64(res.TotalWait)/float64(res.Delivered))
+	}
+}
+
+func buildTopology(topo string, d, diam int) (*digraph.Digraph, simnet.Router, string) {
+	switch topo {
+	case "debruijn":
+		g := debruijn.DeBruijn(d, diam)
+		return g, simnet.NewDeBruijnRouter(d, diam), fmt.Sprintf("B(%d,%d), native self-routing", d, diam)
+	case "otis":
+		layout, ok := otis.OptimalLayout(d, diam)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "simulate: no OTIS layout for B(%d,%d)\n", d, diam)
+			os.Exit(2)
+		}
+		g := otis.MustH(layout.P(), layout.Q(), d)
+		return g, simnet.NewTableRouter(g),
+			fmt.Sprintf("H(%d,%d,%d) = %v, table routing", layout.P(), layout.Q(), d, layout)
+	case "kautz":
+		g, _ := debruijn.Kautz(d, diam)
+		return g, simnet.NewTableRouter(g), fmt.Sprintf("K(%d,%d), table routing", d, diam)
+	default:
+		fmt.Fprintf(os.Stderr, "simulate: unknown topology %q\n", topo)
+		os.Exit(2)
+		return nil, nil, ""
+	}
+}
+
+func buildWorkload(kind string, n, packets int, rate float64, seed int64) []simnet.Packet {
+	switch kind {
+	case "uniform":
+		return simnet.UniformRandom(n, packets, seed)
+	case "permutation":
+		return simnet.Permutation(n, seed)
+	case "broadcast":
+		return simnet.Broadcast(n, 0)
+	case "alltoall":
+		return simnet.AllToAll(n)
+	case "poisson":
+		return simnet.PoissonArrivals(n, packets, rate, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "simulate: unknown workload %q\n", kind)
+		os.Exit(2)
+		return nil
+	}
+}

@@ -1,0 +1,104 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The headline result: lay out the 256-node de Bruijn digraph on OTIS
+// with Θ(√n) lenses and verify the isomorphism the layout relies on.
+func ExampleOptimalLayout() {
+	layout, ok := repro.OptimalLayout(2, 8)
+	if !ok {
+		panic("no layout")
+	}
+	fmt.Println(layout)
+	fmt.Println("baseline lenses:", repro.IILayoutLenses(2, layout.Nodes()))
+
+	mapping, err := repro.LayoutWitness(2, layout.PPrime, layout.QPrime)
+	if err != nil {
+		panic(err)
+	}
+	h, _ := repro.HDigraph(layout.P(), layout.Q(), 2)
+	fmt.Println("isomorphism verified:",
+		repro.VerifyIsomorphism(h, repro.DeBruijn(2, 8), mapping) == nil)
+	// Output:
+	// OTIS(16,32) ⊢ B(2,8), 48 lenses
+	// baseline lenses: 258
+	// isomorphism verified: true
+}
+
+// Corollary 4.2 in action: the O(D) test that decides whether an OTIS
+// split realizes the de Bruijn digraph.
+func ExampleIsDeBruijnLayout() {
+	fmt.Println("H(16,32,2)  ≅ B(2,8):", repro.IsDeBruijnLayout(4, 5))
+	fmt.Println("H(8,64,2)   ≅ B(2,8):", repro.IsDeBruijnLayout(3, 6))
+	fmt.Println("H(2^5,2^7,2)≅ B(2,11):", repro.IsDeBruijnLayout(5, 7))
+	// Output:
+	// H(16,32,2)  ≅ B(2,8): true
+	// H(8,64,2)   ≅ B(2,8): false
+	// H(2^5,2^7,2)≅ B(2,11): true
+}
+
+// Proposition 3.9: an exotic word digraph is recognized as B(2,6) because
+// its index permutation is cyclic.
+func ExampleNewAlpha() {
+	// Example 3.3.1 of the paper: Γ⁺(x5x4x3x2x1x0) = x2x1x0αx5x4.
+	f, _ := repro.PermFromImage([]int{3, 4, 5, 2, 0, 1})
+	a, err := repro.NewAlpha(f, repro.IdentityPerm(2), 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cyclic f:", f.IsCyclic())
+	fmt.Println("is de Bruijn:", a.IsDeBruijn())
+	mapping, _ := a.IsoToDeBruijn()
+	fmt.Println("witness size:", len(mapping))
+	// Output:
+	// cyclic f: true
+	// is de Bruijn: true
+	// witness size: 64
+}
+
+// De Bruijn self-routing: the destination's letters are the route.
+func ExampleDeBruijnRoute() {
+	src, _ := repro.ParseWord(2, "0000")
+	dst, _ := repro.ParseWord(2, "1011")
+	for _, w := range repro.DeBruijnRoute(src, dst) {
+		fmt.Println(w)
+	}
+	// Output:
+	// 0000
+	// 0001
+	// 0010
+	// 0101
+	// 1011
+}
+
+// A de Bruijn sequence from the Eulerian circuit of B(2,2).
+func ExampleDeBruijnSequence() {
+	seq, _ := repro.DeBruijnSequence(2, 3)
+	fmt.Println(len(seq), repro.VerifyDeBruijnSequence(2, 3, seq) == nil)
+	// Output:
+	// 8 true
+}
+
+// Table 1 in one call: the largest OTIS-realizable digraph of degree 2
+// and diameter 8 is the Kautz digraph.
+func ExampleLargestWithDiameter() {
+	row, _ := repro.LargestWithDiameter(2, 8, repro.MooreBound(2, 8))
+	fmt.Println(row.N, row.Note)
+	// Output:
+	// 384 K(2,8)
+}
+
+// What a failed split physically builds: stacks of ShuffleNet-style
+// multistage networks (Remark 3.10).
+func ExampleRealizedStructure() {
+	for _, stack := range repro.RealizedStructure(2, 3, 6) {
+		fmt.Println(stack)
+	}
+	// Output:
+	// 2 × (C_2 ⊗ B(d,2))
+	// 10 × (C_6 ⊗ B(d,2))
+}

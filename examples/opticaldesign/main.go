@@ -1,0 +1,72 @@
+// Opticaldesign: a hardware design study. For a target machine size it
+// enumerates the candidate OTIS realizations of the de Bruijn network,
+// traces the optics of each, and prints the engineering trade-offs the
+// paper discusses: lens counts, lens size balance (p ≈ q is preferred
+// technologically), bench length, and optical power margins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const d = 2
+	for _, D := range []int{6, 8, 10} {
+		study(d, D)
+		fmt.Println()
+	}
+}
+
+func study(d, D int) {
+	n := repro.Pow(d, D)
+	fmt.Printf("=== design study: B(%d,%d), %d processors ===\n", d, D, n)
+	fmt.Printf("%-14s %8s %10s %12s %12s %10s\n",
+		"split", "lenses", "balance", "bench (m)", "margin(dB)", "verdict")
+
+	type candidate struct {
+		pPrime, qPrime int
+	}
+	var candidates []candidate
+	for pp := 1; pp <= D; pp++ {
+		candidates = append(candidates, candidate{pp, D + 1 - pp})
+	}
+	budget := repro.DefaultBudget()
+	for _, c := range candidates {
+		p, q := repro.Pow(d, c.pPrime), repro.Pow(d, c.qPrime)
+		label := fmt.Sprintf("OTIS(%d,%d)", p, q)
+		if !repro.IsDeBruijnLayout(c.pPrime, c.qPrime) {
+			fmt.Printf("%-14s %8s %10s %12s %12s %10s\n",
+				label, "-", "-", "-", "-", "not B(d,D)")
+			continue
+		}
+		bench, err := repro.NewBench(p, q, repro.DefaultPitch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.VerifyTranspose(); err != nil {
+			log.Fatalf("%s failed optical verification: %v", label, err)
+		}
+		margin, _ := repro.WorstCaseMargin(bench, budget)
+		balance := float64(q) / float64(p)
+		verdict := "ok"
+		if margin <= 0 {
+			verdict = "NO LINK"
+		}
+		fmt.Printf("%-14s %8d %9.1fx %12.3f %12.2f %10s\n",
+			label, p+q, balance, bench.Length(), margin, verdict)
+	}
+
+	best, ok := repro.OptimalLayout(d, D)
+	if !ok {
+		fmt.Println("no feasible layout")
+		return
+	}
+	bench, _ := repro.NewBench(best.P(), best.Q(), repro.DefaultPitch)
+	fmt.Printf("selected: %v\n", best)
+	fmt.Printf("BOM: %v\n", repro.BillOfMaterials(bench, d))
+	fmt.Printf("vs. baseline OTIS(%d,%d): %.1fx fewer lenses\n",
+		d, n, float64(repro.IILayoutLenses(d, n))/float64(best.Lenses()))
+}

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"testing"
+)
+
+// Facade tests for the second extension wave: Kautz witness/routing, 2-D
+// optics, connectivity, load sweeps.
+
+func TestFacadeKautzWitness(t *testing.T) {
+	mapping, err := IsoKautzToII(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping) != KautzOrder(2, 5) {
+		t.Error("witness length wrong")
+	}
+	if len(WitnessKautzToII(3, 3)) != 36 {
+		t.Error("raw witness wrong")
+	}
+}
+
+func TestFacadeKautzRouting(t *testing.T) {
+	src, _ := ParseWord(3, "0102")
+	dst, _ := ParseWord(3, "2010")
+	if !IsKautzWord(2, src) || !IsKautzWord(2, dst) {
+		t.Fatal("fixture words invalid")
+	}
+	dist := KautzDistance(2, src, dst)
+	path := KautzRoute(2, src, dst)
+	if len(path)-1 != dist {
+		t.Errorf("route length %d, distance %d", len(path)-1, dist)
+	}
+}
+
+func TestFacade2DBench(t *testing.T) {
+	var b *OpticalBench2D
+	b, err := NewBench2D(4, 4, 8, 4, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyTranspose(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Lenses() != 48 {
+		t.Error("2D lens count wrong")
+	}
+}
+
+func TestFacadeConnectivity(t *testing.T) {
+	b := DeBruijn(3, 2)
+	if b.ArcConnectivity() != 2 || b.VertexConnectivity() != 2 {
+		t.Error("B(3,2) connectivity != 2")
+	}
+	paths := b.ArcDisjointPaths(0, 5)
+	if len(paths) < 2 {
+		t.Error("too few disjoint paths")
+	}
+}
+
+func TestFacadeLoadSweep(t *testing.T) {
+	g := DeBruijn(2, 5)
+	points, err := LoadSweep(g, NewTableRouter(g), []float64{0.1, 0.8}, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p LoadSweepPoint = points[0]
+	if p.Rate != 0.1 || p.Delivered == 0 {
+		t.Errorf("first point %+v", p)
+	}
+	zero, ok := ZeroLoadLatency(g, 1)
+	if !ok || zero <= 0 {
+		t.Error("zero load latency wrong")
+	}
+}

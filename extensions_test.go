@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"bytes"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// Facade tests for the extension subsystems (embeddings, FFT, Viterbi,
+// multistage, gossip, conjecture scans).
+
+func TestFacadeSequences(t *testing.T) {
+	seq, err := DeBruijnSequence(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDeBruijnSequence(2, 8, seq); err != nil {
+		t.Fatal(err)
+	}
+	cycle, err := HamiltonianCycle(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHamiltonianCycle(DeBruijn(2, 6), cycle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EulerianCircuit(DeBruijn(2, 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	X, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := InverseFFT(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(back[i]-x[i]) > 1e-9 {
+			t.Fatal("FFT round trip failed")
+		}
+	}
+	if err := VerifyFFTDataflow(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Convolve(x, x); err != nil {
+		t.Fatal(err)
+	}
+	if src := FFTStageSources(3, 16); src != [2]int{1, 9} {
+		t.Errorf("FFTStageSources = %v", src)
+	}
+}
+
+func TestFacadeViterbi(t *testing.T) {
+	code := NASACode()
+	rng := rand.New(rand.NewSource(41))
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	enc, err := code.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, flips := BSCChannel(enc, 0.015, rng)
+	if flips == 0 {
+		t.Log("no flips this seed; still a valid decode test")
+	}
+	dec, err := code.Decode(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, msg) {
+		t.Error("facade decode failed")
+	}
+	g := GalileoCode(11)
+	if g.States() != 1024 {
+		t.Error("Galileo states wrong")
+	}
+	// Trellis digraph is the size of B(2, K-1).
+	if code.TrellisDigraph().N() != 64 {
+		t.Error("trellis size wrong")
+	}
+}
+
+func TestFacadeMultistage(t *testing.T) {
+	wbf := WrappedButterfly(2, 3)
+	if err := VerifyIsomorphism(wbf,
+		Conjunction(Circuit(3), DeBruijn(2, 3)), ButterflyWitness(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if ShuffleNet(2, 3).N() != 24 {
+		t.Error("ShuffleNet size")
+	}
+	if GEMNET(2, 11, 2).N() != 22 {
+		t.Error("GEMNET size")
+	}
+	stacks := RealizedStructure(2, 3, 6)
+	if len(stacks) != 2 {
+		t.Fatalf("stacks = %v", stacks)
+	}
+	var s MultistageStack = stacks[0]
+	if s.Copies != 2 || !s.IsShuffleNet() {
+		t.Errorf("first stack = %v", s)
+	}
+}
+
+func TestFacadeGossip(t *testing.T) {
+	g := DeBruijn(2, 5)
+	if BroadcastAllPort(g, 0) != 5 {
+		t.Error("all-port broadcast rounds wrong")
+	}
+	sched, err := BroadcastSinglePort(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs BroadcastSchedule = sched
+	if err := VerifyBroadcastSchedule(g, bs); err != nil {
+		t.Fatal(err)
+	}
+	if GossipAllPort(g) != 5 {
+		t.Error("gossip rounds wrong")
+	}
+	if BroadcastLogLowerBound(32) != 5 {
+		t.Error("log lower bound wrong")
+	}
+}
+
+func TestFacadeConjecture(t *testing.T) {
+	res := ConjectureScan(4, 2)
+	if len(res) == 0 {
+		t.Fatal("empty scan")
+	}
+	var r ConjectureSplitResult = res[0]
+	if r.P != 1 {
+		t.Errorf("first split %+v", r)
+	}
+	if np := NonPowerLayouts(res); len(np) != 0 {
+		t.Errorf("conjecture counterexamples: %v", np)
+	}
+}
+
+func TestGalileoTrellisMatchesOptimizedLayoutSize(t *testing.T) {
+	// The full-stack story: a K=11 Galileo-style decoder has trellis
+	// B(2,10), whose optimal OTIS layout is the 96-lens OTIS(32,64).
+	code := GalileoCode(11)
+	layout, ok := OptimalLayout(2, 10)
+	if !ok {
+		t.Fatal("no layout")
+	}
+	if code.States() != layout.Nodes() {
+		t.Errorf("trellis %d states vs layout %d nodes", code.States(), layout.Nodes())
+	}
+	if layout.Lenses() != 96 {
+		t.Errorf("lenses = %d", layout.Lenses())
+	}
+}

@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Every figure and worked example of the paper, via the claim registry.
+
+func TestFigures1to3(t *testing.T) { mustClaim(t, "F1-3") }
+func TestFigure4(t *testing.T)     { mustClaim(t, "F4") }
+func TestFigure5(t *testing.T)     { mustClaim(t, "F5") }
+func TestFigure6(t *testing.T)     { mustClaim(t, "F6") }
+func TestFigure7(t *testing.T)     { mustClaim(t, "F7") }
+func TestFigure8(t *testing.T)     { mustClaim(t, "F8") }
+
+func TestProposition32Claim(t *testing.T) { mustClaim(t, "P3.2") }
+func TestProposition33Claim(t *testing.T) { mustClaim(t, "P3.3") }
+func TestProposition39Claim(t *testing.T) { mustClaim(t, "P3.9") }
+func TestRemark310Claim(t *testing.T)     { mustClaim(t, "R3.10") }
+func TestProposition41Claim(t *testing.T) { mustClaim(t, "P4.1") }
+func TestCorollary42Claim(t *testing.T)   { mustClaim(t, "C4.2") }
+func TestProposition43Claim(t *testing.T) { mustClaim(t, "P4.3") }
+func TestCorollary44Claim(t *testing.T)   { mustClaim(t, "C4.4") }
+func TestSection43Claim(t *testing.T)     { mustClaim(t, "S4.3") }
+func TestSection44Claim(t *testing.T)     { mustClaim(t, "S4.4") }
+func TestLensHeadlineClaim(t *testing.T)  { mustClaim(t, "X-LENS") }
+func TestIILayoutClaim(t *testing.T)      { mustClaim(t, "X-II") }
+func TestKautzIIClaim(t *testing.T)       { mustClaim(t, "X-K=II") }
+func TestCountClaim(t *testing.T)         { mustClaim(t, "X-COUNT") }
+func TestErratumClaim(t *testing.T)       { mustClaim(t, "ERR-1") }
+func TestTable1HeadClaim(t *testing.T)    { mustClaim(t, "T1") }
+func TestCorollary34Claim(t *testing.T)   { mustClaim(t, "C3.4") }
+func TestRemark24Claim(t *testing.T)      { mustClaim(t, "R2.4") }
+func TestRemark26Claim(t *testing.T)      { mustClaim(t, "R2.6") }
+func TestRemark38Claim(t *testing.T)      { mustClaim(t, "R3.8") }
+
+func mustClaim(t *testing.T, id string) {
+	t.Helper()
+	r, err := core.Verify(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("%s (%s): %v", r.Claim.ID, r.Claim.Statement, r.Err)
+	}
+}

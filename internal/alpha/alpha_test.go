@@ -1,0 +1,409 @@
+package alpha
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/perm"
+	"repro/internal/word"
+)
+
+// f331 is the index permutation from the paper's example 3.3.1 (D = 6).
+func f331() perm.Perm {
+	return perm.MustFromFunc(6, func(i int) int {
+		switch {
+		case i < 3:
+			return i + 3
+		case i == 3:
+			return 2
+		default:
+			return (i + 2) % 6
+		}
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(perm.Identity(3), perm.Identity(2), 5); err == nil {
+		t.Error("out-of-range j accepted")
+	}
+	if _, err := New(perm.Perm{}, perm.Identity(2), 0); err == nil {
+		t.Error("empty f accepted")
+	}
+	if _, err := New(perm.Identity(3), perm.Perm{}, 0); err == nil {
+		t.Error("empty sigma accepted")
+	}
+	if _, err := New(perm.Perm{0, 0, 1}, perm.Identity(2), 0); err == nil {
+		t.Error("invalid f accepted")
+	}
+	a, err := New(perm.CyclicShift(3), perm.Identity(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.D() != 2 || a.Dim() != 3 || a.FreePosition() != 0 || a.N() != 8 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestRemark38DeBruijnIsAlphabetDigraph(t *testing.T) {
+	// B(d, D) = A(ρ, Id, 0) exactly, as labelled digraphs.
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 5}, {3, 3}} {
+		a := DeBruijnAlpha(c.d, c.D)
+		if !a.Digraph().Equal(debruijn.DeBruijn(c.d, c.D)) {
+			t.Errorf("A(ρ,Id,0) != B(%d,%d)", c.d, c.D)
+		}
+	}
+}
+
+func TestBSigmaIsAlphabetDigraph(t *testing.T) {
+	// Remark 3.8: B_σ(d,D) and A(ρ, σ, 0) are isomorphic; in fact with
+	// our conventions they are equal as labelled digraphs.
+	d, D := 3, 3
+	sigma := perm.MustFromImage([]int{1, 2, 0})
+	a := MustNew(perm.CyclicShift(D), sigma, 0)
+	if !a.Digraph().Equal(debruijn.BSigma(d, D, sigma)) {
+		t.Error("A(ρ,σ,0) != B_σ")
+	}
+}
+
+func TestExample331(t *testing.T) {
+	// H = A(f, Id, 2) of example 3.3.1: degree d, dimension 6,
+	// Γ⁺(x5x4x3x2x1x0) = x2x1x0αx5x4.
+	f := f331()
+	if !f.IsCyclic() {
+		t.Fatal("example 3.3.1 f must be cyclic")
+	}
+	d := 2
+	a := MustNew(f, perm.Identity(d), 2)
+
+	// Check the adjacency relation spelled out in the paper.
+	x := word.MustFromLetters(d, 1, 0, 1, 1, 0, 1) // x5..x0 = 101101
+	succ := a.Successors(x)
+	if len(succ) != d {
+		t.Fatalf("degree %d", len(succ))
+	}
+	for alphaVal, y := range succ {
+		// Expected: x2 x1 x0 α x5 x4 = 1 0 1 α 1 0.
+		want := word.MustFromLetters(d, 1, 0, 1, alphaVal, 1, 0)
+		if !y.Equal(want) {
+			t.Errorf("successor(α=%d) = %s, want %s", alphaVal, y, want)
+		}
+	}
+
+	// The g permutation of Figure 4: g(i) = f^i(2) giving
+	// g = [2 5 1 4 0 3].
+	g, ok := a.GPerm()
+	if !ok {
+		t.Fatal("g not a permutation despite cyclic f")
+	}
+	wantG := perm.MustFromImage([]int{2, 5, 1, 4, 0, 3})
+	if !g.Equal(wantG) {
+		t.Errorf("g = %v, want %v (Figure 4)", g, wantG)
+	}
+
+	// H ≅ B(d, 6), verified through the Proposition 3.9 witness.
+	if _, err := a.VerifiedIsoToDeBruijn(); err != nil {
+		t.Errorf("example 3.3.1 isomorphism fails: %v", err)
+	}
+}
+
+func TestExample331GVectorAction(t *testing.T) {
+	// The paper states g→(x5x4x3x2x1x0) = x1x3x5x0x2x4.
+	d := 10
+	g := perm.MustFromImage([]int{2, 5, 1, 4, 0, 3})
+	x := word.MustFromLetters(d, 5, 4, 3, 2, 1, 0) // x_i = i
+	got := x.ApplyIndex(g)
+	// Expected spelled word: x1x3x5x0x2x4 = 1 3 5 0 2 4.
+	want := word.MustFromLetters(d, 1, 3, 5, 0, 2, 4)
+	if !got.Equal(want) {
+		t.Errorf("g→(543210) = %s, want %s", got, want)
+	}
+}
+
+func TestExample332Disconnected(t *testing.T) {
+	// H = A(f, Id, 1) with f(i) = 2-i on Z_3: g degenerates
+	// (g(0)=g(1)=g(2)=1) and H is disconnected.
+	d := 2
+	f := perm.Complement(3)
+	a := MustNew(f, perm.Identity(d), 1)
+	if a.IsDeBruijn() {
+		t.Fatal("example 3.3.2 digraph claimed to be de Bruijn")
+	}
+	if _, ok := a.GPerm(); ok {
+		t.Error("degenerate g accepted as a permutation")
+	}
+	if _, err := a.IsoToDeBruijn(); err == nil {
+		t.Error("IsoToDeBruijn succeeded on non-cyclic f")
+	}
+	g := a.Digraph()
+	if g.IsWeaklyConnected() {
+		t.Fatal("example 3.3.2 digraph should be disconnected")
+	}
+	// Figure 5 (d = 2): components {000,010}, {101,111} (the C_1⊗B(2,1)
+	// pieces carry loops... they are the 4-vertex piece and two 2-vertex
+	// pieces): d² - d² ... the paper's count: (d²-d)/2 components
+	// C_2 ⊗ B(d,1) and d components C_1 ⊗ B(d,1).
+	comps := a.Decompose()
+	var big, small int
+	for _, c := range comps {
+		switch c.CircuitLen {
+		case 2:
+			big++
+		case 1:
+			small++
+		default:
+			t.Errorf("unexpected circuit length %d", c.CircuitLen)
+		}
+		if c.DeBruijnDim != 1 {
+			t.Errorf("de Bruijn dimension %d, want 1", c.DeBruijnDim)
+		}
+	}
+	if big != (d*d-d)/2 || small != d {
+		t.Errorf("component counts: %d of C_2⊗B, %d of C_1⊗B; want %d and %d",
+			big, small, (d*d-d)/2, d)
+	}
+	if err := a.VerifyDecomposition(); err != nil {
+		t.Errorf("Remark 3.10 verification fails: %v", err)
+	}
+}
+
+func TestExample332Figure5Vertices(t *testing.T) {
+	// Figure 5 shows the d=2 components: {000, 010}, {101, 111} as the
+	// two C_1⊗B(2,1) pieces and {001, 100, 011, 110} as C_2⊗B(2,1).
+	a := MustNew(perm.Complement(3), perm.Identity(2), 1)
+	comps := a.Decompose()
+	bySize := map[int][][]int{}
+	for _, c := range comps {
+		bySize[len(c.Vertices)] = append(bySize[len(c.Vertices)], c.Vertices)
+	}
+	if len(bySize[2]) != 2 || len(bySize[4]) != 1 {
+		t.Fatalf("component sizes wrong: %v", bySize)
+	}
+	toSet := func(words ...string) map[int]bool {
+		s := map[int]bool{}
+		for _, w := range words {
+			x, _ := word.Parse(2, w)
+			s[x.Int()] = true
+		}
+		return s
+	}
+	wantSmall := []map[int]bool{toSet("000", "010"), toSet("101", "111")}
+	for _, got := range bySize[2] {
+		matched := false
+		for _, want := range wantSmall {
+			if want[got[0]] && want[got[1]] {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected small component %v", got)
+		}
+	}
+	wantBig := toSet("001", "100", "011", "110")
+	for _, v := range bySize[4][0] {
+		if !wantBig[v] {
+			t.Errorf("vertex %d not expected in the 4-cycle component", v)
+		}
+	}
+}
+
+func TestProposition39Exhaustive(t *testing.T) {
+	// For every permutation f of Z_D (small D), every j, and a sample of
+	// σ: f cyclic ⇔ A(f,σ,j) ≅ B(d,D). For non-cyclic f with σ = Id the
+	// digraph is disconnected, as the paper asserts. (For general σ the
+	// disconnectedness claim of Proposition 3.9 — whose proof the paper
+	// omits — can fail: A(f,C,j) with f = (0 1 2) on Z_4, j = 1 is the
+	// connected digraph C_2 ⊗ B(2,3). The isomorphism "iff" is what
+	// matters and it does hold: that digraph is loopless, B(2,4) is not.
+	// See EXPERIMENTS.md, erratum E-1.)
+	d := 2
+	for _, D := range []int{2, 3, 4} {
+		sigmas := []perm.Perm{perm.Identity(d), perm.Complement(d)}
+		perm.All(D, func(f perm.Perm) bool {
+			for j := 0; j < D; j++ {
+				for _, sigma := range sigmas {
+					a := MustNew(f.Clone(), sigma, j)
+					if f.IsCyclic() {
+						if _, err := a.VerifiedIsoToDeBruijn(); err != nil {
+							t.Errorf("D=%d f=%v j=%d σ=%v: %v", D, f, j, sigma, err)
+						}
+						continue
+					}
+					if sigma.IsIdentity() && a.Digraph().IsWeaklyConnected() {
+						t.Errorf("D=%d f=%v j=%d σ=Id: non-cyclic f gave connected digraph", D, f, j)
+					}
+					// The iff: never isomorphic to B(d, D).
+					if digraph.AreIsomorphic(a.Digraph(), debruijn.DeBruijn(d, D)) {
+						t.Errorf("D=%d f=%v j=%d σ=%v: non-cyclic f gave B(d,D)", D, f, j, sigma)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestErratumConnectedNonCyclic(t *testing.T) {
+	// The counterexample to the disconnectedness sentence of
+	// Proposition 3.9: f = (0 1 2) fixing 3, σ = C, j = 1 on Z_2^4.
+	// The non-orbit position 3 has its letter complemented every step, so
+	// the whole digraph is one Remark 3.10 component C_2 ⊗ B(2,3):
+	// connected, yet (consistently with the Proposition's isomorphism
+	// claim) not isomorphic to B(2,4).
+	f := perm.MustFromImage([]int{1, 2, 0, 3})
+	a := MustNew(f, perm.Complement(2), 1)
+	g := a.Digraph()
+	if !g.IsWeaklyConnected() {
+		t.Fatal("counterexample digraph should be weakly connected")
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("counterexample digraph should even be strongly connected")
+	}
+	comps := a.Decompose()
+	if len(comps) != 1 || comps[0].CircuitLen != 2 || comps[0].DeBruijnDim != 3 {
+		t.Fatalf("decomposition = %+v, want single C_2 ⊗ B(2,3)", comps)
+	}
+	if err := a.VerifyDecomposition(); err != nil {
+		t.Errorf("Remark 3.10 still holds for the counterexample: %v", err)
+	}
+	if digraph.AreIsomorphic(g, debruijn.DeBruijn(2, 4)) {
+		t.Error("counterexample must not be isomorphic to B(2,4)")
+	}
+	if len(g.Loops()) != 0 {
+		t.Error("C_2 ⊗ B(2,3) is loopless")
+	}
+}
+
+func TestRemark310AllNonCyclic(t *testing.T) {
+	// Every component of every non-cyclic A(f, σ, j) (small cases) is a
+	// circuit ⊗ de Bruijn conjunction.
+	d := 2
+	D := 3
+	perm.All(D, func(f perm.Perm) bool {
+		if f.IsCyclic() {
+			return true
+		}
+		for j := 0; j < D; j++ {
+			a := MustNew(f.Clone(), perm.Identity(d), j)
+			if err := a.VerifyDecomposition(); err != nil {
+				t.Errorf("f=%v j=%d: %v", f, j, err)
+			}
+		}
+		return true
+	})
+}
+
+func TestDecomposeCyclicCase(t *testing.T) {
+	a := DeBruijnAlpha(2, 4)
+	comps := a.Decompose()
+	if len(comps) != 1 {
+		t.Fatalf("cyclic case has %d components", len(comps))
+	}
+	if comps[0].CircuitLen != 1 || comps[0].DeBruijnDim != 4 {
+		t.Errorf("cyclic decomposition = C_%d ⊗ B(2,%d)", comps[0].CircuitLen, comps[0].DeBruijnDim)
+	}
+	if err := a.VerifyDecomposition(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountDefinitions(t *testing.T) {
+	// Section 3.2: d!(D-1)! alternative definitions of B(d,D).
+	if CountDefinitions(2, 3) != 4 {
+		t.Errorf("CountDefinitions(2,3) = %d, want 4", CountDefinitions(2, 3))
+	}
+	if CountDefinitions(3, 4) != 36 {
+		t.Errorf("CountDefinitions(3,4) = %d, want 36", CountDefinitions(3, 4))
+	}
+}
+
+func TestCountDefinitionsByEnumeration(t *testing.T) {
+	// Verify the count by enumerating all (σ, cyclic f) pairs and checking
+	// each really is isomorphic to B(d, D) with j = 0.
+	d, D := 2, 3
+	count := 0
+	perm.AllCyclic(D, func(f perm.Perm) bool {
+		fc := f.Clone()
+		perm.All(d, func(sigma perm.Perm) bool {
+			a := MustNew(fc, sigma.Clone(), 0)
+			if _, err := a.VerifiedIsoToDeBruijn(); err != nil {
+				t.Errorf("f=%v σ=%v: %v", fc, sigma, err)
+			}
+			count++
+			return true
+		})
+		return true
+	})
+	if count != CountDefinitions(d, D) {
+		t.Errorf("enumerated %d definitions, formula says %d", count, CountDefinitions(d, D))
+	}
+}
+
+func TestAlphaRandomCyclic(t *testing.T) {
+	// Random larger cyclic cases (including d=3, D=5: 243 vertices).
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 8; trial++ {
+		D := 3 + rng.Intn(3)
+		d := 2 + rng.Intn(2)
+		// Random cyclic f: conjugate the shift by a random permutation.
+		f := perm.CyclicShift(D).Conjugate(perm.Random(D, rng))
+		if !f.IsCyclic() {
+			t.Fatal("conjugate of cycle not cyclic")
+		}
+		sigma := perm.Random(d, rng)
+		j := rng.Intn(D)
+		a := MustNew(f, sigma, j)
+		if _, err := a.VerifiedIsoToDeBruijn(); err != nil {
+			t.Errorf("d=%d D=%d f=%v σ=%v j=%d: %v", d, D, f, sigma, j, err)
+		}
+	}
+}
+
+func TestSuccessorsDegreeAndRegularity(t *testing.T) {
+	a := MustNew(f331(), perm.Complement(2), 2)
+	g := a.Digraph()
+	if !g.IsRegular(2) {
+		t.Error("A(f,C,2) not 2-regular")
+	}
+	if g.N() != 64 {
+		t.Errorf("n = %d", g.N())
+	}
+}
+
+func TestComponentCount(t *testing.T) {
+	a := MustNew(perm.Complement(3), perm.Identity(2), 1)
+	if got := a.ComponentCount(); got != 3 {
+		t.Errorf("ComponentCount = %d, want 3", got)
+	}
+}
+
+func TestIsoBetween(t *testing.T) {
+	// Two different alphabet-digraph presentations of B(2,6) map onto
+	// each other directly.
+	a1 := MustNew(f331(), perm.Identity(2), 2)
+	a2 := DeBruijnAlpha(2, 6)
+	mapping, err := IsoBetween(a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := digraph.VerifyIsomorphism(a1.Digraph(), a2.Digraph(), mapping); err != nil {
+		t.Fatalf("composed witness invalid: %v", err)
+	}
+	// Shape mismatch and non-cyclic inputs are rejected.
+	if _, err := IsoBetween(a1, DeBruijnAlpha(2, 5)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	bad := MustNew(perm.Complement(3), perm.Identity(2), 1)
+	if _, err := IsoBetween(bad, DeBruijnAlpha(2, 3)); err == nil {
+		t.Error("non-cyclic source accepted")
+	}
+}
+
+func TestDigraphDiameterMatchesDeBruijn(t *testing.T) {
+	// An isomorphic copy must share B(d,D)'s diameter D.
+	a := MustNew(f331(), perm.Identity(2), 2)
+	if got := a.Digraph().Diameter(); got != 6 {
+		t.Errorf("diameter = %d, want 6", got)
+	}
+}

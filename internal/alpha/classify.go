@@ -1,0 +1,121 @@
+package alpha
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perm"
+	"repro/internal/word"
+)
+
+// Classification of the full A(f, σ, j) family. Proposition 3.9 splits it
+// into "isomorphic to B(d, D)" and "disconnected-ish" cases; Remark 3.10
+// refines the latter into stacks of circuit ⊗ de Bruijn conjunctions.
+// Classify computes, for every (f, σ, j) of a small (d, D), the
+// structural signature — the sorted multiset of (c, r) component shapes —
+// and groups the parameter space by it. The de Bruijn class has signature
+// {(1, D)}.
+
+// Signature is a canonical string for a component-shape multiset, e.g.
+// "1x(C1⊗B2)" for B(d, 2) itself or "2x(C2⊗B2) 10x(C6⊗B2)".
+type Signature string
+
+// SignatureOf computes the structural signature of one alphabet digraph.
+func SignatureOf(a *Alpha) Signature {
+	counts := map[[2]int]int{}
+	for _, comp := range a.Decompose() {
+		counts[[2]int{comp.CircuitLen, comp.DeBruijnDim}]++
+	}
+	keys := make([][2]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%dx(C%d⊗B%d)", counts[k], k[0], k[1])
+	}
+	return Signature(s)
+}
+
+// DeBruijnSignature returns the signature of B(d, D) itself.
+func DeBruijnSignature(D int) Signature {
+	return Signature(fmt.Sprintf("1x(C1⊗B%d)", D))
+}
+
+// ClassCount maps a signature to how many (f, σ, j) triples produce it.
+type ClassCount struct {
+	Sig   Signature
+	Count int
+}
+
+// Classify enumerates every (f, σ, j) for the given degree and dimension
+// and tallies structural signatures, sorted by descending count then
+// signature. The total is D!·d!·D.
+func Classify(d, D int) []ClassCount {
+	counts := map[Signature]int{}
+	perm.All(D, func(f perm.Perm) bool {
+		fc := f.Clone()
+		perm.All(d, func(sigma perm.Perm) bool {
+			sc := sigma.Clone()
+			for j := 0; j < D; j++ {
+				a := MustNew(fc, sc, j)
+				counts[SignatureOf(a)]++
+			}
+			return true
+		})
+		return true
+	})
+	out := make([]ClassCount, 0, len(counts))
+	for sig, c := range counts {
+		out = append(out, ClassCount{Sig: sig, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	return out
+}
+
+// TotalTriples returns D!·d!·D, the size of the parameter space Classify
+// covers.
+func TotalTriples(d, D int) int {
+	return perm.Factorial(D) * perm.Factorial(d) * D
+}
+
+// DeBruijnFraction returns how many of the triples realize B(d, D): by
+// Proposition 3.9 this is exactly (D-1)!·d!·D (the cyclic f's), i.e. a
+// 1/D fraction of the space.
+func DeBruijnFraction(classes []ClassCount, D int) (deBruijn, total int) {
+	target := DeBruijnSignature(D)
+	for _, c := range classes {
+		total += c.Count
+		if c.Sig == target {
+			deBruijn += c.Count
+		}
+	}
+	return deBruijn, total
+}
+
+// VerifySignatureTotals checks vertex accounting of a signature against
+// d^D (each component shape (c, r) covers c·d^r vertices per copy).
+func VerifySignatureTotals(d, D int, a *Alpha) error {
+	total := 0
+	for _, comp := range a.Decompose() {
+		total += comp.CircuitLen * word.Pow(d, comp.DeBruijnDim)
+	}
+	if total != word.Pow(d, D) {
+		return fmt.Errorf("alpha: signature covers %d of %d vertices", total, word.Pow(d, D))
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package alpha
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestSignatureOfDeBruijn(t *testing.T) {
+	a := DeBruijnAlpha(2, 4)
+	if got := SignatureOf(a); got != DeBruijnSignature(4) {
+		t.Errorf("signature = %q, want %q", got, DeBruijnSignature(4))
+	}
+}
+
+func TestSignatureOfExample332(t *testing.T) {
+	a := MustNew(perm.Complement(3), perm.Identity(2), 1)
+	// Figure 5: two C1⊗B1 components and one C2⊗B1.
+	if got := SignatureOf(a); got != "2x(C1⊗B1) 1x(C2⊗B1)" {
+		t.Errorf("signature = %q", got)
+	}
+}
+
+func TestClassifyTotals(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {3, 2}} {
+		classes := Classify(c.d, c.D)
+		_, total := DeBruijnFraction(classes, c.D)
+		if total != TotalTriples(c.d, c.D) {
+			t.Errorf("d=%d D=%d: classified %d of %d triples", c.d, c.D, total, TotalTriples(c.d, c.D))
+		}
+	}
+}
+
+func TestClassifyDeBruijnFractionIsOneOverD(t *testing.T) {
+	// Proposition 3.9 quantified: exactly the cyclic f's — (D-1)! of D!
+	// permutations, i.e. a 1/D fraction — give B(d, D), regardless of
+	// σ and j.
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {3, 2}, {2, 4}} {
+		classes := Classify(c.d, c.D)
+		deBruijn, total := DeBruijnFraction(classes, c.D)
+		if deBruijn*c.D != total {
+			t.Errorf("d=%d D=%d: %d of %d triples are de Bruijn (want 1/%d)",
+				c.d, c.D, deBruijn, total, c.D)
+		}
+	}
+}
+
+func TestClassifySorted(t *testing.T) {
+	classes := Classify(2, 3)
+	for i := 1; i < len(classes); i++ {
+		if classes[i].Count > classes[i-1].Count {
+			t.Fatal("classes not sorted by count")
+		}
+	}
+	if len(classes) < 2 {
+		t.Fatalf("expected multiple structural classes, got %d", len(classes))
+	}
+}
+
+func TestVerifySignatureTotals(t *testing.T) {
+	perm.All(3, func(f perm.Perm) bool {
+		for j := 0; j < 3; j++ {
+			a := MustNew(f.Clone(), perm.Complement(2), j)
+			if err := VerifySignatureTotals(2, 3, a); err != nil {
+				t.Errorf("f=%v j=%d: %v", f, j, err)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,98 @@
+package alpha
+
+import (
+	"fmt"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+// Remark 3.10: when f is not cyclic, A(f, σ, s) is disconnected and each
+// weak component is the conjunction of a de Bruijn digraph with a circuit.
+// Decompose materializes that structure.
+
+// Component describes one weak component of a (possibly disconnected)
+// alphabet digraph.
+type Component struct {
+	// Vertices lists the component's Horner labels, increasing.
+	Vertices []int
+	// CircuitLen is the length c of the circuit factor C_c.
+	CircuitLen int
+	// DeBruijnDim is the dimension r of the de Bruijn factor B(d, r):
+	// the length of the orbit of the free position j under f.
+	DeBruijnDim int
+}
+
+// Model returns the reference digraph C_c ⊗ B(d, r) the component is
+// claimed (by Remark 3.10) to be isomorphic to.
+func (c Component) Model(d int) *digraph.Digraph {
+	return digraph.Conjunction(digraph.Circuit(c.CircuitLen), debruijn.DeBruijn(d, c.DeBruijnDim))
+}
+
+// Decompose splits A(f, σ, j) into weak components and annotates each with
+// its Remark 3.10 structure: the de Bruijn dimension r is the orbit length
+// of j under f, and the circuit length is |component| / d^r. When f is
+// cyclic the result is a single component with CircuitLen 1 and
+// DeBruijnDim D (C_1 ⊗ B(d, D) = B(d, D)).
+func (a *Alpha) Decompose() []Component {
+	g := a.Digraph()
+	comps := g.WeaklyConnectedComponents()
+	r := a.orbitLenOfJ()
+	dr := 1
+	for i := 0; i < r; i++ {
+		dr *= a.D()
+	}
+	out := make([]Component, len(comps))
+	for i, vs := range comps {
+		if len(vs)%dr != 0 {
+			panic(fmt.Sprintf("alpha: component size %d not divisible by d^r = %d", len(vs), dr))
+		}
+		out[i] = Component{
+			Vertices:    vs,
+			CircuitLen:  len(vs) / dr,
+			DeBruijnDim: r,
+		}
+	}
+	return out
+}
+
+// VerifyDecomposition checks Remark 3.10 constructively: every component's
+// induced subgraph must be isomorphic to its C_c ⊗ B(d, r) model. The check
+// uses the generic backtracking matcher, so it is intended for small
+// instances (tests and the figure generator).
+func (a *Alpha) VerifyDecomposition() error {
+	g := a.Digraph()
+	for i, comp := range a.Decompose() {
+		sub, _ := g.InducedSubgraph(comp.Vertices)
+		model := comp.Model(a.D())
+		if sub.N() != model.N() || sub.M() != model.M() {
+			return fmt.Errorf("alpha: component %d size %d/%d arcs differs from model %d/%d",
+				i, sub.N(), sub.M(), model.N(), model.M())
+		}
+		if _, ok := digraph.FindIsomorphism(sub, model); !ok {
+			return fmt.Errorf("alpha: component %d (c=%d, r=%d) not isomorphic to C_%d ⊗ B(%d,%d)",
+				i, comp.CircuitLen, comp.DeBruijnDim, comp.CircuitLen, a.D(), comp.DeBruijnDim)
+		}
+	}
+	return nil
+}
+
+// orbitLenOfJ returns the length of the orbit of the free position j under
+// the index permutation f.
+func (a *Alpha) orbitLenOfJ() int {
+	length := 0
+	cur := a.j
+	for {
+		length++
+		cur = a.f.Apply(cur)
+		if cur == a.j {
+			return length
+		}
+	}
+}
+
+// ComponentCount returns the number of weak components without
+// materializing the decomposition models.
+func (a *Alpha) ComponentCount() int {
+	return len(a.Digraph().WeaklyConnectedComponents())
+}

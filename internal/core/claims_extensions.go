@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/fft"
+	"repro/internal/gossip"
+	"repro/internal/multistage"
+	"repro/internal/otis"
+	"repro/internal/viterbi"
+)
+
+// Claims for the application substrates the paper motivates but does not
+// itself evaluate: the Galileo decoder [11], the FFT [12]/[24], the
+// multistage networks [27]/[30], broadcasting/gossiping [3]/[28],
+// embeddings [9], and the concluding conjecture.
+
+func init() {
+	register(Claim{
+		ID:        "X-SEQ",
+		Statement: "B(d,D) is Hamiltonian; de Bruijn sequences exist (embeddings [9])",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 6}, {3, 3}} {
+				cycle, err := debruijn.HamiltonianCycle(c.d, c.D)
+				if err != nil {
+					return err
+				}
+				if err := debruijn.VerifyHamiltonianCycle(debruijn.DeBruijn(c.d, c.D), cycle); err != nil {
+					return err
+				}
+				seq, err := debruijn.Sequence(c.d, c.D)
+				if err != nil {
+					return err
+				}
+				if err := debruijn.VerifySequence(c.d, c.D, seq); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-TREE",
+		Statement: "dilation-1 forest of d-1 complete d-ary trees covers B(d,D) minus 0",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 5}, {3, 3}} {
+				nodes, err := debruijn.TreeEmbedding(c.d, c.D)
+				if err != nil {
+					return err
+				}
+				if err := debruijn.VerifyTreeEmbedding(c.d, c.D, nodes); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-AUT",
+		Statement: "|Aut(B(d,D))| = d! (letterwise actions), |Aut(K(d,D))| = (d+1)!",
+		Check: func() error {
+			if got := debruijn.DeBruijn(3, 2).AutomorphismCount(0); got != 6 {
+				return fmt.Errorf("|Aut(B(3,2))| = %d, want 6", got)
+			}
+			k, _ := debruijn.Kautz(2, 3)
+			if got := k.AutomorphismCount(0); got != 6 {
+				return fmt.Errorf("|Aut(K(2,3))| = %d, want 6", got)
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-VITERBI",
+		Statement: "Viterbi trellis = B(2,K-1); decoder corrects BSC errors ([11])",
+		Check: func() error {
+			c := viterbi.NASA()
+			trellis := c.TrellisDigraph()
+			b := debruijn.DeBruijn(2, c.K-1)
+			mapping := make([]int, trellis.N())
+			for s := range mapping {
+				rev := 0
+				for i := 0; i < c.K-1; i++ {
+					rev |= (s >> uint(i) & 1) << uint(c.K-2-i)
+				}
+				mapping[s] = rev
+			}
+			if err := digraph.VerifyIsomorphism(trellis, b, mapping); err != nil {
+				return fmt.Errorf("trellis ≇ B(2,%d): %w", c.K-1, err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			msg := make([]byte, 80)
+			for i := range msg {
+				msg[i] = byte(rng.Intn(2))
+			}
+			enc, err := c.Encode(msg)
+			if err != nil {
+				return err
+			}
+			noisy, _ := viterbi.BSC(enc, 0.02, rng)
+			dec, err := c.Decode(noisy)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(dec, msg) {
+				return fmt.Errorf("decode failed at 2%% BSC")
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-FFT",
+		Statement: "Pease FFT stages use only de Bruijn arcs and compute the DFT ([12],[24])",
+		Check: func() error {
+			if err := fft.VerifyDataflow(8); err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(100))
+			x := make([]complex128, 256)
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			got, err := fft.Transform(x)
+			if err != nil {
+				return err
+			}
+			want := fft.Naive(x)
+			for i := range got {
+				if cmplx.Abs(got[i]-want[i]) > 1e-6 {
+					return fmt.Errorf("FFT bin %d off by %g", i, cmplx.Abs(got[i]-want[i]))
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-BUTTERFLY",
+		Statement: "WBF(d,D) ≅ C_D ⊗ B(d,D); ShuffleNet = C_k ⊗ B(d,k) ([27],[30])",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 3}, {3, 2}} {
+				mapping := multistage.ButterflyWitness(c.d, c.D)
+				if err := digraph.VerifyIsomorphism(
+					multistage.WrappedButterfly(c.d, c.D),
+					multistage.ButterflyConjunction(c.d, c.D), mapping); err != nil {
+					return err
+				}
+			}
+			if !multistage.GEMNET(3, 8, 2).Equal(multistage.ShuffleNet(2, 3)) {
+				return fmt.Errorf("GEMNET(3,8,2) != SN(2,3)")
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-STACKS",
+		Statement: "non-layout OTIS splits realize stacks of circuit ⊗ de Bruijn networks",
+		Check: func() error {
+			stacks := otis.RealizedStructure(2, 3, 6)
+			if len(stacks) != 2 || stacks[0].Copies != 2 || stacks[1].Copies != 10 {
+				return fmt.Errorf("H(8,64,2) stacks = %v", stacks)
+			}
+			if err := otis.AlphaForLayout(2, 3, 6).VerifyDecomposition(); err != nil {
+				return err
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-WALK",
+		Statement: "A^D = J for B(d,D); A^D + A^{D-1} = J for K(d,D)",
+		Check: func() error {
+			if !debruijn.DeBruijn(2, 4).IsWalkRegular(4, 1) {
+				return fmt.Errorf("B(2,4): A^4 != J")
+			}
+			if !debruijn.DeBruijn(3, 2).IsWalkRegular(2, 1) {
+				return fmt.Errorf("B(3,2): A^2 != J")
+			}
+			k, _ := debruijn.Kautz(2, 3)
+			if !k.WalkPolynomialIsAllOnes([]int{2, 3}) {
+				return fmt.Errorf("K(2,3): A^3 + A^2 != J")
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-LINE",
+		Statement: "B(d,D) = L^{D-1}(K*_d), K(d,D) = L^{D-1}(K_{d+1}) (Fiol et al.)",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 3}, {3, 2}} {
+				if err := debruijn.VerifyLineIterateCharacterization(c.d, c.D); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-NECKLACE",
+		Statement: "rotation arcs form a 1-factor of B(d,D) with Burnside-many cycles",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 6}, {3, 3}} {
+				cycles := debruijn.NecklaceCycles(c.d, c.D)
+				if err := debruijn.VerifyNecklaceFactor(c.d, c.D, cycles); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-GOSSIP",
+		Statement: "all-port gossip rounds = diameter; greedy 1-port broadcast near bounds ([3],[28])",
+		Check: func() error {
+			g := debruijn.DeBruijn(2, 5)
+			if got := gossip.GossipAllPort(g); got != 5 {
+				return fmt.Errorf("gossip rounds %d, want 5", got)
+			}
+			s, err := gossip.BroadcastSinglePort(g, 0)
+			if err != nil {
+				return err
+			}
+			if err := gossip.VerifySchedule(g, s); err != nil {
+				return err
+			}
+			if s.Length() < gossip.LogLowerBound(g.N()) || s.Length() > 3*6 {
+				return fmt.Errorf("broadcast length %d out of bounds", s.Length())
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-CONJ",
+		Statement: "conjecture (§5): no OTIS layout with p,q not powers of d",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{4, 2}, {6, 2}, {8, 2}} {
+				if np := otis.NonPowerLayouts(otis.ConjectureScan(c.d, c.D)); len(np) != 0 {
+					return fmt.Errorf("d=%d D=%d: counterexamples %v", c.d, c.D, np)
+				}
+			}
+			return nil
+		},
+	})
+}

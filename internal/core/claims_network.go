@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/debruijn"
+	"repro/internal/optics"
+	"repro/internal/otis"
+	"repro/internal/pops"
+)
+
+// Claims about the realized networks' operational properties: fault
+// tolerance (connectivity), the explicit Kautz–II witness, the 2-D
+// optical packaging, and the Table 1 family law found while reproducing.
+
+func init() {
+	register(Claim{
+		ID:        "X-CONN",
+		Statement: "κ(B(d,D)) = λ = d-1; κ(K(d,D)) = λ = d (fault tolerance)",
+		Check: func() error {
+			b := debruijn.DeBruijn(3, 3)
+			if b.ArcConnectivity() != 2 || b.VertexConnectivity() != 2 {
+				return fmt.Errorf("B(3,3) connectivity ≠ 2")
+			}
+			k := debruijn.ImaseItoh(3, 36) // ≅ K(3,3)
+			if k.ArcConnectivity() != 3 || k.VertexConnectivity() != 3 {
+				return fmt.Errorf("K(3,3) connectivity ≠ 3")
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-KWIT",
+		Statement: "explicit witness K(d,D) ≅ II(d, d^{D-1}(d+1)) (makes [21] constructive)",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 4}, {3, 3}, {4, 2}, {2, 8}} {
+				if _, err := debruijn.IsoKautzToII(c.d, c.D); err != nil {
+					return fmt.Errorf("d=%d D=%d: %w", c.d, c.D, err)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-2D",
+		Statement: "2-D lenslet packaging realizes the same transpose with far smaller apertures",
+		Check: func() error {
+			b2, err := optics.NewBench2D(4, 4, 8, 4, optics.DefaultPitch)
+			if err != nil {
+				return err
+			}
+			if err := b2.VerifyTranspose(); err != nil {
+				return err
+			}
+			b1, err := optics.NewBench(16, 32, optics.DefaultPitch)
+			if err != nil {
+				return err
+			}
+			if b2.MaxArrayExtent() >= b1.Aperture() {
+				return fmt.Errorf("2-D packaging did not shrink the aperture")
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-ZANE",
+		Statement: "[34]: OTIS(n,n) at degree n is exactly K*_n (64-processor example)",
+		Check: func() error {
+			for _, n := range []int{8, 64} {
+				if err := pops.VerifyZaneCompleteLayout(n); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-POPS",
+		Statement: "intro scaling story: POPS/complete layouts cost Ω(n) optics per machine, de Bruijn costs d per node + Θ(√n) lenses",
+		Check: func() error {
+			c, err := pops.Compare(2, 8, 16)
+			if err != nil {
+				return err
+			}
+			if c.DeBruijnTransceivers >= c.POPSTransceivers ||
+				c.POPSTransceivers >= c.CompleteTransceivers {
+				return fmt.Errorf("transceiver ordering broken: %+v", c)
+			}
+			if c.DeBruijnLenses >= c.CompleteLenses {
+				return fmt.Errorf("lens ordering broken: %+v", c)
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-FAMILY",
+		Statement: "Table 1 rows above 2^D are exactly n = 2^a(2^b+1), a+b=D, b odd, a >= 0",
+		Check: func() error {
+			for _, D := range []int{8, 9} {
+				rows := otis.SearchDegreeDiameter(2, D, 1<<uint(D)+1, 3<<uint(D-1))
+				want := map[int]bool{}
+				for a := 0; a < D; a++ {
+					b := D - a
+					if b%2 == 1 {
+						want[(1<<uint(a))*((1<<uint(b))+1)] = true
+					}
+				}
+				got := map[int]bool{}
+				for _, r := range rows {
+					got[r.N] = true
+				}
+				if len(got) != len(want) {
+					return fmt.Errorf("D=%d: got rows %v, family predicts %v", D, got, want)
+				}
+				for n := range want {
+					if !got[n] {
+						return fmt.Errorf("D=%d: family member %d missing", D, n)
+					}
+				}
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/optics"
+	"repro/internal/otis"
+	"repro/internal/word"
+)
+
+// Claims from Section 4: the OTIS application, Table 1 and the figures.
+
+func init() {
+	register(Claim{
+		ID:        "F1-3",
+		Statement: "Figures 1-3: B(2,3), RRK(2,8), II(2,8) are the same digraph",
+		Check: func() error {
+			if !debruijn.DeBruijn(2, 3).Equal(debruijn.RRK(2, 8)) {
+				return fmt.Errorf("B(2,3) != RRK(2,8)")
+			}
+			_, err := debruijn.IsoIIToB(2, 3)
+			return err
+		},
+	})
+
+	register(Claim{
+		ID:        "F4",
+		Statement: "Figure 4: g(i)=f^i(2) = [2 5 1 4 0 3] for example 3.3.1",
+		Check: func() error {
+			a := otisExample331()
+			g, ok := a.GPerm()
+			if !ok {
+				return fmt.Errorf("g not a permutation")
+			}
+			want := []int{2, 5, 1, 4, 0, 3}
+			for i, w := range want {
+				if g.Apply(i) != w {
+					return fmt.Errorf("g = %v, want %v", g, want)
+				}
+			}
+			_, err := a.VerifiedIsoToDeBruijn()
+			return err
+		},
+	})
+
+	register(Claim{
+		ID:        "F5",
+		Statement: "Figure 5: A(C,Id,1) on Z_2^3 splits into C_2⊗B + 2×C_1⊗B",
+		Check: func() error {
+			a := otisExample332()
+			comps := a.Decompose()
+			if len(comps) != 3 {
+				return fmt.Errorf("%d components, want 3", len(comps))
+			}
+			return a.VerifyDecomposition()
+		},
+	})
+
+	register(Claim{
+		ID:        "F6",
+		Statement: "Figure 6: OTIS(3,6) transpose wiring, optically verified",
+		Check: func() error {
+			b, err := optics.NewBench(3, 6, optics.DefaultPitch)
+			if err != nil {
+				return err
+			}
+			return b.VerifyTranspose()
+		},
+	})
+
+	register(Claim{
+		ID:        "F7",
+		Statement: "Figure 7: H(4,8,2) wiring Γ⁺(x3x2x1x0) = {x̄1x̄0αx̄3}",
+		Check: func() error {
+			g := otis.MustH(4, 8, 2)
+			var failed error
+			word.Enumerate(2, 4, func(x word.Word) bool {
+				for gamma := 0; gamma < 2; gamma++ {
+					y := word.MustFromLetters(2,
+						1-x.Letter(1), 1-x.Letter(0), gamma, 1-x.Letter(3))
+					if !g.HasArc(x.Int(), y.Int()) {
+						failed = fmt.Errorf("missing arc %s -> %s", x, y)
+						return false
+					}
+				}
+				return true
+			})
+			return failed
+		},
+	})
+
+	register(Claim{
+		ID:        "F8",
+		Statement: "Figure 8: H(4,8,2) ≅ B(2,4)",
+		Check: func() error {
+			mapping, err := otis.LayoutWitness(2, 2, 3)
+			if err != nil {
+				return err
+			}
+			return digraph.VerifyIsomorphism(otis.MustH(4, 8, 2), debruijn.DeBruijn(2, 4), mapping)
+		},
+	})
+
+	register(Claim{
+		ID:        "P4.1",
+		Statement: "H(d^p', d^q', d) = A(f, C, p'-1)",
+		Check: func() error {
+			for _, c := range []struct{ d, pp, qp int }{{2, 2, 3}, {2, 3, 3}, {3, 2, 2}} {
+				h := otis.MustH(word.Pow(c.d, c.pp), word.Pow(c.d, c.qp), c.d)
+				a := otis.AlphaForLayout(c.d, c.pp, c.qp).Digraph()
+				if !h.Equal(a) {
+					return fmt.Errorf("H(%d^%d,%d^%d,%d) != A(f,C,%d)", c.d, c.pp, c.d, c.qp, c.d, c.pp-1)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "C4.2",
+		Statement: "layout criterion = cyclicity of the Prop 4.1 permutation",
+		Check: func() error {
+			d := 2
+			for D := 2; D <= 5; D++ {
+				b := debruijn.DeBruijn(d, D)
+				for pp := 1; pp <= D; pp++ {
+					qp := D + 1 - pp
+					h := otis.MustH(word.Pow(d, pp), word.Pow(d, qp), d)
+					if otis.IsDeBruijnLayout(pp, qp) != digraph.AreIsomorphic(h, b) {
+						return fmt.Errorf("criterion disagrees at D=%d split (%d,%d)", D, pp, qp)
+					}
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "P4.3",
+		Statement: "odd D: balanced split works only for D=1",
+		Check: func() error {
+			if !otis.IsDeBruijnLayout(1, 1) {
+				return fmt.Errorf("D=1 balanced split rejected")
+			}
+			for pp := 2; pp <= 8; pp++ {
+				if otis.IsDeBruijnLayout(pp, pp) {
+					return fmt.Errorf("balanced split (%d,%d) accepted", pp, pp)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "C4.4",
+		Statement: "even D: split (D/2, D/2+1) gives Θ(√n) lenses",
+		Check: func() error {
+			for D := 2; D <= 24; D += 2 {
+				if !otis.IsDeBruijnLayout(D/2, D/2+1) {
+					return fmt.Errorf("Corollary 4.4 fails at D=%d", D)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "S4.3",
+		Statement: "H(2,256,2), H(4,128,2), H(16,32,2) ≅ B(2,8); H(8,128,2) ≅ B(2,9)",
+		Check: func() error {
+			for _, c := range []struct{ pp, qp int }{{1, 8}, {2, 7}, {4, 5}, {3, 7}} {
+				if !otis.IsDeBruijnLayout(c.pp, c.qp) {
+					return fmt.Errorf("split (%d,%d) rejected", c.pp, c.qp)
+				}
+			}
+			if otis.IsDeBruijnLayout(3, 6) {
+				return fmt.Errorf("split (3,6) wrongly accepted")
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "S4.4",
+		Statement: "H(2^5,2^7,2) ≅ B(2,11); H(d^6,d^8,d) ≇ B(d,13)",
+		Check: func() error {
+			if !otis.IsDeBruijnLayout(5, 7) {
+				return fmt.Errorf("(5,7) rejected")
+			}
+			if otis.IsDeBruijnLayout(6, 8) {
+				return fmt.Errorf("(6,8) accepted")
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-II",
+		Statement: "[14]: H(d, n, d) = II(d, n) — the O(n)-lens layout",
+		Check: func() error {
+			for _, c := range []struct{ d, n int }{{2, 256}, {2, 384}, {3, 36}} {
+				if err := otis.VerifyIILayout(c.d, c.n); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "T1",
+		Statement: "Table 1 (D=8 block): rows 253..256, 258, 264, 288, 384",
+		Check: func() error {
+			rows := otis.SearchDegreeDiameter(2, 8, 253, digraph.MooreBound(2, 8))
+			want := []otis.TableRow{
+				{N: 253, Pairs: [][2]int{{2, 253}}},
+				{N: 254, Pairs: [][2]int{{2, 254}}},
+				{N: 255, Pairs: [][2]int{{2, 255}}},
+				{N: 256, Pairs: [][2]int{{2, 256}, {4, 128}, {16, 32}}, Note: "B(2,8)"},
+				{N: 258, Pairs: [][2]int{{2, 258}}},
+				{N: 264, Pairs: [][2]int{{2, 264}}},
+				{N: 288, Pairs: [][2]int{{2, 288}}},
+				{N: 384, Pairs: [][2]int{{2, 384}}, Note: "K(2,8)"},
+			}
+			if !reflect.DeepEqual(rows, want) {
+				return fmt.Errorf("Table 1 D=8 block mismatch:\n got %v\nwant %v", rows, want)
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-LENS",
+		Statement: "headline: Θ(√n) lenses vs O(n) baseline",
+		Check: func() error {
+			for D := 4; D <= 16; D += 2 {
+				pp, qp, lenses, ok := otis.MinimizeLenses(2, D)
+				if !ok {
+					return fmt.Errorf("no layout at D=%d", D)
+				}
+				if pp != D/2 || qp != D/2+1 {
+					return fmt.Errorf("D=%d: optimal split (%d,%d)", D, pp, qp)
+				}
+				n := word.Pow(2, D)
+				if lenses*lenses > 16*n {
+					return fmt.Errorf("D=%d: %d lenses is not O(√n)", D, lenses)
+				}
+				if otis.IILayoutLenses(2, n) <= lenses {
+					return fmt.Errorf("D=%d: baseline beat the optimized layout", D)
+				}
+			}
+			return nil
+		},
+	})
+}

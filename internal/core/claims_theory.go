@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alpha"
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/perm"
+	"repro/internal/word"
+)
+
+// Claims from Sections 2 and 3: the isomorphism theory.
+
+func init() {
+	register(Claim{
+		ID:        "R2.4",
+		Statement: "B(d,k) ⊗ B(d',k) = B(dd',k)",
+		Check: func() error {
+			cases := []struct{ d1, d2, k int }{{2, 2, 2}, {2, 3, 2}}
+			for _, c := range cases {
+				prod := digraph.Conjunction(debruijn.DeBruijn(c.d1, c.k), debruijn.DeBruijn(c.d2, c.k))
+				want := debruijn.DeBruijn(c.d1*c.d2, c.k)
+				if _, ok := digraph.FindIsomorphism(prod, want); !ok {
+					return fmt.Errorf("B(%d,%d)⊗B(%d,%d) ≇ B(%d,%d)",
+						c.d1, c.k, c.d2, c.k, c.d1*c.d2, c.k)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "R2.6",
+		Statement: "RRK(d, d^D) is the congruence form of B(d,D)",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 5}, {3, 3}} {
+				if !debruijn.RRK(c.d, word.Pow(c.d, c.D)).Equal(debruijn.DeBruijn(c.d, c.D)) {
+					return fmt.Errorf("RRK(%d,%d^%d) != B(%d,%d)", c.d, c.d, c.D, c.d, c.D)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-K=II",
+		Statement: "II(d, d^{D-1}(d+1)) ≅ K(d,D) (recalled from [21])",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 3}, {3, 2}} {
+				k, _ := debruijn.Kautz(c.d, c.D)
+				ii := debruijn.ImaseItoh(c.d, debruijn.KautzOrder(c.d, c.D))
+				if _, ok := digraph.FindIsomorphism(ii, k); !ok {
+					return fmt.Errorf("II(%d,%d) ≇ K(%d,%d)", c.d, debruijn.KautzOrder(c.d, c.D), c.d, c.D)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "P3.2",
+		Statement: "B_σ(d,D) ≅ B(d,D) via W, for every σ",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 4}, {3, 3}} {
+				var failed error
+				perm.All(c.d, func(sigma perm.Perm) bool {
+					if _, err := debruijn.IsoBSigmaToB(c.d, c.D, sigma.Clone()); err != nil {
+						failed = fmt.Errorf("d=%d D=%d σ=%v: %w", c.d, c.D, sigma, err)
+						return false
+					}
+					return true
+				})
+				if failed != nil {
+					return failed
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "P3.3",
+		Statement: "B(d,D) ≅ II(d, d^D); in fact B_C(d,D) = II(d,d^D)",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 6}, {3, 3}, {4, 2}} {
+				if !debruijn.BBar(c.d, c.D).Equal(debruijn.ImaseItoh(c.d, word.Pow(c.d, c.D))) {
+					return fmt.Errorf("B̄(%d,%d) != II as labelled digraphs", c.d, c.D)
+				}
+				if _, err := debruijn.IsoIIToB(c.d, c.D); err != nil {
+					return fmt.Errorf("d=%d D=%d: %w", c.d, c.D, err)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "C3.4",
+		Statement: "B(d,D), RRK(d,d^D), II(d,d^D) pairwise isomorphic",
+		Check: func() error {
+			mapping, err := debruijn.IsoIIToB(2, 3)
+			if err != nil {
+				return err
+			}
+			if err := digraph.VerifyIsomorphism(
+				debruijn.ImaseItoh(2, 8), debruijn.RRK(2, 8), mapping); err != nil {
+				return err
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "R3.8",
+		Statement: "B(d,D) = A(ρ, Id, 0) as labelled digraphs",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 5}, {3, 3}} {
+				if !alpha.DeBruijnAlpha(c.d, c.D).Digraph().Equal(debruijn.DeBruijn(c.d, c.D)) {
+					return fmt.Errorf("A(ρ,Id,0) != B(%d,%d)", c.d, c.D)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "P3.9",
+		Statement: "A(f,σ,j) ≅ B(d,D) iff f cyclic (witness via g(i)=f^i(j))",
+		Check: func() error {
+			d, D := 2, 4
+			var failed error
+			perm.All(D, func(f perm.Perm) bool {
+				for j := 0; j < D && failed == nil; j++ {
+					a := alpha.MustNew(f.Clone(), perm.Complement(d), j)
+					if f.IsCyclic() {
+						if _, err := a.VerifiedIsoToDeBruijn(); err != nil {
+							failed = fmt.Errorf("f=%v j=%d: %w", f, j, err)
+						}
+					} else if digraph.AreIsomorphic(a.Digraph(), debruijn.DeBruijn(d, D)) {
+						failed = fmt.Errorf("f=%v j=%d: non-cyclic f gave B(d,D)", f, j)
+					}
+				}
+				return failed == nil
+			})
+			return failed
+		},
+	})
+
+	register(Claim{
+		ID:        "R3.10",
+		Statement: "non-cyclic components are circuits ⊗ de Bruijn digraphs",
+		Check: func() error {
+			d, D := 2, 3
+			var failed error
+			perm.All(D, func(f perm.Perm) bool {
+				if f.IsCyclic() {
+					return true
+				}
+				for j := 0; j < D; j++ {
+					a := alpha.MustNew(f.Clone(), perm.Identity(d), j)
+					if err := a.VerifyDecomposition(); err != nil {
+						failed = fmt.Errorf("f=%v j=%d: %w", f, j, err)
+						return false
+					}
+				}
+				return true
+			})
+			return failed
+		},
+	})
+
+	register(Claim{
+		ID:        "X-COUNT",
+		Statement: "d!(D-1)! alternative definitions of B(d,D)",
+		Check: func() error {
+			d, D := 2, 4
+			count := 0
+			var failed error
+			perm.AllCyclic(D, func(f perm.Perm) bool {
+				fc := f.Clone()
+				perm.All(d, func(sigma perm.Perm) bool {
+					a := alpha.MustNew(fc, sigma.Clone(), 0)
+					if _, err := a.IsoToDeBruijn(); err != nil {
+						failed = err
+						return false
+					}
+					count++
+					return true
+				})
+				return failed == nil
+			})
+			if failed != nil {
+				return failed
+			}
+			if count != alpha.CountDefinitions(d, D) {
+				return fmt.Errorf("enumerated %d, formula %d", count, alpha.CountDefinitions(d, D))
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "X-CLASS",
+		Statement: "exactly 1/D of all (f,σ,j) triples realize B(d,D)",
+		Check: func() error {
+			for _, c := range []struct{ d, D int }{{2, 3}, {3, 2}} {
+				classes := alpha.Classify(c.d, c.D)
+				deBruijn, total := alpha.DeBruijnFraction(classes, c.D)
+				if deBruijn*c.D != total {
+					return fmt.Errorf("d=%d D=%d: %d/%d de Bruijn triples", c.d, c.D, deBruijn, total)
+				}
+			}
+			return nil
+		},
+	})
+
+	register(Claim{
+		ID:        "ERR-1",
+		Statement: "erratum: non-cyclic A(f,σ,j) can still be connected",
+		Check: func() error {
+			// The paper asserts non-cyclic f ⇒ disconnected, proof
+			// omitted. Counterexample: f = (0 1 2) on Z_4 (fixing 3),
+			// σ = C, j = 1: the invariant position 3 is complemented
+			// every step, making the digraph the single connected
+			// component C_2 ⊗ B(2,3). The isomorphism "iff" survives.
+			f := perm.MustFromImage([]int{1, 2, 0, 3})
+			a := alpha.MustNew(f, perm.Complement(2), 1)
+			g := a.Digraph()
+			if !g.IsStronglyConnected() {
+				return fmt.Errorf("counterexample lost: digraph is disconnected")
+			}
+			if digraph.AreIsomorphic(g, debruijn.DeBruijn(2, 4)) {
+				return fmt.Errorf("counterexample is isomorphic to B(2,4)?!")
+			}
+			if err := a.VerifyDecomposition(); err != nil {
+				return fmt.Errorf("Remark 3.10 fails on counterexample: %w", err)
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,94 @@
+// Package core orchestrates the paper's results: it registers every
+// proposition, corollary, remark, example, table and figure of Coudert,
+// Ferreira, Pérennes (IPDPS 2000) as a Claim with a constructive,
+// machine-checkable verification, and runs them. The test suite, the
+// cmd/figures tool and EXPERIMENTS.md are all driven from this registry,
+// so the list below doubles as the reproduction's table of contents.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Claim is one machine-checkable statement from the paper.
+type Claim struct {
+	// ID is the paper reference, e.g. "P3.9" (Proposition 3.9), "C4.4"
+	// (Corollary 4.4), "R2.4" (Remark 2.4), "E3.3.1" (Example 3.3.1),
+	// "T1" (Table 1), "F5" (Figure 5), "X-..." (claims this reproduction
+	// adds), "ERR-..." (errata found during reproduction).
+	ID string
+	// Statement is a one-line paraphrase of the claim.
+	Statement string
+	// Check verifies the claim constructively, returning nil on success.
+	Check func() error
+}
+
+// Result is the outcome of running one claim.
+type Result struct {
+	Claim   Claim
+	Err     error
+	Elapsed time.Duration
+}
+
+// OK reports whether the claim verified.
+func (r Result) OK() bool { return r.Err == nil }
+
+// String renders "P3.9  ok  (12ms)  <statement>" or the failure.
+func (r Result) String() string {
+	status := "ok"
+	if r.Err != nil {
+		status = "FAIL: " + r.Err.Error()
+	}
+	return fmt.Sprintf("%-8s %-40.40q %8s  %s", r.Claim.ID, r.Claim.Statement,
+		r.Elapsed.Round(time.Millisecond), status)
+}
+
+var registry []Claim
+
+// register adds a claim; called from init functions in claims_*.go.
+func register(c Claim) {
+	registry = append(registry, c)
+}
+
+// Claims returns the registered claims sorted by ID.
+func Claims() []Claim {
+	out := make([]Claim, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the claim with the given ID.
+func Lookup(id string) (Claim, bool) {
+	for _, c := range registry {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Claim{}, false
+}
+
+// VerifyAll runs every claim and returns the results in ID order.
+func VerifyAll() []Result {
+	claims := Claims()
+	results := make([]Result, len(claims))
+	for i, c := range claims {
+		start := time.Now()
+		err := c.Check()
+		results[i] = Result{Claim: c, Err: err, Elapsed: time.Since(start)}
+	}
+	return results
+}
+
+// Verify runs a single claim by ID.
+func Verify(id string) (Result, error) {
+	c, ok := Lookup(id)
+	if !ok {
+		return Result{}, fmt.Errorf("core: unknown claim %q", id)
+	}
+	start := time.Now()
+	err := c.Check()
+	return Result{Claim: c, Err: err, Elapsed: time.Since(start)}, nil
+}

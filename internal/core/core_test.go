@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllClaimsVerify(t *testing.T) {
+	for _, r := range VerifyAll() {
+		if !r.OK() {
+			t.Errorf("%s (%s): %v", r.Claim.ID, r.Claim.Statement, r.Err)
+		}
+	}
+}
+
+func TestRegistryCoverage(t *testing.T) {
+	// Every numbered result and evaluation artifact of the paper must be
+	// registered.
+	wanted := []string{
+		"R2.4", "R2.6", "P3.2", "P3.3", "C3.4", "R3.8", "P3.9", "R3.10",
+		"P4.1", "C4.2", "P4.3", "C4.4", "S4.3", "S4.4",
+		"T1", "F1-3", "F4", "F5", "F6", "F7", "F8",
+		"X-II", "X-K=II", "X-COUNT", "X-LENS", "ERR-1",
+		"X-SEQ", "X-VITERBI", "X-FFT", "X-BUTTERFLY", "X-STACKS",
+		"X-GOSSIP", "X-CONJ", "X-CONN", "X-KWIT", "X-2D", "X-FAMILY",
+		"X-ZANE", "X-POPS", "X-TREE", "X-AUT", "X-WALK", "X-NECKLACE",
+		"X-MACHINE", "X-DEFLECT", "X-TOL", "X-TDM", "X-LINE", "X-CLASS",
+	}
+	for _, id := range wanted {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("claim %s missing from registry", id)
+		}
+	}
+	if len(Claims()) < len(wanted) {
+		t.Errorf("registry has %d claims, want at least %d", len(Claims()), len(wanted))
+	}
+}
+
+func TestClaimsSortedAndDistinct(t *testing.T) {
+	claims := Claims()
+	seen := map[string]bool{}
+	for i, c := range claims {
+		if c.ID == "" || c.Statement == "" || c.Check == nil {
+			t.Errorf("claim %d incomplete: %+v", i, c)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate claim id %s", c.ID)
+		}
+		seen[c.ID] = true
+		if i > 0 && claims[i-1].ID > c.ID {
+			t.Error("claims not sorted")
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("NOPE"); ok {
+		t.Error("unknown id found")
+	}
+	if _, err := Verify("NOPE"); err == nil {
+		t.Error("Verify accepted unknown id")
+	}
+}
+
+func TestVerifySingle(t *testing.T) {
+	r, err := Verify("F6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("F6 failed: %v", r.Err)
+	}
+	if !strings.Contains(r.String(), "F6") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestExampleFixtures(t *testing.T) {
+	if Example331().Dim() != 6 {
+		t.Error("example 3.3.1 dimension wrong")
+	}
+	if Example332().IsDeBruijn() {
+		t.Error("example 3.3.2 should not be de Bruijn")
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/alpha"
+	"repro/internal/perm"
+)
+
+// Shared fixtures for the paper's worked examples (Section 3.3).
+
+// otisExample331 returns H = A(f, Id, 2) of example 3.3.1 (d = 2,
+// dimension 6), isomorphic to B(2, 6).
+func otisExample331() *alpha.Alpha {
+	f := perm.MustFromFunc(6, func(i int) int {
+		switch {
+		case i < 3:
+			return i + 3
+		case i == 3:
+			return 2
+		default:
+			return (i + 2) % 6
+		}
+	})
+	return alpha.MustNew(f, perm.Identity(2), 2)
+}
+
+// otisExample332 returns H = A(f, Id, 1) of example 3.3.2 (d = 2,
+// dimension 3, f(i) = 2-i), which is disconnected.
+func otisExample332() *alpha.Alpha {
+	return alpha.MustNew(perm.Complement(3), perm.Identity(2), 1)
+}
+
+// Example331 and Example332 are exported for the figure generator.
+func Example331() *alpha.Alpha { return otisExample331() }
+func Example332() *alpha.Alpha { return otisExample332() }

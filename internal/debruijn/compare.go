@@ -1,0 +1,70 @@
+package debruijn
+
+import (
+	"fmt"
+)
+
+// Degree–diameter comparison of the two congruence families. Both
+// RRK(d, n) (the generalized de Bruijn digraph, Γ⁺(u) = du+α) and
+// II(d, n) (Γ⁺(u) = -du-α) are defined for every n; Imase and Itoh's
+// point, which Table 1 inherits, is that the minus-sign family reaches
+// more vertices at the same diameter: max n is d^{D-1}(d+1) for II versus
+// d^D for RRK. These functions measure both maxima by search.
+
+// Form selects a congruence digraph family.
+type Form int
+
+const (
+	// FormRRK is the generalized de Bruijn family of Definition 2.5.
+	FormRRK Form = iota
+	// FormII is the Imase–Itoh family of Definition 2.8.
+	FormII
+)
+
+// String names the family.
+func (f Form) String() string {
+	switch f {
+	case FormRRK:
+		return "RRK"
+	case FormII:
+		return "II"
+	}
+	return fmt.Sprintf("Form(%d)", int(f))
+}
+
+// Build returns the family member with n vertices and degree d.
+func (f Form) Build(d, n int) interface {
+	DiameterAtMost(int) bool
+	Diameter() int
+} {
+	switch f {
+	case FormRRK:
+		return RRK(d, n)
+	case FormII:
+		return ImaseItoh(d, n)
+	}
+	panic("debruijn: unknown form")
+}
+
+// MaxNWithDiameter returns the largest n ≤ ceil such that the family
+// member has diameter at most D, by downward scan. ok is false if no n
+// in [1, ceil] qualifies.
+func MaxNWithDiameter(f Form, d, D, ceil int) (int, bool) {
+	for n := ceil; n >= 1; n-- {
+		g := f.Build(d, n)
+		if g.DiameterAtMost(D) {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// DiameterGain reports the II-over-RRK vertex-count advantage at degree d
+// and diameter D: (maxII, maxRRK). The classical values are
+// maxII = d^{D-1}(d+1) and maxRRK = d^D.
+func DiameterGain(d, D int) (maxII, maxRRK int) {
+	ceil := KautzOrder(d, D) + d // a little headroom above the known max
+	maxII, _ = MaxNWithDiameter(FormII, d, D, ceil)
+	maxRRK, _ = MaxNWithDiameter(FormRRK, d, D, ceil)
+	return maxII, maxRRK
+}

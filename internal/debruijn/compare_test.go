@@ -1,0 +1,49 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestDiameterGainClassicalValues(t *testing.T) {
+	// Imase–Itoh's raison d'être: at degree d and diameter D the minus
+	// family reaches d^{D-1}(d+1) vertices, the plus family only d^D.
+	for _, c := range []struct{ d, D int }{{2, 4}, {2, 6}, {3, 3}, {2, 8}} {
+		maxII, maxRRK := DiameterGain(c.d, c.D)
+		if maxII != KautzOrder(c.d, c.D) {
+			t.Errorf("d=%d D=%d: max II n = %d, want %d", c.d, c.D, maxII, KautzOrder(c.d, c.D))
+		}
+		if maxRRK != word.Pow(c.d, c.D) {
+			t.Errorf("d=%d D=%d: max RRK n = %d, want %d", c.d, c.D, maxRRK, word.Pow(c.d, c.D))
+		}
+	}
+}
+
+func TestMaxNWithDiameterEdges(t *testing.T) {
+	if _, ok := MaxNWithDiameter(FormII, 2, 1, 0); ok {
+		t.Error("empty range qualified")
+	}
+	n, ok := MaxNWithDiameter(FormRRK, 2, 1, 10)
+	if !ok || n != 2 {
+		t.Errorf("RRK diameter-1 max = %d, want 2 = d^D (the classical bound holds at D=1 too)", n)
+	}
+}
+
+func TestFormString(t *testing.T) {
+	if FormRRK.String() != "RRK" || FormII.String() != "II" {
+		t.Error("form names wrong")
+	}
+	if Form(9).String() == "" {
+		t.Error("unknown form empty")
+	}
+}
+
+func TestFormBuild(t *testing.T) {
+	if FormRRK.Build(2, 8).Diameter() != 3 {
+		t.Error("RRK build wrong")
+	}
+	if FormII.Build(2, 12).Diameter() != 3 {
+		t.Error("II build wrong")
+	}
+}

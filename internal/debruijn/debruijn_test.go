@@ -1,0 +1,303 @@
+package debruijn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/digraph"
+	"repro/internal/perm"
+	"repro/internal/word"
+)
+
+func TestDeBruijnBasicShape(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 6}, {3, 3}, {4, 2}} {
+		g := DeBruijn(c.d, c.D)
+		n := word.Pow(c.d, c.D)
+		if g.N() != n {
+			t.Fatalf("B(%d,%d) has %d vertices, want %d", c.d, c.D, g.N(), n)
+		}
+		if !g.IsRegular(c.d) {
+			t.Errorf("B(%d,%d) not %d-regular", c.d, c.D, c.d)
+		}
+		if got := g.Diameter(); got != c.D {
+			t.Errorf("B(%d,%d) diameter = %d", c.d, c.D, got)
+		}
+		// d loops at the constant words ααα...α = α·(d^D-1)/(d-1).
+		if loops := g.Loops(); len(loops) != c.d {
+			t.Errorf("B(%d,%d) has %d loops, want %d", c.d, c.D, len(loops), c.d)
+		}
+		if !g.IsStronglyConnected() {
+			t.Errorf("B(%d,%d) not strongly connected", c.d, c.D)
+		}
+	}
+}
+
+func TestDeBruijnFigure1(t *testing.T) {
+	// Figure 1: B(2,3) on words 000..111. Check a few arcs by word.
+	g := DeBruijn(2, 3)
+	arcs := []struct{ from, to string }{
+		{"000", "000"}, {"000", "001"},
+		{"010", "100"}, {"010", "101"},
+		{"101", "010"}, {"101", "011"},
+		{"111", "111"}, {"111", "110"},
+	}
+	for _, a := range arcs {
+		u, _ := word.Parse(2, a.from)
+		v, _ := word.Parse(2, a.to)
+		if !g.HasArc(u.Int(), v.Int()) {
+			t.Errorf("B(2,3) missing arc %s -> %s", a.from, a.to)
+		}
+	}
+}
+
+func TestWordAdjacencyMatchesCongruence(t *testing.T) {
+	// Definition 2.2 (words) and Remark 2.6 (congruence) must agree.
+	d, D := 3, 3
+	g := DeBruijn(d, D)
+	word.Enumerate(d, D, func(x word.Word) bool {
+		for _, succ := range Successors(x) {
+			if !g.HasArc(x.Int(), succ.Int()) {
+				t.Fatalf("missing word arc %s -> %s", x, succ)
+			}
+		}
+		if len(Successors(x)) != g.OutDegree(x.Int()) {
+			t.Fatalf("degree mismatch at %s", x)
+		}
+		return true
+	})
+}
+
+func TestRRKEqualsDeBruijn(t *testing.T) {
+	// Remark 2.6: RRK(d, d^D) is the congruence form of B(d, D) — same
+	// labelled digraph, not merely isomorphic.
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 5}, {3, 2}} {
+		if !RRK(c.d, word.Pow(c.d, c.D)).Equal(DeBruijn(c.d, c.D)) {
+			t.Errorf("RRK(%d,%d^%d) != B(%d,%d)", c.d, c.d, c.D, c.d, c.D)
+		}
+	}
+}
+
+func TestRRKFigure2(t *testing.T) {
+	// Figure 2: RRK(2, 8): u -> {2u, 2u+1 mod 8}.
+	g := RRK(2, 8)
+	for u := 0; u < 8; u++ {
+		for _, v := range []int{(2 * u) % 8, (2*u + 1) % 8} {
+			if !g.HasArc(u, v) {
+				t.Errorf("RRK(2,8) missing arc %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestImaseItohFigure3(t *testing.T) {
+	// Figure 3: II(2, 8): u -> {-2u-1, -2u-2 mod 8}.
+	g := ImaseItoh(2, 8)
+	want := map[int][]int{
+		0: {7, 6}, 1: {5, 4}, 2: {3, 2}, 3: {1, 0},
+		4: {7, 6}, 5: {5, 4}, 6: {3, 2}, 7: {1, 0},
+	}
+	for u, vs := range want {
+		for _, v := range vs {
+			if !g.HasArc(u, v) {
+				t.Errorf("II(2,8) missing arc %d->%d", u, v)
+			}
+		}
+		if g.OutDegree(u) != 2 {
+			t.Errorf("II(2,8) degree of %d = %d", u, g.OutDegree(u))
+		}
+	}
+}
+
+func TestImaseItohProperties(t *testing.T) {
+	// II(d, d^D) has diameter D (minimum-diameter design).
+	cases := []struct{ d, D int }{{2, 3}, {2, 5}, {3, 3}}
+	for _, c := range cases {
+		g := ImaseItoh(c.d, word.Pow(c.d, c.D))
+		if got := g.Diameter(); got != c.D {
+			t.Errorf("II(%d,%d^%d) diameter = %d, want %d", c.d, c.d, c.D, got, c.D)
+		}
+		if !g.IsRegular(c.d) {
+			t.Errorf("II not regular")
+		}
+	}
+	// II(d, d^{D-1}(d+1)) also has diameter D, with more nodes [21].
+	g := ImaseItoh(2, 12) // d=2, D=3: 2^2*3 = 12
+	if got := g.Diameter(); got != 3 {
+		t.Errorf("II(2,12) diameter = %d, want 3", got)
+	}
+}
+
+func TestBSigmaIdentityIsDeBruijn(t *testing.T) {
+	if !BSigma(2, 4, perm.Identity(2)).Equal(DeBruijn(2, 4)) {
+		t.Error("B_Id(2,4) != B(2,4)")
+	}
+}
+
+func TestBBarEqualsImaseItoh(t *testing.T) {
+	// The key observation in the proof of Proposition 3.3: B_C(d, D) in
+	// congruence form is exactly II(d, d^D), as labelled digraphs.
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 4}, {3, 2}, {3, 3}} {
+		bbar := BBar(c.d, c.D)
+		ii := ImaseItoh(c.d, word.Pow(c.d, c.D))
+		if !bbar.Equal(ii) {
+			t.Errorf("B̄(%d,%d) != II(%d,%d^%d)", c.d, c.D, c.d, c.d, c.D)
+		}
+	}
+}
+
+func TestProposition32AllSigmas(t *testing.T) {
+	// Proposition 3.2: B_σ(d, D) ≅ B(d, D) for every σ — checked
+	// exhaustively over all d! permutations for small d, D.
+	for _, c := range []struct{ d, D int }{{2, 3}, {3, 2}, {3, 3}} {
+		perm.All(c.d, func(sigma perm.Perm) bool {
+			if _, err := IsoBSigmaToB(c.d, c.D, sigma.Clone()); err != nil {
+				t.Errorf("Prop 3.2 fails for d=%d D=%d σ=%v: %v", c.d, c.D, sigma, err)
+			}
+			return true
+		})
+	}
+}
+
+func TestProposition32LargerRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(3)
+		D := 2 + rng.Intn(4)
+		sigma := perm.Random(d, rng)
+		if _, err := IsoBSigmaToB(d, D, sigma); err != nil {
+			t.Errorf("Prop 3.2 fails for d=%d D=%d σ=%v: %v", d, D, sigma, err)
+		}
+	}
+}
+
+func TestProposition33(t *testing.T) {
+	// II(d, d^D) ≅ B(d, D) via the complement witness.
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 6}, {3, 3}, {4, 2}, {2, 8}} {
+		if _, err := IsoIIToB(c.d, c.D); err != nil {
+			t.Errorf("Prop 3.3 fails for d=%d D=%d: %v", c.d, c.D, err)
+		}
+	}
+}
+
+func TestCorollary34(t *testing.T) {
+	// B(d,D), RRK(d,d^D), II(d,d^D) pairwise isomorphic (d=2, D=3 of
+	// Figures 1-3).
+	b := DeBruijn(2, 3)
+	r := RRK(2, 8)
+	ii := ImaseItoh(2, 8)
+	if !b.Equal(r) {
+		t.Error("B(2,3) != RRK(2,8) as labelled digraphs")
+	}
+	mapping, err := IsoIIToB(2, 3)
+	if err != nil {
+		t.Fatalf("II(2,8) ≇ B(2,3): %v", err)
+	}
+	if err := digraph.VerifyIsomorphism(ii, r, mapping); err != nil {
+		t.Errorf("II(2,8) ≇ RRK(2,8): %v", err)
+	}
+}
+
+func TestGeneralizedMultiSigma(t *testing.T) {
+	// The remark after Proposition 3.2: independent σ_i per position still
+	// gives a digraph isomorphic to B(d, D).
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(2)
+		D := 2 + rng.Intn(3)
+		sigmas := make([]perm.Perm, D)
+		for i := range sigmas {
+			sigmas[i] = perm.Random(d, rng)
+		}
+		g := BMultiSigma(d, D, sigmas)
+		mapping := GeneralizedWitness(d, D, sigmas)
+		if err := digraph.VerifyIsomorphism(g, DeBruijn(d, D), mapping); err != nil {
+			t.Fatalf("generalized witness fails d=%d D=%d: %v", d, D, err)
+		}
+	}
+}
+
+func TestBMultiSigmaReducesToBSigma(t *testing.T) {
+	// With all σ_i = σ it must equal B_σ... except position 0: B_σ has α
+	// raw while BMultiSigma has σ_{D-1}(α); both range over Z_d so the
+	// digraphs coincide.
+	d, D := 2, 3
+	sigma := perm.Complement(d)
+	sigmas := make([]perm.Perm, D)
+	for i := range sigmas {
+		sigmas[i] = sigma
+	}
+	if !BMultiSigma(d, D, sigmas).Equal(BSigma(d, D, sigma)) {
+		t.Error("BMultiSigma with constant σ != BSigma")
+	}
+}
+
+func TestKautzShape(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {3, 2}, {2, 4}} {
+		g, words := Kautz(c.d, c.D)
+		n := KautzOrder(c.d, c.D)
+		if g.N() != n || len(words) != n {
+			t.Fatalf("K(%d,%d) has %d vertices, want %d", c.d, c.D, g.N(), n)
+		}
+		if !g.IsRegular(c.d) {
+			t.Errorf("K(%d,%d) not regular", c.d, c.D)
+		}
+		if got := g.Diameter(); got != c.D {
+			t.Errorf("K(%d,%d) diameter = %d", c.d, c.D, got)
+		}
+		if loops := g.Loops(); len(loops) != 0 {
+			t.Errorf("K(%d,%d) has loops %v", c.d, c.D, loops)
+		}
+	}
+}
+
+func TestKautzWordsValid(t *testing.T) {
+	_, words := Kautz(2, 3)
+	for _, w := range words {
+		for i := 0; i+1 < w.Len(); i++ {
+			if w.Letter(i) == w.Letter(i+1) {
+				t.Fatalf("Kautz word %s has equal consecutive letters", w)
+			}
+		}
+	}
+}
+
+func TestKautzIsomorphicToImaseItoh(t *testing.T) {
+	// The recalled result [21]: II(d, d^{D-1}(d+1)) ≅ K(d, D). The paper
+	// cites rather than proves it, so we cross-check with the generic
+	// isomorphism search on small instances.
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {3, 2}} {
+		k, _ := Kautz(c.d, c.D)
+		ii := ImaseItoh(c.d, KautzOrder(c.d, c.D))
+		if _, ok := digraph.FindIsomorphism(ii, k); !ok {
+			t.Errorf("II(%d,%d) ≇ K(%d,%d)", c.d, KautzOrder(c.d, c.D), c.d, c.D)
+		}
+	}
+}
+
+func TestConjunctionRemark24(t *testing.T) {
+	// B(d,k) ⊗ B(d',k) = B(dd',k), via generic isomorphism search.
+	prod := digraph.Conjunction(DeBruijn(2, 2), DeBruijn(2, 2))
+	b4 := DeBruijn(4, 2)
+	if _, ok := digraph.FindIsomorphism(prod, b4); !ok {
+		t.Error("B(2,2)⊗B(2,2) ≇ B(4,2)")
+	}
+}
+
+func TestLineDigraphIsNextDeBruijn(t *testing.T) {
+	l, _ := digraph.LineDigraph(DeBruijn(2, 3))
+	if _, ok := digraph.FindIsomorphism(l, DeBruijn(2, 4)); !ok {
+		t.Error("L(B(2,3)) ≇ B(2,4)")
+	}
+}
+
+func TestOrderHelpers(t *testing.T) {
+	if Order(2, 8) != 256 {
+		t.Error("Order(2,8) != 256")
+	}
+	if KautzOrder(2, 8) != 384 {
+		t.Error("KautzOrder(2,8) != 384 (Table 1 row)")
+	}
+	if KautzOrder(2, 9) != 768 || KautzOrder(2, 10) != 1536 {
+		t.Error("KautzOrder rows for D=9,10 wrong")
+	}
+}

@@ -1,0 +1,107 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Tree embeddings (the embedding literature the paper cites as [9]).
+// Besides the ring (HamiltonianCycle), the classical dilation-1 structure
+// inside B(d, D) is a spanning forest of complete d-ary trees: map the
+// string s = s_{ℓ-1}...s_0 (1 ≤ ℓ ≤ D, leading letter nonzero) to the
+// word 0^{D-ℓ}·s. Appending a letter b to s is then exactly the de Bruijn
+// left shift of its word, so tree arcs are digraph arcs (dilation 1).
+// The d-1 possible leading letters give d-1 tree roots, and the images
+// cover every vertex except the all-zero word.
+
+// TreeNode is one vertex of the embedded forest.
+type TreeNode struct {
+	// Vertex is the Horner label of the image in B(d, D).
+	Vertex int
+	// Parent is the Horner label of the parent's image, or -1 at roots.
+	Parent int
+	// Depth is the distance from the root (0 at roots).
+	Depth int
+}
+
+// TreeEmbedding returns the dilation-1 embedding of the forest of d-1
+// complete d-ary trees of height D-1 into B(d, D): one TreeNode per
+// non-zero vertex, keyed by Horner label (index 0, the all-zero word, is
+// unused and has Vertex = -1).
+func TreeEmbedding(d, D int) ([]TreeNode, error) {
+	if d < 2 || D < 1 {
+		return nil, fmt.Errorf("debruijn: need d >= 2 and D >= 1")
+	}
+	n := word.Pow(d, D)
+	nodes := make([]TreeNode, n)
+	nodes[0] = TreeNode{Vertex: -1, Parent: -1}
+	for u := 1; u < n; u++ {
+		// The string s is u's d-ary spelling with leading zeros removed;
+		// the parent drops s's last letter, i.e. parent word = ⌊u/d⌋.
+		// Depth = |s| - 1 = position of the leading nonzero letter.
+		length := 0
+		for v := u; v > 0; v /= d {
+			length++
+		}
+		parent := u / d
+		node := TreeNode{Vertex: u, Depth: length - 1, Parent: parent}
+		if length == 1 {
+			node.Parent = -1 // roots: single-letter strings
+		}
+		nodes[u] = node
+	}
+	return nodes, nil
+}
+
+// VerifyTreeEmbedding checks the forest structure: every tree arc
+// (parent, child) is a de Bruijn arc with depth increasing by one; there
+// are exactly d-1 roots; every non-zero vertex is covered once.
+func VerifyTreeEmbedding(d, D int, nodes []TreeNode) error {
+	g := DeBruijn(d, D)
+	n := word.Pow(d, D)
+	if len(nodes) != n {
+		return fmt.Errorf("debruijn: %d nodes, want %d", len(nodes), n)
+	}
+	roots := 0
+	for u := 1; u < n; u++ {
+		node := nodes[u]
+		if node.Vertex != u {
+			return fmt.Errorf("debruijn: node %d mislabelled as %d", u, node.Vertex)
+		}
+		if node.Parent == -1 {
+			roots++
+			if node.Depth != 0 {
+				return fmt.Errorf("debruijn: root %d has depth %d", u, node.Depth)
+			}
+			continue
+		}
+		if !g.HasArc(node.Parent, u) {
+			return fmt.Errorf("debruijn: tree arc (%d,%d) is not a de Bruijn arc", node.Parent, u)
+		}
+		if nodes[node.Parent].Depth != node.Depth-1 {
+			return fmt.Errorf("debruijn: depth mismatch at %d", u)
+		}
+	}
+	if roots != d-1 {
+		return fmt.Errorf("debruijn: %d roots, want %d", roots, d-1)
+	}
+	return nil
+}
+
+// CompleteBinaryTreeInB2 returns, for d = 2, the single complete binary
+// tree of height D-1 embedded with dilation 1: 2^D - 1 vertices — every
+// vertex of B(2, D) except the all-zero word. parent[u] = -1 at the root
+// (vertex 1).
+func CompleteBinaryTreeInB2(D int) (parent []int, err error) {
+	nodes, err := TreeEmbedding(2, D)
+	if err != nil {
+		return nil, err
+	}
+	parent = make([]int, len(nodes))
+	for u := range nodes {
+		parent[u] = nodes[u].Parent
+	}
+	parent[0] = -2 // unused slot
+	return parent, nil
+}

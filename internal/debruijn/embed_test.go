@@ -1,0 +1,131 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/word"
+)
+
+func TestTreeEmbedding(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 6}, {3, 3}, {4, 2}} {
+		nodes, err := TreeEmbedding(c.d, c.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyTreeEmbedding(c.d, c.D, nodes); err != nil {
+			t.Errorf("d=%d D=%d: %v", c.d, c.D, err)
+		}
+	}
+	if _, err := TreeEmbedding(1, 3); err == nil {
+		t.Error("d=1 accepted")
+	}
+}
+
+func TestTreeEmbeddingShape(t *testing.T) {
+	// The forest has d-1 complete d-ary trees of height D-1: count nodes
+	// per depth.
+	d, D := 3, 3
+	nodes, _ := TreeEmbedding(d, D)
+	perDepth := map[int]int{}
+	for u := 1; u < len(nodes); u++ {
+		perDepth[nodes[u].Depth]++
+	}
+	// Depth k holds (d-1)·d^k vertices.
+	for k := 0; k < D; k++ {
+		want := (d - 1) * word.Pow(d, k)
+		if perDepth[k] != want {
+			t.Errorf("depth %d: %d nodes, want %d", k, perDepth[k], want)
+		}
+	}
+}
+
+func TestTreeEmbeddingChildrenAreShiftArcs(t *testing.T) {
+	// Children of tree node u are exactly du+b for b ∈ Z_d (when within
+	// depth) — the de Bruijn out-arcs.
+	d, D := 2, 5
+	nodes, _ := TreeEmbedding(d, D)
+	for u := 1; u < len(nodes); u++ {
+		if nodes[u].Depth == D-1 {
+			continue // leaves
+		}
+		for b := 0; b < d; b++ {
+			child := d*u + b
+			if child >= len(nodes) {
+				t.Fatalf("child %d out of range", child)
+			}
+			if nodes[child].Parent != u {
+				t.Fatalf("child %d of %d has parent %d", child, u, nodes[child].Parent)
+			}
+		}
+	}
+}
+
+func TestCompleteBinaryTreeInB2(t *testing.T) {
+	parent, err := CompleteBinaryTreeInB2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[1] != -1 {
+		t.Error("root should be vertex 1")
+	}
+	if parent[0] != -2 {
+		t.Error("zero word should be unused")
+	}
+	g := DeBruijn(2, 4)
+	for u := 2; u < len(parent); u++ {
+		if !g.HasArc(parent[u], u) {
+			t.Fatalf("tree arc (%d,%d) not in B(2,4)", parent[u], u)
+		}
+	}
+}
+
+func TestDeBruijnAutomorphismsAreLetterwise(t *testing.T) {
+	// Aut(B(d,D)) is exactly the d! letterwise alphabet actions: each
+	// letterwise σ is an automorphism, and the exhaustive count says
+	// there are no others.
+	d, D := 3, 2
+	g := DeBruijn(d, D)
+	found := 0
+	perm.All(d, func(sigma perm.Perm) bool {
+		mapping := make([]int, g.N())
+		for u := 0; u < g.N(); u++ {
+			mapping[u] = word.MustFromInt(d, D, u).ApplyAlphabet(sigma).Int()
+		}
+		if !digraphIsAut(g.N(), mapping, g) {
+			t.Errorf("letterwise %v is not an automorphism", sigma)
+		}
+		found++
+		return true
+	})
+	if count := g.AutomorphismCount(0); count != found {
+		t.Errorf("|Aut| = %d but letterwise maps give %d", count, found)
+	}
+}
+
+func digraphIsAut(n int, mapping []int, g interface {
+	HasArc(u, v int) bool
+	Out(u int) []int
+}) bool {
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			if !g.HasArc(mapping[u], mapping[v]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestKautzAutomorphismCount(t *testing.T) {
+	// |Aut(K(d,D))| = (d+1)!: the letterwise Z_{d+1} actions preserve the
+	// adjacent-distinct constraint.
+	k, _ := Kautz(2, 3)
+	if got := k.AutomorphismCount(0); got != 6 {
+		t.Errorf("|Aut(K(2,3))| = %d, want 6", got)
+	}
+	k32, _ := Kautz(3, 2)
+	if got := k32.AutomorphismCount(0); got != 24 {
+		t.Errorf("|Aut(K(3,2))| = %d, want 24", got)
+	}
+}

@@ -1,0 +1,137 @@
+package debruijn
+
+import (
+	"repro/internal/digraph"
+	"repro/internal/perm"
+	"repro/internal/word"
+)
+
+// Explicit isomorphism witnesses from Section 3.1 of the paper.
+
+// WitnessW returns the isomorphism W of Proposition 3.2 from B_σ(d, D) onto
+// B(d, D), as a vertex mapping over the Horner labels:
+//
+//	W(x_{D-1} x_{D-2} ... x_0) = σ⁰(x_{D-1}) σ¹(x_{D-2}) ... σ^{D-1}(x_0),
+//
+// i.e. letter x_i is replaced by σ^{D-1-i}(x_i). mapping[u] is the B-vertex
+// image of B_σ-vertex u.
+func WitnessW(d, D int, sigma perm.Perm) []int {
+	if sigma.N() != d {
+		panic("debruijn: alphabet permutation size mismatch")
+	}
+	// Precompute σ^k for k = 0..D-1.
+	powers := make([]perm.Perm, D)
+	powers[0] = perm.Identity(d)
+	for k := 1; k < D; k++ {
+		powers[k] = sigma.Compose(powers[k-1])
+	}
+	n := word.Pow(d, D)
+	mapping := make([]int, n)
+	for u := 0; u < n; u++ {
+		x := word.MustFromInt(d, D, u)
+		y := word.New(d, D)
+		for i := 0; i < D; i++ {
+			y = y.WithLetter(i, powers[D-1-i].Apply(x.Letter(i)))
+		}
+		mapping[u] = y.Int()
+	}
+	return mapping
+}
+
+// IsoBSigmaToB verifies Proposition 3.2 constructively: it builds
+// B_σ(d, D), applies WitnessW and checks the mapping is an isomorphism onto
+// B(d, D), returning the mapping.
+func IsoBSigmaToB(d, D int, sigma perm.Perm) ([]int, error) {
+	mapping := WitnessW(d, D, sigma)
+	bs := BSigma(d, D, sigma)
+	b := DeBruijn(d, D)
+	if err := digraph.VerifyIsomorphism(bs, b, mapping); err != nil {
+		return nil, err
+	}
+	return mapping, nil
+}
+
+// WitnessIIToB returns the isomorphism of Proposition 3.3 from II(d, d^D)
+// onto B(d, D). The proof observes that II(d, d^D) is exactly B_C(d, D) in
+// congruence form (C the complement permutation of Definition 2.1), so the
+// Proposition 3.2 witness with σ = C applies: since C is an involution,
+// letter x_i of the II vertex maps to C(x_i) when D-1-i is odd and to x_i
+// when it is even.
+func WitnessIIToB(d, D int) []int {
+	return WitnessW(d, D, perm.Complement(d))
+}
+
+// IsoIIToB verifies Corollary 3.4 constructively for II: it checks that
+// II(d, d^D) is the same labelled digraph as B_C(d, D) and that the
+// Proposition 3.2 witness carries it onto B(d, D).
+func IsoIIToB(d, D int) ([]int, error) {
+	mapping := WitnessIIToB(d, D)
+	ii := ImaseItoh(d, word.Pow(d, D))
+	b := DeBruijn(d, D)
+	if err := digraph.VerifyIsomorphism(ii, b, mapping); err != nil {
+		return nil, err
+	}
+	return mapping, nil
+}
+
+// GeneralizedWitness returns the isomorphism onto B(d, D) for the digraph
+// mentioned after Proposition 3.2, where each shifted position uses its own
+// alphabet permutation σ_i:
+//
+//	Γ⁺(x) = {σ_0(x_{D-2}) σ_1(x_{D-3}) ... σ_{D-2}(x_0) σ_{D-1}(α) : α ∈ Z_d}.
+//
+// The witness generalizes W: letter x_i is replaced by
+// (σ_0 ∘ σ_1 ∘ ... ∘ σ_{D-2-i})(x_i) — the composition of the first D-1-i
+// permutations, applied innermost-last (τ_{j-1} = τ_j ∘ σ_{D-1-j} with
+// τ_{D-1} = Id, exactly as in the Proposition 3.2 proof).
+func GeneralizedWitness(d, D int, sigmas []perm.Perm) []int {
+	if len(sigmas) != D {
+		panic("debruijn: need exactly D alphabet permutations")
+	}
+	// prefix[k] = σ_0 ∘ σ_1 ∘ ... ∘ σ_{k-1}, with prefix[0] = Id.
+	prefix := make([]perm.Perm, D+1)
+	prefix[0] = perm.Identity(d)
+	for k := 1; k <= D; k++ {
+		prefix[k] = prefix[k-1].Compose(sigmas[k-1])
+	}
+	n := word.Pow(d, D)
+	mapping := make([]int, n)
+	for u := 0; u < n; u++ {
+		x := word.MustFromInt(d, D, u)
+		y := word.New(d, D)
+		for i := 0; i < D; i++ {
+			y = y.WithLetter(i, prefix[D-1-i].Apply(x.Letter(i)))
+		}
+		mapping[u] = y.Int()
+	}
+	return mapping
+}
+
+// BMultiSigma builds the generalized alphabet digraph described after
+// Proposition 3.2, with a distinct permutation σ_i applied at each position:
+// Γ⁺(x_{D-1} ... x_0) = {σ_0(x_{D-2}) ... σ_{D-2}(x_0) σ_{D-1}(α) : α ∈ Z_d}.
+func BMultiSigma(d, D int, sigmas []perm.Perm) *digraph.Digraph {
+	if len(sigmas) != D {
+		panic("debruijn: need exactly D alphabet permutations")
+	}
+	for _, s := range sigmas {
+		if s.N() != d {
+			panic("debruijn: alphabet permutation size mismatch")
+		}
+	}
+	n := word.Pow(d, D)
+	return digraph.FromFunc(n, func(u int) []int {
+		x := word.MustFromInt(d, D, u)
+		// Successor letters: position j (1 ≤ j ≤ D-1) holds σ_{D-1-j}(x_{j-1});
+		// position 0 holds σ_{D-1}(α), which ranges over all of Z_d.
+		y := word.New(d, D)
+		for j := 1; j < D; j++ {
+			y = y.WithLetter(j, sigmas[D-1-j].Apply(x.Letter(j-1)))
+		}
+		out := make([]int, d)
+		for alpha := 0; alpha < d; alpha++ {
+			out[alpha] = y.WithLetter(0, sigmas[D-1].Apply(alpha)).Int()
+		}
+		return out
+	})
+}

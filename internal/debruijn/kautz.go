@@ -1,0 +1,117 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+// Kautz machinery beyond the bare construction: the explicit isomorphism
+// onto the Imase–Itoh digraph (the result of [21] the paper recalls in
+// Section 2.2), and self-routing on Kautz words.
+
+// WitnessKautzToII returns an explicit isomorphism from K(d, D) onto
+// II(d, d^{D-1}(d+1)) as a vertex mapping indexed by the Kautz vertex ids
+// of Kautz(d, D). The encoding sends the word x_{D-1} ... x_0 to
+//
+//	u = x_{D-1}·d^{D-1} + Σ_{i=0}^{D-2} e_i·d^i   (mod n)
+//
+// where e_i is the difference code c(x_{i+1}, x_i) = ((x_{i+1} - x_i)
+// mod (d+1)) - 1 ∈ Z_d, complemented to d-1-c at positions with D-2-i
+// odd. The alternation mirrors the (−d) multiplier in the II adjacency:
+// each left shift negates the congruence, so the code flips polarity at
+// every position. (The paper cites this isomorphism from Imase and Itoh
+// [21] without an explicit map; this is one.)
+func WitnessKautzToII(d, D int) []int {
+	_, words := Kautz(d, D)
+	n := KautzOrder(d, D)
+	mapping := make([]int, n)
+	for id, w := range words {
+		u := w.Letter(D - 1)
+		for i := D - 2; i >= 0; i-- {
+			code := diffCode(d, w.Letter(i+1), w.Letter(i))
+			if (D-2-i)%2 == 1 {
+				code = d - 1 - code
+			}
+			u = u*d + code
+		}
+		mapping[id] = ((u % n) + n) % n
+	}
+	return mapping
+}
+
+// diffCode returns ((a - b) mod (d+1)) - 1, a bijection from the d values
+// a ≠ b onto Z_d.
+func diffCode(d, a, b int) int {
+	return ((a-b)%(d+1)+(d+1))%(d+1) - 1
+}
+
+// IsoKautzToII builds both digraphs, applies WitnessKautzToII and
+// verifies it, returning the mapping.
+func IsoKautzToII(d, D int) ([]int, error) {
+	k, _ := Kautz(d, D)
+	ii := ImaseItoh(d, KautzOrder(d, D))
+	mapping := WitnessKautzToII(d, D)
+	if err := digraph.VerifyIsomorphism(k, ii, mapping); err != nil {
+		return nil, fmt.Errorf("debruijn: Kautz→II witness failed: %w", err)
+	}
+	return mapping, nil
+}
+
+// IsKautzWord reports whether w is a valid Kautz vertex: letters over
+// Z_{d+1} with no two consecutive letters equal.
+func IsKautzWord(d int, w word.Word) bool {
+	if w.D() != d+1 {
+		return false
+	}
+	for i := 0; i+1 < w.Len(); i++ {
+		if w.Letter(i) == w.Letter(i+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// KautzDistance returns the directed distance between two Kautz vertices:
+// D minus the longest suffix-prefix overlap, exactly as in the de Bruijn
+// digraph. The shifted-in letters are dst's remaining letters, and every
+// intermediate arc is automatically legal: the junction letters are
+// consecutive letters of a Kautz word, hence distinct.
+func KautzDistance(d int, src, dst word.Word) int {
+	mustKautz(d, src)
+	mustKautz(d, dst)
+	if src.Equal(dst) {
+		return 0
+	}
+	return src.Len() - word.OverlapSuffixPrefix(src, dst)
+}
+
+// KautzRoute returns the canonical shortest path between Kautz vertices,
+// including both endpoints.
+func KautzRoute(d int, src, dst word.Word) []word.Word {
+	mustKautz(d, src)
+	mustKautz(d, dst)
+	if src.Equal(dst) {
+		return []word.Word{src}
+	}
+	D := src.Len()
+	k := word.OverlapSuffixPrefix(src, dst)
+	path := []word.Word{src}
+	cur := src
+	for step := D - k - 1; step >= 0; step-- {
+		next := cur.LeftShiftAppend(dst.Letter(step))
+		if next.Letter(0) == next.Letter(1) {
+			panic(fmt.Sprintf("debruijn: internal error, illegal Kautz hop %s -> %s", cur, next))
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path
+}
+
+func mustKautz(d int, w word.Word) {
+	if !IsKautzWord(d, w) {
+		panic(fmt.Sprintf("debruijn: %s is not a Kautz word for degree %d", w, d))
+	}
+}

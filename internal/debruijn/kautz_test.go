@@ -1,0 +1,120 @@
+package debruijn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+func TestWitnessKautzToII(t *testing.T) {
+	// The explicit witness must verify across degrees and diameters,
+	// including the Table 1 row K(2,8) = II(2,384).
+	for _, c := range []struct{ d, D int }{
+		{2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 2}, {3, 3}, {3, 4}, {4, 2}, {4, 3}, {5, 2}, {2, 8},
+	} {
+		if _, err := IsoKautzToII(c.d, c.D); err != nil {
+			t.Errorf("d=%d D=%d: %v", c.d, c.D, err)
+		}
+	}
+}
+
+func TestWitnessKautzToIIBijective(t *testing.T) {
+	mapping := WitnessKautzToII(3, 3)
+	seen := make([]bool, len(mapping))
+	for _, v := range mapping {
+		if v < 0 || v >= len(mapping) || seen[v] {
+			t.Fatalf("mapping not bijective at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIsKautzWord(t *testing.T) {
+	good := word.MustFromLetters(3, 0, 1, 0, 2) // Z_3 alphabet, d = 2
+	if !IsKautzWord(2, good) {
+		t.Error("valid Kautz word rejected")
+	}
+	bad := word.MustFromLetters(3, 0, 1, 1, 2)
+	if IsKautzWord(2, bad) {
+		t.Error("repeated consecutive letters accepted")
+	}
+	wrongAlphabet := word.MustFromLetters(2, 0, 1, 0)
+	if IsKautzWord(2, wrongAlphabet) {
+		t.Error("wrong alphabet accepted")
+	}
+}
+
+func TestKautzDistanceAgainstBFS(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 4}, {3, 3}} {
+		g, words := Kautz(c.d, c.D)
+		for u, uw := range words {
+			dist := g.BFSFrom(u)
+			for v, vw := range words {
+				if got := KautzDistance(c.d, uw, vw); got != dist[v] {
+					t.Fatalf("K(%d,%d): distance(%s,%s) = %d, BFS %d",
+						c.d, c.D, uw, vw, got, dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestKautzRouteValid(t *testing.T) {
+	d, D := 2, 4
+	g, words := Kautz(d, D)
+	idOf := map[int]int{}
+	for id, w := range words {
+		idOf[w.Int()] = id
+	}
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 200; trial++ {
+		src := words[rng.Intn(len(words))]
+		dst := words[rng.Intn(len(words))]
+		path := KautzRoute(d, src, dst)
+		if !path[0].Equal(src) || !path[len(path)-1].Equal(dst) {
+			t.Fatal("route endpoints wrong")
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !IsKautzWord(d, path[i+1]) {
+				t.Fatalf("route leaves Kautz vertex set at %s", path[i+1])
+			}
+			if !g.HasArc(idOf[path[i].Int()], idOf[path[i+1].Int()]) {
+				t.Fatalf("route uses missing arc %s -> %s", path[i], path[i+1])
+			}
+		}
+		if len(path)-1 != KautzDistance(d, src, dst) {
+			t.Fatal("route length != distance")
+		}
+	}
+}
+
+func TestKautzRouteSelf(t *testing.T) {
+	w := word.MustFromLetters(3, 0, 1, 2)
+	if path := KautzRoute(2, w, w); len(path) != 1 {
+		t.Errorf("self route = %v", path)
+	}
+}
+
+func TestKautzLineDigraphIdentity(t *testing.T) {
+	// L(K(d,D)) ≅ K(d,D+1), the Kautz twin of the de Bruijn identity.
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {3, 2}} {
+		k, _ := Kautz(c.d, c.D)
+		l, _ := digraph.LineDigraph(k)
+		next, _ := Kautz(c.d, c.D+1)
+		if _, ok := digraph.FindIsomorphism(l, next); !ok {
+			t.Errorf("L(K(%d,%d)) ≇ K(%d,%d)", c.d, c.D, c.d, c.D+1)
+		}
+	}
+}
+
+func TestKautzPanicsOnInvalidWord(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid word accepted by KautzDistance")
+		}
+	}()
+	bad := word.MustFromLetters(3, 1, 1, 0)
+	KautzDistance(2, bad, bad)
+}

@@ -1,0 +1,67 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+)
+
+// Line-digraph iteration: the structural origin of both families. Fiol,
+// Yebra and Alegre characterized the de Bruijn and Kautz digraphs as
+// iterated line digraphs:
+//
+//	B(d, D) = L^{D-1}(B(d, 1)) = L^{D-1}(K*_d)
+//	K(d, D) = L^{D-1}(K(d, 1)) = L^{D-1}(K_{d+1} without loops)
+//
+// which also explains why both satisfy walk-algebra identities and why
+// the Imase–Itoh congruence family contains both. LineIterate materializes
+// L^k(G) so the tests can confirm the characterization against the word
+// constructions.
+
+// LineIterate returns L^k(g) (k ≥ 0; L^0(g) = g).
+func LineIterate(g *digraph.Digraph, k int) (*digraph.Digraph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("debruijn: negative line iterate %d", k)
+	}
+	cur := g.Clone()
+	for i := 0; i < k; i++ {
+		next, _ := digraph.LineDigraph(cur)
+		cur = next
+	}
+	return cur, nil
+}
+
+// CompleteLoopless returns K_{m} without loops — K(d, 1) for m = d+1.
+func CompleteLoopless(m int) *digraph.Digraph {
+	g := digraph.New(m)
+	for u := 0; u < m; u++ {
+		for v := 0; v < m; v++ {
+			if u != v {
+				g.AddArc(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// VerifyLineIterateCharacterization checks both identities for the given
+// degree and diameter using the generic isomorphism search; intended for
+// the small instances in the tests.
+func VerifyLineIterateCharacterization(d, D int) error {
+	lb, err := LineIterate(digraph.CompleteWithLoops(d), D-1)
+	if err != nil {
+		return err
+	}
+	if _, ok := digraph.FindIsomorphism(lb, DeBruijn(d, D)); !ok {
+		return fmt.Errorf("debruijn: L^%d(K*_%d) ≇ B(%d,%d)", D-1, d, d, D)
+	}
+	lk, err := LineIterate(CompleteLoopless(d+1), D-1)
+	if err != nil {
+		return err
+	}
+	k, _ := Kautz(d, D)
+	if _, ok := digraph.FindIsomorphism(lk, k); !ok {
+		return fmt.Errorf("debruijn: L^%d(K_%d) ≇ K(%d,%d)", D-1, d+1, d, D)
+	}
+	return nil
+}

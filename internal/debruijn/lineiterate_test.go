@@ -1,0 +1,54 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/digraph"
+)
+
+func TestLineIterateIdentity(t *testing.T) {
+	g := DeBruijn(2, 3)
+	l0, err := LineIterate(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l0.Equal(g) {
+		t.Error("L^0(g) != g")
+	}
+	if _, err := LineIterate(g, -1); err == nil {
+		t.Error("negative iterate accepted")
+	}
+}
+
+func TestLineIterateCharacterization(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}} {
+		if err := VerifyLineIterateCharacterization(c.d, c.D); err != nil {
+			t.Errorf("d=%d D=%d: %v", c.d, c.D, err)
+		}
+	}
+}
+
+func TestCompleteLoopless(t *testing.T) {
+	g := CompleteLoopless(4)
+	if g.M() != 12 || len(g.Loops()) != 0 || !g.IsRegular(3) {
+		t.Fatalf("K_4: m=%d loops=%v", g.M(), g.Loops())
+	}
+	// K(d,1) is exactly K_{d+1} loopless.
+	k, _ := Kautz(3, 1)
+	if _, ok := digraph.FindIsomorphism(g, k); !ok {
+		t.Error("K_4 ≇ K(3,1)")
+	}
+}
+
+func TestLineIterateSizes(t *testing.T) {
+	// |V(L^k(K*_d))| = d^{k+1}.
+	l, _ := LineIterate(digraph.CompleteWithLoops(3), 3)
+	if l.N() != 81 {
+		t.Errorf("L^3(K*_3) has %d vertices, want 81", l.N())
+	}
+	// |V(L^k(K_{d+1}))| = d^k(d+1).
+	lk, _ := LineIterate(CompleteLoopless(3), 2)
+	if lk.N() != 12 {
+		t.Errorf("L^2(K_3) has %d vertices, want 12", lk.N())
+	}
+}

@@ -1,0 +1,87 @@
+package debruijn
+
+import (
+	"repro/internal/word"
+)
+
+// The Fredricksen–Kessler–Maiorana construction: concatenating, in
+// lexicographic order, the Lyndon words over Z_d whose length divides D
+// yields the lexicographically smallest de Bruijn sequence of order D.
+// It is an entirely different algorithm from the Eulerian-circuit
+// construction in sequence.go, which makes it a strong cross-check: both
+// must produce valid sequences, and FKM's must be the lexicographic
+// minimum among all rotations of both.
+
+// LyndonWords calls visit with every Lyndon word over Z_d of length at
+// most maxLen, in lexicographic order (Duval's generation). The slice
+// passed to visit is reused; copy to retain.
+func LyndonWords(d, maxLen int, visit func([]int) bool) {
+	// Duval's algorithm for generating Lyndon words in lex order.
+	w := []int{-1}
+	for len(w) > 0 {
+		w[len(w)-1]++
+		if !visit(w) {
+			return
+		}
+		m := len(w)
+		// Extend periodically to maxLen.
+		for len(w) < maxLen {
+			w = append(w, w[len(w)-m])
+		}
+		// Strip trailing maximal letters.
+		for len(w) > 0 && w[len(w)-1] == d-1 {
+			w = w[:len(w)-1]
+		}
+	}
+}
+
+// SequenceFKM returns the lexicographically least de Bruijn sequence of
+// order D over Z_d: the concatenation of the Lyndon words of length
+// dividing D in lexicographic order.
+func SequenceFKM(d, D int) ([]int, error) {
+	if d < 1 || D < 1 {
+		return nil, errInvalidDD(d, D)
+	}
+	seq := make([]int, 0, word.Pow(d, D))
+	LyndonWords(d, D, func(w []int) bool {
+		if D%len(w) == 0 {
+			seq = append(seq, w...)
+		}
+		return true
+	})
+	return seq, nil
+}
+
+// IsLyndon reports whether w is a Lyndon word: strictly smaller than all
+// of its proper rotations.
+func IsLyndon(w []int) bool {
+	n := len(w)
+	if n == 0 {
+		return false
+	}
+	for r := 1; r < n; r++ {
+		for i := 0; i < n; i++ {
+			a, b := w[i], w[(i+r)%n]
+			if a < b {
+				break
+			}
+			if a > b {
+				return false
+			}
+			if i == n-1 {
+				return false // equal to a proper rotation: periodic
+			}
+		}
+	}
+	return true
+}
+
+func errInvalidDD(d, D int) error {
+	return &ddError{d: d, D: D}
+}
+
+type ddError struct{ d, D int }
+
+func (e *ddError) Error() string {
+	return "debruijn: need d >= 1 and D >= 1"
+}

@@ -1,0 +1,135 @@
+package debruijn
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestLyndonWordsBinaryOrder(t *testing.T) {
+	var got [][]int
+	LyndonWords(2, 4, func(w []int) bool {
+		got = append(got, append([]int(nil), w...))
+		return true
+	})
+	want := [][]int{
+		{0}, {0, 0, 0, 1}, {0, 0, 1}, {0, 0, 1, 1}, {0, 1},
+		{0, 1, 1}, {0, 1, 1, 1}, {1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Lyndon words:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestLyndonWordsAreLyndon(t *testing.T) {
+	count := 0
+	LyndonWords(3, 5, func(w []int) bool {
+		if !IsLyndon(w) {
+			t.Fatalf("non-Lyndon word emitted: %v", w)
+		}
+		count++
+		return true
+	})
+	// Number of Lyndon words of length ≤ 5 over Z_3:
+	// L(1)=3, L(2)=3, L(3)=8, L(4)=18, L(5)=48 → 80.
+	if count != 80 {
+		t.Errorf("%d Lyndon words, want 80", count)
+	}
+}
+
+func TestIsLyndon(t *testing.T) {
+	cases := []struct {
+		w    []int
+		want bool
+	}{
+		{[]int{0}, true},
+		{[]int{0, 1}, true},
+		{[]int{1, 0}, false},
+		{[]int{0, 0}, false}, // periodic
+		{[]int{0, 1, 0, 1}, false},
+		{[]int{0, 0, 1, 1}, true},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsLyndon(c.w); got != c.want {
+			t.Errorf("IsLyndon(%v) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestSequenceFKMValid(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 1}, {2, 4}, {2, 8}, {3, 3}, {4, 2}} {
+		seq, err := SequenceFKM(c.d, c.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifySequence(c.d, c.D, seq); err != nil {
+			t.Errorf("FKM(%d,%d): %v", c.d, c.D, err)
+		}
+	}
+	if _, err := SequenceFKM(0, 3); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestSequenceFKMIsLexMinimal(t *testing.T) {
+	// FKM yields the lexicographically least sequence: no rotation of it,
+	// and no rotation of the Eulerian-construction sequence, is smaller.
+	d, D := 2, 6
+	fkm, _ := SequenceFKM(d, D)
+	euler, _ := Sequence(d, D)
+	n := word.Pow(d, D)
+	for _, seq := range [][]int{fkm, euler} {
+		for r := 0; r < n; r++ {
+			if lexLess(rotation(seq, r), fkm) {
+				t.Fatalf("rotation %d of %v beats FKM", r, seq[:8])
+			}
+		}
+	}
+}
+
+func TestSequenceFKMKnownValue(t *testing.T) {
+	// The classical smallest binary de Bruijn sequence of order 4.
+	seq, _ := SequenceFKM(2, 4)
+	want := []int{0, 0, 0, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 1, 1}
+	if !reflect.DeepEqual(seq, want) {
+		t.Fatalf("FKM(2,4) = %v, want %v", seq, want)
+	}
+}
+
+func TestTwoConstructionsAgreeUpToRotationClass(t *testing.T) {
+	// Both constructions produce de Bruijn sequences (same multiset of
+	// windows); they need not be equal, but both must contain all d^D
+	// windows — checked via VerifySequence — and have equal length.
+	d, D := 3, 4
+	a, _ := Sequence(d, D)
+	b, _ := SequenceFKM(d, D)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	if err := VerifySequence(d, D, a); err != nil {
+		t.Error(err)
+	}
+	if err := VerifySequence(d, D, b); err != nil {
+		t.Error(err)
+	}
+}
+
+func rotation(seq []int, r int) []int {
+	n := len(seq)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = seq[(i+r)%n]
+	}
+	return out
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

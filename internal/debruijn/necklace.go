@@ -1,0 +1,107 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+// Necklace cycles: the pure-rotation 1-factor of B(d, D). Choosing at
+// every vertex the out-arc that re-appends the letter just shifted out
+// (α = x_{D-1}) turns every word into its left rotation, so the chosen
+// arcs decompose the vertex set into disjoint directed cycles — one per
+// necklace (rotation-equivalence class of words). This is a perfect
+// 1-factor of the digraph (the "pure cycling register") and the cycle
+// count is the classical necklace number (1/D)·Σ_{ℓ|D} φ(ℓ)·d^{D/ℓ}.
+
+// NecklaceCycles returns the rotation cycles of Z_d^D, each starting at
+// its smallest Horner label, ordered by that label.
+func NecklaceCycles(d, D int) [][]int {
+	n := word.Pow(d, D)
+	seen := make([]bool, n)
+	var cycles [][]int
+	for u := 0; u < n; u++ {
+		if seen[u] {
+			continue
+		}
+		var cycle []int
+		v := u
+		for !seen[v] {
+			seen[v] = true
+			cycle = append(cycle, v)
+			v = rotateLeft(d, D, v)
+		}
+		cycles = append(cycles, cycle)
+	}
+	return cycles
+}
+
+// rotateLeft maps a word to its left rotation: the de Bruijn successor
+// that re-appends the outgoing letter.
+func rotateLeft(d, D, u int) int {
+	w := word.MustFromInt(d, D, u)
+	return w.LeftShiftAppend(w.Letter(D - 1)).Int()
+}
+
+// NecklaceCount returns the number of necklaces by Burnside's lemma:
+// (1/D)·Σ_{ℓ=1..D} d^gcd(ℓ,D).
+func NecklaceCount(d, D int) int {
+	total := 0
+	for l := 1; l <= D; l++ {
+		total += word.Pow(d, gcd(l, D))
+	}
+	return total / D
+}
+
+// VerifyNecklaceFactor checks that the rotation cycles form a 1-factor of
+// B(d, D): every vertex appears exactly once, every cycle step is a
+// de Bruijn arc, and the cycle count matches Burnside.
+func VerifyNecklaceFactor(d, D int, cycles [][]int) error {
+	g := DeBruijn(d, D)
+	n := word.Pow(d, D)
+	seen := make([]bool, n)
+	covered := 0
+	for _, cycle := range cycles {
+		if len(cycle) == 0 {
+			return fmt.Errorf("debruijn: empty necklace cycle")
+		}
+		if D%len(cycle) != 0 {
+			return fmt.Errorf("debruijn: cycle length %d does not divide D=%d", len(cycle), D)
+		}
+		for i, u := range cycle {
+			if seen[u] {
+				return fmt.Errorf("debruijn: vertex %d in two necklace cycles", u)
+			}
+			seen[u] = true
+			covered++
+			v := cycle[(i+1)%len(cycle)]
+			if !g.HasArc(u, v) {
+				return fmt.Errorf("debruijn: necklace step (%d,%d) is not an arc", u, v)
+			}
+		}
+	}
+	if covered != n {
+		return fmt.Errorf("debruijn: cycles cover %d of %d vertices", covered, n)
+	}
+	if len(cycles) != NecklaceCount(d, D) {
+		return fmt.Errorf("debruijn: %d cycles, Burnside says %d", len(cycles), NecklaceCount(d, D))
+	}
+	return nil
+}
+
+// RotationFactorDigraph returns the 1-factor as a digraph (each vertex
+// with exactly the rotation out-arc), for use as a subgraph certificate.
+func RotationFactorDigraph(d, D int) *digraph.Digraph {
+	n := word.Pow(d, D)
+	return digraph.FromFunc(n, func(u int) []int {
+		return []int{rotateLeft(d, D, u)}
+	})
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

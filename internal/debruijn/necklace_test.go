@@ -1,0 +1,135 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestNecklaceCountBurnside(t *testing.T) {
+	// Known necklace numbers.
+	cases := []struct{ d, D, want int }{
+		{2, 1, 2}, {2, 2, 3}, {2, 3, 4}, {2, 4, 6}, {2, 5, 8}, {2, 6, 14},
+		{3, 2, 6}, {3, 3, 11}, {4, 2, 10},
+	}
+	for _, c := range cases {
+		if got := NecklaceCount(c.d, c.D); got != c.want {
+			t.Errorf("NecklaceCount(%d,%d) = %d, want %d", c.d, c.D, got, c.want)
+		}
+	}
+}
+
+func TestNecklaceCyclesAreAFactor(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 4}, {2, 7}, {3, 3}, {4, 2}} {
+		cycles := NecklaceCycles(c.d, c.D)
+		if err := VerifyNecklaceFactor(c.d, c.D, cycles); err != nil {
+			t.Errorf("d=%d D=%d: %v", c.d, c.D, err)
+		}
+	}
+}
+
+func TestNecklaceCycleOfConstantWords(t *testing.T) {
+	// Constant words are fixed by rotation: d singleton cycles (the
+	// loops of B(d,D)).
+	cycles := NecklaceCycles(3, 4)
+	singletons := 0
+	for _, c := range cycles {
+		if len(c) == 1 {
+			singletons++
+		}
+	}
+	if singletons != 3 {
+		t.Errorf("%d singleton cycles, want 3", singletons)
+	}
+}
+
+func TestRotationFactorDigraph(t *testing.T) {
+	f := RotationFactorDigraph(2, 5)
+	if !f.IsOutRegular(1) || !f.IsInRegular(1) {
+		t.Fatal("rotation factor is not a permutation digraph")
+	}
+	// Every factor arc is a de Bruijn arc.
+	b := DeBruijn(2, 5)
+	for u := 0; u < f.N(); u++ {
+		if !b.HasArc(u, f.Out(u)[0]) {
+			t.Fatalf("factor arc (%d,%d) not in B(2,5)", u, f.Out(u)[0])
+		}
+	}
+}
+
+func TestWalkIdentityDeBruijn(t *testing.T) {
+	// A^D = J: exactly one length-D walk between any ordered pair — the
+	// sharpest characterization of B(d,D) this library checks.
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 5}, {3, 2}, {3, 3}, {4, 2}} {
+		g := DeBruijn(c.d, c.D)
+		if !g.IsWalkRegular(c.D, 1) {
+			t.Errorf("B(%d,%d): A^%d != J", c.d, c.D, c.D)
+		}
+	}
+	// And the power grows correctly: A^{D+1} = d·J.
+	g := DeBruijn(2, 3)
+	if !g.IsWalkRegular(4, 2) {
+		t.Error("B(2,3): A^4 != 2J")
+	}
+}
+
+func TestWalkIdentityKautz(t *testing.T) {
+	// Kautz: A^D + A^{D-1} = J.
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {3, 2}, {2, 4}} {
+		g, _ := Kautz(c.d, c.D)
+		if !g.WalkPolynomialIsAllOnes([]int{c.D - 1, c.D}) {
+			t.Errorf("K(%d,%d): A^%d + A^%d != J", c.d, c.D, c.D, c.D-1)
+		}
+	}
+}
+
+func TestWalkIdentityFailsOffFamily(t *testing.T) {
+	// Sanity: a digraph that is NOT de Bruijn must fail the identity.
+	g, _ := Kautz(2, 3)
+	if g.IsWalkRegular(3, 1) {
+		t.Error("K(2,3) satisfies the de Bruijn walk identity?!")
+	}
+}
+
+func TestWalkCountsAgainstPathEnumeration(t *testing.T) {
+	// Cross-check CountWalks against brute-force walk enumeration on a
+	// small digraph.
+	g := DeBruijn(2, 2)
+	w := g.CountWalks(3)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if got := enumerateWalks(g, u, v, 3); got != w[u][v] {
+				t.Fatalf("walks(%d,%d) = %d, enumeration %d", u, v, w[u][v], got)
+			}
+		}
+	}
+}
+
+func enumerateWalks(g interface{ Out(int) []int }, u, v, k int) int {
+	if k == 0 {
+		if u == v {
+			return 1
+		}
+		return 0
+	}
+	total := 0
+	for _, mid := range g.Out(u) {
+		total += enumerateWalks(g, mid, v, k-1)
+	}
+	return total
+}
+
+func TestNecklaceSingletonIsLoopVertex(t *testing.T) {
+	cycles := NecklaceCycles(2, 3)
+	for _, c := range cycles {
+		if len(c) == 1 {
+			u := c[0]
+			w := word.MustFromInt(2, 3, u)
+			for i := 1; i < 3; i++ {
+				if w.Letter(i) != w.Letter(0) {
+					t.Fatalf("singleton necklace %s is not constant", w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+// De Bruijn sequences and Hamiltonian embeddings. The paper's motivation
+// cites embeddings into de Bruijn digraphs [9]; the fundamental one is the
+// ring: B(d, D) is Hamiltonian because an Eulerian circuit of B(d, D-1)
+// visits every arc once, and the arcs of B(d, D-1) are exactly the
+// vertices of B(d, D) (the line-digraph identity L(B(d, D-1)) = B(d, D)).
+// The same circuit read as letters is a de Bruijn sequence: a cyclic word
+// of length d^D in which every length-D word occurs exactly once.
+
+// EulerianCircuit returns an Eulerian circuit of g as a vertex sequence
+// (first vertex repeated at the end), or an error if none exists. g must
+// be connected (ignoring isolated vertices) with in-degree = out-degree
+// everywhere. Hierholzer's algorithm, O(n + m).
+func EulerianCircuit(g *digraph.Digraph) ([]int, error) {
+	n := g.N()
+	in := g.InDegrees()
+	start := -1
+	for u := 0; u < n; u++ {
+		if g.OutDegree(u) != in[u] {
+			return nil, fmt.Errorf("debruijn: vertex %d has out-degree %d, in-degree %d",
+				u, g.OutDegree(u), in[u])
+		}
+		if g.OutDegree(u) > 0 && start == -1 {
+			start = u
+		}
+	}
+	if start == -1 {
+		return nil, fmt.Errorf("debruijn: digraph has no arcs")
+	}
+	// Hierholzer with an explicit stack; next[u] tracks the first unused
+	// arc at u.
+	next := make([]int, n)
+	stack := []int{start}
+	var circuit []int
+	used := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		if next[u] < g.OutDegree(u) {
+			v := g.Out(u)[next[u]]
+			next[u]++
+			used++
+			stack = append(stack, v)
+		} else {
+			circuit = append(circuit, u)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if used != g.M() {
+		return nil, fmt.Errorf("debruijn: digraph is not connected (used %d of %d arcs)", used, g.M())
+	}
+	// Hierholzer emits the circuit reversed.
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	return circuit, nil
+}
+
+// Sequence returns a de Bruijn sequence of order D over Z_d: a cyclic
+// sequence of d^D letters containing every word of length D exactly once
+// as a window (read most-significant-first). Built from an Eulerian
+// circuit of B(d, D-1); for D = 1 it is simply 0, 1, ..., d-1.
+func Sequence(d, D int) ([]int, error) {
+	if d < 1 || D < 1 {
+		return nil, fmt.Errorf("debruijn: need d >= 1 and D >= 1")
+	}
+	if D == 1 {
+		seq := make([]int, d)
+		for i := range seq {
+			seq[i] = i
+		}
+		return seq, nil
+	}
+	g := DeBruijn(d, D-1)
+	circuit, err := EulerianCircuit(g)
+	if err != nil {
+		return nil, err
+	}
+	// Each arc u→v of B(d, D-1) contributes the letter α with
+	// v = (du + α) mod d^{D-1}.
+	nPrev := word.Pow(d, D-1)
+	seq := make([]int, 0, word.Pow(d, D))
+	for i := 0; i+1 < len(circuit); i++ {
+		u, v := circuit[i], circuit[i+1]
+		alpha := (v - d*u) % nPrev
+		if alpha < 0 {
+			alpha += nPrev
+		}
+		if alpha >= d {
+			return nil, fmt.Errorf("debruijn: internal error, arc (%d,%d) has letter %d", u, v, alpha)
+		}
+		seq = append(seq, alpha)
+	}
+	return seq, nil
+}
+
+// VerifySequence checks that seq is a de Bruijn sequence of order D over
+// Z_d: length d^D with every D-window (cyclically) distinct.
+func VerifySequence(d, D int, seq []int) error {
+	n := word.Pow(d, D)
+	if len(seq) != n {
+		return fmt.Errorf("debruijn: sequence length %d, want %d", len(seq), n)
+	}
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		v := 0
+		for k := 0; k < D; k++ {
+			letter := seq[(i+k)%n]
+			if letter < 0 || letter >= d {
+				return fmt.Errorf("debruijn: letter %d out of Z_%d", letter, d)
+			}
+			v = v*d + letter
+		}
+		if seen[v] {
+			return fmt.Errorf("debruijn: window at %d repeats word %d", i, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// HamiltonianCycle returns a Hamiltonian cycle of B(d, D) as a vertex
+// sequence of length d^D (the successor of the last vertex is the first):
+// the ring embedding with dilation 1. Derived from Sequence via the
+// line-digraph identity.
+func HamiltonianCycle(d, D int) ([]int, error) {
+	seq, err := Sequence(d, D)
+	if err != nil {
+		return nil, err
+	}
+	n := word.Pow(d, D)
+	cycle := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := 0
+		for k := 0; k < D; k++ {
+			v = v*d + seq[(i+k)%n]
+		}
+		cycle[i] = v
+	}
+	return cycle, nil
+}
+
+// VerifyHamiltonianCycle checks that cycle visits every vertex of g
+// exactly once using only arcs of g, closing back to the start.
+func VerifyHamiltonianCycle(g *digraph.Digraph, cycle []int) error {
+	n := g.N()
+	if len(cycle) != n {
+		return fmt.Errorf("debruijn: cycle length %d, want %d", len(cycle), n)
+	}
+	seen := make([]bool, n)
+	for i, u := range cycle {
+		if u < 0 || u >= n {
+			return fmt.Errorf("debruijn: vertex %d out of range", u)
+		}
+		if seen[u] {
+			return fmt.Errorf("debruijn: vertex %d repeated", u)
+		}
+		seen[u] = true
+		v := cycle[(i+1)%n]
+		if !g.HasArc(u, v) {
+			return fmt.Errorf("debruijn: cycle uses missing arc (%d,%d)", u, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+func TestEulerianCircuitCircuitGraph(t *testing.T) {
+	g := digraph.Circuit(5)
+	circuit, err := EulerianCircuit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circuit) != 6 || circuit[0] != circuit[5] {
+		t.Fatalf("circuit %v", circuit)
+	}
+}
+
+func TestEulerianCircuitDeBruijn(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 3}, {3, 2}, {2, 6}} {
+		g := DeBruijn(c.d, c.D)
+		circuit, err := EulerianCircuit(g)
+		if err != nil {
+			t.Fatalf("B(%d,%d): %v", c.d, c.D, err)
+		}
+		if len(circuit) != g.M()+1 {
+			t.Fatalf("circuit length %d, want %d", len(circuit), g.M()+1)
+		}
+		if circuit[0] != circuit[len(circuit)-1] {
+			t.Fatal("circuit not closed")
+		}
+		// Every consecutive pair must be an arc, and every arc must be
+		// used exactly once.
+		type arc struct{ u, v int }
+		usage := map[arc]int{}
+		for i := 0; i+1 < len(circuit); i++ {
+			usage[arc{circuit[i], circuit[i+1]}]++
+		}
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Out(u) {
+				if usage[arc{u, v}] != g.ArcMultiplicity(u, v) {
+					t.Fatalf("arc (%d,%d) used %d times, multiplicity %d",
+						u, v, usage[arc{u, v}], g.ArcMultiplicity(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestEulerianCircuitErrors(t *testing.T) {
+	// Unbalanced degrees.
+	g := digraph.New(2)
+	g.AddArc(0, 1)
+	if _, err := EulerianCircuit(g); err == nil {
+		t.Error("unbalanced digraph accepted")
+	}
+	// Disconnected but balanced.
+	h := digraph.New(4)
+	h.AddArc(0, 1)
+	h.AddArc(1, 0)
+	h.AddArc(2, 3)
+	h.AddArc(3, 2)
+	if _, err := EulerianCircuit(h); err == nil {
+		t.Error("disconnected digraph accepted")
+	}
+	// No arcs at all.
+	if _, err := EulerianCircuit(digraph.New(3)); err == nil {
+		t.Error("arcless digraph accepted")
+	}
+}
+
+func TestSequence(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 1}, {2, 3}, {2, 8}, {3, 3}, {4, 2}, {5, 1}} {
+		seq, err := Sequence(c.d, c.D)
+		if err != nil {
+			t.Fatalf("Sequence(%d,%d): %v", c.d, c.D, err)
+		}
+		if err := VerifySequence(c.d, c.D, seq); err != nil {
+			t.Errorf("Sequence(%d,%d) invalid: %v", c.d, c.D, err)
+		}
+	}
+}
+
+func TestVerifySequenceRejects(t *testing.T) {
+	if err := VerifySequence(2, 2, []int{0, 0, 1, 1}); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+	if VerifySequence(2, 2, []int{0, 0, 0, 1}) == nil {
+		t.Error("repeating windows accepted")
+	}
+	if VerifySequence(2, 2, []int{0, 0, 1}) == nil {
+		t.Error("short sequence accepted")
+	}
+	if VerifySequence(2, 2, []int{0, 0, 2, 1}) == nil {
+		t.Error("out-of-alphabet letter accepted")
+	}
+}
+
+func TestHamiltonianCycle(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 7}, {3, 3}} {
+		cycle, err := HamiltonianCycle(c.d, c.D)
+		if err != nil {
+			t.Fatalf("HamiltonianCycle(%d,%d): %v", c.d, c.D, err)
+		}
+		if err := VerifyHamiltonianCycle(DeBruijn(c.d, c.D), cycle); err != nil {
+			t.Errorf("B(%d,%d): %v", c.d, c.D, err)
+		}
+	}
+}
+
+func TestVerifyHamiltonianCycleRejects(t *testing.T) {
+	g := DeBruijn(2, 2)
+	if VerifyHamiltonianCycle(g, []int{0, 1, 2}) == nil {
+		t.Error("short cycle accepted")
+	}
+	if VerifyHamiltonianCycle(g, []int{0, 1, 1, 2}) == nil {
+		t.Error("repeated vertex accepted")
+	}
+	if VerifyHamiltonianCycle(g, []int{0, 2, 1, 3}) == nil {
+		t.Error("non-arc step accepted (0→2 is not an arc of B(2,2))")
+	}
+}
+
+func TestSequenceWindowsAreLineDigraphWalk(t *testing.T) {
+	// Consecutive windows of the sequence are consecutive vertices of the
+	// Hamiltonian cycle — i.e. de Bruijn successors.
+	d, D := 2, 5
+	seq, _ := Sequence(d, D)
+	cycle, _ := HamiltonianCycle(d, D)
+	n := word.Pow(d, D)
+	for i := 0; i < n; i++ {
+		u := word.MustFromInt(d, D, cycle[i])
+		v := word.MustFromInt(d, D, cycle[(i+1)%n])
+		// v must be the left shift of u fed with the next letter.
+		want := u.LeftShiftAppend(v.Letter(0))
+		if !v.Equal(want) {
+			t.Fatalf("window %d: %s does not shift to %s", i, u, v)
+		}
+	}
+	_ = seq
+}

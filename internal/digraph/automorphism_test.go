@@ -1,0 +1,82 @@
+package digraph
+
+import (
+	"testing"
+)
+
+func TestAutomorphismsOfCircuit(t *testing.T) {
+	// Directed C_n has exactly the n rotations.
+	for _, n := range []int{1, 3, 5, 8} {
+		if got := Circuit(n).AutomorphismCount(0); got != n {
+			t.Errorf("Aut(C_%d) = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestAutomorphismsOfComplete(t *testing.T) {
+	// K*_n admits every permutation.
+	if got := CompleteWithLoops(4).AutomorphismCount(0); got != 24 {
+		t.Errorf("Aut(K*_4) = %d, want 24", got)
+	}
+}
+
+func TestAutomorphismsAreValid(t *testing.T) {
+	g := deBruijnCongruence(2, 3)
+	count := 0
+	g.Automorphisms(func(m []int) bool {
+		mapping := append([]int(nil), m...)
+		if err := VerifyIsomorphism(g, g, mapping); err != nil {
+			t.Fatalf("emitted non-automorphism: %v", err)
+		}
+		count++
+		return true
+	})
+	if count == 0 {
+		t.Fatal("no automorphisms found (identity must exist)")
+	}
+}
+
+func TestAutomorphismCountLimit(t *testing.T) {
+	g := CompleteWithLoops(5)
+	if got := g.AutomorphismCount(7); got != 7 {
+		t.Errorf("limited count = %d, want 7", got)
+	}
+}
+
+func TestDeBruijnAutomorphismGroup(t *testing.T) {
+	// |Aut(B(d,D))| = d!: exactly the letterwise alphabet permutations
+	// (letterwise σ maps the successor set of x onto the successor set
+	// of σ(x), and the search finds nothing else).
+	want := map[int]int{2: 2, 3: 6, 4: 24}
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 2}} {
+		g := deBruijnCongruence(c.d, c.D)
+		if got := g.AutomorphismCount(0); got != want[c.d] {
+			t.Errorf("|Aut(B(%d,%d))| = %d, want %d", c.d, c.D, got, want[c.d])
+		}
+	}
+}
+
+func TestVertexTransitivity(t *testing.T) {
+	if !Circuit(6).IsVertexTransitive() {
+		t.Error("C_6 should be vertex transitive")
+	}
+	if !CompleteWithLoops(4).IsVertexTransitive() {
+		t.Error("K*_4 should be vertex transitive")
+	}
+	// De Bruijn digraphs are famously NOT vertex transitive (loop
+	// vertices differ from the rest).
+	if deBruijnCongruence(2, 3).IsVertexTransitive() {
+		t.Error("B(2,3) should not be vertex transitive")
+	}
+	p := New(2)
+	p.AddArc(0, 1)
+	if p.IsVertexTransitive() {
+		t.Error("path should not be vertex transitive")
+	}
+}
+
+func TestEmptyAutomorphisms(t *testing.T) {
+	if got := New(0).AutomorphismCount(0); got != 1 {
+		t.Errorf("empty digraph Aut count = %d, want 1 (empty mapping)", got)
+	}
+}

@@ -1,0 +1,198 @@
+package digraph
+
+// Connectivity: strongly connected components (iterative Tarjan) and weak
+// components (union-find). Proposition 3.9 of the paper states that
+// A(f, σ, j) is disconnected whenever f is not cyclic; Remark 3.10 describes
+// the components. These routines let the alpha package verify both claims.
+
+// StronglyConnectedComponents returns the strongly connected components of g
+// in reverse topological order of the component DAG. Each component lists
+// its vertices in increasing order.
+func (g *Digraph) StronglyConnectedComponents() [][]int {
+	n := g.N()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	var components [][]int
+	next := 0
+
+	// Iterative Tarjan with an explicit call stack: the de Bruijn digraphs
+	// searched in Table 1 reach thousands of vertices, too deep for the
+	// goroutine stack with naive recursion on adversarial shapes.
+	type frame struct {
+		u       int
+		arcIdx  int
+		fromArc bool
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack := []frame{{u: root}}
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			u := f.u
+			if f.arcIdx == 0 && !f.fromArc {
+				index[u] = next
+				low[u] = next
+				next++
+				stack = append(stack, u)
+				onStack[u] = true
+				f.fromArc = true
+			}
+			advanced := false
+			for f.arcIdx < len(g.adj[u]) {
+				v := g.adj[u][f.arcIdx]
+				f.arcIdx++
+				if index[v] == -1 {
+					callStack = append(callStack, frame{u: v})
+					advanced = true
+					break
+				}
+				if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// u is finished.
+			if low[u] == index[u] {
+				var component []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(components)
+					component = append(component, w)
+					if w == u {
+						break
+					}
+				}
+				sortInts(component)
+				components = append(components, component)
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].u
+				if low[u] < low[parent] {
+					low[parent] = low[u]
+				}
+			}
+		}
+	}
+	return components
+}
+
+// IsStronglyConnected reports whether g has a single strongly connected
+// component covering every vertex. The empty digraph is not strongly
+// connected.
+func (g *Digraph) IsStronglyConnected() bool {
+	if g.N() == 0 {
+		return false
+	}
+	// Two BFS passes are cheaper than full Tarjan for a yes/no answer.
+	for _, d := range g.BFSFrom(0) {
+		if d == Unreachable {
+			return false
+		}
+	}
+	for _, d := range g.Reverse().BFSFrom(0) {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// WeaklyConnectedComponents returns the weak components (components of the
+// underlying undirected graph), each listed increasing, ordered by smallest
+// vertex.
+func (g *Digraph) WeaklyConnectedComponents() [][]int {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for u, heads := range g.adj {
+		for _, v := range heads {
+			union(u, v)
+		}
+	}
+	groups := make(map[int][]int)
+	for u := 0; u < n; u++ {
+		r := find(u)
+		groups[r] = append(groups[r], u)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sortInts(roots)
+	components := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		members := groups[r]
+		sortInts(members)
+		components = append(components, members)
+	}
+	return components
+}
+
+// IsWeaklyConnected reports whether the underlying undirected graph is
+// connected (the sense in which Proposition 3.9 says "connected").
+func (g *Digraph) IsWeaklyConnected() bool {
+	return g.N() > 0 && len(g.WeaklyConnectedComponents()) == 1
+}
+
+// InducedSubgraph returns the subgraph induced by vertices (which must be
+// distinct), relabelled 0..len(vertices)-1 in the given order, together with
+// the mapping from new labels back to old.
+func (g *Digraph) InducedSubgraph(vertices []int) (*Digraph, []int) {
+	newLabel := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		if _, dup := newLabel[v]; dup {
+			panic("digraph: duplicate vertex in InducedSubgraph")
+		}
+		newLabel[v] = i
+	}
+	h := New(len(vertices))
+	for i, u := range vertices {
+		for _, v := range g.adj[u] {
+			if j, ok := newLabel[v]; ok {
+				h.AddArc(i, j)
+			}
+		}
+	}
+	old := append([]int(nil), vertices...)
+	return h, old
+}
+
+func sortInts(a []int) {
+	// insertion sort: component slices are small and this avoids pulling
+	// sort into the hot path with interface conversions.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

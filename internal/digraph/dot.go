@@ -1,0 +1,41 @@
+package digraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Graphviz DOT export, for inspecting the small digraphs of the paper's
+// figures with standard tooling (dot -Tsvg ...).
+
+// WriteDOT writes g in DOT format. label, if non-nil, names each vertex
+// (e.g. its word spelling); otherwise numeric ids are used. Parallel arcs
+// are written once per multiplicity; loops render as self-edges.
+func (g *Digraph) WriteDOT(w io.Writer, name string, label func(int) string) error {
+	if name == "" {
+		name = "G"
+	}
+	if label == nil {
+		label = func(u int) string { return fmt.Sprintf("%d", u) }
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", u, label(u)); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		heads := append([]int(nil), g.adj[u]...)
+		sort.Ints(heads)
+		for _, v := range heads {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,54 @@
+package digraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := Circuit(3)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "C3", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`digraph "C3"`, "n0 -> n1;", "n1 -> n2;", "n2 -> n0;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTCustomLabels(t *testing.T) {
+	g := deBruijnCongruence(2, 2)
+	var sb strings.Builder
+	err := g.WriteDOT(&sb, "", func(u int) string { return fmt.Sprintf("w%02b", u) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `label="w01"`) {
+		t.Errorf("custom label missing:\n%s", sb.String())
+	}
+	// Arc count: one line per arc.
+	if got := strings.Count(sb.String(), "->"); got != g.M() {
+		t.Errorf("%d arc lines, want %d", got, g.M())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n--
+	if f.n <= 0 {
+		return 0, fmt.Errorf("synthetic write failure")
+	}
+	return len(p), nil
+}
+
+func TestWriteDOTPropagatesErrors(t *testing.T) {
+	g := Circuit(4)
+	if err := g.WriteDOT(&failWriter{n: 2}, "x", nil); err == nil {
+		t.Error("write failure swallowed")
+	}
+}

@@ -1,0 +1,124 @@
+package digraph
+
+import (
+	"fmt"
+)
+
+// One-factorization. A d-in/d-out-regular digraph decomposes into d
+// arc-disjoint permutation digraphs (König's theorem on the bipartite
+// tail/head incidence graph). For an OTIS machine this is the TDM
+// schedule: in time slot t every node transmits on exactly one beam
+// (factor t) with no receiver conflicts, so d slots serve the whole arc
+// set — the optical network's collision-free round-robin.
+
+// OneFactorization splits a d-regular digraph into d permutations:
+// factors[t][u] is the head of u's arc in slot t. Parallel arcs occupy
+// distinct slots. Errors if the digraph is not d-regular.
+func (g *Digraph) OneFactorization(d int) ([][]int, error) {
+	if !g.IsRegular(d) {
+		return nil, fmt.Errorf("digraph: not %d-regular", d)
+	}
+	n := g.N()
+	// Remaining multiplicity of each (u, v) arc.
+	remaining := make([]map[int]int, n)
+	for u := 0; u < n; u++ {
+		remaining[u] = make(map[int]int, d)
+		for _, v := range g.adj[u] {
+			remaining[u][v]++
+		}
+	}
+	factors := make([][]int, 0, d)
+	for t := 0; t < d; t++ {
+		match, err := perfectMatching(n, remaining)
+		if err != nil {
+			return nil, fmt.Errorf("digraph: factor %d: %w", t, err)
+		}
+		for u, v := range match {
+			remaining[u][v]--
+			if remaining[u][v] == 0 {
+				delete(remaining[u], v)
+			}
+		}
+		factors = append(factors, match)
+	}
+	return factors, nil
+}
+
+// perfectMatching finds a perfect matching tails→heads in the bipartite
+// graph with edges (u, v) for remaining[u][v] > 0, by Kuhn's augmenting
+// paths. The remaining graph of a regular digraph always has one (Hall).
+func perfectMatching(n int, remaining []map[int]int) ([]int, error) {
+	matchHead := make([]int, n) // head v ← tail matched to it
+	matchTail := make([]int, n) // tail u → head matched
+	for i := 0; i < n; i++ {
+		matchHead[i] = -1
+		matchTail[i] = -1
+	}
+	var try func(u int, seen []bool) bool
+	try = func(u int, seen []bool) bool {
+		for v := range remaining[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if matchHead[v] == -1 || try(matchHead[v], seen) {
+				matchHead[v] = u
+				matchTail[u] = v
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if matchTail[u] != -1 {
+			continue
+		}
+		seen := make([]bool, n)
+		if !try(u, seen) {
+			return nil, fmt.Errorf("no perfect matching (tail %d unmatched)", u)
+		}
+	}
+	return matchTail, nil
+}
+
+// VerifyFactorization checks that factors are d arc-disjoint permutations
+// whose union is exactly g's arc multiset.
+func (g *Digraph) VerifyFactorization(factors [][]int) error {
+	n := g.N()
+	used := make([]map[int]int, n)
+	for u := range used {
+		used[u] = make(map[int]int)
+	}
+	for t, f := range factors {
+		if len(f) != n {
+			return fmt.Errorf("digraph: factor %d has %d entries", t, len(f))
+		}
+		hit := make([]bool, n)
+		for u, v := range f {
+			if v < 0 || v >= n {
+				return fmt.Errorf("digraph: factor %d maps %d out of range", t, u)
+			}
+			if hit[v] {
+				return fmt.Errorf("digraph: factor %d is not a permutation (head %d reused)", t, v)
+			}
+			hit[v] = true
+			used[u][v]++
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v, cnt := range used[u] {
+			if cnt != g.ArcMultiplicity(u, v) {
+				return fmt.Errorf("digraph: arc (%d,%d) used %d times, multiplicity %d",
+					u, v, cnt, g.ArcMultiplicity(u, v))
+			}
+		}
+		total := 0
+		for _, cnt := range used[u] {
+			total += cnt
+		}
+		if total != g.OutDegree(u) {
+			return fmt.Errorf("digraph: vertex %d covered %d of %d arcs", u, total, g.OutDegree(u))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package digraph
+
+import (
+	"testing"
+)
+
+func TestOneFactorizationDeBruijn(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 4}, {2, 6}, {3, 3}} {
+		g := deBruijnCongruence(c.d, c.D)
+		factors, err := g.OneFactorization(c.d)
+		if err != nil {
+			t.Fatalf("B(%d,%d): %v", c.d, c.D, err)
+		}
+		if len(factors) != c.d {
+			t.Fatalf("got %d factors, want %d", len(factors), c.d)
+		}
+		if err := g.VerifyFactorization(factors); err != nil {
+			t.Errorf("B(%d,%d): %v", c.d, c.D, err)
+		}
+	}
+}
+
+func TestOneFactorizationComplete(t *testing.T) {
+	g := CompleteWithLoops(5)
+	factors, err := g.OneFactorization(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyFactorization(factors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneFactorizationParallelArcs(t *testing.T) {
+	// The 2-regular multigraph with doubled cycle arcs: both factors are
+	// the same permutation.
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddArc(i, (i+1)%3)
+		g.AddArc(i, (i+1)%3)
+	}
+	factors, err := g.OneFactorization(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyFactorization(factors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneFactorizationRejectsIrregular(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	if _, err := g.OneFactorization(1); err == nil {
+		t.Error("irregular digraph accepted")
+	}
+}
+
+func TestVerifyFactorizationRejects(t *testing.T) {
+	g := Circuit(4)
+	good, _ := g.OneFactorization(1)
+	if err := g.VerifyFactorization(good); err != nil {
+		t.Fatal(err)
+	}
+	// Not a permutation.
+	bad := [][]int{{1, 1, 3, 0}}
+	if g.VerifyFactorization(bad) == nil {
+		t.Error("non-permutation accepted")
+	}
+	// Wrong arcs.
+	bad = [][]int{{2, 3, 0, 1}}
+	if g.VerifyFactorization(bad) == nil {
+		t.Error("non-arc factor accepted")
+	}
+	// Wrong length.
+	if g.VerifyFactorization([][]int{{1, 2}}) == nil {
+		t.Error("short factor accepted")
+	}
+}
+
+func TestFactorizationIsTDMSchedule(t *testing.T) {
+	// The TDM interpretation: in any slot, no two nodes transmit to the
+	// same receiver (permutation) and every node transmits exactly once.
+	g := deBruijnCongruence(2, 5)
+	factors, _ := g.OneFactorization(2)
+	for t1, f := range factors {
+		seen := make([]bool, g.N())
+		for _, v := range f {
+			if seen[v] {
+				t.Fatalf("slot %d: receiver %d hit twice", t1, v)
+			}
+			seen[v] = true
+		}
+	}
+}

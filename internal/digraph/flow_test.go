@@ -1,0 +1,203 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowUnitSimple(t *testing.T) {
+	// Two disjoint 0→3 paths plus a chord.
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 3)
+	g.AddArc(0, 2)
+	g.AddArc(2, 3)
+	g.AddArc(1, 2)
+	flow, paths := g.MaxFlowUnit(0, 3)
+	if flow != 2 {
+		t.Fatalf("flow = %d, want 2", flow)
+	}
+	checkArcDisjoint(t, g, paths, 0, 3)
+}
+
+func TestMaxFlowNeedsCancellation(t *testing.T) {
+	// Classic example where a greedy first path must be partially undone.
+	//
+	//	0 → 1 → 3
+	//	0 → 2 → 4
+	//	1 → 4, 2 → 3, 3 → 5, 4 → 5
+	g := New(6)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(1, 4)
+	g.AddArc(2, 3)
+	g.AddArc(2, 4)
+	g.AddArc(3, 5)
+	g.AddArc(4, 5)
+	flow, paths := g.MaxFlowUnit(0, 5)
+	if flow != 2 {
+		t.Fatalf("flow = %d, want 2", flow)
+	}
+	checkArcDisjoint(t, g, paths, 0, 5)
+}
+
+func TestMaxFlowParallelArcs(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	flow, paths := g.MaxFlowUnit(0, 1)
+	if flow != 3 || len(paths) != 3 {
+		t.Fatalf("flow = %d with %d paths, want 3", flow, len(paths))
+	}
+}
+
+func TestMaxFlowSelfAndUnreachable(t *testing.T) {
+	g := Circuit(3)
+	if f, _ := g.MaxFlowUnit(1, 1); f != 0 {
+		t.Error("self flow nonzero")
+	}
+	h := New(2)
+	if f, _ := h.MaxFlowUnit(0, 1); f != 0 {
+		t.Error("unreachable flow nonzero")
+	}
+}
+
+func TestMaxFlowAgainstBruteForceCuts(t *testing.T) {
+	// Max-flow = min-cut on random small digraphs, with the cut checked
+	// by enumerating arc subsets.
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(3)
+		g := New(n)
+		for k := 0; k < 2*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddArc(u, v)
+			}
+		}
+		flow, paths := g.MaxFlowUnit(0, n-1)
+		checkArcDisjoint(t, g, paths, 0, n-1)
+		if minCut := bruteMinCut(g, 0, n-1); minCut != flow {
+			t.Fatalf("trial %d: flow %d != brute min cut %d", trial, flow, minCut)
+		}
+	}
+}
+
+// bruteMinCut enumerates vertex bipartitions (S ∋ s, T ∋ t) and counts
+// crossing arcs — valid for unit-capacity min cut.
+func bruteMinCut(g *Digraph, s, t int) int {
+	n := g.N()
+	best := -1
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		if mask&(1<<uint(s)) == 0 || mask&(1<<uint(t)) != 0 {
+			continue
+		}
+		cut := 0
+		for u := 0; u < n; u++ {
+			if mask&(1<<uint(u)) == 0 {
+				continue
+			}
+			for _, v := range g.Out(u) {
+				if mask&(1<<uint(v)) == 0 {
+					cut++
+				}
+			}
+		}
+		if best == -1 || cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func checkArcDisjoint(t *testing.T, g *Digraph, paths [][]int, s, dst int) {
+	t.Helper()
+	type arc struct{ u, v int }
+	used := map[arc]int{}
+	for _, p := range paths {
+		if p[0] != s || p[len(p)-1] != dst {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			a := arc{p[i], p[i+1]}
+			used[a]++
+			if used[a] > g.ArcMultiplicity(p[i], p[i+1]) {
+				t.Fatalf("arc %v overused", a)
+			}
+		}
+	}
+}
+
+func TestDeBruijnConnectivity(t *testing.T) {
+	// Classical fault-tolerance facts the optical layouts inherit:
+	// λ(B(d,D)) = κ(B(d,D)) = d-1 (the loops cost one).
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 4}, {3, 2}, {3, 3}} {
+		g := deBruijnCongruence(c.d, c.D)
+		if got := g.ArcConnectivity(); got != c.d-1 {
+			t.Errorf("λ(B(%d,%d)) = %d, want %d", c.d, c.D, got, c.d-1)
+		}
+		if got := g.VertexConnectivity(); got != c.d-1 {
+			t.Errorf("κ(B(%d,%d)) = %d, want %d", c.d, c.D, got, c.d-1)
+		}
+	}
+}
+
+func TestKautzConnectivityViaII(t *testing.T) {
+	// κ(K(d,D)) = d — Kautz is maximally fault-tolerant. Built in the II
+	// congruence form to avoid an import cycle.
+	for _, c := range []struct{ d, n int }{{2, 12}, {3, 36}, {2, 24}} {
+		g := FromFunc(c.n, func(u int) []int {
+			out := make([]int, c.d)
+			for a := 1; a <= c.d; a++ {
+				v := (-c.d*u - a) % c.n
+				if v < 0 {
+					v += c.n
+				}
+				out[a-1] = v
+			}
+			return out
+		})
+		if got := g.ArcConnectivity(); got != c.d {
+			t.Errorf("λ(II(%d,%d)) = %d, want %d", c.d, c.n, got, c.d)
+		}
+		if got := g.VertexConnectivity(); got != c.d {
+			t.Errorf("κ(II(%d,%d)) = %d, want %d", c.d, c.n, got, c.d)
+		}
+	}
+}
+
+func TestCircuitConnectivity(t *testing.T) {
+	g := Circuit(5)
+	if g.ArcConnectivity() != 1 || g.VertexConnectivity() != 1 {
+		t.Error("circuit connectivity != 1")
+	}
+}
+
+func TestCompleteConnectivity(t *testing.T) {
+	g := CompleteWithLoops(5)
+	if got := g.VertexConnectivity(); got != 4 {
+		t.Errorf("κ(K*_5) = %d, want 4", got)
+	}
+	if got := g.ArcConnectivity(); got != 4 {
+		t.Errorf("λ(K*_5) = %d, want 4 (loops don't help)", got)
+	}
+}
+
+func TestDisconnectedConnectivity(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1)
+	if g.ArcConnectivity() != 0 || g.VertexConnectivity() != 0 {
+		t.Error("disconnected digraph has positive connectivity")
+	}
+}
+
+func TestArcDisjointPathsCount(t *testing.T) {
+	g := deBruijnCongruence(3, 2)
+	paths := g.ArcDisjointPaths(1, 7)
+	if len(paths) < 2 {
+		t.Errorf("only %d arc-disjoint paths in B(3,2)", len(paths))
+	}
+	checkArcDisjoint(t, g, paths, 1, 7)
+}

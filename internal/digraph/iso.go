@@ -1,0 +1,395 @@
+package digraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Isomorphism testing. The paper's isomorphism claims all come with explicit
+// witness maps (Propositions 3.2, 3.3, 3.9, 4.1), so the primary tool is
+// VerifyIsomorphism, which checks a proposed bijection in O(n + m). A
+// generic backtracking search, FindIsomorphism, provides an independent
+// cross-check on small instances and implements the "exhaustive search"
+// the authors report using in Sections 4.3 and 5.
+
+// VerifyIsomorphism checks that mapping is an isomorphism from g onto h:
+// a bijection V(g) → V(h) preserving arc multiplicities in both directions.
+// It returns nil on success and a descriptive error otherwise.
+func VerifyIsomorphism(g, h *Digraph, mapping []int) error {
+	n := g.N()
+	if h.N() != n {
+		return fmt.Errorf("digraph: vertex counts differ (%d vs %d)", n, h.N())
+	}
+	if len(mapping) != n {
+		return fmt.Errorf("digraph: mapping has %d entries, want %d", len(mapping), n)
+	}
+	if g.M() != h.M() {
+		return fmt.Errorf("digraph: arc counts differ (%d vs %d)", g.M(), h.M())
+	}
+	seen := make([]bool, n)
+	for u, v := range mapping {
+		if v < 0 || v >= n {
+			return fmt.Errorf("digraph: mapping[%d] = %d out of range", u, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("digraph: mapping not injective at image %d", v)
+		}
+		seen[v] = true
+	}
+	// With equal arc counts it suffices to check that every g-arc maps to
+	// an h-arc with matching multiplicities.
+	for u := 0; u < n; u++ {
+		gOut := make(map[int]int, len(g.adj[u]))
+		for _, v := range g.adj[u] {
+			gOut[mapping[v]]++
+		}
+		hOut := make(map[int]int, len(h.adj[mapping[u]]))
+		for _, v := range h.adj[mapping[u]] {
+			hOut[v]++
+		}
+		if len(gOut) != len(hOut) {
+			return fmt.Errorf("digraph: out-neighbourhood of %d not preserved", u)
+		}
+		for v, mult := range gOut {
+			if hOut[v] != mult {
+				return fmt.Errorf("digraph: arc (%d→%d) multiplicity %d maps to multiplicity %d",
+					u, v, mult, hOut[v])
+			}
+		}
+	}
+	return nil
+}
+
+// IsIsomorphismWitness is a boolean convenience over VerifyIsomorphism.
+func IsIsomorphismWitness(g, h *Digraph, mapping []int) bool {
+	return VerifyIsomorphism(g, h, mapping) == nil
+}
+
+// FindIsomorphism searches for an isomorphism from g onto h, returning the
+// mapping and true if one exists. It uses iterated colour refinement to
+// partition vertices into equivalence classes and then backtracks within
+// classes. Worst-case exponential; intended for the small instances used as
+// cross-checks (n up to a few hundred for the highly symmetric digraphs in
+// this repository).
+func FindIsomorphism(g, h *Digraph) ([]int, bool) {
+	n := g.N()
+	if h.N() != n || g.M() != h.M() {
+		return nil, false
+	}
+	if n == 0 {
+		return []int{}, true
+	}
+	gc, hc := refineColorsPair(g, h)
+	if !sameColorHistogram(gc, hc) {
+		return nil, false
+	}
+
+	// Candidate sets: h-vertices sharing the colour of each g-vertex.
+	byColor := make(map[int][]int)
+	for v, c := range hc {
+		byColor[c] = append(byColor[c], v)
+	}
+
+	// Order g's vertices to maximize constraint propagation: rarest colour
+	// class first, then vertices adjacent to already-placed ones.
+	order := constraintOrder(g, gc, byColor)
+
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	used := make([]bool, n)
+
+	gIn := buildInAdj(g)
+	hIn := buildInAdj(h)
+
+	var backtrack func(pos int) bool
+	backtrack = func(pos int) bool {
+		if pos == n {
+			return true
+		}
+		u := order[pos]
+		for _, v := range byColor[gc[u]] {
+			if used[v] {
+				continue
+			}
+			if !consistent(g, h, gIn, hIn, mapping, u, v) {
+				continue
+			}
+			mapping[u] = v
+			used[v] = true
+			if backtrack(pos + 1) {
+				return true
+			}
+			mapping[u] = -1
+			used[v] = false
+		}
+		return false
+	}
+	if backtrack(0) {
+		if err := VerifyIsomorphism(g, h, mapping); err != nil {
+			panic("digraph: internal error, found mapping fails verification: " + err.Error())
+		}
+		return mapping, true
+	}
+	return nil, false
+}
+
+// AreIsomorphic reports whether g and h are isomorphic (via FindIsomorphism).
+func AreIsomorphic(g, h *Digraph) bool {
+	_, ok := FindIsomorphism(g, h)
+	return ok
+}
+
+// consistent checks that setting mapping[u] = v preserves adjacency (with
+// multiplicity) against all previously mapped vertices, in both directions.
+func consistent(g, h *Digraph, gIn, hIn [][]int, mapping []int, u, v int) bool {
+	// Out-arcs u→w with w mapped.
+	for _, w := range g.adj[u] {
+		if mw := mappedImage(mapping, w, u, v); mw >= 0 {
+			if g.ArcMultiplicity(u, w) != h.ArcMultiplicity(v, mw) {
+				return false
+			}
+		}
+	}
+	// In-arcs w→u with w mapped.
+	for _, w := range gIn[u] {
+		if mw := mappedImage(mapping, w, u, v); mw >= 0 {
+			if g.ArcMultiplicity(w, u) != h.ArcMultiplicity(mw, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mappedImage(mapping []int, w, u, v int) int {
+	if w == u {
+		return v
+	}
+	return mapping[w]
+}
+
+func buildInAdj(g *Digraph) [][]int {
+	in := make([][]int, g.N())
+	for u, heads := range g.adj {
+		for _, v := range heads {
+			in[v] = append(in[v], u)
+		}
+	}
+	return in
+}
+
+// refineColorsPair refines g and h in lockstep with a shared colour table,
+// so equal colour ids across the two graphs mean structurally equivalent
+// refinement classes. This is what makes byColor candidate lookup sound in
+// FindIsomorphism.
+func refineColorsPair(g, h *Digraph) (gc, hc []int) {
+	gIn := buildInAdj(g)
+	hIn := buildInAdj(h)
+	gInDeg := g.InDegrees()
+	hInDeg := h.InDegrees()
+
+	initKey := make(map[[3]int]int)
+	colorOf := func(graph *Digraph, inDeg []int, u int) int {
+		k := [3]int{len(graph.adj[u]), inDeg[u], graph.ArcMultiplicity(u, u)}
+		c, ok := initKey[k]
+		if !ok {
+			c = len(initKey)
+			initKey[k] = c
+		}
+		return c
+	}
+	gc = make([]int, g.N())
+	hc = make([]int, h.N())
+	for u := range gc {
+		gc[u] = colorOf(g, gInDeg, u)
+	}
+	for u := range hc {
+		hc[u] = colorOf(h, hInDeg, u)
+	}
+	numColors := len(initKey)
+	rounds := g.N()
+	if h.N() > rounds {
+		rounds = h.N()
+	}
+	for round := 0; round < rounds; round++ {
+		key := make(map[string]int)
+		nextG := make([]int, len(gc))
+		nextH := make([]int, len(hc))
+		for u := range gc {
+			sig := pairSignature(gc, u, g.adj[u], gIn[u])
+			c, ok := key[sig]
+			if !ok {
+				c = len(key)
+				key[sig] = c
+			}
+			nextG[u] = c
+		}
+		for u := range hc {
+			sig := pairSignature(hc, u, h.adj[u], hIn[u])
+			c, ok := key[sig]
+			if !ok {
+				c = len(key)
+				key[sig] = c
+			}
+			nextH[u] = c
+		}
+		gc, hc = nextG, nextH
+		if len(key) == numColors {
+			return gc, hc
+		}
+		numColors = len(key)
+	}
+	return gc, hc
+}
+
+func pairSignature(colors []int, u int, out, in []int) string {
+	return signature(colors, u, out, in)
+}
+
+// refineColors runs directed colour refinement (1-dimensional
+// Weisfeiler–Leman) to a fixed point and returns the final colour of each
+// vertex. Colours are small ints canonicalized per round.
+func refineColors(g *Digraph) []int {
+	n := g.N()
+	in := g.InDegrees()
+	colors := make([]int, n)
+	// Initial colour: (out-degree, in-degree, loop multiplicity).
+	initKey := make(map[[3]int]int)
+	for u := 0; u < n; u++ {
+		k := [3]int{len(g.adj[u]), in[u], g.ArcMultiplicity(u, u)}
+		c, ok := initKey[k]
+		if !ok {
+			c = len(initKey)
+			initKey[k] = c
+		}
+		colors[u] = c
+	}
+	gIn := buildInAdj(g)
+	numColors := len(initKey)
+	for round := 0; round < n; round++ {
+		next := make([]int, n)
+		key := make(map[string]int)
+		for u := 0; u < n; u++ {
+			sig := signature(colors, u, g.adj[u], gIn[u])
+			c, ok := key[sig]
+			if !ok {
+				c = len(key)
+				key[sig] = c
+			}
+			next[u] = c
+		}
+		if len(key) == numColors {
+			return next
+		}
+		numColors = len(key)
+		colors = next
+	}
+	return colors
+}
+
+func signature(colors []int, u int, out, in []int) string {
+	outC := make([]int, len(out))
+	for i, v := range out {
+		outC[i] = colors[v]
+	}
+	inC := make([]int, len(in))
+	for i, v := range in {
+		inC[i] = colors[v]
+	}
+	sort.Ints(outC)
+	sort.Ints(inC)
+	return fmt.Sprint(colors[u], outC, inC)
+}
+
+func sameColorHistogram(a, b []int) bool {
+	ha := make(map[int]int)
+	hb := make(map[int]int)
+	for _, c := range a {
+		ha[c]++
+	}
+	for _, c := range b {
+		hb[c]++
+	}
+	if len(ha) != len(hb) {
+		return false
+	}
+	// Colours are renamed independently per graph, so compare histograms of
+	// class sizes rather than colour ids.
+	sa := classSizes(ha)
+	sb := classSizes(hb)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func classSizes(h map[int]int) []int {
+	sizes := make([]int, 0, len(h))
+	for _, s := range h {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
+
+func constraintOrder(g *Digraph, gc []int, byColor map[int][]int) []int {
+	n := g.N()
+	gIn := buildInAdj(g)
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	classSize := func(u int) int { return len(byColor[gc[u]]) }
+	adjacencyToPlaced := func(u int) int {
+		count := 0
+		for _, v := range g.adj[u] {
+			if placed[v] {
+				count++
+			}
+		}
+		for _, v := range gIn[u] {
+			if placed[v] {
+				count++
+			}
+		}
+		return count
+	}
+	for len(order) < n {
+		best := -1
+		for u := 0; u < n; u++ {
+			if placed[u] {
+				continue
+			}
+			if best == -1 {
+				best = u
+				continue
+			}
+			// Prefer more adjacency to placed vertices, then smaller
+			// candidate class, then smaller id for determinism.
+			au, ab := adjacencyToPlaced(u), adjacencyToPlaced(best)
+			switch {
+			case au > ab:
+				best = u
+			case au == ab && classSize(u) < classSize(best):
+				best = u
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+// colorHistogramInvariant returns a canonical string of refined colour class
+// sizes, a cheap isomorphism invariant used to bucket candidate digraphs in
+// the Table 1 search before attempting expensive matching.
+func (g *Digraph) ColorInvariant() string {
+	colors := refineColors(g)
+	h := make(map[int]int)
+	for _, c := range colors {
+		h[c]++
+	}
+	return fmt.Sprint(classSizes(h))
+}

@@ -1,0 +1,95 @@
+package digraph
+
+// Digraph constructions used by the paper: conjunction (Definition 2.3),
+// line digraphs, circuits and complete digraphs with loops.
+
+// Conjunction returns G1 ⊗ G2 (Definition 2.3): vertex set V1 × V2 with an
+// arc from (u1, u2) to (v1, v2) iff (u1, v1) ∈ E1 and (u2, v2) ∈ E2.
+// Vertex (u1, u2) is labelled u1*|V2| + u2. Remark 2.4 gives
+// B(d, k) ⊗ B(d', k) = B(dd', k); Remark 3.10 describes the components of
+// a non-cyclic A(f, σ, s) as conjunctions of de Bruijn digraphs with
+// circuits. Arc multiplicities multiply.
+func Conjunction(g1, g2 *Digraph) *Digraph {
+	n1, n2 := g1.N(), g2.N()
+	g := New(n1 * n2)
+	for u1 := 0; u1 < n1; u1++ {
+		for _, v1 := range g1.adj[u1] {
+			for u2 := 0; u2 < n2; u2++ {
+				for _, v2 := range g2.adj[u2] {
+					g.AddArc(u1*n2+u2, v1*n2+v2)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// ConjunctionLabel returns the conjunction vertex label of (u1, u2) given
+// |V2| = n2, matching the labelling used by Conjunction.
+func ConjunctionLabel(u1, u2, n2 int) int { return u1*n2 + u2 }
+
+// LineDigraph returns the line digraph L(G): one vertex per arc of G, with
+// an arc from a = (u, v) to b = (v', w) iff v = v'. The de Bruijn digraph
+// satisfies L(B(d, D)) = B(d, D+1), which the tests exploit as an
+// independent construction cross-check. The second return maps each line
+// vertex to its originating arc (tail, head).
+func LineDigraph(g *Digraph) (*Digraph, [][2]int) {
+	arcs := make([][2]int, 0, g.M())
+	arcsFrom := make([][]int, g.N()) // arc ids leaving each vertex
+	for u, heads := range g.adj {
+		for _, v := range heads {
+			arcsFrom[u] = append(arcsFrom[u], len(arcs))
+			arcs = append(arcs, [2]int{u, v})
+		}
+	}
+	l := New(len(arcs))
+	for id, arc := range arcs {
+		for _, next := range arcsFrom[arc[1]] {
+			l.AddArc(id, next)
+		}
+	}
+	return l, arcs
+}
+
+// Circuit returns the directed cycle C_k on k vertices (0→1→...→k-1→0).
+// C_1 is a single vertex with a loop, matching the paper's usage in
+// example 3.3.2 where components C_1 ⊗ B(d, 1) appear.
+func Circuit(k int) *Digraph {
+	if k < 1 {
+		panic("digraph: circuit length must be >= 1")
+	}
+	g := New(k)
+	for u := 0; u < k; u++ {
+		g.AddArc(u, (u+1)%k)
+	}
+	return g
+}
+
+// CompleteWithLoops returns the symmetric complete digraph with loops K*_n
+// (every ordered pair including (u, u) is an arc). Zane et al. showed OTIS
+// realizes this digraph; it is the baseline whose per-node transceiver
+// count the de Bruijn layouts improve on.
+func CompleteWithLoops(n int) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			g.AddArc(u, v)
+		}
+	}
+	return g
+}
+
+// MooreBound returns the directed Moore bound 1 + d + d² + ... + d^D, the
+// maximum possible number of vertices of a digraph with maximum out-degree d
+// and diameter D. Bridges and Toueg proved it is unattainable for d, D ≥ 2;
+// Kautz digraphs, which Table 1 finds as the largest OTIS-realizable
+// digraphs, come within a factor (d+1)/d of d^D.
+func MooreBound(d, D int) int {
+	bound := 1
+	pow := 1
+	for i := 1; i <= D; i++ {
+		pow *= d
+		bound += pow
+	}
+	return bound
+}

@@ -1,0 +1,102 @@
+package digraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestDiameterParallelMatchesSequential(t *testing.T) {
+	cases := []*Digraph{
+		deBruijnCongruence(2, 6),
+		deBruijnCongruence(3, 4),
+		Circuit(17),
+		CompleteWithLoops(9),
+	}
+	for i, g := range cases {
+		want := g.Diameter()
+		for _, workers := range []int{1, 2, 4, 0} {
+			if got := g.DiameterParallel(workers); got != want {
+				t.Errorf("case %d workers=%d: %d != %d", i, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestDiameterParallelDisconnected(t *testing.T) {
+	g := New(5)
+	g.AddArc(0, 1)
+	if g.DiameterParallel(4) != Unreachable {
+		t.Error("disconnected digraph got a finite parallel diameter")
+	}
+	if New(0).DiameterParallel(2) != Unreachable {
+		t.Error("empty digraph")
+	}
+}
+
+func TestDiameterAtMostParallel(t *testing.T) {
+	g := deBruijnCongruence(2, 7)
+	if !g.DiameterAtMostParallel(7, 4) {
+		t.Error("B(2,7) should be within 7")
+	}
+	if g.DiameterAtMostParallel(6, 4) {
+		t.Error("B(2,7) should exceed 6")
+	}
+	if New(3).DiameterAtMostParallel(10, 2) {
+		t.Error("arcless digraph within bound")
+	}
+}
+
+func TestDistanceHistogramParallelMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(40)
+		g := New(n)
+		for k := 0; k < 3*n; k++ {
+			g.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		h1, u1 := g.DistanceHistogram()
+		for _, workers := range []int{1, 3, 0} {
+			h2, u2 := g.DistanceHistogramParallel(workers)
+			if u1 != u2 || !reflect.DeepEqual(h1, h2) {
+				t.Fatalf("trial %d workers=%d: (%v,%d) != (%v,%d)", trial, workers, h2, u2, h1, u1)
+			}
+		}
+	}
+}
+
+func TestParallelRace(t *testing.T) {
+	// Exercise concurrent workers heavily; run with -race in CI.
+	g := deBruijnCongruence(2, 8)
+	done := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			done <- g.DiameterParallel(4)
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if d := <-done; d != 8 {
+			t.Errorf("concurrent diameter = %d", d)
+		}
+	}
+}
+
+func BenchmarkDiameterSequentialB210(b *testing.B) {
+	g := deBruijnCongruence(2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Diameter() != 10 {
+			b.Fatal("bad diameter")
+		}
+	}
+}
+
+func BenchmarkDiameterParallelB210(b *testing.B) {
+	g := deBruijnCongruence(2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.DiameterParallel(0) != 10 {
+			b.Fatal("bad diameter")
+		}
+	}
+}

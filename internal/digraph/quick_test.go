@@ -1,0 +1,179 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the digraph algebra.
+
+func randomDigraph(rng *rand.Rand, maxN int) *Digraph {
+	n := 1 + rng.Intn(maxN)
+	g := New(n)
+	arcs := rng.Intn(3 * n)
+	for k := 0; k < arcs; k++ {
+		g.AddArc(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDigraph(rng, 20)
+		return g.Reverse().Reverse().Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReversePreservesCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDigraph(rng, 20)
+		r := g.Reverse()
+		if g.N() != r.N() || g.M() != r.M() {
+			return false
+		}
+		// Out-degrees of g are in-degrees of r.
+		in := r.InDegrees()
+		for u := 0; u < g.N(); u++ {
+			if g.OutDegree(u) != in[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConjunctionCounts(t *testing.T) {
+	// |V(G1⊗G2)| = |V1||V2| and |E(G1⊗G2)| = |E1||E2|.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g1 := randomDigraph(rng, 6)
+		g2 := randomDigraph(rng, 6)
+		c := Conjunction(g1, g2)
+		return c.N() == g1.N()*g2.N() && c.M() == g1.M()*g2.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConjunctionReverseCommute(t *testing.T) {
+	// (G1⊗G2)⁻ = G1⁻ ⊗ G2⁻.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g1 := randomDigraph(rng, 5)
+		g2 := randomDigraph(rng, 5)
+		lhs := Conjunction(g1, g2).Reverse()
+		rhs := Conjunction(g1.Reverse(), g2.Reverse())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLineDigraphCounts(t *testing.T) {
+	// |V(L(G))| = |E(G)|; |E(L(G))| = Σ_v indeg(v)·outdeg(v).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDigraph(rng, 10)
+		l, arcs := LineDigraph(g)
+		if l.N() != g.M() || len(arcs) != g.M() {
+			return false
+		}
+		in := g.InDegrees()
+		want := 0
+		for v := 0; v < g.N(); v++ {
+			want += in[v] * g.OutDegree(v)
+		}
+		return l.M() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSCCRefinesWeak(t *testing.T) {
+	// Every strongly connected component lies inside one weak component.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDigraph(rng, 15)
+		weakOf := make([]int, g.N())
+		for i, comp := range g.WeaklyConnectedComponents() {
+			for _, v := range comp {
+				weakOf[v] = i
+			}
+		}
+		for _, scc := range g.StronglyConnectedComponents() {
+			for _, v := range scc[1:] {
+				if weakOf[v] != weakOf[scc[0]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceTriangle(t *testing.T) {
+	// BFS distances satisfy the triangle inequality dist(u,w) ≤
+	// dist(u,v) + dist(v,w) whenever both legs are finite.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDigraph(rng, 12)
+		n := g.N()
+		dist := make([][]int, n)
+		for u := 0; u < n; u++ {
+			dist[u] = g.BFSFrom(u)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if dist[u][v] == Unreachable {
+					continue
+				}
+				for w := 0; w < n; w++ {
+					if dist[v][w] == Unreachable {
+						continue
+					}
+					if dist[u][w] == Unreachable || dist[u][w] > dist[u][v]+dist[v][w] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIsomorphicAfterRelabel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDigraph(rng, 8)
+		pi := rng.Perm(g.N())
+		h := New(g.N())
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Out(u) {
+				h.AddArc(pi[u], pi[v])
+			}
+		}
+		mapping, ok := FindIsomorphism(g, h)
+		return ok && VerifyIsomorphism(g, h, mapping) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

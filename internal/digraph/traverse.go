@@ -1,0 +1,220 @@
+package digraph
+
+// Traversal, distance and diameter algorithms. The degree–diameter search of
+// the paper's Table 1 reduces to computing the diameter of each candidate
+// H(p, q, d) digraph; these BFS routines are the workhorse.
+
+// Unreachable is the distance reported for vertices not reachable from the
+// BFS source.
+const Unreachable = -1
+
+// BFSFrom returns dist where dist[v] is the number of arcs on a shortest
+// directed path from src to v, or Unreachable.
+func (g *Digraph) BFSFrom(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// bfsScratch runs BFS reusing caller-provided buffers, avoiding per-source
+// allocation during diameter computations over thousands of candidate
+// digraphs (the Table 1 search).
+func (g *Digraph) bfsScratch(src int, dist, queue []int) []int {
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite distance from src to any vertex,
+// or Unreachable if some vertex cannot be reached.
+func (g *Digraph) Eccentricity(src int) int {
+	dist := g.BFSFrom(src)
+	ecc := 0
+	for _, d := range dist {
+		if d == Unreachable {
+			return Unreachable
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the directed diameter of g: the maximum over all ordered
+// pairs of the shortest-path distance. It returns Unreachable if g is not
+// strongly connected. The empty digraph has diameter Unreachable; a single
+// vertex has diameter 0.
+func (g *Digraph) Diameter() int {
+	n := g.N()
+	if n == 0 {
+		return Unreachable
+	}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	diam := 0
+	for u := 0; u < n; u++ {
+		dist = g.bfsScratch(u, dist, queue)
+		for _, dv := range dist {
+			if dv == Unreachable {
+				return Unreachable
+			}
+			if dv > diam {
+				diam = dv
+			}
+		}
+	}
+	return diam
+}
+
+// DiameterAtMost reports whether every ordered pair is within maxDist arcs;
+// it aborts early on the first eccentricity above the bound, which makes the
+// exhaustive Table 1 search considerably cheaper than computing exact
+// diameters for the (many) candidates that exceed the target diameter.
+func (g *Digraph) DiameterAtMost(maxDist int) bool {
+	n := g.N()
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		dist = g.bfsScratch(u, dist, queue)
+		for _, dv := range dist {
+			if dv == Unreachable || dv > maxDist {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DistanceHistogram returns hist where hist[k] counts ordered pairs (u, v)
+// at distance exactly k, for k up to the diameter, plus the count of
+// unreachable pairs as the second return. hist[0] = n (every vertex is at
+// distance 0 from itself).
+func (g *Digraph) DistanceHistogram() (hist []int, unreachable int) {
+	n := g.N()
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		dist = g.bfsScratch(u, dist, queue)
+		for _, dv := range dist {
+			if dv == Unreachable {
+				unreachable++
+				continue
+			}
+			for len(hist) <= dv {
+				hist = append(hist, 0)
+			}
+			hist[dv]++
+		}
+	}
+	return hist, unreachable
+}
+
+// MeanDistance returns the average distance over all ordered pairs of
+// distinct vertices, and ok=false if any pair is unreachable.
+func (g *Digraph) MeanDistance() (mean float64, ok bool) {
+	hist, unreachable := g.DistanceHistogram()
+	if unreachable > 0 {
+		return 0, false
+	}
+	n := g.N()
+	if n <= 1 {
+		return 0, true
+	}
+	total := 0
+	pairs := 0
+	for k := 1; k < len(hist); k++ {
+		total += k * hist[k]
+		pairs += hist[k]
+	}
+	return float64(total) / float64(pairs), true
+}
+
+// ShortestPath returns one shortest directed path from src to dst as a
+// vertex sequence including both endpoints, or nil if unreachable.
+func (g *Digraph) ShortestPath(src, dst int) []int {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[src] = -1
+	queue := []int{src}
+	for len(queue) > 0 && parent[dst] == -2 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if parent[v] == -2 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if parent[dst] == -2 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+// Girth returns the length of a shortest directed cycle, or Unreachable in
+// an acyclic digraph. Loops give girth 1.
+func (g *Digraph) Girth() int {
+	best := Unreachable
+	n := g.N()
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		dist = g.bfsScratch(u, dist, queue)
+		// Shortest cycle through u = min over arcs (v, u) of dist(u, v)+1.
+		for v := 0; v < n; v++ {
+			if dist[v] == Unreachable {
+				continue
+			}
+			for _, head := range g.adj[v] {
+				if head == u {
+					if c := dist[v] + 1; best == Unreachable || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,169 @@
+// Package fft implements the Pease (constant-geometry) radix-2 FFT, the
+// parallel FFT whose inter-stage dataflow is exactly the de Bruijn
+// digraph: at every one of the D = log2 n stages, position u is computed
+// from positions ⌊u/2⌋ and ⌊u/2⌋ + n/2 — the two in-neighbours of u in
+// B(2, D) congruence form. This is the algorithmic content behind two of
+// the paper's citations: the FFT as a de Bruijn-network algorithm
+// (Cooley–Tukey, reference [12]) and the UCSD Parallel Optoelectronic FFT
+// Engine built on OTIS (Marchand, Zane, Paturi, Esener, reference [24]).
+//
+// Mapping one array slot per processor of an OTIS-realized B(2, D)
+// network, each FFT stage is one single-hop communication step.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/digraph"
+)
+
+// Transform computes the DFT X[k] = Σ_j x[j]·exp(-2πi jk/n) of a
+// power-of-two-length input using the constant-geometry Pease dataflow.
+// The input is consumed in natural order and the result returned in
+// natural order (the final bit-reversal is folded into the output copy).
+func Transform(x []complex128) ([]complex128, error) {
+	n := len(x)
+	D, err := log2Exact(n)
+	if err != nil {
+		return nil, err
+	}
+	z := append([]complex128(nil), x...)
+	buf := make([]complex128, n)
+	for s := 1; s <= D; s++ {
+		peaseStage(z, buf, s)
+		z, buf = buf, z
+	}
+	// z[u] = X[bitrev(u)].
+	out := make([]complex128, n)
+	for u := 0; u < n; u++ {
+		out[bitrev(u, D)] = z[u]
+	}
+	return out, nil
+}
+
+// Inverse computes the inverse DFT, normalized by 1/n.
+func Inverse(x []complex128) ([]complex128, error) {
+	n := len(x)
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	y, err := Transform(conj)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range y {
+		y[i] = cmplx.Conj(v) / complex(float64(n), 0)
+	}
+	return y, nil
+}
+
+// peaseStage applies stage s (1-based) of the constant-geometry DIF
+// decomposition: for every pair index j ∈ [0, n/2),
+//
+//	out[2j]   = in[j] + in[j+n/2]
+//	out[2j+1] = (in[j] - in[j+n/2]) · w_n^{e}
+//
+// with twiddle exponent e = j with its low s-1 bits cleared (the local
+// pair index within the stage's subproblem, rescaled to w_n).
+func peaseStage(in, out []complex128, s int) {
+	n := len(in)
+	half := n / 2
+	mask := (1 << uint(s-1)) - 1
+	for j := 0; j < half; j++ {
+		a, b := in[j], in[j+half]
+		e := j &^ mask
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(e)/float64(n)))
+		out[2*j] = a + b
+		out[2*j+1] = (a - b) * w
+	}
+}
+
+// StageSources returns the positions read when computing position u of a
+// stage's output: ⌊u/2⌋ and ⌊u/2⌋ + n/2. These are the in-neighbours of u
+// in B(2, D), so one FFT stage = one hop on the de Bruijn network,
+// identical at every stage (Pease's "constant geometry").
+func StageSources(u, n int) [2]int {
+	return [2]int{u / 2, u/2 + n/2}
+}
+
+// VerifyDataflow checks, for every position, that the stage reads are
+// exactly the de Bruijn in-neighbours — i.e. that an OTIS-realized
+// B(2, D) network supports every FFT stage as single-hop traffic.
+func VerifyDataflow(D int) error {
+	n := 1 << uint(D)
+	b := digraph.FromFunc(n, func(u int) []int {
+		return []int{(2 * u) % n, (2*u + 1) % n}
+	})
+	for u := 0; u < n; u++ {
+		for _, v := range StageSources(u, n) {
+			if !b.HasArc(v, u) {
+				return fmt.Errorf("fft: stage read %d→%d is not a de Bruijn arc", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Naive computes the DFT directly in O(n²); the test oracle.
+func Naive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(j*k%n) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Convolve returns the circular convolution of a and b (equal power-of-two
+// lengths) via the FFT.
+func Convolve(a, b []complex128) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("fft: convolve length mismatch %d vs %d", len(a), len(b))
+	}
+	fa, err := Transform(a)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := Transform(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	return Inverse(fa)
+}
+
+// Stages returns D = log2 n, the number of single-hop communication
+// rounds an OTIS de Bruijn machine needs for the transform.
+func Stages(n int) (int, error) { return log2Exact(n) }
+
+func log2Exact(n int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("fft: length %d < 1", n)
+	}
+	D := 0
+	for v := n; v > 1; v >>= 1 {
+		if v&1 == 1 {
+			return 0, fmt.Errorf("fft: length %d is not a power of two", n)
+		}
+		D++
+	}
+	return D, nil
+}
+
+func bitrev(v, width int) int {
+	out := 0
+	for i := 0; i < width; i++ {
+		out |= (v >> uint(i) & 1) << uint(width-1-i)
+	}
+	return out
+}

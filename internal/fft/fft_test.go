@@ -1,0 +1,184 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+const tol = 1e-9
+
+func randomSignal(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestTransformMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		x := randomSignal(n, rng)
+		got, err := Transform(x)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := Naive(x)
+		if e := maxErr(got, want); e > tol*float64(n) {
+			t.Errorf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestTransformKnownValues(t *testing.T) {
+	// DFT of the unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	got, _ := Transform(x)
+	for k, v := range got {
+		if cmplx.Abs(v-1) > tol {
+			t.Fatalf("impulse DFT[%d] = %v", k, v)
+		}
+	}
+	// DFT of the constant signal is n·δ.
+	for i := range x {
+		x[i] = 1
+	}
+	got, _ = Transform(x)
+	if cmplx.Abs(got[0]-8) > tol {
+		t.Errorf("DC bin = %v", got[0])
+	}
+	for k := 1; k < 8; k++ {
+		if cmplx.Abs(got[k]) > tol {
+			t.Errorf("bin %d = %v, want 0", k, got[k])
+		}
+	}
+	// A pure tone lands in a single bin.
+	n := 16
+	tone := make([]complex128, n)
+	for j := range tone {
+		tone[j] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(j)/float64(n)))
+	}
+	got, _ = Transform(tone)
+	for k := 0; k < n; k++ {
+		want := complex(0, 0)
+		if k == 3 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(got[k]-want) > 1e-8 {
+			t.Errorf("tone bin %d = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 16, 128} {
+		x := randomSignal(n, rng)
+		y, err := Transform(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(back, x); e > tol*float64(n) {
+			t.Errorf("n=%d: round trip error %g", n, e)
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := randomSignal(256, rng)
+	y, _ := Transform(x)
+	var ex, ey float64
+	for i := range x {
+		ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		ey += real(y[i])*real(y[i]) + imag(y[i])*imag(y[i])
+	}
+	if math.Abs(ey-256*ex)/ey > 1e-9 {
+		t.Errorf("Parseval violated: %g vs %g", ey, 256*ex)
+	}
+}
+
+func TestRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := Transform(make([]complex128, 12)); err == nil {
+		t.Error("length 12 accepted")
+	}
+	if _, err := Transform(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Stages(48); err == nil {
+		t.Error("Stages(48) accepted")
+	}
+}
+
+func TestStages(t *testing.T) {
+	if s, err := Stages(1024); err != nil || s != 10 {
+		t.Errorf("Stages(1024) = %d, %v", s, err)
+	}
+}
+
+func TestStageSourcesAreDeBruijnInNeighbours(t *testing.T) {
+	for _, D := range []int{1, 3, 8, 10} {
+		if err := VerifyDataflow(D); err != nil {
+			t.Errorf("D=%d: %v", D, err)
+		}
+	}
+}
+
+func TestStageSources(t *testing.T) {
+	src := StageSources(5, 16)
+	if src != [2]int{2, 10} {
+		t.Errorf("StageSources(5,16) = %v", src)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	// Circular convolution against the O(n²) definition.
+	rng := rand.New(rand.NewSource(33))
+	n := 64
+	a := randomSignal(n, rng)
+	b := randomSignal(n, rng)
+	got, err := Convolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			want[k] += a[j] * b[(k-j+n)%n]
+		}
+	}
+	if e := maxErr(got, want); e > 1e-8 {
+		t.Errorf("convolution error %g", e)
+	}
+	if _, err := Convolve(a, a[:32]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func BenchmarkTransform1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	x := randomSignal(1024, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transform(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

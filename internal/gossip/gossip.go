@@ -1,0 +1,234 @@
+// Package gossip implements the information-dissemination primitives whose
+// de Bruijn literature the paper builds on: broadcasting (one-to-all) and
+// gossiping (all-to-all) under the two classical synchronous models —
+// all-port (a node may inform every out-neighbour each round) and
+// single-port (one out-neighbour per round), the model of Bermond and
+// Fraigniaud's de Bruijn broadcasting bounds (reference [3]) and of
+// Pérennes's gossiping results (reference [28]).
+package gossip
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/digraph"
+)
+
+// Call is one communication: From informs To during a round.
+type Call struct{ From, To int }
+
+// Schedule is a single-port broadcast schedule: Rounds[t] lists the calls
+// of round t. Validity: every caller is informed before round t, each
+// caller makes at most one call per round, every call follows an arc, and
+// everyone ends up informed.
+type Schedule struct {
+	Root   int
+	Rounds [][]Call
+}
+
+// Length returns the number of rounds.
+func (s Schedule) Length() int { return len(s.Rounds) }
+
+// BroadcastAllPort returns the number of rounds to broadcast from root
+// when informed nodes inform all out-neighbours each round. This equals
+// the eccentricity of root; the function simulates rather than assumes,
+// and returns -1 if some node is unreachable.
+func BroadcastAllPort(g *digraph.Digraph, root int) int {
+	n := g.N()
+	informed := make([]bool, n)
+	informed[root] = true
+	count := 1
+	frontier := []int{root}
+	rounds := 0
+	for count < n {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Out(u) {
+				if !informed[v] {
+					informed[v] = true
+					count++
+					next = append(next, v)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return -1
+		}
+		frontier = next
+		rounds++
+	}
+	return rounds
+}
+
+// BroadcastSinglePort constructs a single-port broadcast schedule from
+// root greedily: each round, every informed node calls its uninformed
+// out-neighbour with the largest uninformed out-degree (a standard
+// effective heuristic on de Bruijn-like digraphs). Returns an error if
+// some node is unreachable.
+func BroadcastSinglePort(g *digraph.Digraph, root int) (Schedule, error) {
+	n := g.N()
+	informed := make([]bool, n)
+	informed[root] = true
+	count := 1
+	order := []int{root} // informed nodes, oldest first
+	sched := Schedule{Root: root}
+
+	uninformedOut := func(u int) int {
+		c := 0
+		for _, v := range g.Out(u) {
+			if !informed[v] {
+				c++
+			}
+		}
+		return c
+	}
+
+	for count < n {
+		var calls []Call
+		var newlyInformed []int
+		// Snapshot: only nodes informed before this round may call.
+		callers := append([]int(nil), order...)
+		for _, u := range callers {
+			best, bestScore := -1, -1
+			for _, v := range g.Out(u) {
+				if informed[v] {
+					continue
+				}
+				if score := uninformedOut(v); score > bestScore {
+					best, bestScore = v, score
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			informed[best] = true
+			count++
+			calls = append(calls, Call{From: u, To: best})
+			newlyInformed = append(newlyInformed, best)
+		}
+		if len(calls) == 0 {
+			return Schedule{}, fmt.Errorf("gossip: broadcast stalled with %d/%d informed", count, n)
+		}
+		order = append(order, newlyInformed...)
+		sched.Rounds = append(sched.Rounds, calls)
+	}
+	return sched, nil
+}
+
+// VerifySchedule checks single-port validity of a schedule on g.
+func VerifySchedule(g *digraph.Digraph, s Schedule) error {
+	n := g.N()
+	if s.Root < 0 || s.Root >= n {
+		return fmt.Errorf("gossip: root %d out of range", s.Root)
+	}
+	informed := make([]bool, n)
+	informed[s.Root] = true
+	count := 1
+	for t, calls := range s.Rounds {
+		busy := make(map[int]bool, len(calls))
+		var newly []int
+		for _, c := range calls {
+			if !informed[c.From] {
+				return fmt.Errorf("gossip: round %d: caller %d not informed", t, c.From)
+			}
+			if busy[c.From] {
+				return fmt.Errorf("gossip: round %d: node %d calls twice", t, c.From)
+			}
+			busy[c.From] = true
+			if informed[c.To] {
+				return fmt.Errorf("gossip: round %d: %d already informed", t, c.To)
+			}
+			if !g.HasArc(c.From, c.To) {
+				return fmt.Errorf("gossip: round %d: call (%d,%d) is not an arc", t, c.From, c.To)
+			}
+			newly = append(newly, c.To)
+		}
+		for _, v := range newly {
+			informed[v] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("gossip: schedule informs %d of %d nodes", count, n)
+	}
+	return nil
+}
+
+// LogLowerBound returns ⌈log2 n⌉, the universal single-port broadcast
+// lower bound (the informed set can at most double each round).
+func LogLowerBound(n int) int {
+	rounds := 0
+	for span := 1; span < n; span *= 2 {
+		rounds++
+	}
+	return rounds
+}
+
+// GossipAllPort returns the number of rounds for every node to learn every
+// node's token when each round every node forwards everything it knows to
+// all out-neighbours. This equals the diameter; simulated with bitsets.
+// Returns -1 if the digraph is not strongly connected.
+func GossipAllPort(g *digraph.Digraph) int {
+	n := g.N()
+	words := (n + 63) / 64
+	know := make([][]uint64, n)
+	for u := 0; u < n; u++ {
+		know[u] = make([]uint64, words)
+		know[u][u/64] |= 1 << uint(u%64)
+	}
+	full := func(k []uint64) bool {
+		for i := 0; i < n; i++ {
+			if k[i/64]&(1<<uint(i%64)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	allFull := func() bool {
+		for u := 0; u < n; u++ {
+			if !full(know[u]) {
+				return false
+			}
+		}
+		return true
+	}
+	next := make([][]uint64, n)
+	for u := range next {
+		next[u] = make([]uint64, words)
+	}
+	for rounds := 0; ; rounds++ {
+		if allFull() {
+			return rounds
+		}
+		if rounds > 2*n {
+			return -1
+		}
+		for u := 0; u < n; u++ {
+			copy(next[u], know[u])
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				for w := range next[v] {
+					next[v][w] |= know[u][w]
+				}
+			}
+		}
+		know, next = next, know
+	}
+}
+
+// BroadcastTimes returns the single-port greedy broadcast length from
+// every vertex, sorted ascending — the empirical broadcast-time profile
+// of the digraph.
+func BroadcastTimes(g *digraph.Digraph) ([]int, error) {
+	times := make([]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		s, err := BroadcastSinglePort(g, u)
+		if err != nil {
+			return nil, err
+		}
+		times[u] = s.Length()
+	}
+	sort.Ints(times)
+	return times, nil
+}

@@ -1,0 +1,149 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+func TestBroadcastAllPortEqualsEccentricity(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 4}, {2, 6}, {3, 3}} {
+		g := debruijn.DeBruijn(c.d, c.D)
+		for _, root := range []int{0, 1, g.N() / 2} {
+			rounds := BroadcastAllPort(g, root)
+			if ecc := g.Eccentricity(root); rounds != ecc {
+				t.Errorf("B(%d,%d) root %d: all-port %d rounds, eccentricity %d",
+					c.d, c.D, root, rounds, ecc)
+			}
+		}
+	}
+}
+
+func TestBroadcastAllPortUnreachable(t *testing.T) {
+	g := digraph.New(3)
+	g.AddArc(0, 1)
+	if BroadcastAllPort(g, 0) != -1 {
+		t.Error("unreachable broadcast did not report -1")
+	}
+}
+
+func TestBroadcastSinglePortValidAndBounded(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 4}, {2, 6}, {2, 8}, {3, 3}} {
+		g := debruijn.DeBruijn(c.d, c.D)
+		s, err := BroadcastSinglePort(g, 0)
+		if err != nil {
+			t.Fatalf("B(%d,%d): %v", c.d, c.D, err)
+		}
+		if err := VerifySchedule(g, s); err != nil {
+			t.Fatalf("B(%d,%d) schedule invalid: %v", c.d, c.D, err)
+		}
+		lower := LogLowerBound(g.N())
+		if s.Length() < lower {
+			t.Errorf("B(%d,%d): %d rounds beats the log lower bound %d", c.d, c.D, s.Length(), lower)
+		}
+		// Bermond–Fraigniaud-style upper bounds put b(B(2,D)) well under
+		// 2.5(D+1); allow 3(D+1) slack for the greedy heuristic.
+		if s.Length() > 3*(c.D+1) {
+			t.Errorf("B(%d,%d): greedy broadcast took %d rounds (diameter %d)",
+				c.d, c.D, s.Length(), c.D)
+		}
+	}
+}
+
+func TestBroadcastSinglePortStalls(t *testing.T) {
+	g := digraph.New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 1)
+	if _, err := BroadcastSinglePort(g, 0); err == nil {
+		t.Error("stalled broadcast did not error")
+	}
+}
+
+func TestVerifyScheduleRejects(t *testing.T) {
+	g := debruijn.DeBruijn(2, 2)
+	// Caller not informed.
+	bad := Schedule{Root: 0, Rounds: [][]Call{{{From: 3, To: 2}}}}
+	if VerifySchedule(g, bad) == nil {
+		t.Error("uninformed caller accepted")
+	}
+	// Two calls from one node in one round.
+	bad = Schedule{Root: 0, Rounds: [][]Call{{{From: 0, To: 1}}, {{From: 0, To: 0}}}}
+	if VerifySchedule(g, bad) == nil {
+		t.Error("re-informing accepted")
+	}
+	// Non-arc call.
+	bad = Schedule{Root: 0, Rounds: [][]Call{{{From: 0, To: 3}}}}
+	if VerifySchedule(g, bad) == nil {
+		t.Error("non-arc call accepted")
+	}
+	// Incomplete schedule.
+	bad = Schedule{Root: 0, Rounds: [][]Call{{{From: 0, To: 1}}}}
+	if VerifySchedule(g, bad) == nil {
+		t.Error("incomplete schedule accepted")
+	}
+}
+
+func TestSinglePortDoublingRealized(t *testing.T) {
+	// On the complete digraph the greedy schedule must achieve the log
+	// lower bound exactly (perfect doubling).
+	g := digraph.CompleteWithLoops(16)
+	s, err := BroadcastSinglePort(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != LogLowerBound(16) {
+		t.Errorf("complete digraph broadcast %d rounds, want %d", s.Length(), 4)
+	}
+}
+
+func TestGossipAllPortEqualsDiameter(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 3}, {2, 5}, {3, 2}} {
+		g := debruijn.DeBruijn(c.d, c.D)
+		if got := GossipAllPort(g); got != c.D {
+			t.Errorf("B(%d,%d) gossip %d rounds, want diameter %d", c.d, c.D, got, c.D)
+		}
+	}
+	if GossipAllPort(digraph.Circuit(6)) != 5 {
+		t.Error("C6 gossip != 5")
+	}
+}
+
+func TestGossipAllPortDisconnected(t *testing.T) {
+	g := digraph.New(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(2, 3)
+	g.AddArc(3, 2)
+	if GossipAllPort(g) != -1 {
+		t.Error("disconnected gossip did not report -1")
+	}
+}
+
+func TestBroadcastTimesProfile(t *testing.T) {
+	g := debruijn.DeBruijn(2, 4)
+	times, err := BroadcastTimes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 16 {
+		t.Fatalf("profile size %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatal("profile not sorted")
+		}
+	}
+	if times[0] < LogLowerBound(16) {
+		t.Errorf("best broadcast %d beats lower bound", times[0])
+	}
+}
+
+func TestLogLowerBound(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := LogLowerBound(n); got != want {
+			t.Errorf("LogLowerBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

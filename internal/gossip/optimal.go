@@ -1,0 +1,132 @@
+package gossip
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/digraph"
+)
+
+// Exact optimal single-port broadcast, by breadth-first search over
+// informed-set states. The state space is 2^n, so this is for n ≤ ~20 —
+// enough to grade the greedy heuristic on the small de Bruijn digraphs
+// and to certify lower bounds stronger than ⌈log₂ n⌉.
+
+// OptimalBroadcastTime returns the minimum number of rounds needed to
+// inform every vertex from root under the single-port model, or -1 if
+// some vertex is unreachable. Exponential in n; refuses n > 22.
+func OptimalBroadcastTime(g *digraph.Digraph, root int) (int, error) {
+	n := g.N()
+	if n > 22 {
+		return 0, fmt.Errorf("gossip: optimal broadcast limited to 22 vertices, got %d", n)
+	}
+	if root < 0 || root >= n {
+		return 0, fmt.Errorf("gossip: root %d out of range", root)
+	}
+	full := uint32(1)<<uint(n) - 1
+	start := uint32(1) << uint(root)
+	if start == full {
+		return 0, nil
+	}
+	// Precompute neighbourhood masks.
+	outMask := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			outMask[u] |= 1 << uint(v)
+		}
+	}
+	visited := map[uint32]bool{start: true}
+	frontier := []uint32{start}
+	for rounds := 1; len(frontier) > 0; rounds++ {
+		var next []uint32
+		for _, state := range frontier {
+			for _, succ := range successorStates(state, outMask, n) {
+				if visited[succ] {
+					continue
+				}
+				if succ == full {
+					return rounds, nil
+				}
+				visited[succ] = true
+				next = append(next, succ)
+			}
+		}
+		frontier = next
+	}
+	return -1, nil
+}
+
+// successorStates returns the informed sets reachable in one round: each
+// informed vertex calls at most one uninformed out-neighbour. To keep the
+// branching manageable we enumerate, for each informed vertex, the choice
+// of which new vertex it informs (or none), deduplicating aggressively.
+// A round is maximal-progress without loss of generality only for
+// monotone objectives, which broadcast time is, so we can restrict to
+// rounds where every caller with an available target calls — a classical
+// reduction that keeps optimality.
+func successorStates(state uint32, outMask []uint32, n int) []uint32 {
+	// Collect, per informed vertex, its callable (uninformed) targets.
+	type caller struct {
+		targets uint32
+	}
+	var callers []caller
+	rest := state
+	for rest != 0 {
+		u := bits.TrailingZeros32(rest)
+		rest &^= 1 << uint(u)
+		t := outMask[u] &^ state
+		if t != 0 {
+			callers = append(callers, caller{targets: t})
+		}
+	}
+	if len(callers) == 0 {
+		return nil
+	}
+	// DFS over caller choices; each caller must call some target if one
+	// remains (maximal rounds preserve optimality), but targets can
+	// collide, in which case a caller may effectively idle by choosing an
+	// already-chosen target.
+	seen := map[uint32]bool{}
+	var out []uint32
+	var rec func(idx int, acc uint32)
+	rec = func(idx int, acc uint32) {
+		if idx == len(callers) {
+			s := state | acc
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+			return
+		}
+		t := callers[idx].targets
+		for t != 0 {
+			v := bits.TrailingZeros32(t)
+			t &^= 1 << uint(v)
+			rec(idx+1, acc|1<<uint(v))
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// GreedyGap measures how far the greedy single-port schedule is from
+// optimal on g, over all roots: (sum of greedy lengths, sum of optimal
+// lengths). Small digraphs only.
+func GreedyGap(g *digraph.Digraph) (greedy, optimal int, err error) {
+	for root := 0; root < g.N(); root++ {
+		s, err := BroadcastSinglePort(g, root)
+		if err != nil {
+			return 0, 0, err
+		}
+		opt, err := OptimalBroadcastTime(g, root)
+		if err != nil {
+			return 0, 0, err
+		}
+		if opt < 0 {
+			return 0, 0, fmt.Errorf("gossip: root %d cannot broadcast", root)
+		}
+		greedy += s.Length()
+		optimal += opt
+	}
+	return greedy, optimal, nil
+}

@@ -1,0 +1,82 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+func TestOptimalBroadcastTimeSmallKnown(t *testing.T) {
+	// Complete digraph: perfect doubling, ⌈log₂ n⌉ rounds.
+	for _, n := range []int{2, 4, 7, 8} {
+		g := digraph.CompleteWithLoops(n)
+		opt, err := OptimalBroadcastTime(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt != LogLowerBound(n) {
+			t.Errorf("K*_%d optimal = %d, want %d", n, opt, LogLowerBound(n))
+		}
+	}
+	// Directed circuit: n-1 rounds (one new vertex per round).
+	opt, _ := OptimalBroadcastTime(digraph.Circuit(6), 2)
+	if opt != 5 {
+		t.Errorf("C6 optimal = %d, want 5", opt)
+	}
+}
+
+func TestOptimalBroadcastEdgeCases(t *testing.T) {
+	g := digraph.Circuit(1)
+	if opt, _ := OptimalBroadcastTime(g, 0); opt != 0 {
+		t.Error("singleton broadcast should take 0 rounds")
+	}
+	disc := digraph.New(3)
+	disc.AddArc(0, 1)
+	if opt, _ := OptimalBroadcastTime(disc, 0); opt != -1 {
+		t.Error("unreachable broadcast should report -1")
+	}
+	big := digraph.New(30)
+	if _, err := OptimalBroadcastTime(big, 0); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, err := OptimalBroadcastTime(digraph.Circuit(3), 9); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestOptimalNeverExceedsGreedy(t *testing.T) {
+	for _, g := range []*digraph.Digraph{
+		debruijn.DeBruijn(2, 3),
+		debruijn.DeBruijn(2, 4),
+		debruijn.DeBruijn(3, 2),
+		digraph.Circuit(9),
+	} {
+		greedy, optimal, err := GreedyGap(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optimal > greedy {
+			t.Errorf("optimal %d exceeds greedy %d?!", optimal, greedy)
+		}
+		// The greedy heuristic should be close on these small digraphs:
+		// within 50% aggregate.
+		if greedy*2 > optimal*3 {
+			t.Errorf("greedy %d too far above optimal %d", greedy, optimal)
+		}
+	}
+}
+
+func TestOptimalRespectsLogBound(t *testing.T) {
+	g := debruijn.DeBruijn(2, 4)
+	opt, err := OptimalBroadcastTime(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt < LogLowerBound(g.N()) {
+		t.Errorf("optimal %d beats the log lower bound", opt)
+	}
+	if opt > 3*4 {
+		t.Errorf("optimal %d implausibly large for B(2,4)", opt)
+	}
+}

@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/optics"
+	"repro/internal/simnet"
+)
+
+func TestBuild(t *testing.T) {
+	m, err := Build(2, 8, optics.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 256 || m.Lenses() != 48 {
+		t.Fatalf("machine shape: n=%d lenses=%d", m.Nodes(), m.Lenses())
+	}
+	if m.Layout.P() != 16 || m.Layout.Q() != 32 {
+		t.Errorf("layout %v", m.Layout)
+	}
+	// Witness maps are mutually inverse.
+	for p := 0; p < m.Nodes(); p++ {
+		if m.ToPhysical[m.ToLogical[p]] != p {
+			t.Fatal("witness maps not inverse")
+		}
+	}
+}
+
+func TestBuildFailsWithoutLayout(t *testing.T) {
+	// d = 1 has no layouts.
+	if _, err := Build(1, 4, optics.DefaultPitch); err == nil {
+		t.Error("degree 1 accepted")
+	}
+	if _, err := Build(2, 8, -1); err == nil {
+		t.Error("negative pitch accepted")
+	}
+}
+
+func TestRouteAndVerify(t *testing.T) {
+	m, err := Build(2, 6, optics.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyRoutes(1); err != nil {
+		t.Fatal(err)
+	}
+	path := m.Route(3, 42)
+	if path[0] != 3 || path[len(path)-1] != 42 {
+		t.Fatalf("route endpoints: %v", path)
+	}
+	// Route length equals the physical BFS distance (shortest).
+	dist := m.Physical.BFSFrom(3)
+	if len(path)-1 != dist[42] {
+		t.Errorf("route length %d, BFS %d", len(path)-1, dist[42])
+	}
+	if self := m.Route(7, 7); len(self) != 1 {
+		t.Errorf("self route %v", self)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	m, err := Build(2, 6, optics.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(simnet.UniformRandom(m.Nodes(), 500, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 500 || res.MaxHops > 6 {
+		t.Fatalf("workload result %v", res)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	m, _ := Build(2, 5, optics.DefaultPitch)
+	res, err := m.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != m.Nodes()-1 {
+		t.Fatalf("broadcast %v", res)
+	}
+}
+
+func TestAudit(t *testing.T) {
+	m, _ := Build(2, 8, optics.DefaultPitch)
+	report, err := m.Audit()
+	if err != nil {
+		t.Fatalf("audit failed: %v\n%s", err, report)
+	}
+	for _, want := range []string{"diameter 8", "optics", "diffraction", "link margin", "self-routing"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("audit report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestBOM(t *testing.T) {
+	m, _ := Build(2, 8, optics.DefaultPitch)
+	bom := m.BOM()
+	if bom.Nodes != 256 || bom.Lenses != 48 || bom.TransceiversNode != 2 {
+		t.Errorf("BOM %+v", bom)
+	}
+}
+
+func TestRunDeflection(t *testing.T) {
+	m, _ := Build(2, 5, optics.DefaultPitch)
+	res, err := m.RunDeflection(simnet.UniformRandom(m.Nodes(), 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 100 {
+		t.Fatalf("deflection on the machine: %v", res)
+	}
+}
+
+func TestTDMSchedule(t *testing.T) {
+	m, _ := Build(2, 5, optics.DefaultPitch)
+	slots, err := m.TDMSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 2 {
+		t.Fatalf("%d slots, want degree 2", len(slots))
+	}
+	// Each slot is a permutation of the physical nodes.
+	for s, f := range slots {
+		seen := make([]bool, m.Nodes())
+		for _, v := range f {
+			if seen[v] {
+				t.Fatalf("slot %d: receiver %d collides", s, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestOddDiameterMachine(t *testing.T) {
+	// Odd D uses the best unbalanced split and still assembles.
+	m, err := Build(2, 7, optics.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 128 {
+		t.Fatalf("n = %d", m.Nodes())
+	}
+	if err := m.VerifyRoutes(1); err != nil {
+		t.Fatal(err)
+	}
+}

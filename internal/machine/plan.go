@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/otis"
+)
+
+// Capacity planning: the question a systems group actually asks is not
+// "lay out B(2,8)" but "I can afford N processors at degree d — what do I
+// build?". Plan answers it: the largest de Bruijn machine within the
+// budget, with its lens bill.
+
+// PlanResult describes the recommended machine.
+type PlanResult struct {
+	Degree int
+	Diam   int
+	Nodes  int
+	Layout otis.Layout
+	Lenses int
+}
+
+// String renders e.g. "256 nodes as OTIS(16,32) ⊢ B(2,8), 48 lenses".
+func (p PlanResult) String() string {
+	return fmt.Sprintf("%d nodes as %v", p.Nodes, p.Layout)
+}
+
+// Plan returns the largest-diameter (hence largest) de Bruijn machine of
+// degree d with at most maxNodes processors that admits an OTIS layout.
+// ok is false when even B(d, 1) exceeds the budget.
+func Plan(d, maxNodes int) (PlanResult, bool) {
+	if d < 2 || maxNodes < d {
+		return PlanResult{}, false
+	}
+	best := PlanResult{}
+	found := false
+	nodes := 1
+	for D := 1; ; D++ {
+		if nodes > maxNodes/d {
+			break // d^D would exceed the budget
+		}
+		nodes *= d
+		layout, ok := otis.OptimalLayout(d, D)
+		if !ok {
+			continue
+		}
+		best = PlanResult{
+			Degree: d,
+			Diam:   D,
+			Nodes:  nodes,
+			Layout: layout,
+			Lenses: layout.Lenses(),
+		}
+		found = true
+	}
+	return best, found
+}
+
+// PlanAndBuild plans for the budget and assembles the machine.
+func PlanAndBuild(d, maxNodes int, pitch float64) (*Machine, error) {
+	plan, ok := Plan(d, maxNodes)
+	if !ok {
+		return nil, fmt.Errorf("machine: no de Bruijn machine of degree %d fits %d nodes", d, maxNodes)
+	}
+	return Build(plan.Degree, plan.Diam, pitch)
+}

@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/optics"
+)
+
+func TestPlan(t *testing.T) {
+	// A 300-processor budget at degree 2 buys B(2,8) = 256 nodes.
+	p, ok := Plan(2, 300)
+	if !ok {
+		t.Fatal("no plan")
+	}
+	if p.Diam != 8 || p.Nodes != 256 || p.Lenses != 48 {
+		t.Errorf("plan = %+v", p)
+	}
+	if p.String() == "" {
+		t.Error("empty plan string")
+	}
+	// Exactly at a power: 256 buys B(2,8) too.
+	p, _ = Plan(2, 256)
+	if p.Nodes != 256 {
+		t.Errorf("exact budget plan = %+v", p)
+	}
+	// One less: drops to B(2,7).
+	p, _ = Plan(2, 255)
+	if p.Diam != 7 || p.Nodes != 128 {
+		t.Errorf("255 budget plan = %+v", p)
+	}
+}
+
+func TestPlanEdges(t *testing.T) {
+	if _, ok := Plan(2, 1); ok {
+		t.Error("1-node budget accepted")
+	}
+	if _, ok := Plan(1, 100); ok {
+		t.Error("degree 1 accepted")
+	}
+	// Degree 3, budget 100 → B(3,4) = 81.
+	p, ok := Plan(3, 100)
+	if !ok || p.Nodes != 81 || p.Diam != 4 {
+		t.Errorf("plan(3,100) = %+v ok=%v", p, ok)
+	}
+}
+
+func TestPlanAndBuild(t *testing.T) {
+	m, err := PlanAndBuild(2, 70, optics.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 64 || m.Diam != 6 {
+		t.Errorf("built machine n=%d D=%d", m.Nodes(), m.Diam)
+	}
+	if _, err := PlanAndBuild(2, 1, optics.DefaultPitch); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func TestBuildErrorPaths(t *testing.T) {
+	// Degree with no layout at any diameter would need d < 2 (covered by
+	// Plan); exercise the pitch validation path of Build.
+	if _, err := Build(2, 4, 0); err == nil {
+		t.Error("zero pitch accepted")
+	}
+}

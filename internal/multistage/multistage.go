@@ -1,0 +1,114 @@
+// Package multistage implements the de Bruijn-derived multistage
+// interconnection networks the paper's introduction cites as applications:
+// the (wrapped) Butterfly [30], ShuffleNet [27] and GEMNET [27] — all of
+// which are, up to isomorphism, conjunctions of a circuit with a de Bruijn
+// or RRK digraph. This makes Remark 3.10 concrete: a non-cyclic OTIS
+// split H(p, q, d) does not realize B(d, D), but its components are
+// exactly such circuit ⊗ de Bruijn networks, i.e. failed de Bruijn
+// layouts optically realize stacks of ShuffleNet-style networks.
+package multistage
+
+import (
+	"fmt"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+// WrappedButterfly returns the directed wrapped butterfly WBF(d, D):
+// vertices (ℓ, x) with level ℓ ∈ Z_D and word x ∈ Z_d^D, and arcs
+// (ℓ, x) → (ℓ+1 mod D, x with letter ℓ replaced by α) for α ∈ Z_d.
+// Vertex (ℓ, x) is labelled ℓ·d^D + Horner(x). It has D·d^D vertices and
+// degree d.
+func WrappedButterfly(d, D int) *digraph.Digraph {
+	if d < 1 || D < 1 {
+		panic("multistage: need d >= 1 and D >= 1")
+	}
+	n := word.Pow(d, D)
+	return digraph.FromFunc(D*n, func(id int) []int {
+		level, u := id/n, id%n
+		x := word.MustFromInt(d, D, u)
+		next := (level + 1) % D
+		out := make([]int, d)
+		for alpha := 0; alpha < d; alpha++ {
+			out[alpha] = next*n + x.WithLetter(level, alpha).Int()
+		}
+		return out
+	})
+}
+
+// ButterflyWitness returns the isomorphism from WBF(d, D) onto
+// C_D ⊗ B(d, D) (conjunction labelling ℓ·d^D + v): vertex (ℓ, x) maps to
+// (ℓ, v) where v is x read cyclically upward from position ℓ,
+// v = x_ℓ x_{ℓ+1} ... x_{D-1} x_0 ... x_{ℓ-1}. Replacing letter ℓ and
+// advancing the level is then exactly the de Bruijn left shift.
+func ButterflyWitness(d, D int) []int {
+	n := word.Pow(d, D)
+	mapping := make([]int, D*n)
+	for id := range mapping {
+		level, u := id/n, id%n
+		x := word.MustFromInt(d, D, u)
+		v := word.New(d, D)
+		// v's letter at position D-1-k is x at position (ℓ+k) mod D.
+		for k := 0; k < D; k++ {
+			v = v.WithLetter(D-1-k, x.Letter((level+k)%D))
+		}
+		mapping[id] = level*n + v.Int()
+	}
+	return mapping
+}
+
+// ButterflyConjunction returns C_D ⊗ B(d, D) with the conjunction
+// labelling, the canonical form of the wrapped butterfly.
+func ButterflyConjunction(d, D int) *digraph.Digraph {
+	return digraph.Conjunction(digraph.Circuit(D), debruijn.DeBruijn(d, D))
+}
+
+// ShuffleNet returns the (directed, single-fiber) ShuffleNet SN(d, k) of
+// Hluchyj and Karol: k columns of d^k nodes, node (c, u) connected to
+// (c+1 mod k, du+α mod d^k) — which is, by construction, the conjunction
+// C_k ⊗ B(d, k). It has k·d^k nodes and degree d.
+func ShuffleNet(d, k int) *digraph.Digraph {
+	if d < 1 || k < 1 {
+		panic("multistage: need d >= 1 and k >= 1")
+	}
+	return digraph.Conjunction(digraph.Circuit(k), debruijn.DeBruijn(d, k))
+}
+
+// ShuffleNetOrder returns k·d^k.
+func ShuffleNetOrder(d, k int) int { return k * word.Pow(d, k) }
+
+// GEMNET returns GEMNET(K, M, d) (Iness, Banerjee, Mukherjee): K columns
+// of M nodes, node (c, i) connected to (c+1 mod K, (di+α) mod M) — the
+// conjunction C_K ⊗ RRK(d, M). GEMNET(k, d^k, d) is ShuffleNet(d, k);
+// GEMNET generalizes it to any number of nodes per column.
+func GEMNET(K, M, d int) *digraph.Digraph {
+	if K < 1 || M < 1 || d < 1 {
+		panic("multistage: need K, M, d >= 1")
+	}
+	return digraph.Conjunction(digraph.Circuit(K), debruijn.RRK(d, M))
+}
+
+// GEMNETDiameter returns the diameter of GEMNET(K, M, d) computed by BFS
+// (the closed form is K·⌈log_d M⌉-ish but ragged; we measure).
+func GEMNETDiameter(K, M, d int) int {
+	return GEMNET(K, M, d).Diameter()
+}
+
+// Stack describes a disjoint union of isomorphic circuit ⊗ de Bruijn
+// networks, the structure Remark 3.10 gives to non-layout OTIS splits.
+type Stack struct {
+	Copies      int // number of disjoint components
+	CircuitLen  int // c in C_c ⊗ B(d, r)
+	DeBruijnDim int // r
+}
+
+// String renders e.g. "12 × (C_2 ⊗ B(2,3))".
+func (s Stack) String() string {
+	return fmt.Sprintf("%d × (C_%d ⊗ B(d,%d))", s.Copies, s.CircuitLen, s.DeBruijnDim)
+}
+
+// IsShuffleNet reports whether each component is a ShuffleNet proper
+// (circuit length equal to the de Bruijn dimension).
+func (s Stack) IsShuffleNet() bool { return s.CircuitLen == s.DeBruijnDim }

@@ -1,0 +1,138 @@
+package multistage
+
+import (
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+func TestWrappedButterflyShape(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {3, 2}} {
+		g := WrappedButterfly(c.d, c.D)
+		want := c.D * pow(c.d, c.D)
+		if g.N() != want {
+			t.Fatalf("WBF(%d,%d) has %d vertices, want %d", c.d, c.D, g.N(), want)
+		}
+		if !g.IsRegular(c.d) {
+			t.Errorf("WBF(%d,%d) not %d-regular", c.d, c.D, c.d)
+		}
+		if !g.IsStronglyConnected() {
+			t.Errorf("WBF(%d,%d) not strongly connected", c.d, c.D)
+		}
+	}
+}
+
+func TestWrappedButterflyLevelStructure(t *testing.T) {
+	// Arcs only go from level ℓ to level ℓ+1 mod D.
+	d, D := 2, 3
+	g := WrappedButterfly(d, D)
+	n := pow(d, D)
+	for id := 0; id < g.N(); id++ {
+		level := id / n
+		for _, v := range g.Out(id) {
+			if v/n != (level+1)%D {
+				t.Fatalf("arc from level %d to level %d", level, v/n)
+			}
+		}
+	}
+}
+
+func TestButterflyIsCircuitConjunctionDeBruijn(t *testing.T) {
+	// WBF(d,D) ≅ C_D ⊗ B(d,D) via the explicit rotation witness.
+	for _, c := range []struct{ d, D int }{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}} {
+		wbf := WrappedButterfly(c.d, c.D)
+		conj := ButterflyConjunction(c.d, c.D)
+		mapping := ButterflyWitness(c.d, c.D)
+		if err := digraph.VerifyIsomorphism(wbf, conj, mapping); err != nil {
+			t.Errorf("WBF(%d,%d) ≇ C_%d ⊗ B(%d,%d): %v", c.d, c.D, c.D, c.d, c.D, err)
+		}
+	}
+}
+
+func TestButterflyQuotientIsDeBruijn(t *testing.T) {
+	// Collapsing the level coordinate of WBF(d,D) (through the witness)
+	// gives a homomorphism onto B(d,D): every butterfly arc projects to a
+	// de Bruijn arc.
+	d, D := 2, 3
+	wbf := WrappedButterfly(d, D)
+	mapping := ButterflyWitness(d, D)
+	b := debruijn.DeBruijn(d, D)
+	n := pow(d, D)
+	for id := 0; id < wbf.N(); id++ {
+		u := mapping[id] % n
+		for _, w := range wbf.Out(id) {
+			v := mapping[w] % n
+			if !b.HasArc(u, v) {
+				t.Fatalf("projected arc (%d,%d) missing in B(%d,%d)", u, v, d, D)
+			}
+		}
+	}
+}
+
+func TestShuffleNet(t *testing.T) {
+	g := ShuffleNet(2, 3)
+	if g.N() != ShuffleNetOrder(2, 3) || g.N() != 24 {
+		t.Fatalf("SN(2,3) has %d nodes", g.N())
+	}
+	if !g.IsRegular(2) {
+		t.Error("SN(2,3) not 2-regular")
+	}
+	// Known ShuffleNet diameter: 2k-1 for k columns.
+	if got := g.Diameter(); got != 5 {
+		t.Errorf("SN(2,3) diameter = %d, want 5", got)
+	}
+	// Column structure: arcs advance the column cyclically.
+	n := pow(2, 3)
+	for id := 0; id < g.N(); id++ {
+		col := id / n
+		for _, v := range g.Out(id) {
+			if v/n != (col+1)%3 {
+				t.Fatalf("SN arc from column %d to %d", col, v/n)
+			}
+		}
+	}
+}
+
+func TestGEMNETGeneralizesShuffleNet(t *testing.T) {
+	// GEMNET(k, d^k, d) = ShuffleNet(d, k) as labelled digraphs.
+	if !GEMNET(3, 8, 2).Equal(ShuffleNet(2, 3)) {
+		t.Error("GEMNET(3,8,2) != SN(2,3)")
+	}
+}
+
+func TestGEMNETArbitrarySize(t *testing.T) {
+	// GEMNET's point: any number of nodes per column, e.g. 2 columns of
+	// 11 nodes at degree 2 — 22 nodes, impossible for ShuffleNet.
+	g := GEMNET(2, 11, 2)
+	if g.N() != 22 || !g.IsRegular(2) {
+		t.Fatalf("GEMNET(2,11,2): n=%d", g.N())
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("GEMNET(2,11,2) not strongly connected")
+	}
+	if d := GEMNETDiameter(2, 11, 2); d < 4 || d > 10 {
+		t.Errorf("GEMNET(2,11,2) diameter = %d, implausible", d)
+	}
+}
+
+func TestStackString(t *testing.T) {
+	s := Stack{Copies: 12, CircuitLen: 2, DeBruijnDim: 2}
+	if s.String() != "12 × (C_2 ⊗ B(d,2))" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !s.IsShuffleNet() {
+		t.Error("C_2 ⊗ B(d,2) is a ShuffleNet")
+	}
+	if (Stack{Copies: 1, CircuitLen: 2, DeBruijnDim: 3}).IsShuffleNet() {
+		t.Error("C_2 ⊗ B(d,3) is not a ShuffleNet")
+	}
+}
+
+func pow(d, k int) int {
+	n := 1
+	for i := 0; i < k; i++ {
+		n *= d
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package optics
+
+import (
+	"fmt"
+)
+
+// Two-dimensional bench. Physical OTIS demonstrators ([6], [25]) arrange
+// transmitters, lenslets and receivers in 2-D grids; the optics are
+// separable, so the system is the product of two 1-D transposes. An
+// OTIS(p, q) with p = px·py and q = qx·qy factors into a horizontal
+// OTIS(px, qx) and a vertical OTIS(py, qy): transmitter ((ix,iy),(jx,jy))
+// images to receiver ((qx-jx-1, qy-jy-1), (px-ix-1, py-iy-1)), and the
+// flattened indices reproduce the 1-D transpose exactly when groups are
+// numbered row-major. 2-D packaging is what makes large p, q feasible:
+// a 1024-lens 1-D array is a metre of glass, a 32×32 grid is centimetres.
+type Bench2D struct {
+	X *Bench // horizontal axis: OTIS(px, qx)
+	Y *Bench // vertical axis: OTIS(py, qy)
+}
+
+// NewBench2D builds the separable bench for OTIS(px·py, qx·qy).
+func NewBench2D(px, py, qx, qy int, pitch float64) (*Bench2D, error) {
+	bx, err := NewBench(px, qx, pitch)
+	if err != nil {
+		return nil, fmt.Errorf("optics: x axis: %w", err)
+	}
+	by, err := NewBench(py, qy, pitch)
+	if err != nil {
+		return nil, fmt.Errorf("optics: y axis: %w", err)
+	}
+	return &Bench2D{X: bx, Y: by}, nil
+}
+
+// P returns the total transmitter group count px·py.
+func (b *Bench2D) P() int { return b.X.P * b.Y.P }
+
+// Q returns the total per-group transmitter count qx·qy.
+func (b *Bench2D) Q() int { return b.X.Q * b.Y.Q }
+
+// Lenses returns the physical lenslet count of the 2-D implementation:
+// the first array is a px×py grid, the second a qx×qy grid.
+func (b *Bench2D) Lenses() int { return b.X.P*b.Y.P + b.X.Q*b.Y.Q }
+
+// Trajectory2D records a separable beam trace.
+type Trajectory2D struct {
+	TraceX, TraceY Trajectory
+	// RxGroup and RxElem are the flattened receiver coordinates
+	// (row-major over the two axes).
+	RxGroup, RxElem int
+}
+
+// Trace images transmitter (i, j) (flattened, row-major: i = ix·py + iy,
+// j = jx·qy + jy) through both axes.
+func (b *Bench2D) Trace(i, j int) Trajectory2D {
+	ix, iy := i/b.Y.P, i%b.Y.P
+	jx, jy := j/b.Y.Q, j%b.Y.Q
+	tx := b.X.Trace(ix, jx)
+	ty := b.Y.Trace(iy, jy)
+	return Trajectory2D{
+		TraceX:  tx,
+		TraceY:  ty,
+		RxGroup: tx.RxI*b.Y.Q + ty.RxI,
+		RxElem:  tx.RxJ*b.Y.P + ty.RxJ,
+	}
+}
+
+// VerifyTranspose checks that the flattened 2-D image realizes the 1-D
+// OTIS(p, q) transpose (q-j-1, p-i-1) for every transmitter, i.e. that
+// the 2-D packaging is interconnect-equivalent to the abstract OTIS the
+// graph theory assumes.
+func (b *Bench2D) VerifyTranspose() error {
+	p, q := b.P(), b.Q()
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			tr := b.Trace(i, j)
+			if tr.RxGroup != q-j-1 || tr.RxElem != p-i-1 {
+				return fmt.Errorf("optics: 2D beam (%d,%d) imaged to (%d,%d), want (%d,%d)",
+					i, j, tr.RxGroup, tr.RxElem, q-j-1, p-i-1)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxArrayExtent returns the larger transverse aperture of the two axes —
+// the figure of merit 2-D packaging improves: a 1-D OTIS(p, q) needs an
+// aperture of pq·pitch, the 2-D version only max(px·qx, py·qy)·pitch.
+func (b *Bench2D) MaxArrayExtent() float64 {
+	if b.X.Aperture() > b.Y.Aperture() {
+		return b.X.Aperture()
+	}
+	return b.Y.Aperture()
+}

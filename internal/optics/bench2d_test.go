@@ -1,0 +1,69 @@
+package optics
+
+import (
+	"testing"
+)
+
+func TestBench2DValidation(t *testing.T) {
+	if _, err := NewBench2D(0, 4, 4, 4, DefaultPitch); err == nil {
+		t.Error("px=0 accepted")
+	}
+	if _, err := NewBench2D(4, 4, 4, 0, DefaultPitch); err == nil {
+		t.Error("qy=0 accepted")
+	}
+	b, err := NewBench2D(4, 4, 8, 4, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.P() != 16 || b.Q() != 32 || b.Lenses() != 48 {
+		t.Errorf("dims: p=%d q=%d lenses=%d", b.P(), b.Q(), b.Lenses())
+	}
+}
+
+func TestBench2DTranspose(t *testing.T) {
+	// The 2-D packaging of the optimal B(2,8) layout OTIS(16,32).
+	for _, c := range []struct{ px, py, qx, qy int }{
+		{4, 4, 8, 4}, {2, 8, 4, 8}, {1, 16, 32, 1}, {3, 2, 2, 5},
+	} {
+		b, err := NewBench2D(c.px, c.py, c.qx, c.qy, DefaultPitch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.VerifyTranspose(); err != nil {
+			t.Errorf("(%d×%d, %d×%d): %v", c.px, c.py, c.qx, c.qy, err)
+		}
+	}
+}
+
+func TestBench2DShrinksAperture(t *testing.T) {
+	// The engineering payoff: the 2-D OTIS(16,32) needs a far smaller
+	// transverse extent than the 1-D version.
+	flat, _ := NewBench(16, 32, DefaultPitch)
+	square, _ := NewBench2D(4, 4, 8, 4, DefaultPitch)
+	if square.MaxArrayExtent() >= flat.Aperture() {
+		t.Errorf("2D extent %.4f not smaller than 1D %.4f",
+			square.MaxArrayExtent(), flat.Aperture())
+	}
+	if flat.Aperture()/square.MaxArrayExtent() < 10 {
+		t.Errorf("expected ≥10× aperture reduction, got %.1f×",
+			flat.Aperture()/square.MaxArrayExtent())
+	}
+}
+
+func TestBench2DBeamBijective(t *testing.T) {
+	b, _ := NewBench2D(2, 3, 3, 2, DefaultPitch)
+	seen := map[[2]int]bool{}
+	for i := 0; i < b.P(); i++ {
+		for j := 0; j < b.Q(); j++ {
+			tr := b.Trace(i, j)
+			key := [2]int{tr.RxGroup, tr.RxElem}
+			if seen[key] {
+				t.Fatalf("receiver %v hit twice", key)
+			}
+			seen[key] = true
+		}
+	}
+	if len(seen) != 36 {
+		t.Fatalf("%d receivers hit, want 36", len(seen))
+	}
+}

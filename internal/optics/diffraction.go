@@ -1,0 +1,102 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diffraction feasibility. The paraxial model is exact geometry; real
+// lenslets are diffraction-limited, and the paper's remark that
+// "technological considerations prefer p ≈ q" has a physical root: the
+// focused spot must fit inside a receiver cell, and the spot size grows
+// with the lens f-number. This file adds that check.
+
+// DefaultWavelength is a typical VCSEL wavelength (850 nm).
+const DefaultWavelength = 850e-9
+
+// Diffraction summarizes the diffraction analysis of one bench.
+type Diffraction struct {
+	// SpotDiameter1 is the Airy-disk diameter (2.44·λ·f/#) of a stage-1
+	// lens focused on the L2 plane, in metres.
+	SpotDiameter1 float64
+	// SpotDiameter2 is the stage-2 spot on the receiver plane.
+	SpotDiameter2 float64
+	// LensAperture1 and LensAperture2 are the lenslet diameters.
+	LensAperture1, LensAperture2 float64
+	// FNumber1 and FNumber2 are the working f-numbers (image distance
+	// over aperture).
+	FNumber1, FNumber2 float64
+	// Feasible reports that the stage-2 spot fits in a receiver cell and
+	// the stage-1 spot fits within a single L2 lenslet.
+	Feasible bool
+}
+
+// Diffract evaluates the bench at the given wavelength.
+func Diffract(b *Bench, wavelength float64) (Diffraction, error) {
+	if wavelength <= 0 {
+		return Diffraction{}, fmt.Errorf("optics: wavelength must be positive")
+	}
+	a := b.Aperture()
+	ap1 := a / float64(b.P)
+	ap2 := a / float64(b.Q)
+	f1 := b.Z12 / ap1 // working f-number of stage 1 (image side)
+	f2 := b.Z23 / ap2
+	spot1 := 2.44 * wavelength * f1
+	spot2 := 2.44 * wavelength * f2
+	d := Diffraction{
+		SpotDiameter1: spot1,
+		SpotDiameter2: spot2,
+		LensAperture1: ap1,
+		LensAperture2: ap2,
+		FNumber1:      f1,
+		FNumber2:      f2,
+	}
+	// Stage-1 spots land on L2 lens centres and must stay inside one
+	// lenslet; stage-2 spots land on receiver centres and must stay
+	// inside one pitch cell.
+	d.Feasible = spot1 < ap2 && spot2 < b.Pitch
+	return d, nil
+}
+
+// MaxFeasibleDiameterEven returns the largest even D such that the
+// balanced OTIS layout of B(d, D) passes the diffraction check at the
+// given pitch and wavelength — the physical scaling limit of the
+// architecture. Returns 0 if even D = 2 already fails.
+func MaxFeasibleDiameterEven(d int, pitch, wavelength float64) int {
+	best := 0
+	for D := 2; D <= 30; D += 2 {
+		p := intPow(d, D/2)
+		q := p * d
+		// Guard against absurd array sizes (aperture > 10 m).
+		if float64(p*q)*pitch > 10 {
+			break
+		}
+		b, err := NewBench(p, q, pitch)
+		if err != nil {
+			break
+		}
+		diff, err := Diffract(b, wavelength)
+		if err != nil || !diff.Feasible {
+			break
+		}
+		best = D
+	}
+	return best
+}
+
+func intPow(d, k int) int {
+	n := 1
+	for i := 0; i < k; i++ {
+		n *= d
+	}
+	return n
+}
+
+// RayleighRange returns the Rayleigh range of a Gaussian beam waist equal
+// to half the pitch — the free-space distance over which an unguided beam
+// stays collimated; OTIS works precisely because the lenslets re-image
+// long before this matters.
+func RayleighRange(pitch, wavelength float64) float64 {
+	w0 := pitch / 2
+	return math.Pi * w0 * w0 / wavelength
+}

@@ -1,0 +1,66 @@
+package optics
+
+import (
+	"testing"
+)
+
+func TestDiffractFeasibleAtPaperScale(t *testing.T) {
+	// The paper's practical layouts must be physically buildable: the
+	// OTIS(16,32) bench at 250 µm pitch and 850 nm comfortably passes.
+	b, _ := NewBench(16, 32, DefaultPitch)
+	d, err := Diffract(b, DefaultWavelength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Feasible {
+		t.Fatalf("OTIS(16,32) infeasible: %+v", d)
+	}
+	if d.SpotDiameter2 >= DefaultPitch {
+		t.Errorf("stage-2 spot %g exceeds pitch", d.SpotDiameter2)
+	}
+	if d.FNumber1 <= 0 || d.FNumber2 <= 0 {
+		t.Error("degenerate f-numbers")
+	}
+}
+
+func TestDiffractValidation(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	if _, err := Diffract(b, 0); err == nil {
+		t.Error("zero wavelength accepted")
+	}
+	if _, err := Diffract(b, -1); err == nil {
+		t.Error("negative wavelength accepted")
+	}
+}
+
+func TestMaxFeasibleDiameterEven(t *testing.T) {
+	maxD := MaxFeasibleDiameterEven(2, DefaultPitch, DefaultWavelength)
+	if maxD < 8 {
+		t.Errorf("physical limit D=%d; the paper's 256-node example should be feasible", maxD)
+	}
+	if maxD >= 30 {
+		t.Errorf("no physical limit found (D=%d) — the model lost its physics", maxD)
+	}
+	// Shrinking the pitch extends the limit (smaller machine, shorter
+	// bench, gentler f-numbers scale).
+	finer := MaxFeasibleDiameterEven(2, 125e-6, DefaultWavelength)
+	if finer < maxD {
+		t.Errorf("finer pitch reduced the limit: %d < %d", finer, maxD)
+	}
+}
+
+func TestRayleighRange(t *testing.T) {
+	zr := RayleighRange(DefaultPitch, DefaultWavelength)
+	if zr <= 0 {
+		t.Fatal("non-positive Rayleigh range")
+	}
+	// ~5.8 cm for 250 µm pitch at 850 nm — the benches are longer than
+	// this, which is exactly why lenslets (re-imaging) are required.
+	if zr > 1 {
+		t.Errorf("Rayleigh range %g m implausibly long", zr)
+	}
+	b, _ := NewBench(16, 32, DefaultPitch)
+	if b.Length() < zr {
+		t.Log("bench shorter than Rayleigh range; lenslets optional at this size")
+	}
+}

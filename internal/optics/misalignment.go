@@ -1,0 +1,92 @@
+package optics
+
+import (
+	"fmt"
+)
+
+// Misalignment analysis. A real bench's lenslet arrays are mounted with
+// finite precision; lateral shifts move every image. This file measures
+// how far an array can drift before beams land on wrong receivers — the
+// assembly tolerance a builder of the paper's layouts must hold.
+
+// MisalignedTrace traces transmitter (i, j) with the L2 array shifted
+// laterally by dx2 metres and the receiver plane by dx3 metres, returning
+// the receiver cell actually illuminated.
+func (b *Bench) MisalignedTrace(i, j int, dx2, dx3 float64) (rxI, rxJ int, ok bool) {
+	x0 := b.TransmitterX(i, j)
+	a := b.Aperture()
+	c1 := b.Lens1X(i)
+	x2 := a/2 - float64(b.P)*(x0-c1)
+	// Which (shifted) L2 lens catches the beam?
+	rel := x2 - dx2
+	lens2 := int(rel / (a / float64(b.Q)))
+	if lens2 < 0 || lens2 >= b.Q {
+		return 0, 0, false // beam misses the array
+	}
+	// The shifted lens images from its shifted centre.
+	c2 := b.Lens2X(lens2) + dx2
+	x3 := c2 - (c1-a/2)/float64(b.Q)
+	// Receiver plane shifted by dx3.
+	relRx := x3 - dx3
+	slot := int(relRx / b.Pitch)
+	if slot < 0 || slot >= b.P*b.Q {
+		return 0, 0, false
+	}
+	return slot / b.P, slot % b.P, true
+}
+
+// MisalignmentErrors counts beams landing on the wrong receiver under
+// the given array shifts.
+func (b *Bench) MisalignmentErrors(dx2, dx3 float64) int {
+	errors := 0
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			rxI, rxJ, ok := b.MisalignedTrace(i, j, dx2, dx3)
+			if !ok || rxI != b.Q-j-1 || rxJ != b.P-i-1 {
+				errors++
+			}
+		}
+	}
+	return errors
+}
+
+// ReceiverShiftTolerance returns the largest receiver-plane lateral shift
+// (metres, searched in steps of pitch/100 up to one pitch) under which
+// every beam still lands on its correct receiver. The analytic answer is
+// half a pitch (beams land on cell centres); the search confirms the
+// implementation agrees.
+func (b *Bench) ReceiverShiftTolerance() float64 {
+	step := b.Pitch / 100
+	last := 0.0
+	for dx := step; dx <= b.Pitch; dx += step {
+		if b.MisalignmentErrors(0, dx) > 0 {
+			return last
+		}
+		last = dx
+	}
+	return last
+}
+
+// Lens2ShiftTolerance returns the largest L2-array lateral shift under
+// which every beam still lands correctly. Shifting L2 moves both which
+// lens catches the beam and where the image lands, so the tolerance is
+// tighter than the receiver plane's when lens cells are narrower than
+// half a pitch... measured rather than assumed.
+func (b *Bench) Lens2ShiftTolerance() float64 {
+	step := b.Pitch / 100
+	last := 0.0
+	limit := b.Aperture() / float64(b.Q) // one lens width
+	for dx := step; dx <= limit; dx += step {
+		if b.MisalignmentErrors(dx, 0) > 0 {
+			return last
+		}
+		last = dx
+	}
+	return last
+}
+
+// ToleranceReport summarizes assembly tolerances in human units.
+func (b *Bench) ToleranceReport() string {
+	return fmt.Sprintf("receiver plane ±%.1f µm, L2 array ±%.1f µm (pitch %.0f µm)",
+		b.ReceiverShiftTolerance()*1e6, b.Lens2ShiftTolerance()*1e6, b.Pitch*1e6)
+}

@@ -1,0 +1,62 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlignedTraceMatchesNominal(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			rxI, rxJ, ok := b.MisalignedTrace(i, j, 0, 0)
+			if !ok {
+				t.Fatalf("aligned beam (%d,%d) lost", i, j)
+			}
+			tr := b.Trace(i, j)
+			if rxI != tr.RxI || rxJ != tr.RxJ {
+				t.Fatalf("aligned misaligned-trace disagrees with Trace at (%d,%d)", i, j)
+			}
+		}
+	}
+	if b.MisalignmentErrors(0, 0) != 0 {
+		t.Error("aligned bench reports errors")
+	}
+}
+
+func TestReceiverShiftTolerance(t *testing.T) {
+	b, _ := NewBench(8, 16, DefaultPitch)
+	tol := b.ReceiverShiftTolerance()
+	// Beams land on cell centres, so the analytic tolerance is half a
+	// pitch (within the search step).
+	if math.Abs(tol-b.Pitch/2) > b.Pitch/50 {
+		t.Errorf("receiver tolerance %.1f µm, want ~%.1f µm", tol*1e6, b.Pitch/2*1e6)
+	}
+	// Beyond the tolerance, errors appear.
+	if b.MisalignmentErrors(0, tol+b.Pitch/10) == 0 {
+		t.Error("no errors beyond tolerance")
+	}
+}
+
+func TestLens2ShiftTolerance(t *testing.T) {
+	b, _ := NewBench(8, 16, DefaultPitch)
+	tol := b.Lens2ShiftTolerance()
+	if tol <= 0 {
+		t.Fatal("zero L2 tolerance — bench unbuildable")
+	}
+	if b.MisalignmentErrors(tol, 0) != 0 {
+		t.Error("errors within reported tolerance")
+	}
+	if b.ToleranceReport() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestGrossMisalignmentLosesBeams(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	// Shift the receiver plane by many pitches: every beam lands wrong
+	// (or off the array).
+	if errs := b.MisalignmentErrors(0, 10*b.Pitch); errs != b.P*b.Q {
+		t.Errorf("gross shift: %d errors, want all %d", errs, b.P*b.Q)
+	}
+}

@@ -1,0 +1,201 @@
+package optics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/otis"
+)
+
+func TestNewBenchValidation(t *testing.T) {
+	if _, err := NewBench(0, 4, DefaultPitch); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewBench(4, 4, -1); err == nil {
+		t.Error("negative pitch accepted")
+	}
+	b, err := NewBench(3, 6, DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.P != 3 || b.Q != 6 {
+		t.Error("dimensions wrong")
+	}
+	if b.Aperture() <= 0 || b.Length() <= 0 {
+		t.Error("degenerate geometry")
+	}
+}
+
+func TestThinLensEquationHolds(t *testing.T) {
+	// The derived distances must satisfy 1/f = 1/o + 1/i for both stages.
+	b, _ := NewBench(4, 8, DefaultPitch)
+	check := func(f, o, i float64, stage string) {
+		lhs := 1 / f
+		rhs := 1/o + 1/i
+		if math.Abs(lhs-rhs)/lhs > 1e-9 {
+			t.Errorf("%s: 1/f = %g but 1/o+1/i = %g", stage, lhs, rhs)
+		}
+	}
+	check(b.FocalLength1, b.Z01, b.Z12, "stage 1")
+	check(b.FocalLength2, b.Z12, b.Z23, "stage 2")
+}
+
+func TestStage1Magnification(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	if m := b.Z12 / b.Z01; math.Abs(m-4) > 1e-9 {
+		t.Errorf("stage 1 magnification = %g, want 4 (= p)", m)
+	}
+	if m := b.Z23 / b.Z12; math.Abs(m-1.0/8) > 1e-9 {
+		t.Errorf("stage 2 magnification = %g, want 1/8 (= 1/q)", m)
+	}
+}
+
+func TestTraceTransposeOTIS36(t *testing.T) {
+	// Figure 6 geometry: OTIS(3,6).
+	b, _ := NewBench(3, 6, DefaultPitch)
+	if err := b.VerifyTranspose(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the corners.
+	tr := b.Trace(0, 0)
+	if tr.RxI != 5 || tr.RxJ != 2 {
+		t.Errorf("(0,0) imaged to (%d,%d), want (5,2)", tr.RxI, tr.RxJ)
+	}
+	tr = b.Trace(2, 5)
+	if tr.RxI != 0 || tr.RxJ != 0 {
+		t.Errorf("(2,5) imaged to (%d,%d), want (0,0)", tr.RxI, tr.RxJ)
+	}
+}
+
+func TestTraceMatchesOTISModelAcrossShapes(t *testing.T) {
+	// The optical simulation and the combinatorial otis.System must agree
+	// on every beam, for a variety of (p, q) including p > q and p = q.
+	for _, c := range []struct{ p, q int }{
+		{1, 8}, {8, 1}, {4, 4}, {4, 8}, {8, 4}, {16, 32}, {2, 256},
+	} {
+		b, err := NewBench(c.p, c.q, DefaultPitch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := otis.NewSystem(c.p, c.q)
+		for i := 0; i < c.p; i++ {
+			for j := 0; j < c.q; j++ {
+				tr := b.Trace(i, j)
+				ri, rj := s.Receiver(i, j)
+				if tr.RxI != ri || tr.RxJ != rj {
+					t.Fatalf("OTIS(%d,%d) beam (%d,%d): optics (%d,%d), model (%d,%d)",
+						c.p, c.q, i, j, tr.RxI, tr.RxJ, ri, rj)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceImageLandsOnLensCenters(t *testing.T) {
+	// Stage-1 images must land exactly on L2 lens centres (this is what
+	// makes the lenslet design feasible: no beam straddles two lenses).
+	b, _ := NewBench(4, 8, DefaultPitch)
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			tr := b.Trace(i, j)
+			if c := b.Lens2X(tr.Lens2); math.Abs(tr.X2-c) > 1e-12 {
+				t.Fatalf("beam (%d,%d) hits L2 at %g, lens centre %g", i, j, tr.X2, c)
+			}
+			if r := b.ReceiverX(tr.RxI, tr.RxJ); math.Abs(tr.X3-r) > 1e-12 {
+				t.Fatalf("beam (%d,%d) lands at %g, receiver centre %g", i, j, tr.X3, r)
+			}
+		}
+	}
+}
+
+func TestOpticalImageIsBijective(t *testing.T) {
+	b, _ := NewBench(5, 7, DefaultPitch)
+	seen := map[[2]int]bool{}
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			tr := b.Trace(i, j)
+			key := [2]int{tr.RxI, tr.RxJ}
+			if seen[key] {
+				t.Fatalf("receiver (%d,%d) hit twice", tr.RxI, tr.RxJ)
+			}
+			seen[key] = true
+		}
+	}
+	if len(seen) != 35 {
+		t.Fatalf("only %d receivers hit", len(seen))
+	}
+}
+
+func TestPathLengthSane(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			tr := b.Trace(i, j)
+			if tr.Length < b.Length() {
+				t.Fatalf("beam (%d,%d) path %g shorter than axial length %g", i, j, tr.Length, b.Length())
+			}
+			// Paraxial: transverse excursions are small compared to the
+			// axial distance; allow 50% slack.
+			if tr.Length > 1.5*b.Length() {
+				t.Fatalf("beam (%d,%d) path %g suspiciously long", i, j, tr.Length)
+			}
+		}
+	}
+}
+
+func TestLinkMargin(t *testing.T) {
+	b, _ := NewBench(16, 32, DefaultPitch)
+	pb := DefaultBudget()
+	margin, worst := WorstCaseMargin(b, pb)
+	if margin <= 0 {
+		t.Errorf("link does not close: margin %.2f dB on beam (%d,%d)", margin, worst.I, worst.J)
+	}
+	// Margin must be below the zero-loss bound.
+	if margin >= pb.EmitterPowerDBm-pb.ReceiverSensitivityDBm {
+		t.Errorf("margin %.2f dB ignores losses", margin)
+	}
+}
+
+func TestBillOfMaterials(t *testing.T) {
+	// B(2,8) on the optimal OTIS(16,32) layout: 256 nodes, 48 lenses,
+	// 512 VCSELs, 2 transceivers per node.
+	b, _ := NewBench(16, 32, DefaultPitch)
+	bom := BillOfMaterials(b, 2)
+	if bom.Nodes != 256 || bom.Lenses != 48 || bom.Transmitters != 512 ||
+		bom.TransceiversNode != 2 {
+		t.Errorf("BOM = %+v", bom)
+	}
+	if bom.String() == "" {
+		t.Error("empty BOM string")
+	}
+}
+
+func TestCompareLayouts(t *testing.T) {
+	// B(2,8): baseline OTIS(2,256) has 258 lenses; optimized OTIS(16,32)
+	// has 48 — a 5.4× hardware saving.
+	base, opt, ratio, err := CompareLayouts(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 258 || opt != 48 {
+		t.Errorf("lens counts = (%d,%d), want (258,48)", base, opt)
+	}
+	if ratio < 5 {
+		t.Errorf("ratio = %.2f", ratio)
+	}
+	if _, _, _, err := CompareLayouts(2, 7); err == nil {
+		t.Error("odd D accepted by CompareLayouts")
+	}
+}
+
+func TestBudgetScalesWithBenchSize(t *testing.T) {
+	// Bigger apertures mean longer benches and smaller margins.
+	small, _ := NewBench(4, 8, DefaultPitch)
+	large, _ := NewBench(32, 64, DefaultPitch)
+	pb := DefaultBudget()
+	ms, _ := WorstCaseMargin(small, pb)
+	ml, _ := WorstCaseMargin(large, pb)
+	if ml >= ms {
+		t.Errorf("margin did not degrade with size: small %.2f, large %.2f", ms, ml)
+	}
+}

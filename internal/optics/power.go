@@ -1,0 +1,126 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optical power budget and hardware bill of materials. The paper's case
+// for free-space optics rests on the energy/speed crossover of Feldman et
+// al. [16]; the budget model here uses representative numbers from the
+// component papers it cites (ultralow-threshold VCSELs [15], optimized
+// transimpedance receivers [5]).
+
+// PowerBudget captures the link budget parameters of a bench.
+type PowerBudget struct {
+	// EmitterPowerDBm is the VCSEL launch power (dBm). 0 dBm = 1 mW.
+	EmitterPowerDBm float64
+	// ReceiverSensitivityDBm is the minimum detectable power (dBm).
+	ReceiverSensitivityDBm float64
+	// LensLossDB is the insertion loss per lenslet surface (dB).
+	LensLossDB float64
+	// GeometricLossDB models diffraction/clipping loss per metre of
+	// free-space path (dB/m) — small for well-designed lenslets.
+	GeometricLossDBPerM float64
+}
+
+// DefaultBudget returns a representative late-1990s smart-pixel budget:
+// 1 mW VCSELs, -17 dBm receiver sensitivity, 0.25 dB per lens, 1 dB/m
+// geometric loss.
+func DefaultBudget() PowerBudget {
+	return PowerBudget{
+		EmitterPowerDBm:        0,
+		ReceiverSensitivityDBm: -17,
+		LensLossDB:             0.25,
+		GeometricLossDBPerM:    1.0,
+	}
+}
+
+// LinkMarginDB returns the power margin (dB) of the traced beam under the
+// budget: launch power minus losses minus sensitivity. Positive margins
+// close the link.
+func (pb PowerBudget) LinkMarginDB(tr Trajectory) float64 {
+	loss := 2*pb.LensLossDB + pb.GeometricLossDBPerM*tr.Length
+	return pb.EmitterPowerDBm - loss - pb.ReceiverSensitivityDBm
+}
+
+// WorstCaseMargin traces every beam of the bench and returns the minimum
+// link margin and the trajectory achieving it.
+func WorstCaseMargin(b *Bench, pb PowerBudget) (float64, Trajectory) {
+	worst := math.Inf(1)
+	var worstTr Trajectory
+	for i := 0; i < b.P; i++ {
+		for j := 0; j < b.Q; j++ {
+			tr := b.Trace(i, j)
+			if m := pb.LinkMarginDB(tr); m < worst {
+				worst = m
+				worstTr = tr
+			}
+		}
+	}
+	return worst, worstTr
+}
+
+// BOM is the hardware bill of materials of an OTIS-realized network.
+type BOM struct {
+	Nodes            int // processing nodes
+	Degree           int // network degree d
+	Lenses           int // lenslets across both arrays: p + q
+	Transmitters     int // VCSELs: d per node
+	Receivers        int // photodetectors: d per node
+	TransceiversNode int // transceiver pairs per node: d
+	BenchLengthM     float64
+	ApertureM        float64
+}
+
+// BillOfMaterials summarizes the hardware required to realize a d-regular
+// n-node digraph on the bench.
+func BillOfMaterials(b *Bench, d int) BOM {
+	m := b.P * b.Q
+	return BOM{
+		Nodes:            m / d,
+		Degree:           d,
+		Lenses:           b.P + b.Q,
+		Transmitters:     m,
+		Receivers:        m,
+		TransceiversNode: d,
+		BenchLengthM:     b.Length(),
+		ApertureM:        b.Aperture(),
+	}
+}
+
+// String renders the BOM compactly.
+func (bom BOM) String() string {
+	return fmt.Sprintf("n=%d d=%d: %d lenses, %d VCSELs, %d receivers, bench %.3f m, aperture %.3f m",
+		bom.Nodes, bom.Degree, bom.Lenses, bom.Transmitters, bom.Receivers,
+		bom.BenchLengthM, bom.ApertureM)
+}
+
+// CompareLayouts returns the lens counts of the II-derived O(n) layout
+// (OTIS(d, n)) versus the optimized Θ(√n) layout (OTIS(d^{D/2},
+// d^{D/2+1})) for B(d, D), as the ratio baseline/optimized. Both counts
+// come from actual benches so the comparison includes geometry.
+func CompareLayouts(d, D int) (baselineLenses, optimizedLenses int, ratio float64, err error) {
+	n := 1
+	for i := 0; i < D; i++ {
+		n *= d
+	}
+	baseline, err := NewBench(d, n, DefaultPitch)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if D%2 != 0 {
+		return 0, 0, 0, fmt.Errorf("optics: optimized comparison requires even D, got %d", D)
+	}
+	p := 1
+	for i := 0; i < D/2; i++ {
+		p *= d
+	}
+	optimized, err := NewBench(p, p*d, DefaultPitch)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bl := baseline.P + baseline.Q
+	ol := optimized.P + optimized.Q
+	return bl, ol, float64(bl) / float64(ol), nil
+}

@@ -1,0 +1,113 @@
+package optics
+
+import (
+	"fmt"
+	"io"
+)
+
+// SVG rendering of the optical bench: transmitter plane, the two lenslet
+// arrays, receiver plane, and (a subsample of) the traced beams. The
+// output is a scale drawing — the z axis is the optical axis, x the
+// transverse axis — suitable for documentation and for eyeballing that
+// the transpose geometry does what the algebra says.
+
+// WriteSVG renders the bench. beamStride controls how many beams are
+// drawn (every beamStride-th transmitter; 0 draws none, 1 draws all).
+func (b *Bench) WriteSVG(w io.Writer, beamStride int) error {
+	// Canvas: z horizontal, x vertical. Margins in user units.
+	const width, height, margin = 960.0, 480.0, 40.0
+	zSpan := b.Length()
+	xSpan := b.Aperture()
+	zx := func(z, x float64) (float64, float64) {
+		return margin + z/zSpan*(width-2*margin),
+			margin + x/xSpan*(height-2*margin)
+	}
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format+"\n", args...)
+		return err
+	}
+	if err := write(`<rect width="%g" height="%g" fill="white"/>`, width, height); err != nil {
+		return err
+	}
+
+	// Planes: transmitters at z=0, L1 at Z01, L2 at Z01+Z12, receivers at
+	// the end.
+	planes := []struct {
+		z     float64
+		color string
+		label string
+	}{
+		{0, "#444", "TX"},
+		{b.Z01, "#1f77b4", "L1"},
+		{b.Z01 + b.Z12, "#1f77b4", "L2"},
+		{b.Length(), "#444", "RX"},
+	}
+	for _, p := range planes {
+		x0, y0 := zx(p.z, 0)
+		_, y1 := zx(p.z, xSpan)
+		if err := write(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`,
+			x0, y0, x0, y1, p.color); err != nil {
+			return err
+		}
+		if err := write(`<text x="%g" y="%g" font-size="12" fill="%s">%s</text>`,
+			x0-10, y0-8, p.color, p.label); err != nil {
+			return err
+		}
+	}
+
+	// Lens apertures as tick marks.
+	for i := 0; i < b.P; i++ {
+		x, y := zx(b.Z01, b.Lens1X(i))
+		if err := write(`<circle cx="%g" cy="%g" r="3" fill="#1f77b4"/>`, x, y); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < b.Q; k++ {
+		x, y := zx(b.Z01+b.Z12, b.Lens2X(k))
+		if err := write(`<circle cx="%g" cy="%g" r="3" fill="#1f77b4"/>`, x, y); err != nil {
+			return err
+		}
+	}
+
+	// Beams.
+	if beamStride > 0 {
+		idx := 0
+		for i := 0; i < b.P; i++ {
+			for j := 0; j < b.Q; j++ {
+				if idx%beamStride != 0 {
+					idx++
+					continue
+				}
+				idx++
+				tr := b.Trace(i, j)
+				pts := [][2]float64{}
+				for _, p := range [][2]float64{
+					{0, tr.X0},
+					{b.Z01, b.Lens1X(i)},
+					{b.Z01 + b.Z12, tr.X2},
+					{b.Length(), tr.X3},
+				} {
+					x, y := zx(p[0], p[1])
+					pts = append(pts, [2]float64{x, y})
+				}
+				if err := write(`<polyline points="%g,%g %g,%g %g,%g %g,%g" fill="none" stroke="#d62728" stroke-width="0.6" opacity="0.5"/>`,
+					pts[0][0], pts[0][1], pts[1][0], pts[1][1],
+					pts[2][0], pts[2][1], pts[3][0], pts[3][1]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if err := write(`<text x="%g" y="%g" font-size="13" fill="#222">OTIS(%d,%d): %d lenses, bench %.3f m</text>`,
+		margin, height-10.0, b.P, b.Q, b.P+b.Q, b.Length()); err != nil {
+		return err
+	}
+	return write(`</svg>`)
+}

@@ -1,0 +1,46 @@
+package optics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	var sb strings.Builder
+	if err := b.WriteSVG(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "OTIS(4,8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// All 32 beams drawn at stride 1.
+	if got := strings.Count(out, "polyline"); got != 32 {
+		t.Errorf("%d beams drawn, want 32", got)
+	}
+}
+
+func TestWriteSVGNoBeams(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	var sb strings.Builder
+	if err := b.WriteSVG(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "polyline") {
+		t.Error("beams drawn despite stride 0")
+	}
+}
+
+func TestWriteSVGStride(t *testing.T) {
+	b, _ := NewBench(4, 8, DefaultPitch)
+	var sb strings.Builder
+	if err := b.WriteSVG(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "polyline"); got != 8 {
+		t.Errorf("%d beams at stride 4, want 8", got)
+	}
+}

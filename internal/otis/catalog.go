@@ -1,0 +1,96 @@
+package otis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/word"
+)
+
+// Catalog: a structural survey of every power-of-d OTIS digraph of a
+// given degree up to a dimension bound — what each OTIS(d^p', d^q')
+// physically realizes. It generalizes Table 1's question ("which are
+// largest at a diameter?") to "what does each one build?": a de Bruijn
+// digraph when the Proposition 4.1 permutation is cyclic, a stack of
+// circuit ⊗ de Bruijn networks otherwise.
+
+// CatalogEntry describes one H(d^p', d^q', d).
+type CatalogEntry struct {
+	Degree         int // d
+	PPrime, QPrime int
+	D              int  // dimension p'+q'-1
+	Nodes          int  // d^D
+	Lenses         int  // d^p' + d^q'
+	IsDeBruijn     bool // Corollary 4.2
+	// Components counts the weak components (1 when IsDeBruijn).
+	Components int
+	// Structure renders what the hardware realizes, e.g. "B(2,8)" or
+	// "2×(C_2⊗B(d,2)) + 10×(C_6⊗B(d,2))".
+	Structure string
+}
+
+// String renders one catalog line.
+func (e CatalogEntry) String() string {
+	return fmt.Sprintf("OTIS(%d,%d)  n=%d lenses=%d  %s",
+		word.Pow(e.Degree, e.PPrime), word.Pow(e.Degree, e.QPrime),
+		e.Nodes, e.Lenses, e.Structure)
+}
+
+// Catalog enumerates every split p' + q' - 1 = D for D in [1, maxD],
+// sorted by (D, p').
+func Catalog(d, maxD int) []CatalogEntry {
+	var entries []CatalogEntry
+	for D := 1; D <= maxD; D++ {
+		for pPrime := 1; pPrime <= D; pPrime++ {
+			qPrime := D + 1 - pPrime
+			e := CatalogEntry{
+				Degree: d,
+				PPrime: pPrime,
+				QPrime: qPrime,
+				D:      D,
+				Nodes:  word.Pow(d, D),
+				Lenses: word.Pow(d, pPrime) + word.Pow(d, qPrime),
+			}
+			if IsDeBruijnLayout(pPrime, qPrime) {
+				e.IsDeBruijn = true
+				e.Components = 1
+				e.Structure = fmt.Sprintf("B(%d,%d)", d, D)
+			} else {
+				stacks := RealizedStructure(d, pPrime, qPrime)
+				parts := make([]string, len(stacks))
+				total := 0
+				for i, s := range stacks {
+					parts[i] = s.String()
+					total += s.Copies
+				}
+				e.Components = total
+				e.Structure = strings.Join(parts, " + ")
+			}
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].D != entries[j].D {
+			return entries[i].D < entries[j].D
+		}
+		return entries[i].PPrime < entries[j].PPrime
+	})
+	return entries
+}
+
+// CatalogSummary aggregates a catalog: how many splits realize the
+// de Bruijn digraph per dimension, matching the (D-1)-out-of-D pattern
+// predicted by Corollary 4.2 for prime... measured, not assumed.
+func CatalogSummary(entries []CatalogEntry) map[int][2]int {
+	out := map[int][2]int{}
+	for _, e := range entries {
+		c := out[e.D]
+		c[1]++
+		if e.IsDeBruijn {
+			c[0]++
+		}
+		out[e.D] = c
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package otis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestCatalogShape(t *testing.T) {
+	entries := Catalog(2, 5)
+	// Splits per dimension: D of them → 1+2+3+4+5 = 15.
+	if len(entries) != 15 {
+		t.Fatalf("%d entries, want 15", len(entries))
+	}
+	for _, e := range entries {
+		if e.PPrime+e.QPrime-1 != e.D {
+			t.Fatalf("split arithmetic wrong: %+v", e)
+		}
+		if e.Nodes != word.Pow(2, e.D) {
+			t.Fatalf("node count wrong: %+v", e)
+		}
+		if e.Structure == "" || e.Components < 1 {
+			t.Fatalf("structure missing: %+v", e)
+		}
+		if e.IsDeBruijn != (e.Components == 1 && strings.HasPrefix(e.Structure, "B(")) {
+			t.Fatalf("inconsistent entry: %+v", e)
+		}
+	}
+}
+
+func TestCatalogAgainstCriterion(t *testing.T) {
+	for _, e := range Catalog(2, 6) {
+		if e.IsDeBruijn != IsDeBruijnLayout(e.PPrime, e.QPrime) {
+			t.Errorf("catalog disagrees with Corollary 4.2 at (%d,%d)", e.PPrime, e.QPrime)
+		}
+	}
+}
+
+func TestCatalogVertexAccounting(t *testing.T) {
+	// Non-de Bruijn entries: component structure accounts for all nodes.
+	for _, e := range Catalog(2, 6) {
+		if e.IsDeBruijn {
+			continue
+		}
+		stacks := RealizedStructure(2, e.PPrime, e.QPrime)
+		total := 0
+		for _, s := range stacks {
+			total += s.Copies * s.CircuitLen * word.Pow(2, s.DeBruijnDim)
+		}
+		if total != e.Nodes {
+			t.Errorf("(%d,%d): stacks cover %d of %d nodes", e.PPrime, e.QPrime, total, e.Nodes)
+		}
+	}
+}
+
+func TestCatalogSummary(t *testing.T) {
+	entries := Catalog(2, 6)
+	summary := CatalogSummary(entries)
+	// D=6: splits (1,6),(2,5),(3,4),(4,3),(5,2),(6,1); Corollary 4.4
+	// guarantees (3,4); how many in total is measured.
+	c := summary[6]
+	if c[1] != 6 {
+		t.Fatalf("D=6 has %d splits", c[1])
+	}
+	if c[0] < 1 || c[0] > 6 {
+		t.Fatalf("D=6 de Bruijn count %d out of range", c[0])
+	}
+	// D=1 single split always works.
+	if summary[1] != [2]int{1, 1} {
+		t.Errorf("D=1 summary %v", summary[1])
+	}
+}
+
+func TestCatalogEntryString(t *testing.T) {
+	entries := Catalog(2, 2)
+	found := false
+	for _, e := range entries {
+		if strings.Contains(e.String(), "OTIS(") && strings.Contains(e.String(), "lenses=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("catalog strings malformed")
+	}
+}

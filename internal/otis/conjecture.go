@@ -1,0 +1,114 @@
+package otis
+
+import (
+	"sort"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+// The paper's concluding conjecture: OTIS(p, q)-layouts of B(d, D) with
+// p, q not powers of d do not exist "except for trivial cases". This file
+// reruns (and extends) the exhaustive search behind that intuition.
+
+// SplitResult records one (p, q) candidate of the conjecture scan.
+type SplitResult struct {
+	P, Q        int
+	PowerSplit  bool // both p and q are powers of d
+	Isomorphic  bool // H(p, q, d) ≅ B(d, D)
+	ViaCriteria bool // decided by Corollary 4.2 (power splits only)
+}
+
+// ConjectureScan enumerates every ordered factorization p·q = d^(D+1)
+// (p ≤ q and p ≥ q both included via symmetry of interest — we scan all
+// p dividing m) and decides whether H(p, q, d) ≅ B(d, D). Power-of-d
+// splits use the O(D) criterion of Corollary 4.2; general splits are
+// decided by materializing both digraphs, pre-filtering on cheap
+// invariants and finishing with the generic isomorphism search, so keep
+// d^D modest (≤ a few hundred vertices).
+func ConjectureScan(d, D int) []SplitResult {
+	m := word.Pow(d, D+1)
+	b := debruijn.DeBruijn(d, D)
+	var results []SplitResult
+	for p := 1; p <= m; p++ {
+		if m%p != 0 {
+			continue
+		}
+		q := m / p
+		r := SplitResult{P: p, Q: q}
+		pp, pok := logExact(p, d)
+		qp, qok := logExact(q, d)
+		r.PowerSplit = pok && qok
+		if pok && qok && pp >= 1 && qp >= 1 {
+			// Proposition 4.1 requires d | p and d | q, so the O(D)
+			// criterion applies only to splits with p', q' ≥ 1; the
+			// degenerate p = 1 (or q = 1) splits are handled generally.
+			r.ViaCriteria = true
+			r.Isomorphic = IsDeBruijnLayout(pp, qp)
+		} else {
+			h := MustH(p, q, d)
+			r.Isomorphic = looksLikeDeBruijn(h, b, d, D) && digraph.AreIsomorphic(h, b)
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].P < results[j].P })
+	return results
+}
+
+// looksLikeDeBruijn applies cheap isomorphism invariants before the
+// expensive search: regularity, loop count, strong connectivity and the
+// full distance histogram.
+func looksLikeDeBruijn(h, b *digraph.Digraph, d, D int) bool {
+	if h.N() != b.N() || h.M() != b.M() {
+		return false
+	}
+	if !h.IsRegular(d) {
+		return false
+	}
+	if len(h.Loops()) != len(b.Loops()) {
+		return false
+	}
+	if !h.IsStronglyConnected() {
+		return false
+	}
+	hHist, hUnreach := h.DistanceHistogram()
+	bHist, bUnreach := b.DistanceHistogram()
+	if hUnreach != bUnreach || len(hHist) != len(bHist) {
+		return false
+	}
+	for i := range hHist {
+		if hHist[i] != bHist[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonPowerLayouts filters a scan down to the conjecture's subject: splits
+// with p or q not a power of d that nevertheless realize B(d, D).
+func NonPowerLayouts(results []SplitResult) []SplitResult {
+	var out []SplitResult
+	for _, r := range results {
+		if !r.PowerSplit && r.Isomorphic {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// logExact returns e with base^e = v for exact powers (1 = base^0).
+func logExact(v, base int) (int, bool) {
+	if v < 1 || base < 2 {
+		return 0, false
+	}
+	e := 0
+	for v > 1 {
+		if v%base != 0 {
+			return 0, false
+		}
+		v /= base
+		e++
+	}
+	return e, true
+}

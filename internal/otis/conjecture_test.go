@@ -1,0 +1,88 @@
+package otis
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestConjectureScanPowerSplitsMatchTable(t *testing.T) {
+	// Within a scan, the power-of-d splits must agree with Corollary 4.2.
+	res := ConjectureScan(2, 4)
+	found := map[[2]int]bool{}
+	for _, r := range res {
+		if r.Isomorphic {
+			found[[2]int{r.P, r.Q}] = true
+		}
+	}
+	// D=4: cyclic splits are (1,4),(2,3),(3,2),(4,1) in p'-q' space —
+	// i.e. (2,16),(4,8),(8,4),(16,2).
+	for _, pq := range [][2]int{{2, 16}, {4, 8}, {8, 4}, {16, 2}} {
+		if !found[pq] {
+			t.Errorf("power split %v missing from scan results", pq)
+		}
+	}
+}
+
+func TestConjectureNoNonPowerLayouts(t *testing.T) {
+	// The concluding conjecture of the paper: no OTIS(p,q)-layout of
+	// B(d,D) exists with p or q not a power of d. Verified exhaustively
+	// over every factorization of d^(D+1) for all cases below (composite
+	// d gives genuinely non-power divisors). Our scan finds not even the
+	// "trivial cases" the authors hedge about: the degenerate p = 1
+	// splits fail too, because H(1, m, d) has double arcs.
+	cases := []struct{ d, D int }{
+		{2, 2}, {2, 3}, {2, 4},
+		{4, 1}, {4, 2}, {4, 3},
+		{6, 1}, {6, 2},
+		{8, 1}, {8, 2},
+		{9, 1}, {9, 2},
+	}
+	for _, c := range cases {
+		res := ConjectureScan(c.d, c.D)
+		if np := NonPowerLayouts(res); len(np) != 0 {
+			t.Errorf("d=%d D=%d: non-power layouts found: %v — the conjecture is false!", c.d, c.D, np)
+		}
+		// Sanity: the scan covered every divisor pair.
+		m := word.Pow(c.d, c.D+1)
+		for _, r := range res {
+			if r.P*r.Q != m {
+				t.Fatalf("scan emitted non-factorization %d·%d != %d", r.P, r.Q, m)
+			}
+		}
+	}
+}
+
+func TestConjectureDegenerateSplits(t *testing.T) {
+	// H(1, m, d): every node's d transmitters sit in the single group and
+	// all image to one receiver block — the digraph has parallel arcs and
+	// cannot be B(d, D) for D ≥ 1, d ≥ 2.
+	h := MustH(1, 16, 2)
+	parallel := false
+	for u := 0; u < h.N() && !parallel; u++ {
+		out := h.SortedOut(u)
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] {
+				parallel = true
+			}
+		}
+	}
+	if !parallel {
+		t.Error("H(1,16,2) unexpectedly simple — revisit the degenerate analysis")
+	}
+}
+
+func TestLogExact(t *testing.T) {
+	if e, ok := logExact(32, 2); !ok || e != 5 {
+		t.Error("logExact(32,2) wrong")
+	}
+	if e, ok := logExact(1, 2); !ok || e != 0 {
+		t.Error("logExact(1,2) wrong")
+	}
+	if _, ok := logExact(12, 2); ok {
+		t.Error("12 is not a power of 2")
+	}
+	if _, ok := logExact(0, 2); ok {
+		t.Error("0 accepted")
+	}
+}

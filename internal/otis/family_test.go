@@ -1,0 +1,35 @@
+package otis
+
+import (
+	"testing"
+)
+
+// A structural observation extracted from reproducing Table 1: beyond the
+// consecutive block ending at n = 2^D, the qualifying node counts are
+// exactly the family n = 2^a(2^b+1) with a+b = D, a >= 0 and b odd — these are
+// the Imase–Itoh digraphs II(2, n) (realized as H(2, n, 2)) that keep
+// diameter D past the de Bruijn order. b = 1 gives the Kautz digraph
+// 2^{D-1}·3, the family's largest member and Table 1's last row.
+func TestTable1FamilyPattern(t *testing.T) {
+	for _, D := range []int{8, 9, 10} {
+		for a := 0; a < D; a++ {
+			b := D - a
+			n := (1 << uint(a)) * ((1 << uint(b)) + 1)
+			got := hasExactDiameter(2, D, 2, n)
+			want := b%2 == 1
+			if got != want {
+				t.Errorf("D=%d: n = 2^%d(2^%d+1) = %d: diameter-%d layout %v, want %v",
+					D, a, b, n, D, got, want)
+			}
+		}
+	}
+}
+
+// The family members really are Imase–Itoh digraphs: H(2, n, 2) = II(2, n).
+func TestTable1FamilyIsImaseItoh(t *testing.T) {
+	for _, n := range []int{258, 264, 288, 384, 516, 528, 576, 768} {
+		if err := VerifyIILayout(2, n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}

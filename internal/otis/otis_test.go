@@ -1,0 +1,350 @@
+package otis
+
+import (
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0, 3); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewSystem(3, -1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	s, err := NewSystem(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lenses() != 9 || s.Transceivers() != 18 {
+		t.Error("lens/transceiver counts wrong")
+	}
+}
+
+func TestTransposeRule(t *testing.T) {
+	// Transmitter (i,j) → receiver (q-j-1, p-i-1).
+	s := System{P: 3, Q: 6}
+	cases := []struct{ i, j, ri, rj int }{
+		{0, 0, 5, 2},
+		{0, 5, 0, 2},
+		{2, 0, 5, 0},
+		{1, 3, 2, 1},
+	}
+	for _, c := range cases {
+		ri, rj := s.Receiver(c.i, c.j)
+		if ri != c.ri || rj != c.rj {
+			t.Errorf("Receiver(%d,%d) = (%d,%d), want (%d,%d)", c.i, c.j, ri, rj, c.ri, c.rj)
+		}
+		// Inverse.
+		i, j := s.Transmitter(ri, rj)
+		if i != c.i || j != c.j {
+			t.Errorf("Transmitter(%d,%d) = (%d,%d), want (%d,%d)", ri, rj, i, j, c.i, c.j)
+		}
+	}
+}
+
+func TestTransposeIsBijection(t *testing.T) {
+	// Figure 6: OTIS(3,6) is a one-to-one map from 18 transmitters onto
+	// 18 receivers.
+	s := System{P: 3, Q: 6}
+	seen := make(map[int]bool)
+	for t1 := 0; t1 < s.Transceivers(); t1++ {
+		r := s.ConnectionID(t1)
+		if r < 0 || r >= s.Transceivers() {
+			t.Fatalf("receiver id %d out of range", r)
+		}
+		if seen[r] {
+			t.Fatalf("receiver %d hit twice", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestHValidation(t *testing.T) {
+	if _, err := H(3, 5, 2); err == nil {
+		t.Error("d=2 with pq=15 accepted")
+	}
+	if _, err := H(0, 4, 2); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := H(4, 4, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestH482Figure7(t *testing.T) {
+	// Figure 7/8: H(4,8,2) has n = 16 vertices and adjacency
+	// Γ⁺(x3x2x1x0) = {x̄1 x̄0 γ x̄3 : γ ∈ Z_2} — letters complemented,
+	// free letter at position 1 (Proposition 4.1 with p' = 2, q' = 3).
+	g := MustH(4, 8, 2)
+	if g.N() != 16 || !g.IsRegular(2) {
+		t.Fatalf("H(4,8,2): n=%d", g.N())
+	}
+	word.Enumerate(2, 4, func(x word.Word) bool {
+		for gamma := 0; gamma < 2; gamma++ {
+			y := word.MustFromLetters(2,
+				1-x.Letter(1), 1-x.Letter(0), gamma, 1-x.Letter(3))
+			if !g.HasArc(x.Int(), y.Int()) {
+				t.Errorf("H(4,8,2) missing arc %s -> %s", x, y)
+			}
+		}
+		return true
+	})
+	// Spot-check node 0000 → {1111, 1101} as derived from the raw
+	// transpose: transmitters 0,1 reach receivers 31, 27, nodes 15, 13.
+	if !g.HasArc(0, 15) || !g.HasArc(0, 13) {
+		t.Error("H(4,8,2) node 0 adjacency wrong")
+	}
+}
+
+func TestProposition41Equality(t *testing.T) {
+	// H(d^p', d^q', d) is *equal* (not merely isomorphic) to
+	// A(f, C, p'-1) under the Horner labelling used in the proof.
+	cases := []struct{ d, pPrime, qPrime int }{
+		{2, 2, 3}, {2, 1, 4}, {2, 3, 3}, {2, 4, 2},
+		{3, 2, 2}, {3, 1, 3}, {2, 3, 6},
+	}
+	for _, c := range cases {
+		h := MustH(word.Pow(c.d, c.pPrime), word.Pow(c.d, c.qPrime), c.d)
+		a := AlphaForLayout(c.d, c.pPrime, c.qPrime).Digraph()
+		if !h.Equal(a) {
+			t.Errorf("H(%d^%d,%d^%d,%d) != A(f,C,%d)", c.d, c.pPrime, c.d, c.qPrime, c.d, c.pPrime-1)
+		}
+	}
+}
+
+func TestIndexPermutationExamples(t *testing.T) {
+	// p'=2, q'=3 (H(4,8,2)): f = [2 3 1 0], cyclic.
+	f := IndexPermutation(2, 3)
+	want := []int{2, 3, 1, 0}
+	for i, w := range want {
+		if f.Apply(i) != w {
+			t.Fatalf("f(%d) = %d, want %d", i, f.Apply(i), w)
+		}
+	}
+	if !f.IsCyclic() {
+		t.Error("f for (2,3) must be cyclic")
+	}
+	// p'=3, q'=6 is the D=8 split (8,64) absent from Table 1: f has the
+	// short orbit {0,3,6} and is not cyclic.
+	if IndexPermutation(3, 6).IsCyclic() {
+		t.Error("f for (3,6) must not be cyclic — H(8,64,2) is not B(2,8)")
+	}
+}
+
+func TestCorollary42AgainstBruteForce(t *testing.T) {
+	// The O(D) criterion must agree with actual digraph isomorphism for
+	// every split of small diameters.
+	d := 2
+	for D := 2; D <= 6; D++ {
+		b := debruijn.DeBruijn(d, D)
+		for pPrime := 1; pPrime <= D; pPrime++ {
+			qPrime := D + 1 - pPrime
+			h := MustH(word.Pow(d, pPrime), word.Pow(d, qPrime), d)
+			fast := IsDeBruijnLayout(pPrime, qPrime)
+			slow := digraph.AreIsomorphic(h, b)
+			if fast != slow {
+				t.Errorf("D=%d split (%d,%d): criterion says %v, brute force %v",
+					D, pPrime, qPrime, fast, slow)
+			}
+		}
+	}
+}
+
+func TestLayoutWitnessVerified(t *testing.T) {
+	cases := []struct{ d, pPrime, qPrime int }{
+		{2, 2, 3}, {2, 4, 5}, {3, 2, 3}, {2, 1, 8},
+	}
+	for _, c := range cases {
+		mapping, err := LayoutWitness(c.d, c.pPrime, c.qPrime)
+		if err != nil {
+			t.Errorf("LayoutWitness(%v): %v", c, err)
+			continue
+		}
+		h := MustH(word.Pow(c.d, c.pPrime), word.Pow(c.d, c.qPrime), c.d)
+		b := debruijn.DeBruijn(c.d, c.pPrime+c.qPrime-1)
+		if err := digraph.VerifyIsomorphism(h, b, mapping); err != nil {
+			t.Errorf("witness for %v fails: %v", c, err)
+		}
+	}
+	if _, err := LayoutWitness(2, 3, 6); err == nil {
+		t.Error("LayoutWitness accepted the non-cyclic (3,6) split")
+	}
+}
+
+func TestSection43Claims(t *testing.T) {
+	// H(2,256,2), H(4,128,2), H(16,32,2) are isomorphic to B(2,8);
+	// H(8,128,2) to B(2,9); the five splits of D=10 from Table 1.
+	good := []struct{ pPrime, qPrime int }{
+		{1, 8}, {2, 7}, {4, 5}, // D = 8
+		{3, 7},                                  // D = 9
+		{1, 10}, {2, 9}, {3, 8}, {4, 7}, {5, 6}, // D = 10
+	}
+	for _, c := range good {
+		if !IsDeBruijnLayout(c.pPrime, c.qPrime) {
+			t.Errorf("split (%d,%d) should be a de Bruijn layout", c.pPrime, c.qPrime)
+		}
+	}
+	// (8,64) = (3,6) for D=8 is famously absent.
+	if IsDeBruijnLayout(3, 6) {
+		t.Error("(3,6) should not be a layout")
+	}
+}
+
+func TestProposition43OddBalanced(t *testing.T) {
+	// D odd, p' = q' = (D+1)/2: no layout unless D = 1.
+	if !IsDeBruijnLayout(1, 1) {
+		t.Error("D=1: H(d,d,d) ≅ B(d,1) must hold")
+	}
+	for _, pp := range []int{2, 3, 4, 5, 6} {
+		if IsDeBruijnLayout(pp, pp) {
+			t.Errorf("balanced split (%d,%d) accepted for odd D=%d", pp, pp, 2*pp-1)
+		}
+	}
+}
+
+func TestCorollary44EvenD(t *testing.T) {
+	// Even D: p' = D/2, q' = D/2+1 always works.
+	for D := 2; D <= 20; D += 2 {
+		if !IsDeBruijnLayout(D/2, D/2+1) {
+			t.Errorf("Corollary 4.4 fails for D=%d", D)
+		}
+	}
+}
+
+func TestSection44OddCases(t *testing.T) {
+	// H(2^5, 2^7, 2) ≅ B(2,11) but H(d^6, d^8, d) ≇ B(d,13).
+	if !IsDeBruijnLayout(5, 7) {
+		t.Error("(5,7) should be a layout (D=11)")
+	}
+	if IsDeBruijnLayout(6, 8) {
+		t.Error("(6,8) should not be a layout (D=13)")
+	}
+}
+
+func TestOptimalLayout(t *testing.T) {
+	// Even D: balanced split, Θ(√n) lenses.
+	l, ok := OptimalLayout(2, 8)
+	if !ok {
+		t.Fatal("no layout for B(2,8)")
+	}
+	if l.PPrime != 4 || l.QPrime != 5 {
+		t.Errorf("optimal split for D=8 is (%d,%d), want (4,5)", l.PPrime, l.QPrime)
+	}
+	if l.Lenses() != 16+32 {
+		t.Errorf("lenses = %d, want 48", l.Lenses())
+	}
+	if l.Nodes() != 256 || l.P() != 16 || l.Q() != 32 {
+		t.Error("layout accessors wrong")
+	}
+	// Odd D = 11: balanced impossible; (5,7) is the best cyclic split.
+	l11, ok := OptimalLayout(2, 11)
+	if !ok {
+		t.Fatal("no layout for B(2,11)")
+	}
+	if l11.PPrime != 5 || l11.QPrime != 7 {
+		t.Errorf("optimal split for D=11 is (%d,%d), want (5,7)", l11.PPrime, l11.QPrime)
+	}
+	// D = 1.
+	l1, ok := OptimalLayout(2, 1)
+	if !ok || l1.PPrime != 1 || l1.QPrime != 1 {
+		t.Errorf("D=1 layout = %+v, ok=%v", l1, ok)
+	}
+}
+
+func TestMinimizeLensesScaling(t *testing.T) {
+	// The headline: minimized lens count is Θ(√n) for even D, versus the
+	// O(n) Imase–Itoh baseline.
+	for D := 2; D <= 16; D += 2 {
+		_, _, lenses, ok := MinimizeLenses(2, D)
+		if !ok {
+			t.Fatalf("no layout for D=%d", D)
+		}
+		n := word.Pow(2, D)
+		sqrtN := word.Pow(2, D/2)
+		// p + q = d^{D/2} + d^{D/2+1} = 3·√n for d=2.
+		if lenses != 3*sqrtN {
+			t.Errorf("D=%d: lenses = %d, want %d", D, lenses, 3*sqrtN)
+		}
+		if base := IILayoutLenses(2, n); base <= lenses && D > 2 {
+			t.Errorf("D=%d: baseline %d not worse than optimized %d", D, base, lenses)
+		}
+	}
+}
+
+func TestVerifyIILayout(t *testing.T) {
+	// [14]: II(d, n) has an OTIS(d, n)-layout — H(d, n, d) = II(d, n)
+	// exactly, for any n, even when n is not a power of d.
+	for _, c := range []struct{ d, n int }{
+		{2, 8}, {2, 12}, {2, 256}, {2, 384}, {3, 27}, {3, 36}, {4, 64}, {2, 253},
+	} {
+		if err := VerifyIILayout(c.d, c.n); err != nil {
+			t.Errorf("II(%d,%d): %v", c.d, c.n, err)
+		}
+	}
+}
+
+func TestH482IsoB24Figure8(t *testing.T) {
+	// Figure 8: B(2,4) relabelled by the H(4,8,2) adjacency. Verify the
+	// isomorphism both by witness and brute force.
+	mapping, err := LayoutWitness(2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MustH(4, 8, 2)
+	b := debruijn.DeBruijn(2, 4)
+	if err := digraph.VerifyIsomorphism(h, b, mapping); err != nil {
+		t.Fatal(err)
+	}
+	if !digraph.AreIsomorphic(h, b) {
+		t.Error("brute force disagrees")
+	}
+}
+
+func TestReverseLayoutRemark(t *testing.T) {
+	ok, err := ReverseLayout(4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("H(8,4,2) should realize the reverse of H(4,8,2)")
+	}
+}
+
+func TestNodeTransmittersReceivers(t *testing.T) {
+	s := System{P: 4, Q: 8}
+	// Node 0 of H(4,8,2): transmitters 0,1 → positions (0,0),(0,1);
+	// receivers 0,1 → positions (0,0),(0,1).
+	tx := s.NodeTransmitters(0, 2)
+	if tx[0] != [2]int{0, 0} || tx[1] != [2]int{0, 1} {
+		t.Errorf("transmitters of node 0: %v", tx)
+	}
+	rx := s.NodeReceivers(5, 2)
+	// Receivers 10, 11 → groups 10/4=2 pos 2; 11/4=2 pos 3.
+	if rx[0] != [2]int{2, 2} || rx[1] != [2]int{2, 3} {
+		t.Errorf("receivers of node 5: %v", rx)
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	l, _ := OptimalLayout(2, 8)
+	if got := l.String(); got != "OTIS(16,32) ⊢ B(2,8), 48 lenses" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHDiameters(t *testing.T) {
+	// A layout split gives diameter exactly D; the (3,6) non-split is
+	// disconnected.
+	g := MustH(16, 32, 2)
+	if got := g.Diameter(); got != 8 {
+		t.Errorf("H(16,32,2) diameter = %d, want 8", got)
+	}
+	bad := MustH(8, 64, 2)
+	if bad.IsWeaklyConnected() {
+		t.Error("H(8,64,2) should be disconnected (σ = C complements... the f orbit {0,3,6} splits it)")
+	}
+}

@@ -1,0 +1,56 @@
+package otis
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Parallel Table 1 search: the candidate (n, p, q) triples are
+// independent, so a worker pool over n values reruns the exhaustive
+// degree–diameter search with near-linear speedup. Results are identical
+// to SearchDegreeDiameter (verified by tests).
+
+// SearchDegreeDiameterParallel is SearchDegreeDiameter distributed over a
+// worker pool (workers <= 0 selects GOMAXPROCS).
+func SearchDegreeDiameterParallel(d, diam, minN, maxN, workers int) []TableRow {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	span := maxN - minN + 1
+	if span <= 0 {
+		return nil
+	}
+	if workers > span {
+		workers = span
+	}
+	type job struct{ n int }
+	jobs := make(chan job, workers)
+	var mu sync.Mutex
+	var rows []TableRow
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				pairs := splitsWithDiameter(d, diam, j.n)
+				if len(pairs) == 0 {
+					continue
+				}
+				row := TableRow{N: j.n, Pairs: pairs}
+				annotate(&row, d, diam)
+				mu.Lock()
+				rows = append(rows, row)
+				mu.Unlock()
+			}
+		}()
+	}
+	for n := minN; n <= maxN; n++ {
+		jobs <- job{n: n}
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].N < rows[j].N })
+	return rows
+}

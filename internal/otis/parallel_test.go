@@ -1,0 +1,38 @@
+package otis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	seq := SearchDegreeDiameter(2, 8, 253, 511)
+	for _, workers := range []int{1, 2, 4, 0} {
+		par := SearchDegreeDiameterParallel(2, 8, 253, 511, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: parallel search diverged", workers)
+		}
+	}
+}
+
+func TestParallelSearchEmptyRange(t *testing.T) {
+	if rows := SearchDegreeDiameterParallel(2, 8, 600, 500, 4); rows != nil {
+		t.Errorf("inverted range returned %v", rows)
+	}
+}
+
+func BenchmarkSearchSequentialD9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(SearchDegreeDiameter(2, 9, 509, 1023)) != 9 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func BenchmarkSearchParallelD9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(SearchDegreeDiameterParallel(2, 9, 509, 1023, 0)) != 9 {
+			b.Fatal("bad row count")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package otis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+// Property-based tests on the OTIS transpose and layout algebra.
+
+func TestQuickTransposeInverse(t *testing.T) {
+	// Transposing OTIS(p,q) and then OTIS(q,p) is the identity on
+	// transceiver coordinates.
+	f := func(pRaw, qRaw, iRaw, jRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		q := int(qRaw%16) + 1
+		i := int(iRaw) % p
+		j := int(jRaw) % q
+		s := System{P: p, Q: q}
+		sT := System{P: q, Q: p}
+		ri, rj := s.Receiver(i, j)
+		// The receiver of OTIS(p,q) is a transmitter coordinate of
+		// OTIS(q,p); transposing again must return (i,j).
+		bi, bj := sT.Receiver(ri, rj)
+		return bi == i && bj == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConnectionBijective(t *testing.T) {
+	f := func(pRaw, qRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		q := int(qRaw%8) + 1
+		s := System{P: p, Q: q}
+		seen := make([]bool, p*q)
+		for t1 := 0; t1 < p*q; t1++ {
+			r := s.ConnectionID(t1)
+			if r < 0 || r >= p*q || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHRegularAndSized(t *testing.T) {
+	f := func(ppRaw, qpRaw, dRaw uint8) bool {
+		d := int(dRaw%2) + 2   // 2..3
+		pp := int(ppRaw%3) + 1 // 1..3
+		qp := int(qpRaw%3) + 1 // 1..3
+		p, q := word.Pow(d, pp), word.Pow(d, qp)
+		g := MustH(p, q, d)
+		return g.N() == p*q/d && g.IsOutRegular(d) && g.IsInRegular(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndexPermutationValid(t *testing.T) {
+	// The Proposition 4.1 permutation is a valid permutation for every
+	// split, cyclic or not.
+	f := func(ppRaw, qpRaw uint8) bool {
+		pp := int(ppRaw%12) + 1
+		qp := int(qpRaw%12) + 1
+		return IndexPermutation(pp, qp).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReverseSplitSymmetry(t *testing.T) {
+	// IsDeBruijnLayout(p', q') and IsDeBruijnLayout(q', p') agree:
+	// B(d,D) is isomorphic to its reverse, so a split works iff its
+	// transpose does.
+	f := func(ppRaw, qpRaw uint8) bool {
+		pp := int(ppRaw%10) + 1
+		qp := int(qpRaw%10) + 1
+		return IsDeBruijnLayout(pp, qp) == IsDeBruijnLayout(qp, pp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOptimalLayoutBalanced(t *testing.T) {
+	// For even D the optimum is always the balanced split.
+	f := func(dRaw, DRaw uint8) bool {
+		d := int(dRaw%3) + 2
+		D := (int(DRaw%10) + 1) * 2 // even, 2..20
+		l, ok := OptimalLayout(d, D)
+		return ok && l.PPrime == D/2 && l.QPrime == D/2+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package otis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/word"
+)
+
+// The degree–diameter problem for OTIS layouts (Section 4.3, Table 1):
+// for fixed degree d and diameter D, find the largest n such that some
+// H(p, q, d) with pq = dn has diameter D. The paper reports the results of
+// an exhaustive search for d = 2 and D ∈ {8, 9, 10}; SearchDegreeDiameter
+// reruns that search.
+
+// TableRow is one line of Table 1: a node count and every (p, q) split
+// (p ≤ q) for which H(p, q, d) achieves the target diameter.
+type TableRow struct {
+	N     int      // number of nodes
+	Pairs [][2]int // (p, q) splits, p ≤ q, ordered by p
+	Note  string   // "B(d,D)" or "K(d,D)" when n matches those orders
+}
+
+// String renders the row roughly as in the paper: "256  2 256 | 4 128 | 16 32  B(2,8)".
+func (r TableRow) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d  ", r.N)
+	for i, pq := range r.Pairs {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%d %d", pq[0], pq[1])
+	}
+	if r.Note != "" {
+		fmt.Fprintf(&b, "  %s", r.Note)
+	}
+	return b.String()
+}
+
+// SearchDegreeDiameter enumerates, for every n in [minN, maxN], the splits
+// (p, q) with pq = dn and p ≤ q such that H(p, q, d) has diameter exactly
+// diam, returning one TableRow per qualifying n in increasing order.
+// Rows are annotated when n equals the de Bruijn order d^diam or the Kautz
+// order d^{diam-1}(d+1).
+func SearchDegreeDiameter(d, diam, minN, maxN int) []TableRow {
+	var rows []TableRow
+	for n := minN; n <= maxN; n++ {
+		pairs := splitsWithDiameter(d, diam, n)
+		if len(pairs) == 0 {
+			continue
+		}
+		row := TableRow{N: n, Pairs: pairs}
+		annotate(&row, d, diam)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// annotate marks rows whose node count is the de Bruijn or Kautz order.
+func annotate(row *TableRow, d, diam int) {
+	if row.N == word.Pow(d, diam) {
+		row.Note = fmt.Sprintf("B(%d,%d)", d, diam)
+	}
+	if row.N == debruijn.KautzOrder(d, diam) {
+		row.Note = fmt.Sprintf("K(%d,%d)", d, diam)
+	}
+}
+
+// LargestWithDiameter returns the largest n ≤ maxN admitting an
+// OTIS-realizable digraph H(p, q, d) of diameter exactly diam, and that
+// row; ok is false if none exists in range. Passing maxN at least the
+// Moore bound makes the answer unconditional, since no digraph of degree d
+// and diameter diam exceeds the Moore bound.
+func LargestWithDiameter(d, diam, maxN int) (TableRow, bool) {
+	for n := maxN; n >= 1; n-- {
+		pairs := splitsWithDiameter(d, diam, n)
+		if len(pairs) != 0 {
+			row := TableRow{N: n, Pairs: pairs}
+			if n == debruijn.KautzOrder(d, diam) {
+				row.Note = fmt.Sprintf("K(%d,%d)", d, diam)
+			}
+			return row, true
+		}
+	}
+	return TableRow{}, false
+}
+
+// splitsWithDiameter returns the (p, q) splits, p ≤ q, pq = dn, for which
+// H(p, q, d) has diameter exactly diam.
+func splitsWithDiameter(d, diam, n int) [][2]int {
+	m := d * n
+	var pairs [][2]int
+	for p := 1; p*p <= m; p++ {
+		if m%p != 0 {
+			continue
+		}
+		q := m / p
+		if hasExactDiameter(d, diam, p, q) {
+			pairs = append(pairs, [2]int{p, q})
+		}
+	}
+	sort.Slice(pairs, func(i, k int) bool { return pairs[i][0] < pairs[k][0] })
+	return pairs
+}
+
+func hasExactDiameter(d, diam, p, q int) bool {
+	g, err := H(p, q, d)
+	if err != nil {
+		return false
+	}
+	// DiameterAtMost aborts on the first too-eccentric vertex, which
+	// rejects the vast majority of candidates after a single BFS.
+	return g.DiameterAtMost(diam) && !g.DiameterAtMost(diam-1)
+}
+
+// VerifyIILayout checks the result of [14] recalled in Section 4.2:
+// H(d, n, d) is exactly II(d, n) as a labelled digraph, so the Imase–Itoh
+// digraph (and with it the de Bruijn and Kautz digraphs, by Proposition
+// 3.3 and [21]) has an OTIS(d, n)-layout with d + n lenses.
+func VerifyIILayout(d, n int) error {
+	h, err := H(d, n, d)
+	if err != nil {
+		return err
+	}
+	if !h.Equal(debruijn.ImaseItoh(d, n)) {
+		return fmt.Errorf("otis: H(%d,%d,%d) differs from II(%d,%d)", d, n, d, d, n)
+	}
+	return nil
+}
+
+// ReverseLayout checks the remark of Section 4.2: if G has an
+// OTIS(p, q)-layout then the reverse digraph G⁻ has an OTIS(q, p)-layout.
+// It reports whether H(q, p, d) equals the reverse of H(p, q, d) up to
+// isomorphism (checked with the generic matcher, so keep instances small).
+func ReverseLayout(p, q, d int) (bool, error) {
+	g, err := H(p, q, d)
+	if err != nil {
+		return false, err
+	}
+	rg, err := H(q, p, d)
+	if err != nil {
+		return false, err
+	}
+	_, ok := digraph.FindIsomorphism(g.Reverse(), rg)
+	return ok, nil
+}

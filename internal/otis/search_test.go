@@ -1,0 +1,99 @@
+package otis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/digraph"
+)
+
+func TestTable1D8Rows(t *testing.T) {
+	// The D = 8 block of Table 1: rows n = 253..256, 258, 264, 288, 384
+	// with exactly the splits the paper lists.
+	rows := SearchDegreeDiameter(2, 8, 253, 511)
+	want := []TableRow{
+		{N: 253, Pairs: [][2]int{{2, 253}}},
+		{N: 254, Pairs: [][2]int{{2, 254}}},
+		{N: 255, Pairs: [][2]int{{2, 255}}},
+		{N: 256, Pairs: [][2]int{{2, 256}, {4, 128}, {16, 32}}, Note: "B(2,8)"},
+		{N: 258, Pairs: [][2]int{{2, 258}}},
+		{N: 264, Pairs: [][2]int{{2, 264}}},
+		{N: 288, Pairs: [][2]int{{2, 288}}},
+		{N: 384, Pairs: [][2]int{{2, 384}}, Note: "K(2,8)"},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("Table 1 (D=8) mismatch:\n got %v\nwant %v", rows, want)
+	}
+}
+
+func TestTable1D8KautzIsLargest(t *testing.T) {
+	// "The Kautz digraph appears to be the largest digraph of degree d and
+	// diameter D which has an OTIS(p,q)-layout." Scanning up to the Moore
+	// bound (above which no digraph of degree 2 and diameter 8 exists at
+	// all) makes the claim unconditional.
+	row, ok := LargestWithDiameter(2, 8, digraph.MooreBound(2, 8))
+	if !ok {
+		t.Fatal("no diameter-8 OTIS digraph found")
+	}
+	if row.N != 384 {
+		t.Errorf("largest n = %d, want 384 (Kautz)", row.N)
+	}
+	if row.Note != "K(2,8)" {
+		t.Errorf("note = %q", row.Note)
+	}
+	// The realized digraph is indeed the Kautz digraph: H(2,384,2) =
+	// II(2,384) ≅ K(2,8).
+	if err := VerifyIILayout(2, 384); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable1D9Probe(t *testing.T) {
+	// The D = 9 block near its top: 512 has splits (2,512) and (8,128)
+	// only; 768 = K(2,9) is the largest.
+	rows := SearchDegreeDiameter(2, 9, 509, 520)
+	byN := map[int]TableRow{}
+	for _, r := range rows {
+		byN[r.N] = r
+	}
+	r512, ok := byN[512]
+	if !ok {
+		t.Fatal("n=512 missing for D=9")
+	}
+	want := [][2]int{{2, 512}, {8, 128}}
+	if !reflect.DeepEqual(r512.Pairs, want) {
+		t.Errorf("splits for 512: %v, want %v", r512.Pairs, want)
+	}
+	if r512.Note != "B(2,9)" {
+		t.Errorf("note = %q", r512.Note)
+	}
+	if _, ok := byN[513]; !ok {
+		t.Error("n=513 row missing (paper lists it)")
+	}
+}
+
+func TestSearchRejectsDisconnected(t *testing.T) {
+	// (8,64) must not appear among the n=256 splits.
+	rows := SearchDegreeDiameter(2, 8, 256, 256)
+	if len(rows) != 1 {
+		t.Fatal("expected exactly the n=256 row")
+	}
+	for _, pq := range rows[0].Pairs {
+		if pq == [2]int{8, 64} {
+			t.Error("(8,64) wrongly listed for n=256")
+		}
+	}
+}
+
+func TestSearchEmptyRange(t *testing.T) {
+	if rows := SearchDegreeDiameter(2, 8, 600, 700); len(rows) != 0 {
+		t.Errorf("diameter-8 digraphs beyond Moore bound territory: %v", rows)
+	}
+}
+
+func TestTableRowString(t *testing.T) {
+	r := TableRow{N: 256, Pairs: [][2]int{{2, 256}, {16, 32}}, Note: "B(2,8)"}
+	if got := r.String(); got != "   256  2 256 | 16 32  B(2,8)" {
+		t.Errorf("String = %q", got)
+	}
+}

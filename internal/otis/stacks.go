@@ -1,0 +1,46 @@
+package otis
+
+import (
+	"sort"
+
+	"repro/internal/multistage"
+)
+
+// RealizedStructure describes what a power-of-d OTIS split actually
+// builds. For a cyclic split it is a single de Bruijn digraph
+// (Corollary 4.2): one stack entry, 1 × (C_1 ⊗ B(d, D)). For a non-cyclic
+// split, Remark 3.10 says the weak components are circuit ⊗ de Bruijn
+// conjunctions — i.e. the OTIS hardware realizes a collection of disjoint
+// ShuffleNet-style multistage networks. The circuit lengths are the orbit
+// lengths of the residual letter dynamics and need not be uniform: the
+// missing (8,64) split of Table 1's n = 256 row realizes
+// 2 × (C_2 ⊗ B(2,2)) plus 10 × (C_6 ⊗ B(2,2)).
+//
+// Stacks are returned grouped by shape, ordered by circuit length then
+// de Bruijn dimension.
+func RealizedStructure(d, pPrime, qPrime int) []multistage.Stack {
+	a := AlphaForLayout(d, pPrime, qPrime)
+	counts := map[[2]int]int{}
+	for _, comp := range a.Decompose() {
+		counts[[2]int{comp.CircuitLen, comp.DeBruijnDim}]++
+	}
+	shapes := make([][2]int, 0, len(counts))
+	for shape := range counts {
+		shapes = append(shapes, shape)
+	}
+	sort.Slice(shapes, func(i, j int) bool {
+		if shapes[i][0] != shapes[j][0] {
+			return shapes[i][0] < shapes[j][0]
+		}
+		return shapes[i][1] < shapes[j][1]
+	})
+	stacks := make([]multistage.Stack, len(shapes))
+	for i, shape := range shapes {
+		stacks[i] = multistage.Stack{
+			Copies:      counts[shape],
+			CircuitLen:  shape[0],
+			DeBruijnDim: shape[1],
+		}
+	}
+	return stacks
+}

@@ -1,0 +1,117 @@
+package perm
+
+// This file provides exhaustive enumeration of permutations. The paper
+// counts d!(D-1)! alternative definitions of the de Bruijn digraph
+// (Section 3.2): d! choices for the alphabet permutation σ and (D-1)!
+// cyclic permutations f of the index set Z_D. The enumerators below are
+// used by the tests and benches that verify those counts by brute force.
+
+// All calls visit with every permutation of Z_n in lexicographic order of
+// one-line notation. The Perm passed to visit is reused between calls;
+// Clone it to retain. Enumeration stops early if visit returns false.
+// The number of permutations visited is n! (1 for n = 0).
+func All(n int, visit func(Perm) bool) {
+	p := Identity(n)
+	for {
+		if !visit(p) {
+			return
+		}
+		if !nextLex(p) {
+			return
+		}
+	}
+}
+
+// Count returns the number of permutations of Z_n satisfying pred.
+func Count(n int, pred func(Perm) bool) int {
+	count := 0
+	All(n, func(p Perm) bool {
+		if pred(p) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// AllCyclic calls visit with every cyclic permutation of Z_n. There are
+// (n-1)! of them for n ≥ 1. The Perm passed to visit is reused; Clone it to
+// retain. Enumeration stops early if visit returns false.
+func AllCyclic(n int, visit func(Perm) bool) {
+	if n == 0 {
+		return
+	}
+	// A cyclic permutation of Z_n corresponds to an arrangement of
+	// {1, ..., n-1} after the fixed leading 0 in cycle notation:
+	// (0 a_1 a_2 ... a_{n-1}).
+	rest := make([]int, n-1)
+	for i := range rest {
+		rest[i] = i + 1
+	}
+	cycle := make([]int, n)
+	cycle[0] = 0
+	for {
+		copy(cycle[1:], rest)
+		p, err := FromCycles(n, [][]int{cycle})
+		if err != nil {
+			panic("perm: internal enumeration error: " + err.Error())
+		}
+		if !visit(p) {
+			return
+		}
+		if !nextLexInts(rest) {
+			return
+		}
+	}
+}
+
+// CountCyclic returns the number of cyclic permutations of Z_n, computed by
+// enumeration. It equals (n-1)! for n ≥ 1 and 0 for n = 0.
+func CountCyclic(n int) int {
+	count := 0
+	AllCyclic(n, func(Perm) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// Factorial returns n! for small n, panicking on overflow-prone inputs
+// (n > 20 overflows int64 and is far beyond any use in this repository).
+func Factorial(n int) int {
+	if n < 0 {
+		panic("perm: factorial of negative number")
+	}
+	if n > 20 {
+		panic("perm: factorial argument too large")
+	}
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// nextLex advances p to the next permutation in lexicographic order,
+// reporting false when p was already the last one.
+func nextLex(p Perm) bool { return nextLexInts(p) }
+
+func nextLexInts(p []int) bool {
+	n := len(p)
+	i := n - 2
+	for i >= 0 && p[i] >= p[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := n - 1
+	for p[j] <= p[i] {
+		j--
+	}
+	p[i], p[j] = p[j], p[i]
+	for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+		p[l], p[r] = p[r], p[l]
+	}
+	return true
+}

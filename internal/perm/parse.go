@@ -1,0 +1,86 @@
+package perm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a permutation of Z_n from either disjoint cycle notation
+// ("(0 3 1)(4 5)", "()" for the identity) or one-line notation
+// ("[3 0 2 1 5 4]"). Elements not mentioned in cycle notation are fixed.
+// The inverse of String and OneLine, used by the CLI tools to accept
+// permutations on the command line.
+func Parse(n int, s string) (Perm, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("perm: empty input")
+	}
+	if s[0] == '[' {
+		return parseOneLine(n, s)
+	}
+	if s[0] == '(' {
+		return parseCycles(n, s)
+	}
+	return nil, fmt.Errorf("perm: expected '(' or '[', got %q", s[0])
+}
+
+func parseOneLine(n int, s string) (Perm, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("perm: unterminated one-line notation")
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		if n != 0 {
+			return nil, fmt.Errorf("perm: empty image for n=%d", n)
+		}
+		return Perm{}, nil
+	}
+	fields := strings.Fields(body)
+	if len(fields) != n {
+		return nil, fmt.Errorf("perm: %d entries for n=%d", len(fields), n)
+	}
+	image := make([]int, n)
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("perm: bad entry %q: %w", f, err)
+		}
+		image[i] = v
+	}
+	return FromImage(image)
+}
+
+func parseCycles(n int, s string) (Perm, error) {
+	var cycles [][]int
+	rest := s
+	for rest != "" {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != '(' {
+			return nil, fmt.Errorf("perm: expected '(' at %q", rest)
+		}
+		end := strings.IndexByte(rest, ')')
+		if end < 0 {
+			return nil, fmt.Errorf("perm: unterminated cycle in %q", rest)
+		}
+		body := strings.TrimSpace(rest[1:end])
+		rest = rest[end+1:]
+		if body == "" {
+			continue // "()" — identity contribution
+		}
+		fields := strings.Fields(body)
+		cycle := make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("perm: bad cycle element %q: %w", f, err)
+			}
+			cycle[i] = v
+		}
+		cycles = append(cycles, cycle)
+	}
+	return FromCycles(n, cycles)
+}

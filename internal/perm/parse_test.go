@@ -1,0 +1,63 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseCycles(t *testing.T) {
+	p, err := Parse(6, "(0 3 1)(4 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(MustFromImage([]int{3, 0, 2, 1, 5, 4})) {
+		t.Fatalf("parsed %v", p)
+	}
+	id, err := Parse(4, "()")
+	if err != nil || !id.IsIdentity() {
+		t.Fatalf("identity parse: %v %v", id, err)
+	}
+}
+
+func TestParseOneLine(t *testing.T) {
+	p, err := Parse(4, "[2 3 1 0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(MustFromImage([]int{2, 3, 1, 0})) {
+		t.Fatalf("parsed %v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "hello", "(0 1", "(0 1)(1 2)", "[1 2]", "[0 1 2]x", "(0 9)", "[a b c d]",
+	}
+	for _, s := range bad {
+		if _, err := Parse(4, s); err == nil {
+			t.Errorf("Parse(4, %q) accepted", s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		p := Random(n, rng)
+		viaCycle, err := Parse(n, p.String())
+		if err != nil {
+			t.Fatalf("cycle round trip of %v: %v", p, err)
+		}
+		if !viaCycle.Equal(p) {
+			t.Fatalf("cycle round trip %v -> %v", p, viaCycle)
+		}
+		viaOneLine, err := Parse(n, p.OneLine())
+		if err != nil {
+			t.Fatalf("one-line round trip of %v: %v", p, err)
+		}
+		if !viaOneLine.Equal(p) {
+			t.Fatalf("one-line round trip %v -> %v", p, viaOneLine)
+		}
+	}
+}

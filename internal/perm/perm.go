@@ -1,0 +1,376 @@
+// Package perm implements finite permutations of Z_n = {0, 1, ..., n-1}.
+//
+// Permutations are the algebraic backbone of the paper "De Bruijn
+// Isomorphisms and Free Space Optical Networks" (Coudert, Ferreira,
+// Pérennes, IPDPS 2000): the alphabet digraphs A(f, σ, j) of Definition 3.7
+// are parameterized by a permutation f on word indices Z_D and a permutation
+// σ on the alphabet Z_d, and the central result (Proposition 3.9) states
+// that A(f, σ, j) is isomorphic to the de Bruijn digraph B(d, D) exactly
+// when f is a cyclic permutation.
+//
+// A Perm p represents the mapping i ↦ p[i]. The zero-length Perm is the
+// (vacuous) permutation of the empty set and is valid.
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Perm is a permutation of Z_n represented in one-line notation:
+// the permutation maps i to p[i]. Perm values are plain slices; use Clone
+// when an independent copy is required.
+type Perm []int
+
+// Identity returns the identity permutation of Z_n.
+func Identity(n int) Perm {
+	if n < 0 {
+		panic("perm: negative size")
+	}
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Complement returns the complement permutation C of Z_n from Definition 2.1
+// of the paper: C(u) = n - u - 1, often written ū.
+func Complement(n int) Perm {
+	if n < 0 {
+		panic("perm: negative size")
+	}
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = n - i - 1
+	}
+	return p
+}
+
+// CyclicShift returns the permutation ρ of Z_n defined by ρ(i) = i+1 mod n.
+// This is the permutation that makes the de Bruijn digraph an alphabet
+// digraph: B(d, D) = A(ρ, Id, 0) (Remark 3.8).
+func CyclicShift(n int) Perm {
+	if n < 0 {
+		panic("perm: negative size")
+	}
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = (i + 1) % n
+	}
+	return p
+}
+
+// Transposition returns the permutation of Z_n exchanging a and b.
+func Transposition(n, a, b int) Perm {
+	p := Identity(n)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		panic("perm: transposition index out of range")
+	}
+	p[a], p[b] = b, a
+	return p
+}
+
+// FromImage builds a Perm from an explicit image slice and validates it.
+func FromImage(image []int) (Perm, error) {
+	p := make(Perm, len(image))
+	copy(p, image)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustFromImage is like FromImage but panics on invalid input. It is
+// intended for package-level variables and tests.
+func MustFromImage(image []int) Perm {
+	p, err := FromImage(image)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromFunc builds the permutation of Z_n with image f(i) and validates it.
+func FromFunc(n int, f func(int) int) (Perm, error) {
+	image := make([]int, n)
+	for i := range image {
+		image[i] = f(i)
+	}
+	return FromImage(image)
+}
+
+// MustFromFunc is like FromFunc but panics on invalid input.
+func MustFromFunc(n int, f func(int) int) Perm {
+	p, err := FromFunc(n, f)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromCycles builds a permutation of Z_n from disjoint cycles. Elements not
+// mentioned in any cycle are fixed. For example FromCycles(6, [][]int{{0,3,1}})
+// maps 0→3, 3→1, 1→0 and fixes 2, 4, 5.
+func FromCycles(n int, cycles [][]int) (Perm, error) {
+	p := Identity(n)
+	seen := make([]bool, n)
+	for _, c := range cycles {
+		for i, u := range c {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("perm: cycle element %d out of range [0,%d)", u, n)
+			}
+			if seen[u] {
+				return nil, fmt.Errorf("perm: element %d appears in two cycles", u)
+			}
+			seen[u] = true
+			v := c[(i+1)%len(c)]
+			p[u] = v
+		}
+	}
+	return p, nil
+}
+
+// Random returns a uniformly random permutation of Z_n drawn from rng.
+func Random(n int, rng *rand.Rand) Perm {
+	p := Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Validate reports whether p is a well-formed permutation: every value in
+// [0, len(p)) appears exactly once.
+func (p Perm) Validate() error {
+	seen := make([]bool, len(p))
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			return fmt.Errorf("perm: image %d of %d out of range [0,%d)", v, i, len(p))
+		}
+		if seen[v] {
+			return fmt.Errorf("perm: image %d repeated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// N returns the size of the ground set Z_n.
+func (p Perm) N() int { return len(p) }
+
+// Apply returns p(i).
+func (p Perm) Apply(i int) int { return p[i] }
+
+// Clone returns an independent copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether p fixes every point.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns the composition p∘q, the permutation mapping i to p(q(i)).
+// This matches the paper's convention f^{i+1} = f ∘ f^i.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm: compose size mismatch")
+	}
+	r := make(Perm, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// Inverse returns p⁻¹.
+func (p Perm) Inverse() Perm {
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[v] = i
+	}
+	return r
+}
+
+// Pow returns p^k for any integer k (negative powers use the inverse).
+// p^0 is the identity, matching Section 2.1 of the paper.
+func (p Perm) Pow(k int) Perm {
+	n := len(p)
+	if n == 0 {
+		return Perm{}
+	}
+	base := p
+	if k < 0 {
+		base = p.Inverse()
+		k = -k
+	}
+	// Exponentiation by squaring on the symmetric group.
+	result := Identity(n)
+	sq := base.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = sq.Compose(result)
+		}
+		sq = sq.Compose(sq)
+		k >>= 1
+	}
+	return result
+}
+
+// Conjugate returns q∘p∘q⁻¹.
+func (p Perm) Conjugate(q Perm) Perm {
+	return q.Compose(p).Compose(q.Inverse())
+}
+
+// Orbits returns the cycle decomposition of p as a slice of orbits, each
+// orbit listed starting from its smallest element and ordered by that
+// smallest element. Fixed points appear as singleton orbits.
+func (p Perm) Orbits() [][]int {
+	n := len(p)
+	seen := make([]bool, n)
+	var orbits [][]int
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			continue
+		}
+		var orbit []int
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			orbit = append(orbit, j)
+		}
+		orbits = append(orbits, orbit)
+	}
+	return orbits
+}
+
+// IsCyclic reports whether p is a cyclic permutation of Z_n, i.e. its cycle
+// decomposition is a single orbit covering all of Z_n. This is the exact
+// hypothesis of Proposition 3.9. By convention the unique permutation of a
+// singleton is cyclic and the empty permutation is not.
+func (p Perm) IsCyclic() bool {
+	n := len(p)
+	if n == 0 {
+		return false
+	}
+	// Walk the orbit of 0; p is cyclic iff the orbit has length n.
+	count := 0
+	for j := 0; ; j = p[j] {
+		count++
+		if p[j] == 0 {
+			break
+		}
+		if count > n {
+			return false // defensive; cannot happen for valid perms
+		}
+	}
+	return count == n
+}
+
+// Order returns the order of p in the symmetric group (the lcm of its cycle
+// lengths). The identity has order 1; the empty permutation has order 1.
+func (p Perm) Order() int {
+	order := 1
+	for _, orbit := range p.Orbits() {
+		order = lcm(order, len(orbit))
+	}
+	return order
+}
+
+// Sign returns +1 for even permutations and -1 for odd ones.
+func (p Perm) Sign() int {
+	sign := 1
+	for _, orbit := range p.Orbits() {
+		if len(orbit)%2 == 0 {
+			sign = -sign
+		}
+	}
+	return sign
+}
+
+// FixedPoints returns the elements fixed by p, in increasing order.
+func (p Perm) FixedPoints() []int {
+	var fixed []int
+	for i, v := range p {
+		if i == v {
+			fixed = append(fixed, i)
+		}
+	}
+	return fixed
+}
+
+// CycleType returns the multiset of cycle lengths sorted decreasingly.
+// Two permutations are conjugate iff they share a cycle type.
+func (p Perm) CycleType() []int {
+	orbits := p.Orbits()
+	lengths := make([]int, len(orbits))
+	for i, orbit := range orbits {
+		lengths[i] = len(orbit)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	return lengths
+}
+
+// String renders p in disjoint cycle notation, e.g. "(0 3 1)(2)(4 5)".
+// The identity of a nonempty set renders as "()"; the empty permutation
+// renders as "()".
+func (p Perm) String() string {
+	if p.IsIdentity() {
+		return "()"
+	}
+	var b strings.Builder
+	for _, orbit := range p.Orbits() {
+		if len(orbit) == 1 {
+			continue // conventionally omit fixed points when non-identity
+		}
+		b.WriteByte('(')
+		for i, u := range orbit {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", u)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// OneLine renders p in one-line notation, e.g. "[3 0 2 1]".
+func (p Perm) OneLine() string {
+	return fmt.Sprint([]int(p))
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}

@@ -1,0 +1,423 @@
+package perm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 17} {
+		p := Identity(n)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Identity(%d) invalid: %v", n, err)
+		}
+		if !p.IsIdentity() {
+			t.Errorf("Identity(%d).IsIdentity() = false", n)
+		}
+		for i := 0; i < n; i++ {
+			if p.Apply(i) != i {
+				t.Errorf("Identity(%d)(%d) = %d", n, i, p.Apply(i))
+			}
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	c := Complement(8)
+	want := Perm{7, 6, 5, 4, 3, 2, 1, 0}
+	if !c.Equal(want) {
+		t.Fatalf("Complement(8) = %v, want %v", c, want)
+	}
+	// C is an involution: C∘C = Id.
+	if !c.Compose(c).IsIdentity() {
+		t.Error("Complement(8) is not an involution")
+	}
+}
+
+func TestComplementInvolutionProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		c := Complement(n)
+		return c.Compose(c).IsIdentity() && c.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclicShift(t *testing.T) {
+	p := CyclicShift(4)
+	want := Perm{1, 2, 3, 0}
+	if !p.Equal(want) {
+		t.Fatalf("CyclicShift(4) = %v, want %v", p, want)
+	}
+	if !p.IsCyclic() {
+		t.Error("CyclicShift(4) not reported cyclic")
+	}
+	if p.Order() != 4 {
+		t.Errorf("CyclicShift(4).Order() = %d, want 4", p.Order())
+	}
+}
+
+func TestFromImageValidation(t *testing.T) {
+	cases := []struct {
+		image []int
+		ok    bool
+	}{
+		{[]int{}, true},
+		{[]int{0}, true},
+		{[]int{1, 0}, true},
+		{[]int{0, 0}, false},
+		{[]int{0, 2}, false},
+		{[]int{-1, 0}, false},
+		{[]int{2, 0, 1}, true},
+	}
+	for _, c := range cases {
+		_, err := FromImage(c.image)
+		if (err == nil) != c.ok {
+			t.Errorf("FromImage(%v) err = %v, want ok=%v", c.image, err, c.ok)
+		}
+	}
+}
+
+func TestFromCycles(t *testing.T) {
+	p, err := FromCycles(6, [][]int{{0, 3, 1}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Perm{3, 0, 2, 1, 5, 4}
+	if !p.Equal(want) {
+		t.Fatalf("FromCycles = %v, want %v", p, want)
+	}
+
+	if _, err := FromCycles(3, [][]int{{0, 1}, {1, 2}}); err == nil {
+		t.Error("overlapping cycles accepted")
+	}
+	if _, err := FromCycles(3, [][]int{{0, 5}}); err == nil {
+		t.Error("out-of-range cycle element accepted")
+	}
+}
+
+func TestComposeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		p := Random(n, rng)
+		q := Random(n, rng)
+		if !p.Compose(p.Inverse()).IsIdentity() {
+			t.Fatalf("p∘p⁻¹ ≠ id for p=%v", p)
+		}
+		if !p.Inverse().Compose(p).IsIdentity() {
+			t.Fatalf("p⁻¹∘p ≠ id for p=%v", p)
+		}
+		// (p∘q)⁻¹ = q⁻¹∘p⁻¹
+		lhs := p.Compose(q).Inverse()
+		rhs := q.Inverse().Compose(p.Inverse())
+		if !lhs.Equal(rhs) {
+			t.Fatalf("(pq)⁻¹ ≠ q⁻¹p⁻¹ for p=%v q=%v", p, q)
+		}
+	}
+}
+
+func TestComposeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		p, q, r := Random(n, rng), Random(n, rng), Random(n, rng)
+		lhs := p.Compose(q).Compose(r)
+		rhs := p.Compose(q.Compose(r))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("associativity fails: p=%v q=%v r=%v", p, q, r)
+		}
+	}
+}
+
+func TestComposeConvention(t *testing.T) {
+	// Compose(p, q)(i) must be p(q(i)): apply q first.
+	p := MustFromImage([]int{1, 2, 0}) // 0→1→2→0
+	q := MustFromImage([]int{0, 2, 1}) // swap 1,2
+	r := p.Compose(q)
+	// r(1) = p(q(1)) = p(2) = 0.
+	if r.Apply(1) != 0 {
+		t.Fatalf("Compose convention broken: got r(1)=%d, want 0", r.Apply(1))
+	}
+}
+
+func TestPow(t *testing.T) {
+	p := CyclicShift(5)
+	if !p.Pow(0).IsIdentity() {
+		t.Error("p^0 ≠ id")
+	}
+	if !p.Pow(1).Equal(p) {
+		t.Error("p^1 ≠ p")
+	}
+	if !p.Pow(5).IsIdentity() {
+		t.Error("shift^5 ≠ id on Z_5")
+	}
+	if !p.Pow(-1).Equal(p.Inverse()) {
+		t.Error("p^-1 ≠ inverse")
+	}
+	if !p.Pow(7).Equal(p.Pow(2)) {
+		t.Error("p^7 ≠ p^2 for 5-cycle")
+	}
+	// Iterated definition from Section 2.1: f^{i+1} = f∘f^i.
+	rng := rand.New(rand.NewSource(3))
+	q := Random(9, rng)
+	iter := Identity(9)
+	for k := 0; k <= 12; k++ {
+		if !q.Pow(k).Equal(iter) {
+			t.Fatalf("q^%d mismatch with iterated composition", k)
+		}
+		iter = q.Compose(iter)
+	}
+}
+
+func TestOrbitsAndCycleType(t *testing.T) {
+	p := MustFromImage([]int{3, 0, 2, 1, 5, 4})
+	orbits := p.Orbits()
+	want := [][]int{{0, 3, 1}, {2}, {4, 5}}
+	if !reflect.DeepEqual(orbits, want) {
+		t.Fatalf("Orbits = %v, want %v", orbits, want)
+	}
+	if got := p.CycleType(); !reflect.DeepEqual(got, []int{3, 2, 1}) {
+		t.Fatalf("CycleType = %v, want [3 2 1]", got)
+	}
+	if got := p.FixedPoints(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("FixedPoints = %v, want [2]", got)
+	}
+}
+
+func TestIsCyclic(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		want bool
+	}{
+		{Identity(1), true},
+		{Identity(2), false},
+		{CyclicShift(6), true},
+		{MustFromImage([]int{1, 0, 3, 2}), false},
+		{MustFromImage([]int{2, 0, 1}), true},
+		{Perm{}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.IsCyclic(); got != c.want {
+			t.Errorf("IsCyclic(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// The permutation f from the paper's example 3.3.1 (D = 6) must be cyclic,
+// and the one from example 3.3.2 (f(i) = 2 - i on Z_3) must not be.
+func TestPaperExamplePermutations(t *testing.T) {
+	f331 := MustFromFunc(6, func(i int) int {
+		switch {
+		case i < 3:
+			return i + 3
+		case i == 3:
+			return 2
+		default:
+			return (i + 2) % 6
+		}
+	})
+	if !f331.IsCyclic() {
+		t.Errorf("example 3.3.1 permutation %v should be cyclic", f331)
+	}
+	f332 := Complement(3)
+	if f332.IsCyclic() {
+		t.Errorf("example 3.3.2 permutation %v should not be cyclic", f332)
+	}
+}
+
+func TestOrderAndSign(t *testing.T) {
+	p := MustFromImage([]int{3, 0, 2, 1, 5, 4}) // cycle type (3,2,1)
+	if p.Order() != 6 {
+		t.Errorf("Order = %d, want 6", p.Order())
+	}
+	if p.Sign() != -1 {
+		t.Errorf("Sign = %d, want -1 (one even-length cycle)", p.Sign())
+	}
+	if Identity(5).Sign() != 1 {
+		t.Error("identity must be even")
+	}
+	if Transposition(5, 1, 3).Sign() != -1 {
+		t.Error("transposition must be odd")
+	}
+}
+
+func TestOrderDividesGroupExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		p := Random(n, rng)
+		if !p.Pow(p.Order()).IsIdentity() {
+			t.Fatalf("p^order(p) ≠ id for p=%v", p)
+		}
+	}
+}
+
+func TestConjugatePreservesCycleType(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		p, q := Random(n, rng), Random(n, rng)
+		if !reflect.DeepEqual(p.CycleType(), p.Conjugate(q).CycleType()) {
+			t.Fatalf("conjugation changed cycle type: p=%v q=%v", p, q)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustFromImage([]int{3, 0, 2, 1, 5, 4})
+	if got := p.String(); got != "(0 3 1)(4 5)" {
+		t.Errorf("String = %q, want %q", got, "(0 3 1)(4 5)")
+	}
+	if got := Identity(4).String(); got != "()" {
+		t.Errorf("identity String = %q, want ()", got)
+	}
+	if got := p.OneLine(); got != "[3 0 2 1 5 4]" {
+		t.Errorf("OneLine = %q", got)
+	}
+}
+
+func TestRandomIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		p := Random(rng.Intn(20), rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Random produced invalid perm: %v", err)
+		}
+	}
+}
+
+func TestAllEnumerationCount(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		count := 0
+		All(n, func(Perm) bool {
+			count++
+			return true
+		})
+		if count != Factorial(n) {
+			t.Errorf("All(%d) visited %d perms, want %d", n, count, Factorial(n))
+		}
+	}
+}
+
+func TestAllEnumerationValidAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	All(5, func(p Perm) bool {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid perm enumerated: %v", err)
+		}
+		key := p.OneLine()
+		if seen[key] {
+			t.Fatalf("duplicate perm enumerated: %v", p)
+		}
+		seen[key] = true
+		return true
+	})
+	if len(seen) != 120 {
+		t.Fatalf("expected 120 distinct perms, got %d", len(seen))
+	}
+}
+
+func TestAllEarlyStop(t *testing.T) {
+	count := 0
+	All(5, func(Perm) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestAllCyclicCount(t *testing.T) {
+	// (n-1)! cyclic permutations of Z_n — the count used in Section 3.2
+	// to derive the d!(D-1)! alternative de Bruijn definitions.
+	for n := 1; n <= 7; n++ {
+		if got, want := CountCyclic(n), Factorial(n-1); got != want {
+			t.Errorf("CountCyclic(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if CountCyclic(0) != 0 {
+		t.Error("CountCyclic(0) should be 0")
+	}
+}
+
+func TestAllCyclicAreCyclic(t *testing.T) {
+	AllCyclic(6, func(p Perm) bool {
+		if !p.IsCyclic() {
+			t.Fatalf("AllCyclic emitted non-cyclic perm %v", p)
+		}
+		return true
+	})
+}
+
+func TestAllCyclicMatchesFilter(t *testing.T) {
+	// Cross-check the dedicated cyclic enumerator against filtering the
+	// full enumeration.
+	for n := 1; n <= 6; n++ {
+		viaFilter := Count(n, Perm.IsCyclic)
+		if got := CountCyclic(n); got != viaFilter {
+			t.Errorf("n=%d: CountCyclic=%d, filtered count=%d", n, got, viaFilter)
+		}
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got != w {
+			t.Errorf("Factorial(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestQuickPermLaws(t *testing.T) {
+	// Property: for random images reduced to valid permutations, the
+	// group laws hold.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := Random(n, rng)
+		q := Random(n, rng)
+		if p.Compose(Identity(n)) == nil {
+			return false
+		}
+		return p.Compose(Identity(n)).Equal(p) &&
+			Identity(n).Compose(p).Equal(p) &&
+			p.Compose(q).Inverse().Equal(q.Inverse().Compose(p.Inverse()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrbitPartition(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := Random(n, rng)
+		covered := make([]bool, n)
+		total := 0
+		for _, orbit := range p.Orbits() {
+			for _, u := range orbit {
+				if covered[u] {
+					return false
+				}
+				covered[u] = true
+				total++
+			}
+			// Closing under p: p(last) = first.
+			if p.Apply(orbit[len(orbit)-1]) != orbit[0] {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

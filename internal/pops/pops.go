@@ -1,0 +1,139 @@
+// Package pops implements the multi-OPS networks the paper positions
+// itself against: the Partitioned Optical Passive Star network POPS(t, g)
+// of Chiarulli et al. (reference [10]), the stack-Kautz network of
+// Coudert, Ferreira and Muñoz (reference [13]), and the OTIS-realized
+// complete digraph of Zane et al. (reference [34]). These are the
+// "layouts that scale badly" of the introduction: they need many
+// transceivers per processor or many couplers, which is what motivates
+// the paper's Θ(√n)-lens de Bruijn layouts.
+package pops
+
+import (
+	"fmt"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/otis"
+)
+
+// POPS describes a POPS(t, g) network: n = t·g processors in g groups of
+// t, fully interconnected by g² optical passive star couplers. Coupler
+// (i, j) accepts light from the t processors of group i and broadcasts to
+// the t processors of group j, so every processor needs g transmitters
+// and g receivers and any pair is one hop apart.
+type POPS struct {
+	T int // processors per group
+	G int // groups
+}
+
+// NewPOPS validates t, g ≥ 1.
+func NewPOPS(t, g int) (POPS, error) {
+	if t < 1 || g < 1 {
+		return POPS{}, fmt.Errorf("pops: need t, g >= 1, got (%d,%d)", t, g)
+	}
+	return POPS{T: t, G: g}, nil
+}
+
+// Processors returns n = t·g.
+func (p POPS) Processors() int { return p.T * p.G }
+
+// Couplers returns the number of passive star couplers, g².
+func (p POPS) Couplers() int { return p.G * p.G }
+
+// TransceiversPerNode returns g (one transmitter and one receiver per
+// destination/source group).
+func (p POPS) TransceiversPerNode() int { return p.G }
+
+// CouplerOf returns the coupler (srcGroup, dstGroup) used by a
+// transmission from processor u to processor v.
+func (p POPS) CouplerOf(u, v int) (int, int) {
+	n := p.Processors()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		panic(fmt.Sprintf("pops: processors (%d,%d) out of range", u, v))
+	}
+	return u / p.T, v / p.T
+}
+
+// Digraph returns the one-hop connectivity: the symmetric complete
+// digraph with loops K*_n (every processor reaches every processor,
+// including itself through its own group's coupler).
+func (p POPS) Digraph() *digraph.Digraph {
+	return digraph.CompleteWithLoops(p.Processors())
+}
+
+// StackKautz returns the stack-Kautz network SK(s, d, k) of [13]: the
+// Kautz digraph K(d, k) with every vertex expanded into a stack of s
+// processors, every arc into full s×s connectivity — the conjunction
+// K(d, k) ⊗ K*_s. It has s·d^{k-1}(d+1) processors of degree s·d.
+// The second return maps vertex ids to (kautzVertex, stackIndex).
+func StackKautz(s, d, k int) (*digraph.Digraph, func(id int) (int, int)) {
+	if s < 1 {
+		panic("pops: stack size must be >= 1")
+	}
+	kautz, _ := debruijn.Kautz(d, k)
+	g := digraph.Conjunction(kautz, digraph.CompleteWithLoops(s))
+	decode := func(id int) (int, int) { return id / s, id % s }
+	return g, decode
+}
+
+// StackKautzOrder returns s·d^{k-1}(d+1).
+func StackKautzOrder(s, d, k int) int { return s * debruijn.KautzOrder(d, k) }
+
+// VerifyZaneCompleteLayout checks the result of [34] recalled in the
+// introduction: OTIS(n, n) with degree n realizes the complete digraph
+// with loops K*_n — each of the n processors owning n transceivers
+// (the 64-processor, 64-transceiver layout the paper mentions has
+// n = 64). H(n, n, n) equals K*_n exactly.
+func VerifyZaneCompleteLayout(n int) error {
+	h, err := otis.H(n, n, n)
+	if err != nil {
+		return err
+	}
+	if !h.Equal(digraph.CompleteWithLoops(n)) {
+		return fmt.Errorf("pops: H(%d,%d,%d) is not K*_%d", n, n, n, n)
+	}
+	return nil
+}
+
+// HardwareComparison contrasts the per-processor optics of three designs
+// for an n-processor machine: the POPS single-hop network, the Zane
+// complete-digraph OTIS layout, and the paper's de Bruijn OTIS layout.
+type HardwareComparison struct {
+	N                     int
+	POPSTransceivers      int // per node, POPS(t, g)
+	POPSCouplers          int
+	CompleteTransceivers  int // per node, OTIS K*_n layout [34]
+	CompleteLenses        int
+	DeBruijnTransceivers  int // per node, B(d, D) layout (this paper)
+	DeBruijnLenses        int
+	DeBruijnDiameter      int
+	DeBruijnLayoutExplain string
+}
+
+// Compare builds the comparison for n = d^D processors using POPS groups
+// of size t (t must divide n).
+func Compare(d, D, t int) (HardwareComparison, error) {
+	layout, ok := otis.OptimalLayout(d, D)
+	if !ok {
+		return HardwareComparison{}, fmt.Errorf("pops: no de Bruijn layout for d=%d D=%d", d, D)
+	}
+	n := layout.Nodes()
+	if t < 1 || n%t != 0 {
+		return HardwareComparison{}, fmt.Errorf("pops: group size %d does not divide n=%d", t, n)
+	}
+	p, err := NewPOPS(t, n/t)
+	if err != nil {
+		return HardwareComparison{}, err
+	}
+	return HardwareComparison{
+		N:                     n,
+		POPSTransceivers:      p.TransceiversPerNode(),
+		POPSCouplers:          p.Couplers(),
+		CompleteTransceivers:  n,
+		CompleteLenses:        2 * n, // OTIS(n, n)
+		DeBruijnTransceivers:  d,
+		DeBruijnLenses:        layout.Lenses(),
+		DeBruijnDiameter:      D,
+		DeBruijnLayoutExplain: layout.String(),
+	}, nil
+}

@@ -1,0 +1,183 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/digraph"
+)
+
+// Deflection (hot-potato) routing: the natural regime for all-optical
+// networks, where packets cannot be buffered — every packet in a node
+// must leave on some output every cycle, and contention is resolved by
+// deflecting the loser onto a free (possibly wrong) output. De Bruijn
+// digraphs suit deflection well because every output leads somewhere
+// useful; this simulator quantifies the deflection penalty against
+// store-and-forward on the same topology.
+//
+// Model: synchronous cycles; each node has d inputs and d outputs (the
+// digraph must be d-regular). At most one new packet may be injected per
+// node per cycle, and injection is only possible when an output remains
+// free after the transiting packets are assigned. Packets reaching their
+// destination are absorbed before assignment.
+
+// DeflectionResult extends the basic statistics with deflection counts.
+type DeflectionResult struct {
+	Delivered   int
+	Cycles      int
+	TotalHops   int
+	MaxHops     int
+	Deflections int // hops not on a shortest path
+	MeanLatency float64
+	MeanHops    float64
+	Packets     []Packet
+}
+
+// String renders the headline numbers.
+func (r DeflectionResult) String() string {
+	return fmt.Sprintf("delivered=%d cycles=%d meanLatency=%.2f meanHops=%.2f maxHops=%d deflections=%d",
+		r.Delivered, r.Cycles, r.MeanLatency, r.MeanHops, r.MaxHops, r.Deflections)
+}
+
+// DeflectionNetwork simulates hot-potato routing on a d-regular digraph.
+type DeflectionNetwork struct {
+	g     *digraph.Digraph
+	d     int
+	dist  [][]int // dist[u][v]: shortest distance, for output ranking
+	limit int
+}
+
+// NewDeflection builds the simulator. The digraph must be d-out-regular
+// and strongly connected.
+func NewDeflection(g *digraph.Digraph, d int) (*DeflectionNetwork, error) {
+	if !g.IsOutRegular(d) {
+		return nil, fmt.Errorf("simnet: digraph is not %d-out-regular", d)
+	}
+	if !g.IsStronglyConnected() {
+		return nil, fmt.Errorf("simnet: deflection needs strong connectivity")
+	}
+	n := g.N()
+	dist := make([][]int, n)
+	for u := 0; u < n; u++ {
+		dist[u] = g.BFSFrom(u)
+	}
+	return &DeflectionNetwork{g: g, d: d, dist: dist, limit: 64 * n}, nil
+}
+
+// Run simulates until all packets are delivered or the cycle limit hits.
+// Packets with Src == Dst are delivered at injection.
+func (dn *DeflectionNetwork) Run(packets []Packet) DeflectionResult {
+	pkts := make([]Packet, len(packets))
+	copy(pkts, packets)
+	n := dn.g.N()
+	res := DeflectionResult{}
+
+	// at[u] holds indices of packets currently at node u (≤ d transiting
+	// plus injections happen via pending queue).
+	at := make([][]int, n)
+	pendingAt := make([][]int, n) // not yet injected
+	remaining := 0
+	for i := range pkts {
+		pkts[i].Delivered = -1
+		pkts[i].Hops = 0
+		if pkts[i].Src == pkts[i].Dst {
+			pkts[i].Delivered = pkts[i].Release
+			res.Delivered++
+			continue
+		}
+		pendingAt[pkts[i].Src] = append(pendingAt[pkts[i].Src], i)
+		remaining++
+	}
+
+	deliver := func(i, cycle int) {
+		pkts[i].Delivered = cycle
+		res.Delivered++
+		remaining--
+		if cycle > res.Cycles {
+			res.Cycles = cycle
+		}
+	}
+
+	for cycle := 0; remaining > 0 && cycle <= dn.limit; cycle++ {
+		// Absorb arrivals.
+		for u := 0; u < n; u++ {
+			keep := at[u][:0]
+			for _, i := range at[u] {
+				if pkts[i].Dst == u {
+					deliver(i, cycle)
+				} else {
+					keep = append(keep, i)
+				}
+			}
+			at[u] = keep
+		}
+		// Inject where capacity allows (transiting packets have priority
+		// for outputs; a node holds at most d packets after injection).
+		for u := 0; u < n; u++ {
+			for len(pendingAt[u]) > 0 && len(at[u]) < dn.d {
+				i := pendingAt[u][0]
+				if pkts[i].Release > cycle {
+					break // queued by release order; later packets wait
+				}
+				pendingAt[u] = pendingAt[u][1:]
+				at[u] = append(at[u], i)
+			}
+		}
+		// Assign outputs: oldest packet first (deadline monotone keeps
+		// worst-case latency bounded), each takes its best free output.
+		next := make([][]int, n)
+		for u := 0; u < n; u++ {
+			if len(at[u]) == 0 {
+				continue
+			}
+			group := at[u]
+			sort.Slice(group, func(a, b int) bool {
+				return pkts[group[a]].Release < pkts[group[b]].Release ||
+					(pkts[group[a]].Release == pkts[group[b]].Release &&
+						pkts[group[a]].ID < pkts[group[b]].ID)
+			})
+			outs := dn.g.Out(u)
+			taken := make([]bool, len(outs))
+			for _, i := range group {
+				// Rank outputs by resulting distance to destination.
+				best, bestDist := -1, 0
+				for k, v := range outs {
+					if taken[k] {
+						continue
+					}
+					dv := dn.dist[v][pkts[i].Dst]
+					if best == -1 || dv < bestDist {
+						best, bestDist = k, dv
+					}
+				}
+				taken[best] = true
+				v := outs[best]
+				if dn.dist[v][pkts[i].Dst] >= dn.dist[u][pkts[i].Dst] {
+					res.Deflections++
+				}
+				pkts[i].Hops++
+				next[v] = append(next[v], i)
+			}
+		}
+		at = next
+	}
+
+	// Aggregate.
+	latency := 0
+	for i := range pkts {
+		if pkts[i].Delivered < 0 {
+			continue
+		}
+		res.TotalHops += pkts[i].Hops
+		if pkts[i].Hops > res.MaxHops {
+			res.MaxHops = pkts[i].Hops
+		}
+		latency += pkts[i].Delivered - pkts[i].Release
+	}
+	if res.Delivered > 0 {
+		res.MeanLatency = float64(latency) / float64(res.Delivered)
+		res.MeanHops = float64(res.TotalHops) / float64(res.Delivered)
+	}
+	res.Packets = pkts
+	return res
+}

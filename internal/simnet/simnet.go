@@ -1,0 +1,304 @@
+// Package simnet is a cycle-accurate store-and-forward packet simulator
+// over arbitrary digraphs. The paper proves structural results (which
+// digraphs OTIS realizes and at what hardware cost) but runs no network
+// experiments; simnet adds a minimal performance substrate so the
+// repository can demonstrate that the realized networks behave as the
+// graph theory predicts: packets routed on B(d, D) realized by an OTIS
+// layout never exceed D hops, mean latency tracks the mean distance, and
+// so on.
+//
+// Model: every arc is a link of unit bandwidth (one packet per cycle) with
+// a FIFO output queue at its tail. A hop costs HopLatency cycles of wire
+// time plus any queueing delay. Routing is pluggable; shortest-path table
+// routing and native de Bruijn word routing are provided.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+// Router chooses the next hop for a packet at node `at` destined to `dst`.
+// It returns the arc index (position in the digraph's adjacency list of
+// `at`) to forward on, or -1 if unreachable.
+type Router interface {
+	NextArc(at, dst int) int
+}
+
+// TableRouter routes by precomputed shortest-path next hops.
+type TableRouter struct {
+	g     *digraph.Digraph
+	table [][]int // next-hop vertex per (node, dst)
+	arcOf [][]int // memoized arc index per (node, dst)
+}
+
+// NewTableRouter builds shortest-path tables for g.
+func NewTableRouter(g *digraph.Digraph) *TableRouter {
+	table := debruijn.RoutingTable(g)
+	n := g.N()
+	arcOf := make([][]int, n)
+	for u := 0; u < n; u++ {
+		arcOf[u] = make([]int, n)
+		for dst := 0; dst < n; dst++ {
+			arcOf[u][dst] = -1
+			hop := table[u][dst]
+			if hop < 0 || u == dst {
+				continue
+			}
+			for k, v := range g.Out(u) {
+				if v == hop {
+					arcOf[u][dst] = k
+					break
+				}
+			}
+		}
+	}
+	return &TableRouter{g: g, table: table, arcOf: arcOf}
+}
+
+// NextArc implements Router.
+func (r *TableRouter) NextArc(at, dst int) int { return r.arcOf[at][dst] }
+
+// DeBruijnRouter routes natively on B(d, D) congruence labels using the
+// left-shift rule — no tables, O(D) work per decision, exactly the
+// self-routing the de Bruijn literature advertises.
+type DeBruijnRouter struct {
+	d, D int
+}
+
+// NewDeBruijnRouter returns the native router for B(d, D).
+func NewDeBruijnRouter(d, D int) *DeBruijnRouter {
+	return &DeBruijnRouter{d: d, D: D}
+}
+
+// NextArc implements Router. In congruence form the successor via letter α
+// is (d·u + α) mod d^D, which is adjacency position α; the canonical
+// shortest path feeds in the destination's remaining letters.
+func (r *DeBruijnRouter) NextArc(at, dst int) int {
+	if at == dst {
+		return -1
+	}
+	path := debruijn.RouteInts(r.d, r.D, at, dst)
+	next := path[1]
+	// Recover α from next = (d·at + α) mod n.
+	n := 1
+	for i := 0; i < r.D; i++ {
+		n *= r.d
+	}
+	alpha := (next - r.d*at) % n
+	if alpha < 0 {
+		alpha += n
+	}
+	return alpha % r.d
+}
+
+// Packet is one simulated datagram.
+type Packet struct {
+	ID        int
+	Src, Dst  int
+	Release   int // injection cycle
+	Delivered int // delivery cycle (-1 while in flight)
+	Hops      int
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// HopLatency is the wire time of one hop in cycles (≥ 1).
+	HopLatency int
+	// MaxCycles aborts the run (0 means 64·n·HopLatency + total packets,
+	// a generous bound).
+	MaxCycles int
+}
+
+// DefaultConfig returns unit hop latency.
+func DefaultConfig() Config { return Config{HopLatency: 1} }
+
+// Result summarizes a simulation run.
+type Result struct {
+	Delivered   int
+	Dropped     int // packets with no route
+	Cycles      int // cycle at which the last packet was delivered
+	TotalHops   int
+	MaxHops     int
+	TotalWait   int // cycles spent queued (latency minus wire time)
+	MeanLatency float64
+	MeanHops    float64
+	// MaxQueue is the deepest any output queue got during the run — the
+	// buffer size a hardware implementation would need to avoid drops.
+	MaxQueue int
+	// HotNode is a vertex owning a queue that reached MaxQueue.
+	HotNode int
+	Packets []Packet
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("delivered=%d dropped=%d cycles=%d meanLatency=%.2f meanHops=%.2f maxHops=%d",
+		r.Delivered, r.Dropped, r.Cycles, r.MeanLatency, r.MeanHops, r.MaxHops)
+}
+
+// inflight is a packet moving through a link pipeline.
+type inflight struct {
+	pkt   int // index into packets
+	ready int // cycle at which it pops out at the head vertex
+}
+
+// Network binds a digraph, a router and a config into a runnable
+// simulation.
+type Network struct {
+	g      *digraph.Digraph
+	router Router
+	cfg    Config
+}
+
+// New creates a network simulation over g.
+func New(g *digraph.Digraph, router Router, cfg Config) (*Network, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("simnet: empty digraph")
+	}
+	if cfg.HopLatency < 1 {
+		return nil, fmt.Errorf("simnet: HopLatency must be >= 1, got %d", cfg.HopLatency)
+	}
+	return &Network{g: g, router: router, cfg: cfg}, nil
+}
+
+// Run simulates until every packet is delivered or dropped, or MaxCycles
+// elapses. The packets slice is copied; releases may be in any order.
+func (nw *Network) Run(packets []Packet) Result {
+	pkts := make([]Packet, len(packets))
+	copy(pkts, packets)
+	for i := range pkts {
+		pkts[i].Delivered = -1
+		pkts[i].Hops = 0
+	}
+
+	n := nw.g.N()
+	// Per-vertex, per-arc FIFO queues of packet indices.
+	queues := make([][][]int, n)
+	// Per-vertex, per-arc link pipelines (at most one packet in flight on
+	// a link at a time would be bandwidth 1/HopLatency; we pipeline: a
+	// link accepts one new packet per cycle).
+	pipes := make([][][]inflight, n)
+	for u := 0; u < n; u++ {
+		deg := nw.g.OutDegree(u)
+		queues[u] = make([][]int, deg)
+		pipes[u] = make([][]inflight, deg)
+	}
+
+	maxCycles := nw.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 64*n*nw.cfg.HopLatency + 16*len(pkts) + 1024
+	}
+
+	res := Result{}
+	remaining := 0
+	// Route-or-drop at injection time, bucketed by release cycle.
+	byRelease := map[int][]int{}
+	for i := range pkts {
+		if pkts[i].Src == pkts[i].Dst {
+			pkts[i].Delivered = pkts[i].Release
+			res.Delivered++
+			continue
+		}
+		if nw.router.NextArc(pkts[i].Src, pkts[i].Dst) < 0 {
+			res.Dropped++
+			continue
+		}
+		byRelease[pkts[i].Release] = append(byRelease[pkts[i].Release], i)
+		remaining++
+	}
+
+	enqueue := func(at, pkt int) bool {
+		arc := nw.router.NextArc(at, pkts[pkt].Dst)
+		if arc < 0 {
+			res.Dropped++
+			return false
+		}
+		queues[at][arc] = append(queues[at][arc], pkt)
+		if depth := len(queues[at][arc]); depth > res.MaxQueue {
+			res.MaxQueue = depth
+			res.HotNode = at
+		}
+		return true
+	}
+
+	for cycle := 0; remaining > 0 && cycle <= maxCycles; cycle++ {
+		// Inject.
+		for _, i := range byRelease[cycle] {
+			if !enqueue(pkts[i].Src, i) {
+				remaining--
+			}
+		}
+		delete(byRelease, cycle)
+
+		// Arrivals: packets whose wire time completes this cycle.
+		for u := 0; u < n; u++ {
+			out := nw.g.Out(u)
+			for a := range pipes[u] {
+				pipe := pipes[u][a]
+				keep := pipe[:0]
+				for _, fl := range pipe {
+					if fl.ready > cycle {
+						keep = append(keep, fl)
+						continue
+					}
+					v := out[a]
+					p := &pkts[fl.pkt]
+					p.Hops++
+					if v == p.Dst {
+						p.Delivered = cycle
+						res.Delivered++
+						remaining--
+						if cycle > res.Cycles {
+							res.Cycles = cycle
+						}
+						continue
+					}
+					if !enqueue(v, fl.pkt) {
+						remaining--
+					}
+				}
+				pipes[u][a] = keep
+			}
+		}
+
+		// Departures: each link accepts one queued packet per cycle.
+		for u := 0; u < n; u++ {
+			for a := range queues[u] {
+				q := queues[u][a]
+				if len(q) == 0 {
+					continue
+				}
+				pkt := q[0]
+				queues[u][a] = q[1:]
+				pipes[u][a] = append(pipes[u][a], inflight{
+					pkt:   pkt,
+					ready: cycle + nw.cfg.HopLatency,
+				})
+			}
+		}
+	}
+
+	// Aggregate.
+	latencySum := 0
+	for i := range pkts {
+		p := pkts[i]
+		if p.Delivered < 0 {
+			continue
+		}
+		res.TotalHops += p.Hops
+		if p.Hops > res.MaxHops {
+			res.MaxHops = p.Hops
+		}
+		latencySum += p.Delivered - p.Release
+		res.TotalWait += (p.Delivered - p.Release) - p.Hops*nw.cfg.HopLatency
+	}
+	if res.Delivered > 0 {
+		res.MeanLatency = float64(latencySum) / float64(res.Delivered)
+		res.MeanHops = float64(res.TotalHops) / float64(res.Delivered)
+	}
+	res.Packets = pkts
+	return res
+}

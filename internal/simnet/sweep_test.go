@@ -1,0 +1,75 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/debruijn"
+)
+
+func TestLoadSweepMonotoneAndAnchored(t *testing.T) {
+	g := debruijn.DeBruijn(2, 6)
+	router := NewTableRouter(g)
+	rates := []float64{0.05, 0.2, 0.5, 0.9}
+	points, err := LoadSweep(g, router, rates, 1500, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(rates) {
+		t.Fatalf("%d points", len(points))
+	}
+	// Zero-load anchor: at the lightest load the mean latency must be
+	// close to the analytic mean distance.
+	zero, ok := ZeroLoadLatency(g, 1)
+	if !ok {
+		t.Fatal("no zero-load latency")
+	}
+	if math.Abs(points[0].MeanLatency-zero) > 1.0 {
+		t.Errorf("light-load latency %.2f far from analytic %.2f",
+			points[0].MeanLatency, zero)
+	}
+	// Latency must not decrease with offered load (allow small noise).
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanLatency+0.25 < points[i-1].MeanLatency {
+			t.Errorf("latency dropped with load: %v then %v", points[i-1], points[i])
+		}
+	}
+	// Queueing must grow.
+	if points[len(points)-1].MeanWait <= points[0].MeanWait {
+		t.Errorf("no queueing growth across the sweep: %v vs %v",
+			points[0], points[len(points)-1])
+	}
+}
+
+func TestLoadSweepValidation(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	if _, err := LoadSweep(g, NewTableRouter(g), []float64{0}, 10, 1); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := LoadSweep(g, NewTableRouter(g), []float64{1.5}, 10, 1); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	g := debruijn.DeBruijn(2, 4)
+	z1, ok := ZeroLoadLatency(g, 1)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	z3, _ := ZeroLoadLatency(g, 3)
+	if math.Abs(z3-3*z1) > 1e-12 {
+		t.Error("hop latency scaling wrong")
+	}
+	mean, _ := g.MeanDistance()
+	if z1 != mean {
+		t.Error("zero load != mean distance at unit latency")
+	}
+}
+
+func TestSweepPointString(t *testing.T) {
+	p := SweepPoint{Rate: 0.5, MeanLatency: 10.5, MeanWait: 4.2, Delivered: 100, Saturated: true}
+	if p.String() == "" || p.String()[0] != 'r' {
+		t.Error("bad string")
+	}
+}

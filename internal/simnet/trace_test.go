@@ -1,0 +1,80 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/debruijn"
+)
+
+func TestTracedRunMatchesPlainRun(t *testing.T) {
+	g := debruijn.DeBruijn(2, 5)
+	nw, _ := New(g, NewTableRouter(g), DefaultConfig())
+	pkts := UniformRandom(g.N(), 100, 101)
+	plain := nw.Run(pkts)
+	traced, events := nw.TracedRun(pkts)
+	if plain.Delivered != traced.Delivered || plain.TotalHops != traced.TotalHops {
+		t.Fatalf("traced run diverged: %v vs %v", plain, traced)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if err := VerifyTrace(g, pkts, events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEventCounts(t *testing.T) {
+	g := debruijn.DeBruijn(2, 4)
+	nw, _ := New(g, NewDeBruijnRouter(2, 4), DefaultConfig())
+	pkts := []Packet{{ID: 0, Src: 1, Dst: 9}}
+	res, events := nw.TracedRun(pkts)
+	if res.Delivered != 1 {
+		t.Fatal("undelivered")
+	}
+	hops := res.Packets[0].Hops
+	// inject + (depart+arrive)·hops + deliver.
+	if want := 2 + 2*hops; len(events) != want {
+		t.Fatalf("%d events, want %d: %v", len(events), want, events)
+	}
+	if events[0].Kind != EventInject || events[len(events)-1].Kind != EventDeliver {
+		t.Error("trace endpoints wrong")
+	}
+}
+
+func TestTraceStrings(t *testing.T) {
+	e := Event{Cycle: 12, Kind: EventDepart, Packet: 3, Node: 5, Peer: 11}
+	if got := e.String(); !strings.Contains(got, "depart") || !strings.Contains(got, "5→11") {
+		t.Errorf("event string %q", got)
+	}
+	e2 := Event{Cycle: 1, Kind: EventInject, Packet: 0, Node: 2, Peer: -1}
+	if got := e2.String(); !strings.Contains(got, "@2") {
+		t.Errorf("event string %q", got)
+	}
+	for k := EventInject; k <= EventDeliver; k++ {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestVerifyTraceRejects(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	pkts := []Packet{{ID: 0, Src: 0, Dst: 5}}
+	bad := []Event{
+		{Kind: EventInject, Packet: 0, Node: 0, Peer: -1},
+		{Kind: EventDepart, Packet: 0, Node: 0, Peer: 5}, // 0→5 is not an arc
+	}
+	if VerifyTrace(g, pkts, bad) == nil {
+		t.Error("non-arc depart accepted")
+	}
+	bad = []Event{
+		{Kind: EventInject, Packet: 0, Node: 3, Peer: -1}, // wrong source
+	}
+	if VerifyTrace(g, pkts, bad) == nil {
+		t.Error("wrong injection node accepted")
+	}
+}

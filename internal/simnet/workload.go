@@ -1,0 +1,147 @@
+package simnet
+
+import (
+	"math/rand"
+)
+
+// Workload generators. All are deterministic given the seed.
+
+// UniformRandom returns count packets with independently uniform sources
+// and destinations (src ≠ dst), all released at cycle 0.
+func UniformRandom(n, count int, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]Packet, count)
+	for i := range pkts {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		pkts[i] = Packet{ID: i, Src: src, Dst: dst}
+	}
+	return pkts
+}
+
+// PoissonArrivals returns count packets with uniform random endpoints and
+// geometric inter-arrival times of mean 1/rate cycles (rate in packets per
+// cycle, 0 < rate).
+func PoissonArrivals(n, count int, rate float64, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]Packet, count)
+	at := 0
+	for i := range pkts {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		pkts[i] = Packet{ID: i, Src: src, Dst: dst, Release: at}
+		// Geometric gap approximating Poisson arrivals.
+		gap := 0
+		for rng.Float64() > rate {
+			gap++
+			if gap > 1<<20 {
+				break
+			}
+		}
+		at += gap
+	}
+	return pkts
+}
+
+// Permutation returns n packets realizing a random permutation traffic
+// pattern: node i sends to π(i) (fixed points excluded by re-drawing
+// destinations via cycle rotation).
+func Permutation(n int, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pi := rng.Perm(n)
+	// Derange fixed points by swapping with a neighbour.
+	for i := 0; i < n; i++ {
+		if pi[i] == i {
+			j := (i + 1) % n
+			pi[i], pi[j] = pi[j], pi[i]
+		}
+	}
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i] = Packet{ID: i, Src: i, Dst: pi[i]}
+	}
+	return pkts
+}
+
+// Broadcast returns n-1 packets from root to every other node, released
+// together — the one-to-all pattern of the broadcasting literature the
+// paper cites.
+func Broadcast(n, root int) []Packet {
+	pkts := make([]Packet, 0, n-1)
+	id := 0
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		pkts = append(pkts, Packet{ID: id, Src: root, Dst: v})
+		id++
+	}
+	return pkts
+}
+
+// BitReversal returns the classical adversarial pattern for shuffle-based
+// networks: node u sends to the bit-reversal of u. n must be a power of
+// two. Self-pairs (palindromic addresses) are skipped.
+func BitReversal(n int) []Packet {
+	width := 0
+	for v := n; v > 1; v >>= 1 {
+		if v&1 == 1 {
+			panic("simnet: BitReversal needs a power-of-two size")
+		}
+		width++
+	}
+	var pkts []Packet
+	id := 0
+	for u := 0; u < n; u++ {
+		rev := 0
+		for i := 0; i < width; i++ {
+			rev |= (u >> uint(i) & 1) << uint(width-1-i)
+		}
+		if rev == u {
+			continue
+		}
+		pkts = append(pkts, Packet{ID: id, Src: u, Dst: rev})
+		id++
+	}
+	return pkts
+}
+
+// Complementary returns the pattern u → n-1-u (the "transpose" of the
+// address space), another classical stressor; self-pairs are skipped
+// (none exist for even n).
+func Complementary(n int) []Packet {
+	var pkts []Packet
+	id := 0
+	for u := 0; u < n; u++ {
+		dst := n - 1 - u
+		if dst == u {
+			continue
+		}
+		pkts = append(pkts, Packet{ID: id, Src: u, Dst: dst})
+		id++
+	}
+	return pkts
+}
+
+// AllToAll returns n(n-1) packets, every ordered pair, released together.
+// Quadratic: keep n modest.
+func AllToAll(n int) []Packet {
+	pkts := make([]Packet, 0, n*(n-1))
+	id := 0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			pkts = append(pkts, Packet{ID: id, Src: u, Dst: v})
+			id++
+		}
+	}
+	return pkts
+}

@@ -1,0 +1,97 @@
+package viterbi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestAWGNModulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	// Noiseless limit: huge SNR keeps the signs intact.
+	stream := []byte{0, 1, 1, 0, 1}
+	soft := AWGN(stream, 60, rng)
+	for i, s := range soft {
+		wantPos := stream[i] == 0
+		if (s > 0) != wantPos {
+			t.Fatalf("symbol %d flipped at 60 dB", i)
+		}
+	}
+	if got := HardSlice(soft); !bytes.Equal(got, stream) {
+		t.Fatal("hard slicing at high SNR failed")
+	}
+}
+
+func TestDecodeSoftNoiseless(t *testing.T) {
+	c := NASA()
+	rng := rand.New(rand.NewSource(95))
+	msg := randomBits(60, rng)
+	enc, _ := c.Encode(msg)
+	soft := AWGN(enc, 40, rng)
+	dec, err := c.DecodeSoft(soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, msg) {
+		t.Fatal("noiseless soft decode failed")
+	}
+}
+
+func TestDecodeSoftValidation(t *testing.T) {
+	c := NASA()
+	if _, err := c.DecodeSoft([]float64{0.5}); err == nil {
+		t.Error("odd-length soft stream accepted")
+	}
+	if _, err := c.DecodeSoft([]float64{0.5, 0.5}); err == nil {
+		t.Error("too-short soft stream accepted")
+	}
+}
+
+func TestSoftBeatsHard(t *testing.T) {
+	// At a marginal SNR, soft decoding must produce no more frame errors
+	// than hard slicing followed by hard decoding — the classical ~2 dB
+	// soft-decision gain.
+	c := NASA()
+	rng := rand.New(rand.NewSource(96))
+	const trials = 40
+	softErrs, hardErrs := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		msg := randomBits(120, rng)
+		enc, _ := c.Encode(msg)
+		soft := AWGN(enc, 1.5, rng) // marginal Es/N0
+		if dec, err := c.DecodeSoft(soft); err != nil || !bytes.Equal(dec, msg) {
+			softErrs++
+		}
+		if dec, err := c.Decode(HardSlice(soft)); err != nil || !bytes.Equal(dec, msg) {
+			hardErrs++
+		}
+	}
+	if softErrs > hardErrs {
+		t.Errorf("soft decoding (%d frame errors) worse than hard (%d)", softErrs, hardErrs)
+	}
+	if hardErrs == 0 {
+		t.Log("channel too clean to separate soft from hard; consider lowering SNR")
+	}
+}
+
+func TestSoftMatchesHardOnCleanChannel(t *testing.T) {
+	// With no noise the two decoders agree exactly.
+	c := Code{K: 5, Generators: []uint32{0b10111, 0b11001}}
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 10; trial++ {
+		msg := randomBits(30, rng)
+		enc, _ := c.Encode(msg)
+		soft := make([]float64, len(enc))
+		for i, b := range enc {
+			soft[i] = 1 - 2*float64(b)
+		}
+		softDec, err1 := c.DecodeSoft(soft)
+		hardDec, err2 := c.Decode(enc)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !bytes.Equal(softDec, hardDec) || !bytes.Equal(softDec, msg) {
+			t.Fatal("decoders disagree on a clean channel")
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package viterbi implements a convolutional encoder and Viterbi decoder
+// whose trellis is the de Bruijn digraph — the application behind the
+// paper's marquee citation: NASA's Galileo probe decodes its downlink
+// with a VLSI decomposition of a large de Bruijn graph (Collins, Dolinar,
+// McEliece, Pollara, JACM 1992; reference [11] of the paper).
+//
+// A rate-1/r convolutional code with constraint length K has 2^(K-1)
+// states; state s on input bit b moves to (2s + b) mod 2^(K-1) — exactly
+// the arc set of B(2, K-1). The decoder's add-compare-select step
+// therefore exchanges path metrics along de Bruijn arcs, which is why
+// laying B(2, D) out optically (Section 4 of the paper) lays out a
+// hardware Viterbi decoder.
+package viterbi
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/digraph"
+)
+
+// Code describes a rate-1/len(Generators) binary convolutional code.
+type Code struct {
+	// K is the constraint length: the encoder register holds the current
+	// bit plus K-1 previous bits.
+	K int
+	// Generators are the generator polynomials, one output bit each, as
+	// bit masks over the K-bit register (bit 0 = newest input bit...
+	// conventionally bit K-1 = newest; here bit K-1 is the newest input
+	// and bit 0 the oldest, matching the usual octal constants).
+	Generators []uint32
+}
+
+// NASA is the CCSDS standard rate-1/2, K=7 code (generators 171, 133
+// octal) used widely in deep-space links; Galileo's Big Viterbi Decoder
+// ran a K=15 descendant of it.
+func NASA() Code {
+	return Code{K: 7, Generators: []uint32{0o171, 0o133}}
+}
+
+// Galileo returns a rate-1/4 long-constraint code in the spirit of the
+// Galileo (14,1/4) code (the exact flight generators are not needed for
+// the interconnect structure, which depends only on K). K is kept
+// configurable because the trellis has 2^(K-1) states.
+func Galileo(k int) Code {
+	// Four maximal-weight primitive-style taps; any distinct nonzero
+	// masks over K bits give a working (if not optimal) code.
+	mask := uint32(1)<<uint(k) - 1
+	return Code{K: k, Generators: []uint32{
+		0o171717 & mask, 0o133133 & mask, 0o165432 & mask, 0o117655 & mask,
+	}}
+}
+
+// Validate checks the code parameters.
+func (c Code) Validate() error {
+	if c.K < 2 || c.K > 20 {
+		return fmt.Errorf("viterbi: constraint length %d out of [2,20]", c.K)
+	}
+	if len(c.Generators) == 0 {
+		return fmt.Errorf("viterbi: no generator polynomials")
+	}
+	mask := uint32(1)<<uint(c.K) - 1
+	for i, g := range c.Generators {
+		if g == 0 {
+			return fmt.Errorf("viterbi: generator %d is zero", i)
+		}
+		if g&^mask != 0 {
+			return fmt.Errorf("viterbi: generator %d wider than K=%d bits", i, c.K)
+		}
+	}
+	return nil
+}
+
+// States returns the number of trellis states, 2^(K-1).
+func (c Code) States() int { return 1 << uint(c.K-1) }
+
+// Rate returns the number of output bits per input bit.
+func (c Code) Rate() int { return len(c.Generators) }
+
+// outputs returns the r output bits for register contents reg (bit K-1 is
+// the newest input bit).
+func (c Code) outputs(reg uint32) []byte {
+	out := make([]byte, len(c.Generators))
+	for i, g := range c.Generators {
+		out[i] = byte(bits.OnesCount32(reg&g) & 1)
+	}
+	return out
+}
+
+// Encode encodes msg (0/1 bytes) and appends K-1 zero flush bits so the
+// trellis terminates in state 0. Output length is (len(msg)+K-1) · r.
+func (c Code) Encode(msg []byte) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var reg uint32
+	out := make([]byte, 0, (len(msg)+c.K-1)*c.Rate())
+	feed := func(b byte) error {
+		if b > 1 {
+			return fmt.Errorf("viterbi: message bit %d not 0/1", b)
+		}
+		reg = (reg >> 1) | uint32(b)<<uint(c.K-1)
+		out = append(out, c.outputs(reg)...)
+		return nil
+	}
+	for _, b := range msg {
+		if err := feed(b); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.K-1; i++ {
+		if err := feed(0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BSC flips each bit of stream independently with probability p, using
+// rng; it returns the corrupted copy and the number of flips.
+func BSC(stream []byte, p float64, rng *rand.Rand) ([]byte, int) {
+	out := make([]byte, len(stream))
+	flips := 0
+	for i, b := range stream {
+		out[i] = b
+		if rng.Float64() < p {
+			out[i] ^= 1
+			flips++
+		}
+	}
+	return out, flips
+}
+
+// Decode runs hard-decision Viterbi decoding over the received stream,
+// returning the maximum-likelihood message (without the flush bits).
+// The trellis is walked forward with add-compare-select over the de
+// Bruijn predecessors of each state, then traced back.
+func (c Code) Decode(received []byte) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	r := c.Rate()
+	if len(received)%r != 0 {
+		return nil, fmt.Errorf("viterbi: stream length %d not a multiple of rate %d", len(received), r)
+	}
+	steps := len(received) / r
+	if steps < c.K-1 {
+		return nil, fmt.Errorf("viterbi: stream too short for flush bits")
+	}
+	nStates := c.States()
+	const inf = int(1) << 30
+
+	metric := make([]int, nStates)
+	for s := range metric {
+		metric[s] = inf
+	}
+	metric[0] = 0
+	// pred[t][s] = surviving predecessor of state s at step t; the input
+	// bit of the transition is recoverable as the top register bit of s.
+	pred := make([][]int32, steps)
+	nextMetric := make([]int, nStates)
+
+	// Precompute branch outputs: for new state s and entering bit b...
+	// The register after feeding bit b from predecessor state pre is
+	// reg = pre | b<<(K-1), and the new state is reg >> ... — concretely:
+	// state = top K-1 bits of the register (previous inputs); feeding b:
+	// reg = (state) | b<<(K-1) viewed over K bits where state occupies
+	// bits 0..K-2.
+	branch := make([][]byte, nStates*2)
+	for pre := 0; pre < nStates; pre++ {
+		for b := 0; b < 2; b++ {
+			reg := uint32(pre) | uint32(b)<<uint(c.K-1)
+			branch[pre*2+b] = c.outputs(reg)
+		}
+	}
+
+	for t := 0; t < steps; t++ {
+		obs := received[t*r : (t+1)*r]
+		pr := make([]int32, nStates)
+		for s := 0; s < nStates; s++ {
+			nextMetric[s] = inf
+			pr[s] = -1
+		}
+		for pre := 0; pre < nStates; pre++ {
+			if metric[pre] >= inf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				// De Bruijn transition: the register after feeding b is
+				// reg = pre | b<<(K-1) (pre occupies bits 0..K-2); the
+				// new state keeps the newest K-1 bits: next = reg >> 1.
+				next := (pre >> 1) | b<<uint(c.K-2)
+				cost := metric[pre] + hamming(branch[pre*2+b], obs)
+				if cost < nextMetric[next] {
+					nextMetric[next] = cost
+					pr[next] = int32(pre)
+				}
+			}
+		}
+		pred[t] = pr
+		metric, nextMetric = nextMetric, metric
+	}
+
+	// Traceback from state 0 (the flush bits force the trellis there).
+	decoded := make([]byte, steps)
+	state := 0
+	for t := steps - 1; t >= 0; t-- {
+		// The input bit of the transition into state is its top bit.
+		decoded[t] = byte(state >> uint(c.K-2) & 1)
+		pre := pred[t][state]
+		if pre < 0 {
+			return nil, fmt.Errorf("viterbi: traceback broke at step %d", t)
+		}
+		state = int(pre)
+	}
+	if state != 0 {
+		return nil, fmt.Errorf("viterbi: traceback did not reach the start state")
+	}
+	return decoded[:steps-(c.K-1)], nil
+}
+
+func hamming(a, b []byte) int {
+	h := 0
+	for i := range a {
+		if a[i] != b[i] {
+			h++
+		}
+	}
+	return h
+}
+
+// TrellisDigraph returns the state-transition digraph of the code: vertex
+// set Z_{2^(K-1)} with an arc s → (s>>1)|b<<(K-2) for b ∈ {0,1}. It is
+// the reverse-orientation twin of B(2, K-1) (shift right instead of
+// left), and isomorphic to B(2, K-1) via bit reversal.
+func (c Code) TrellisDigraph() *digraph.Digraph {
+	n := c.States()
+	return digraph.FromFunc(n, func(s int) []int {
+		return []int{s >> 1, (s >> 1) | 1<<uint(c.K-2)}
+	})
+}

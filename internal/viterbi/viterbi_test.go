@@ -1,0 +1,237 @@
+package viterbi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+func randomBits(n int, rng *rand.Rand) []byte {
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	return msg
+}
+
+func TestValidate(t *testing.T) {
+	if err := NASA().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Code{K: 1, Generators: []uint32{1}}).Validate() == nil {
+		t.Error("K=1 accepted")
+	}
+	if (Code{K: 7, Generators: nil}).Validate() == nil {
+		t.Error("no generators accepted")
+	}
+	if (Code{K: 3, Generators: []uint32{0}}).Validate() == nil {
+		t.Error("zero generator accepted")
+	}
+	if (Code{K: 3, Generators: []uint32{0xFF}}).Validate() == nil {
+		t.Error("over-wide generator accepted")
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	c := NASA()
+	msg := []byte{1, 0, 1, 1, 0}
+	enc, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (len(msg) + c.K - 1) * c.Rate()
+	if len(enc) != want {
+		t.Fatalf("encoded length %d, want %d", len(enc), want)
+	}
+	for _, b := range enc {
+		if b > 1 {
+			t.Fatal("non-binary output")
+		}
+	}
+	if _, err := c.Encode([]byte{2}); err == nil {
+		t.Error("non-binary message accepted")
+	}
+}
+
+func TestEncodeZeroMessage(t *testing.T) {
+	// The all-zero message encodes to the all-zero stream (linear code).
+	c := NASA()
+	enc, _ := c.Encode(make([]byte, 20))
+	for _, b := range enc {
+		if b != 0 {
+			t.Fatal("zero message did not encode to zero stream")
+		}
+	}
+}
+
+func TestDecodeNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, c := range []Code{NASA(), Galileo(9), {K: 3, Generators: []uint32{0b111, 0b101}}} {
+		for trial := 0; trial < 10; trial++ {
+			msg := randomBits(40, rng)
+			enc, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dec, msg) {
+				t.Fatalf("K=%d: noiseless decode failed\nmsg %v\ndec %v", c.K, msg, dec)
+			}
+		}
+	}
+}
+
+func TestDecodeWithNoise(t *testing.T) {
+	// The K=7 NASA code corrects comfortably at a few percent BSC error.
+	c := NASA()
+	rng := rand.New(rand.NewSource(21))
+	errors := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		msg := randomBits(100, rng)
+		enc, _ := c.Encode(msg)
+		noisy, _ := BSC(enc, 0.02, rng)
+		dec, err := c.Decode(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, msg) {
+			errors++
+		}
+	}
+	if errors > 1 {
+		t.Errorf("%d/%d frames failed at 2%% BSC — decoder too weak", errors, trials)
+	}
+}
+
+func TestDecodeCorrectsKnownBurst(t *testing.T) {
+	c := NASA()
+	msg := []byte{1, 1, 0, 1, 0, 0, 1, 0, 1, 1}
+	enc, _ := c.Encode(msg)
+	// Flip two well-separated bits: free distance of this code is 10, so
+	// 2 errors are always correctable.
+	enc[3] ^= 1
+	enc[17] ^= 1
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, msg) {
+		t.Fatalf("2-bit error not corrected: %v vs %v", dec, msg)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c := NASA()
+	if _, err := c.Decode([]byte{0, 1, 0}); err == nil {
+		t.Error("odd-length stream accepted for rate 1/2")
+	}
+	if _, err := c.Decode([]byte{0, 1}); err == nil {
+		t.Error("too-short stream accepted")
+	}
+}
+
+func TestTrellisIsDeBruijn(t *testing.T) {
+	// The trellis digraph is isomorphic to B(2, K-1): the shift-right
+	// register graph is carried onto the shift-left de Bruijn by bit
+	// reversal of the state label.
+	for _, k := range []int{3, 5, 7} {
+		c := Code{K: k, Generators: []uint32{1}}
+		trellis := c.TrellisDigraph()
+		b := debruijn.DeBruijn(2, k-1)
+		mapping := make([]int, trellis.N())
+		for s := range mapping {
+			mapping[s] = reverseBits(s, k-1)
+		}
+		if err := digraph.VerifyIsomorphism(trellis, b, mapping); err != nil {
+			t.Errorf("K=%d: trellis ≇ B(2,%d) under bit reversal: %v", k, k-1, err)
+		}
+	}
+}
+
+func reverseBits(v, width int) int {
+	out := 0
+	for i := 0; i < width; i++ {
+		out |= (v >> i & 1) << (width - 1 - i)
+	}
+	return out
+}
+
+func TestTrellisRegular(t *testing.T) {
+	c := NASA()
+	g := c.TrellisDigraph()
+	if g.N() != 64 || !g.IsRegular(2) {
+		t.Fatalf("NASA trellis: n=%d", g.N())
+	}
+	if g.Diameter() != 6 {
+		t.Errorf("NASA trellis diameter = %d, want 6", g.Diameter())
+	}
+}
+
+func TestBSC(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	stream := make([]byte, 10000)
+	noisy, flips := BSC(stream, 0.1, rng)
+	count := 0
+	for _, b := range noisy {
+		if b == 1 {
+			count++
+		}
+	}
+	if count != flips {
+		t.Fatalf("flip count %d, ones %d", flips, count)
+	}
+	if count < 800 || count > 1200 {
+		t.Errorf("flip rate %f far from 0.1", float64(count)/10000)
+	}
+	if _, flips := BSC(stream, 0, rng); flips != 0 {
+		t.Error("p=0 flipped bits")
+	}
+}
+
+func TestGalileoCodeRoundTrip(t *testing.T) {
+	// A longer-constraint rate-1/4 code in the Galileo spirit: K=11,
+	// 1024 trellis states = B(2,10), the same digraph whose OTIS layout
+	// the paper optimizes.
+	c := Galileo(11)
+	if c.States() != 1024 {
+		t.Fatalf("states = %d", c.States())
+	}
+	rng := rand.New(rand.NewSource(23))
+	msg := randomBits(60, rng)
+	enc, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, _ := BSC(enc, 0.05, rng)
+	dec, err := c.Decode(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, msg) {
+		t.Error("rate-1/4 K=11 decode failed at 5% BSC")
+	}
+}
+
+func TestACSUsesOnlyTrellisArcs(t *testing.T) {
+	// Structural link to the paper: the metric exchange of one ACS step
+	// (state s receives from its two trellis predecessors) uses exactly
+	// the arcs of the trellis digraph, i.e. de Bruijn arcs.
+	c := Code{K: 4, Generators: []uint32{0b1011}}
+	g := c.TrellisDigraph()
+	n := c.States()
+	for pre := 0; pre < n; pre++ {
+		for b := 0; b < 2; b++ {
+			next := (pre >> 1) | b<<uint(c.K-2)
+			if !g.HasArc(pre, next) {
+				t.Fatalf("ACS transition (%d,%d) not a trellis arc", pre, next)
+			}
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package word
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perm"
+)
+
+func TestFromLettersAndString(t *testing.T) {
+	w := MustFromLetters(2, 1, 0, 1)
+	if w.String() != "101" {
+		t.Fatalf("String = %q, want 101", w.String())
+	}
+	if w.Letter(0) != 1 || w.Letter(1) != 0 || w.Letter(2) != 1 {
+		t.Fatalf("letters wrong: %v", w.Letters())
+	}
+	if w.Int() != 5 {
+		t.Fatalf("Int = %d, want 5", w.Int())
+	}
+}
+
+func TestFromLettersRejectsOutOfAlphabet(t *testing.T) {
+	if _, err := FromLetters(2, 0, 2, 1); err == nil {
+		t.Error("letter 2 accepted in Z_2")
+	}
+	if _, err := FromLetters(3, -1); err == nil {
+		t.Error("negative letter accepted")
+	}
+}
+
+func TestHornerRoundTrip(t *testing.T) {
+	for _, c := range []struct{ d, D int }{{2, 1}, {2, 4}, {3, 3}, {5, 2}, {10, 2}} {
+		n := Pow(c.d, c.D)
+		for u := 0; u < n; u++ {
+			w := MustFromInt(c.d, c.D, u)
+			if w.Int() != u {
+				t.Fatalf("d=%d D=%d: round trip %d -> %s -> %d", c.d, c.D, u, w, w.Int())
+			}
+		}
+	}
+}
+
+func TestFromIntRange(t *testing.T) {
+	if _, err := FromInt(2, 3, 8); err == nil {
+		t.Error("8 accepted as 3-letter binary word")
+	}
+	if _, err := FromInt(2, 3, -1); err == nil {
+		t.Error("negative value accepted")
+	}
+	if w, err := FromInt(2, 3, 7); err != nil || w.String() != "111" {
+		t.Errorf("FromInt(2,3,7) = %v, %v", w, err)
+	}
+}
+
+func TestLeftShiftAppend(t *testing.T) {
+	// Definition 2.2: x = x_{D-1}...x_0 has successors x_{D-2}...x_0 α.
+	w := MustFromLetters(2, 1, 0, 1, 1) // 1011
+	s := w.LeftShiftAppend(0)
+	if s.String() != "0110" {
+		t.Fatalf("shift(1011, 0) = %s, want 0110", s)
+	}
+	s = w.LeftShiftAppend(1)
+	if s.String() != "0111" {
+		t.Fatalf("shift(1011, 1) = %s, want 0111", s)
+	}
+}
+
+func TestLeftShiftAppendHornerCongruence(t *testing.T) {
+	// In integer form the successor of u is (d*u + alpha) mod d^D —
+	// the RRK adjacency of Definition 2.5, per Remark 2.6.
+	d, D := 3, 4
+	n := Pow(d, D)
+	for u := 0; u < n; u++ {
+		w := MustFromInt(d, D, u)
+		for alpha := 0; alpha < d; alpha++ {
+			got := w.LeftShiftAppend(alpha).Int()
+			want := (d*u + alpha) % n
+			if got != want {
+				t.Fatalf("u=%d alpha=%d: got %d, want %d", u, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestApplyAlphabet(t *testing.T) {
+	sigma := perm.Complement(2)
+	w := MustFromLetters(2, 1, 0, 1)
+	if got := w.ApplyAlphabet(sigma).String(); got != "010" {
+		t.Fatalf("C(101) = %s, want 010", got)
+	}
+}
+
+func TestApplyIndexPaperExample331(t *testing.T) {
+	// Example 3.3.1: f on Z_6, f→(x5x4x3x2x1x0) = x2x1x0x3x5x4.
+	f := perm.MustFromFunc(6, func(i int) int {
+		switch {
+		case i < 3:
+			return i + 3
+		case i == 3:
+			return 2
+		default:
+			return (i + 2) % 6
+		}
+	})
+	w := MustFromLetters(10, 5, 4, 3, 2, 1, 0) // spelled "543210": x_i = i
+	got := w.ApplyIndex(f)
+	// Expected x2x1x0x3x5x4 = "210354".
+	if got.String() != "210354" {
+		t.Fatalf("f→(543210) = %s, want 210354", got)
+	}
+}
+
+func TestApplyIndexComposition(t *testing.T) {
+	// Definition 3.5: (fg)→ = f→ ∘ g→.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		D := 1 + rng.Intn(8)
+		d := 2 + rng.Intn(3)
+		f := perm.Random(D, rng)
+		g := perm.Random(D, rng)
+		w := MustFromInt(d, D, rng.Intn(Pow(d, D)))
+		lhs := w.ApplyIndex(f.Compose(g))
+		rhs := w.ApplyIndex(g).ApplyIndex(f)
+		if !lhs.Equal(rhs) {
+			t.Fatalf("(fg)→ ≠ f→∘g→: f=%v g=%v w=%s", f, g, w)
+		}
+	}
+}
+
+func TestApplyIndexShiftIsDeBruijnShift(t *testing.T) {
+	// Remark 3.8: with ρ(i) = i+1 mod D, the de Bruijn successor set is
+	// ρ→(x) + Z_d·e_0, i.e. ρ→ moves x_{D-1} into position 0 and
+	// LeftShiftAppend overwrites it.
+	d, D := 2, 5
+	rho := perm.CyclicShift(D)
+	Enumerate(d, D, func(w Word) bool {
+		shifted := w.ApplyIndex(rho)
+		for alpha := 0; alpha < d; alpha++ {
+			got := shifted.WithLetter(0, alpha)
+			want := w.LeftShiftAppend(alpha)
+			if !got.Equal(want) {
+				t.Fatalf("w=%s alpha=%d: %s ≠ %s", w, alpha, got, want)
+			}
+		}
+		return true
+	})
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	a := MustFromLetters(2, 1, 0) // "10"
+	b := MustFromLetters(2, 1, 1) // "11"
+	c := a.Concat(b)
+	if c.String() != "1011" {
+		t.Fatalf("concat = %s, want 1011", c)
+	}
+	if got := c.Slice(0, 2); got.String() != "11" {
+		t.Fatalf("Slice(0,2) = %s, want 11", got)
+	}
+	if got := c.Slice(2, 4); got.String() != "10" {
+		t.Fatalf("Slice(2,4) = %s, want 10", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	w, err := Parse(2, "0110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Int() != 6 {
+		t.Fatalf("Parse(0110).Int = %d, want 6", w.Int())
+	}
+	if _, err := Parse(2, "012"); err == nil {
+		t.Error("digit 2 accepted over Z_2")
+	}
+	if _, err := Parse(2, "01a"); err == nil {
+		t.Error("non-digit accepted")
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(2, 10) != 1024 {
+		t.Error("Pow(2,10) != 1024")
+	}
+	if Pow(3, 0) != 1 {
+		t.Error("Pow(3,0) != 1")
+	}
+	if Pow(1, 5) != 1 {
+		t.Error("Pow(1,5) != 1")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	var got []int
+	Enumerate(2, 3, func(w Word) bool {
+		got = append(got, w.Int())
+		return true
+	})
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Enumerate order = %v", got)
+	}
+}
+
+func TestOverlapSuffixPrefix(t *testing.T) {
+	cases := []struct {
+		src, dst string
+		want     int
+	}{
+		{"1011", "1011", 4}, // same word: full overlap
+		{"1011", "0111", 3}, // 011 suffix = 011 prefix
+		{"1011", "1101", 2},
+		{"1011", "1000", 1},
+		{"0000", "1111", 0},
+		{"1010", "0101", 3},
+	}
+	for _, c := range cases {
+		src, _ := Parse(2, c.src)
+		dst, _ := Parse(2, c.dst)
+		if got := OverlapSuffixPrefix(src, dst); got != c.want {
+			t.Errorf("overlap(%s, %s) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestOverlapMatchesShiftSemantics(t *testing.T) {
+	// If overlap(src, dst) = k, then applying D-k left shifts to src with
+	// the right appended letters must produce dst.
+	d, D := 2, 4
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		src := MustFromInt(d, D, rng.Intn(Pow(d, D)))
+		dst := MustFromInt(d, D, rng.Intn(Pow(d, D)))
+		k := OverlapSuffixPrefix(src, dst)
+		w := src.Clone()
+		for step := D - k - 1; step >= 0; step-- {
+			w = w.LeftShiftAppend(dst.Letter(step))
+		}
+		if !w.Equal(dst) {
+			t.Fatalf("shifting src=%s by %d steps missed dst=%s (got %s)", src, D-k, dst, w)
+		}
+	}
+}
+
+func TestQuickHornerRoundTrip(t *testing.T) {
+	f := func(dRaw, DRaw uint8, uRaw uint16) bool {
+		d := int(dRaw%9) + 2
+		D := int(DRaw % 6)
+		n := Pow(d, D)
+		u := int(uRaw) % n
+		w := MustFromInt(d, D, u)
+		return w.Int() == u && w.Len() == D && w.D() == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAlphabetActionIsGroupAction(t *testing.T) {
+	f := func(seed int64, DRaw uint8) bool {
+		D := int(DRaw%6) + 1
+		d := 3
+		rng := rand.New(rand.NewSource(seed))
+		s1 := perm.Random(d, rng)
+		s2 := perm.Random(d, rng)
+		w := MustFromInt(d, D, rng.Intn(Pow(d, D)))
+		// (s1∘s2)(w) = s1(s2(w))
+		return w.ApplyAlphabet(s1.Compose(s2)).Equal(w.ApplyAlphabet(s2).ApplyAlphabet(s1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithLetter(t *testing.T) {
+	w := MustFromLetters(2, 0, 0, 0)
+	v := w.WithLetter(1, 1)
+	if v.String() != "010" {
+		t.Fatalf("WithLetter = %s, want 010", v)
+	}
+	if w.String() != "000" {
+		t.Fatal("WithLetter mutated the receiver")
+	}
+}
+
+func TestLargeAlphabetString(t *testing.T) {
+	w := MustFromLetters(16, 3, 11, 0)
+	if got := w.String(); got != "3.11.0" {
+		t.Fatalf("String = %q, want 3.11.0", got)
+	}
+}
+
+func TestPanicsOnInvalidUse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("New d=0", func() { New(0, 3) })
+	mustPanic("New negative length", func() { New(2, -1) })
+	mustPanic("WithLetter out of alphabet", func() {
+		MustFromLetters(2, 0, 1).WithLetter(0, 5)
+	})
+	mustPanic("LeftShiftAppend out of alphabet", func() {
+		MustFromLetters(2, 0, 1).LeftShiftAppend(3)
+	})
+	mustPanic("ApplyAlphabet size mismatch", func() {
+		MustFromLetters(2, 0, 1).ApplyAlphabet(perm.Identity(3))
+	})
+	mustPanic("ApplyIndex size mismatch", func() {
+		MustFromLetters(2, 0, 1).ApplyIndex(perm.Identity(3))
+	})
+	mustPanic("Concat alphabet mismatch", func() {
+		MustFromLetters(2, 0).Concat(MustFromLetters(3, 0))
+	})
+	mustPanic("Slice out of range", func() {
+		MustFromLetters(2, 0, 1).Slice(0, 5)
+	})
+	mustPanic("Pow invalid", func() { Pow(0, 2) })
+	mustPanic("overlap mismatch", func() {
+		OverlapSuffixPrefix(MustFromLetters(2, 0), MustFromLetters(2, 0, 1))
+	})
+	mustPanic("MustFromLetters invalid", func() { MustFromLetters(2, 7) })
+	mustPanic("MustFromInt invalid", func() { MustFromInt(2, 2, 9) })
+}
+
+func TestLetters(t *testing.T) {
+	w := MustFromLetters(3, 2, 0, 1)
+	if got := w.Letters(); !reflect.DeepEqual(got, []int{2, 0, 1}) {
+		t.Errorf("Letters = %v", got)
+	}
+}
+
+func TestEqualMismatchedShapes(t *testing.T) {
+	a := MustFromLetters(2, 0, 1)
+	if a.Equal(MustFromLetters(3, 0, 1)) {
+		t.Error("different alphabets equal")
+	}
+	if a.Equal(MustFromLetters(2, 0, 1, 0)) {
+		t.Error("different lengths equal")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	count := 0
+	Enumerate(2, 3, func(Word) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestEmptyWordString(t *testing.T) {
+	w := New(2, 0)
+	if w.String() != "ε" {
+		t.Fatalf("empty word String = %q", w.String())
+	}
+	if w.Int() != 0 {
+		t.Fatal("empty word Int != 0")
+	}
+}

@@ -1,0 +1,516 @@
+// Package repro is the public API of a full reproduction of
+//
+//	D. Coudert, A. Ferreira, S. Pérennes,
+//	"De Bruijn Isomorphisms and Free Space Optical Networks",
+//	14th IEEE International Parallel and Distributed Processing
+//	Symposium (IPDPS 2000), pp. 769–774.
+//
+// The paper proves that a wide class of word digraphs — built from an
+// arbitrary permutation σ of the alphabet Z_d and an arbitrary permutation
+// f of the letter positions Z_D, with one free position j — is isomorphic
+// to the de Bruijn digraph B(d, D) exactly when f is cyclic, and applies
+// this to lay out B(d, D) on the OTIS free-space optical architecture with
+// Θ(√n) lenses instead of the O(n) previously known.
+//
+// The facade re-exports the subsystems:
+//
+//   - de Bruijn-family digraphs: DeBruijn, Kautz, RRK, ImaseItoh, BSigma,
+//     with explicit isomorphism witnesses (Propositions 3.2, 3.3);
+//   - alphabet digraphs A(f, σ, j): NewAlpha and the Proposition 3.9
+//     machinery, plus the Remark 3.10 component decomposition;
+//   - the OTIS architecture: OTISSystem, HDigraph, the layout criteria of
+//     Corollaries 4.2–4.6, OptimalLayout, and the Table 1 search;
+//   - the optical bench simulation: NewBench, beam tracing and power
+//     budgets;
+//   - the packet-level network simulator: NewNetwork and workloads;
+//   - general digraph machinery: diameters, connectivity, conjunction,
+//     line digraphs, isomorphism testing.
+//
+// Quick start:
+//
+//	layout, ok := repro.OptimalLayout(2, 8)     // OTIS(16,32) ⊢ B(2,8)
+//	mapping, err := repro.LayoutWitness(2, 4, 5) // H(16,32,2) → B(2,8)
+//	bench, err := repro.NewBench(16, 32, repro.DefaultPitch)
+//	err = bench.VerifyTranspose()               // optics agree with graph theory
+package repro
+
+import (
+	"repro/internal/alpha"
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/fft"
+	"repro/internal/gossip"
+	"repro/internal/machine"
+	"repro/internal/multistage"
+	"repro/internal/optics"
+	"repro/internal/otis"
+	"repro/internal/perm"
+	"repro/internal/pops"
+	"repro/internal/simnet"
+	"repro/internal/viterbi"
+	"repro/internal/word"
+)
+
+// Re-exported types. Aliases keep the internal packages as the single
+// source of truth while giving users one import path.
+type (
+	// Perm is a permutation of Z_n in one-line notation.
+	Perm = perm.Perm
+	// Word is a word over Z_d, the vertex label type of word digraphs.
+	Word = word.Word
+	// Digraph is a directed multigraph on vertices 0..n-1.
+	Digraph = digraph.Digraph
+	// Alpha is the alphabet digraph A(f, σ, j) of Definition 3.7.
+	Alpha = alpha.Alpha
+	// AlphaComponent annotates one weak component of a non-cyclic
+	// A(f, σ, j) with its Remark 3.10 structure.
+	AlphaComponent = alpha.Component
+	// OTISSystem is an OTIS(p, q) optical transpose interconnect.
+	OTISSystem = otis.System
+	// OTISLayout describes an OTIS realization of B(d, D).
+	OTISLayout = otis.Layout
+	// TableRow is one row of the Table 1 degree–diameter search.
+	TableRow = otis.TableRow
+	// Bench is a paraxial optical model of an OTIS(p, q) bench.
+	Bench = optics.Bench
+	// Trajectory is one traced beam through a Bench.
+	Trajectory = optics.Trajectory
+	// PowerBudget is the optical link budget model.
+	PowerBudget = optics.PowerBudget
+	// BOM is the hardware bill of materials of a realized network.
+	BOM = optics.BOM
+	// Network is a packet-level simulation over a Digraph.
+	Network = simnet.Network
+	// Packet is one simulated datagram.
+	Packet = simnet.Packet
+	// SimConfig tunes the network simulation.
+	SimConfig = simnet.Config
+	// SimResult summarizes a simulation run.
+	SimResult = simnet.Result
+	// Router chooses packet next hops.
+	Router = simnet.Router
+)
+
+// Permutations (Section 2.1).
+var (
+	// IdentityPerm returns the identity permutation of Z_n.
+	IdentityPerm = perm.Identity
+	// ComplementPerm returns C(u) = n-u-1 (Definition 2.1).
+	ComplementPerm = perm.Complement
+	// CyclicShiftPerm returns ρ(i) = i+1 mod n (Remark 3.8).
+	CyclicShiftPerm = perm.CyclicShift
+	// RandomPerm returns a uniformly random permutation.
+	RandomPerm = perm.Random
+	// PermFromImage builds and validates a permutation.
+	PermFromImage = perm.FromImage
+	// PermFromCycles builds a permutation from disjoint cycles.
+	PermFromCycles = perm.FromCycles
+	// AllPerms enumerates the permutations of Z_n.
+	AllPerms = perm.All
+	// AllCyclicPerms enumerates the (n-1)! cyclic permutations of Z_n.
+	AllCyclicPerms = perm.AllCyclic
+	// PermParse reads cycle or one-line notation.
+	PermParse = perm.Parse
+)
+
+// Words.
+var (
+	// NewWord returns the all-zero word of the given length over Z_d.
+	NewWord = word.New
+	// WordFromInt converts a Horner label to a word (Remark 2.6).
+	WordFromInt = word.FromInt
+	// WordFromLetters builds a word from letters, most significant first.
+	WordFromLetters = word.FromLetters
+	// ParseWord parses a digit string over Z_d (d ≤ 10).
+	ParseWord = word.Parse
+	// Pow returns d^D.
+	Pow = word.Pow
+)
+
+// De Bruijn-family digraphs (Section 2.2) and their isomorphisms
+// (Section 3.1).
+var (
+	// DeBruijn returns B(d, D) (Definition 2.2) on Horner labels.
+	DeBruijn = debruijn.DeBruijn
+	// Kautz returns K(d, D) (Definition 2.7) with its word table.
+	Kautz = debruijn.Kautz
+	// KautzOrder returns d^{D-1}(d+1).
+	KautzOrder = debruijn.KautzOrder
+	// RRK returns the Reddy–Raghavan–Kuhl digraph (Definition 2.5).
+	RRK = debruijn.RRK
+	// ImaseItoh returns II(d, n) (Definition 2.8).
+	ImaseItoh = debruijn.ImaseItoh
+	// BSigma returns B_σ(d, D) (Definition 3.1).
+	BSigma = debruijn.BSigma
+	// BBar returns B̄(d, D) = B_C(d, D), equal to II(d, d^D).
+	BBar = debruijn.BBar
+	// WitnessW returns the Proposition 3.2 isomorphism B_σ → B.
+	WitnessW = debruijn.WitnessW
+	// IsoBSigmaToB verifies Proposition 3.2 constructively.
+	IsoBSigmaToB = debruijn.IsoBSigmaToB
+	// WitnessIIToB returns the Proposition 3.3 isomorphism II → B.
+	WitnessIIToB = debruijn.WitnessIIToB
+	// IsoIIToB verifies Proposition 3.3 constructively.
+	IsoIIToB = debruijn.IsoIIToB
+	// DeBruijnDistance returns the routing distance between two words.
+	DeBruijnDistance = debruijn.Distance
+	// DeBruijnRoute returns the canonical shortest path between words.
+	DeBruijnRoute = debruijn.Route
+	// BroadcastTree returns a BFS arborescence of B(d, D).
+	BroadcastTree = debruijn.BroadcastTree
+)
+
+// Alphabet digraphs A(f, σ, j) (Section 3.2).
+var (
+	// NewAlpha builds A(f, σ, j) (Definition 3.7).
+	NewAlpha = alpha.New
+	// DeBruijnAlpha exhibits B(d, D) as A(ρ, Id, 0) (Remark 3.8).
+	DeBruijnAlpha = alpha.DeBruijnAlpha
+	// CountDefinitions returns d!(D-1)!, the number of alternative
+	// de Bruijn definitions (Section 3.2).
+	CountDefinitions = alpha.CountDefinitions
+	// ClassifyAlpha tallies the structural signatures of every (f, σ, j).
+	ClassifyAlpha = alpha.Classify
+	// AlphaSignature computes the component-shape signature of one
+	// alphabet digraph.
+	AlphaSignature = alpha.SignatureOf
+)
+
+// AlphaClassCount pairs a structural signature with its frequency.
+type AlphaClassCount = alpha.ClassCount
+
+// OTIS architecture and layouts (Section 4).
+var (
+	// NewOTIS returns an OTIS(p, q) system.
+	NewOTIS = otis.NewSystem
+	// HDigraph returns H(p, q, d) (Section 4.2).
+	HDigraph = otis.H
+	// IndexPermutation returns the Proposition 4.1 permutation f.
+	IndexPermutation = otis.IndexPermutation
+	// IsDeBruijnLayout is the O(D) layout criterion (Corollaries 4.2/4.5).
+	IsDeBruijnLayout = otis.IsDeBruijnLayout
+	// LayoutWitness returns the isomorphism H(d^p', d^q', d) → B(d, D).
+	LayoutWitness = otis.LayoutWitness
+	// OptimalLayout minimizes lenses over splits (Corollaries 4.4/4.6).
+	OptimalLayout = otis.OptimalLayout
+	// MinimizeLenses returns the minimum lens count for B(d, D).
+	MinimizeLenses = otis.MinimizeLenses
+	// IILayoutLenses returns the O(n) baseline lens count of [14].
+	IILayoutLenses = otis.IILayoutLenses
+	// SearchDegreeDiameter reruns the exhaustive search of Table 1.
+	SearchDegreeDiameter = otis.SearchDegreeDiameter
+	// LargestWithDiameter finds the largest OTIS-realizable digraph of a
+	// given degree and diameter.
+	LargestWithDiameter = otis.LargestWithDiameter
+	// OTISCatalog surveys what every power-of-d split physically builds.
+	OTISCatalog = otis.Catalog
+	// VerifyIILayout checks H(d, n, d) = II(d, n) ([14]).
+	VerifyIILayout = otis.VerifyIILayout
+)
+
+// Optical bench simulation.
+var (
+	// NewBench builds a paraxial OTIS(p, q) bench.
+	NewBench = optics.NewBench
+	// DefaultBudget returns a representative optical link budget.
+	DefaultBudget = optics.DefaultBudget
+	// WorstCaseMargin traces every beam and returns the worst margin.
+	WorstCaseMargin = optics.WorstCaseMargin
+	// BillOfMaterials summarizes hardware for a bench and degree.
+	BillOfMaterials = optics.BillOfMaterials
+	// CompareLayoutLenses compares baseline and optimized lens counts.
+	CompareLayoutLenses = optics.CompareLayouts
+)
+
+// DefaultPitch is the default transceiver pitch (metres).
+const DefaultPitch = optics.DefaultPitch
+
+// Network simulation.
+var (
+	// NewNetwork binds a digraph, router and config.
+	NewNetwork = simnet.New
+	// NewTableRouter routes by precomputed shortest paths.
+	NewTableRouter = simnet.NewTableRouter
+	// NewDeBruijnRouter routes natively on B(d, D) labels.
+	NewDeBruijnRouter = simnet.NewDeBruijnRouter
+	// DefaultSimConfig returns unit hop latency.
+	DefaultSimConfig = simnet.DefaultConfig
+	// UniformRandomWorkload, PermutationWorkload, BroadcastWorkload and
+	// AllToAllWorkload generate traffic patterns.
+	UniformRandomWorkload = simnet.UniformRandom
+	PermutationWorkload   = simnet.Permutation
+	BroadcastWorkload     = simnet.Broadcast
+	AllToAllWorkload      = simnet.AllToAll
+	PoissonWorkload       = simnet.PoissonArrivals
+)
+
+// Digraph machinery.
+var (
+	// NewDigraph returns an arcless digraph on n vertices.
+	NewDigraph = digraph.New
+	// DigraphFromFunc builds a digraph from an out-neighbour function.
+	DigraphFromFunc = digraph.FromFunc
+	// Conjunction returns G1 ⊗ G2 (Definition 2.3).
+	Conjunction = digraph.Conjunction
+	// LineDigraph returns L(G) and its arc table.
+	LineDigraph = digraph.LineDigraph
+	// Circuit returns the directed cycle C_k.
+	Circuit = digraph.Circuit
+	// CompleteWithLoops returns K*_n, the OTIS-realizable complete
+	// digraph of Zane et al.
+	CompleteWithLoops = digraph.CompleteWithLoops
+	// MooreBound returns 1 + d + ... + d^D.
+	MooreBound = digraph.MooreBound
+	// VerifyIsomorphism checks a proposed isomorphism in O(n+m).
+	VerifyIsomorphism = digraph.VerifyIsomorphism
+	// FindIsomorphism searches for an isomorphism (small instances).
+	FindIsomorphism = digraph.FindIsomorphism
+	// AreIsomorphic reports whether two digraphs are isomorphic.
+	AreIsomorphic = digraph.AreIsomorphic
+)
+
+// De Bruijn sequences and ring embeddings (the embedding literature [9]).
+var (
+	// EulerianCircuit returns an Eulerian circuit (Hierholzer).
+	EulerianCircuit = debruijn.EulerianCircuit
+	// DeBruijnSequence returns a de Bruijn sequence of order D over Z_d.
+	DeBruijnSequence = debruijn.Sequence
+	// VerifyDeBruijnSequence checks the all-windows-distinct property.
+	VerifyDeBruijnSequence = debruijn.VerifySequence
+	// DeBruijnSequenceFKM is the Lyndon-word (FKM) construction: the
+	// lexicographically least sequence, an independent cross-check.
+	DeBruijnSequenceFKM = debruijn.SequenceFKM
+	// LyndonWords enumerates Lyndon words in lexicographic order.
+	LyndonWords = debruijn.LyndonWords
+	// LineIterate returns L^k(g); B(d,D) = L^{D-1}(K*_d) and
+	// K(d,D) = L^{D-1}(K_{d+1}).
+	LineIterate = debruijn.LineIterate
+	// VerifyLineIterateCharacterization checks both identities.
+	VerifyLineIterateCharacterization = debruijn.VerifyLineIterateCharacterization
+	// HamiltonianCycle returns a dilation-1 ring embedding of B(d, D).
+	HamiltonianCycle = debruijn.HamiltonianCycle
+	// VerifyHamiltonianCycle checks a proposed Hamiltonian cycle.
+	VerifyHamiltonianCycle = debruijn.VerifyHamiltonianCycle
+	// TreeEmbedding returns the dilation-1 forest of d-1 complete d-ary
+	// trees covering B(d, D) minus the zero word.
+	TreeEmbedding = debruijn.TreeEmbedding
+	// VerifyTreeEmbedding checks a proposed forest embedding.
+	VerifyTreeEmbedding = debruijn.VerifyTreeEmbedding
+	// CompleteBinaryTreeInB2 returns the binary-tree embedding for d = 2.
+	CompleteBinaryTreeInB2 = debruijn.CompleteBinaryTreeInB2
+)
+
+// TreeNode is one vertex of an embedded forest.
+type TreeNode = debruijn.TreeNode
+
+// Multistage networks built from de Bruijn digraphs ([27], [30]).
+var (
+	// WrappedButterfly returns WBF(d, D).
+	WrappedButterfly = multistage.WrappedButterfly
+	// ButterflyWitness maps WBF(d, D) onto C_D ⊗ B(d, D).
+	ButterflyWitness = multistage.ButterflyWitness
+	// ShuffleNet returns SN(d, k) = C_k ⊗ B(d, k).
+	ShuffleNet = multistage.ShuffleNet
+	// GEMNET returns GEMNET(K, M, d) = C_K ⊗ RRK(d, M).
+	GEMNET = multistage.GEMNET
+	// RealizedStructure describes what a non-layout OTIS split builds:
+	// a stack of circuit ⊗ de Bruijn networks (Remark 3.10 made useful).
+	RealizedStructure = otis.RealizedStructure
+)
+
+// MultistageStack describes copies × (C_c ⊗ B(d, r)).
+type MultistageStack = multistage.Stack
+
+// Broadcasting and gossiping ([3], [28]).
+var (
+	// BroadcastAllPort simulates all-port broadcasting (rounds =
+	// eccentricity).
+	BroadcastAllPort = gossip.BroadcastAllPort
+	// BroadcastSinglePort builds a greedy single-port broadcast schedule.
+	BroadcastSinglePort = gossip.BroadcastSinglePort
+	// VerifyBroadcastSchedule validates a single-port schedule.
+	VerifyBroadcastSchedule = gossip.VerifySchedule
+	// GossipAllPort simulates all-port gossiping (rounds = diameter).
+	GossipAllPort = gossip.GossipAllPort
+	// BroadcastLogLowerBound returns ⌈log2 n⌉.
+	BroadcastLogLowerBound = gossip.LogLowerBound
+)
+
+// BroadcastSchedule is a single-port broadcast schedule.
+type BroadcastSchedule = gossip.Schedule
+
+// The Pease FFT — the de Bruijn-dataflow parallel FFT ([12], [24]).
+var (
+	// FFT computes the DFT with the constant-geometry de Bruijn dataflow.
+	FFT = fft.Transform
+	// InverseFFT computes the inverse DFT.
+	InverseFFT = fft.Inverse
+	// FFTStageSources returns a stage's reads: the de Bruijn
+	// in-neighbours.
+	FFTStageSources = fft.StageSources
+	// VerifyFFTDataflow checks every stage read is a de Bruijn arc.
+	VerifyFFTDataflow = fft.VerifyDataflow
+	// Convolve computes circular convolution via the FFT.
+	Convolve = fft.Convolve
+)
+
+// Viterbi decoding on the de Bruijn trellis (Galileo, [11]).
+var (
+	// NASACode is the CCSDS rate-1/2, K=7 convolutional code.
+	NASACode = viterbi.NASA
+	// GalileoCode returns a rate-1/4 long-constraint code; its trellis is
+	// B(2, K-1).
+	GalileoCode = viterbi.Galileo
+	// BSCChannel flips bits with probability p.
+	BSCChannel = viterbi.BSC
+)
+
+// ConvolutionalCode is a rate-1/r binary convolutional code whose trellis
+// is the de Bruijn digraph B(2, K-1).
+type ConvolutionalCode = viterbi.Code
+
+// The concluding conjecture: exhaustive scans over all factorizations.
+var (
+	// ConjectureScan checks every pq = d^(D+1) split for B(d, D).
+	ConjectureScan = otis.ConjectureScan
+	// NonPowerLayouts filters a scan to conjecture counterexamples.
+	NonPowerLayouts = otis.NonPowerLayouts
+)
+
+// ConjectureSplitResult is one candidate of a conjecture scan.
+type ConjectureSplitResult = otis.SplitResult
+
+// OTISCatalogEntry describes one surveyed OTIS split.
+type OTISCatalogEntry = otis.CatalogEntry
+
+// Kautz extras: the explicit isomorphism onto Imase–Itoh ([21]) and
+// self-routing on Kautz words.
+var (
+	// WitnessKautzToII returns the explicit K(d,D) → II(d, d^{D-1}(d+1))
+	// isomorphism (alternating difference encoding).
+	WitnessKautzToII = debruijn.WitnessKautzToII
+	// IsoKautzToII builds and verifies the witness.
+	IsoKautzToII = debruijn.IsoKautzToII
+	// KautzDistance and KautzRoute are word-level self-routing on K(d,D).
+	KautzDistance = debruijn.KautzDistance
+	KautzRoute    = debruijn.KautzRoute
+	// IsKautzWord validates a Kautz vertex label.
+	IsKautzWord = debruijn.IsKautzWord
+)
+
+// Two-dimensional optical packaging.
+var (
+	// NewBench2D builds the separable 2-D bench for OTIS(px·py, qx·qy).
+	NewBench2D = optics.NewBench2D
+)
+
+// OpticalBench2D is a separable two-axis OTIS bench.
+type OpticalBench2D = optics.Bench2D
+
+// Load–latency characterization.
+var (
+	// LoadSweep measures mean latency across offered Poisson loads.
+	LoadSweep = simnet.LoadSweep
+	// ZeroLoadLatency returns mean distance × hop latency.
+	ZeroLoadLatency = simnet.ZeroLoadLatency
+)
+
+// LoadSweepPoint is one offered-load measurement.
+type LoadSweepPoint = simnet.SweepPoint
+
+// Prior-work multi-OPS networks ([10], [13], [34]).
+var (
+	// NewPOPS returns a POPS(t, g) single-hop network model.
+	NewPOPS = pops.NewPOPS
+	// StackKautz returns SK(s, d, k) = K(d,k) ⊗ K*_s ([13]).
+	StackKautz = pops.StackKautz
+	// StackKautzOrder returns s·d^{k-1}(d+1).
+	StackKautzOrder = pops.StackKautzOrder
+	// VerifyZaneCompleteLayout checks H(n,n,n) = K*_n ([34]).
+	VerifyZaneCompleteLayout = pops.VerifyZaneCompleteLayout
+	// CompareOpticalDesigns contrasts POPS, complete-OTIS and de Bruijn-
+	// OTIS hardware for n = d^D processors.
+	CompareOpticalDesigns = pops.Compare
+)
+
+// POPSNetwork is a POPS(t, g) model.
+type POPSNetwork = pops.POPS
+
+// OpticalHardwareComparison contrasts per-processor optics across designs.
+type OpticalHardwareComparison = pops.HardwareComparison
+
+// Physical feasibility and further analysis helpers.
+var (
+	// Diffract evaluates the diffraction limits of a bench.
+	Diffract = optics.Diffract
+	// MaxFeasibleEvenDiameter returns the largest even D whose balanced
+	// layout passes the diffraction check.
+	MaxFeasibleEvenDiameter = optics.MaxFeasibleDiameterEven
+	// RayleighRange returns the collimation length of an unguided beam.
+	RayleighRange = optics.RayleighRange
+	// AlphaIsoBetween maps one cyclic alphabet digraph onto another.
+	AlphaIsoBetween = alpha.IsoBetween
+	// DiameterGain measures the II-vs-RRK degree–diameter advantage.
+	DiameterGain = debruijn.DiameterGain
+	// SearchDegreeDiameterParallel is the worker-pool Table 1 search.
+	SearchDegreeDiameterParallel = otis.SearchDegreeDiameterParallel
+)
+
+// DiffractionReport summarizes a bench's diffraction analysis.
+type DiffractionReport = optics.Diffraction
+
+// DefaultWavelength is a typical VCSEL wavelength (850 nm).
+const DefaultWavelength = optics.DefaultWavelength
+
+// Deflection (hot-potato) routing — the bufferless optical regime.
+var (
+	// NewDeflection builds a hot-potato simulator on a d-regular digraph.
+	NewDeflection = simnet.NewDeflection
+)
+
+// DeflectionNetwork simulates bufferless hot-potato routing.
+type DeflectionNetwork = simnet.DeflectionNetwork
+
+// DeflectionResult summarizes a hot-potato run.
+type DeflectionResult = simnet.DeflectionResult
+
+// Combinatorial certificates.
+var (
+	// NecklaceCycles returns the rotation 1-factor of B(d, D).
+	NecklaceCycles = debruijn.NecklaceCycles
+	// NecklaceCount returns the Burnside necklace number.
+	NecklaceCount = debruijn.NecklaceCount
+	// VerifyNecklaceFactor checks a proposed rotation factor.
+	VerifyNecklaceFactor = debruijn.VerifyNecklaceFactor
+)
+
+// TDM scheduling: d-regular digraphs decompose into d conflict-free
+// permutation slots (König). See Digraph.OneFactorization and
+// Digraph.VerifyFactorization, available on the Digraph type directly.
+
+// Soft-decision channel tools for the Viterbi substrate.
+var (
+	// AWGNChannel modulates to BPSK and adds Gaussian noise.
+	AWGNChannel = viterbi.AWGN
+	// HardSlice converts soft symbols to hard bits.
+	HardSlice = viterbi.HardSlice
+)
+
+// The assembled machine: layout + optics + witness + routing in one
+// artifact.
+var (
+	// BuildMachine assembles and fully verifies an optical de Bruijn
+	// machine for B(d, D).
+	BuildMachine = machine.Build
+	// PlanMachine picks the largest de Bruijn machine within a node
+	// budget.
+	PlanMachine = machine.Plan
+	// PlanAndBuildMachine plans and assembles in one call.
+	PlanAndBuildMachine = machine.PlanAndBuild
+)
+
+// MachinePlan is a capacity-planning recommendation.
+type MachinePlan = machine.PlanResult
+
+// OpticalMachine is a fully assembled, audited optical de Bruijn machine.
+type OpticalMachine = machine.Machine
