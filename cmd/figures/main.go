@@ -78,11 +78,14 @@ func writeDots(dir string) {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
-		if err := t.g.WriteDOT(f, t.file, t.label); err != nil {
+		err = t.g.WriteDOT(f, t.file, t.label)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
-		f.Close()
 		fmt.Println("wrote", path)
 	}
 }

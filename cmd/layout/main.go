@@ -56,12 +56,15 @@ func writeSVG(d, D int, path string) {
 		fmt.Fprintln(os.Stderr, "layout:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	stride := 1
 	if beams := best.P() * best.Q(); beams > 256 {
 		stride = beams / 256
 	}
-	if err := bench.WriteSVG(f, stride); err != nil {
+	err = bench.WriteSVG(f, stride)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "layout:", err)
 		os.Exit(1)
 	}

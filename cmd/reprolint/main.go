@@ -1,0 +1,75 @@
+// reprolint runs the repository's static-analysis suite (internal/lint)
+// over the module: panic-message hygiene, slice-aliasing contracts,
+// overflow guards on d^D loops, dropped errors in the command layer, and
+// concurrency hygiene in the parallel kernels.
+//
+// Usage:
+//
+//	reprolint ./...            # whole module (the default)
+//	reprolint ./internal/word  # one package
+//	reprolint -json ./...      # machine-readable findings
+//
+// The exit status is 0 when the tree is clean, 1 when there are
+// findings, 2 on usage or load errors. Suppress a false positive with a
+// "//lint:ignore <analyzer> <reason>" directive on (or directly above)
+// the offending line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "reprolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

@@ -56,6 +56,7 @@ func New(f, sigma perm.Perm, j int) (*Alpha, error) {
 func MustNew(f, sigma perm.Perm, j int) *Alpha {
 	a, err := New(f, sigma, j)
 	if err != nil {
+		//lint:ignore panicstyle the error from New already carries the "alpha: " prefix
 		panic(err)
 	}
 	return a

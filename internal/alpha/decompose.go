@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/debruijn"
 	"repro/internal/digraph"
+	"repro/internal/word"
 )
 
 // Remark 3.10: when f is not cyclic, A(f, σ, s) is disconnected and each
@@ -38,10 +39,7 @@ func (a *Alpha) Decompose() []Component {
 	g := a.Digraph()
 	comps := g.WeaklyConnectedComponents()
 	r := a.orbitLenOfJ()
-	dr := 1
-	for i := 0; i < r; i++ {
-		dr *= a.D()
-	}
+	dr := word.Pow(a.D(), r)
 	out := make([]Component, len(comps))
 	for i, vs := range comps {
 		if len(vs)%dr != 0 {

@@ -34,6 +34,7 @@ func WitnessKautzToII(d, D int) []int {
 			if (D-2-i)%2 == 1 {
 				code = d - 1 - code
 			}
+			//lint:ignore overflowguard u < d^D < (d+1)·d^(D-1) = n, and n fit in int via the guarded KautzOrder above
 			u = u*d + code
 		}
 		mapping[id] = ((u % n) + n) % n

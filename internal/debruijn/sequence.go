@@ -116,6 +116,7 @@ func VerifySequence(d, D int, seq []int) error {
 			if letter < 0 || letter >= d {
 				return fmt.Errorf("debruijn: letter %d out of Z_%d", letter, d)
 			}
+			//lint:ignore overflowguard v < d^D = n, and n fit in int via the guarded word.Pow above
 			v = v*d + letter
 		}
 		if seen[v] {
@@ -140,6 +141,7 @@ func HamiltonianCycle(d, D int) ([]int, error) {
 	for i := 0; i < n; i++ {
 		v := 0
 		for k := 0; k < D; k++ {
+			//lint:ignore overflowguard v < d^D = n, and n fit in int via the guarded word.Pow above
 			v = v*d + seq[(i+k)%n]
 		}
 		cycle[i] = v

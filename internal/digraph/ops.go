@@ -1,5 +1,7 @@
 package digraph
 
+import "math"
+
 // Digraph constructions used by the paper: conjunction (Definition 2.3),
 // line digraphs, circuits and complete digraphs with loops.
 
@@ -88,7 +90,13 @@ func MooreBound(d, D int) int {
 	bound := 1
 	pow := 1
 	for i := 1; i <= D; i++ {
+		if pow > math.MaxInt/d {
+			panic("digraph: Moore bound overflows int")
+		}
 		pow *= d
+		if bound > math.MaxInt-pow {
+			panic("digraph: Moore bound overflows int")
+		}
 		bound += pow
 	}
 	return bound

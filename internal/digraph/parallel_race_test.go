@@ -1,0 +1,113 @@
+package digraph
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Race-focused exercises of the parallel BFS kernels: several goroutines
+// drive each kernel concurrently on a shared digraph, at every worker
+// count the contract cares about — 1 (sequential degenerate), 2, the
+// machine's GOMAXPROCS, and n+1 (more workers than sources, so the
+// worker clamp engages). scripts/check.sh runs these under -race; the
+// assertions also pin result stability under contention.
+
+// raceWorkerCounts returns the worker counts the race tests sweep for a
+// digraph on n vertices.
+func raceWorkerCounts(n int) []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0), n + 1}
+}
+
+func TestDiameterParallelRaceMatrix(t *testing.T) {
+	g := deBruijnCongruence(2, 7)
+	want := g.Diameter()
+	const callers = 4
+	var wg sync.WaitGroup
+	for _, workers := range raceWorkerCounts(g.N()) {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				if got := g.DiameterParallel(workers); got != want {
+					t.Errorf("workers=%d: diameter %d, want %d", workers, got, want)
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+}
+
+func TestDiameterAtMostParallelRaceMatrix(t *testing.T) {
+	g := deBruijnCongruence(2, 7)
+	const callers = 3
+	var wg sync.WaitGroup
+	for _, workers := range raceWorkerCounts(g.N()) {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				if !g.DiameterAtMostParallel(7, workers) {
+					t.Errorf("workers=%d: B(2,7) not within 7", workers)
+				}
+				if g.DiameterAtMostParallel(6, workers) {
+					t.Errorf("workers=%d: B(2,7) within 6", workers)
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+}
+
+func TestDistanceHistogramParallelRaceMatrix(t *testing.T) {
+	g := deBruijnCongruence(2, 7)
+	wantHist, wantUnreach := g.DistanceHistogram()
+	const callers = 4
+	var wg sync.WaitGroup
+	for _, workers := range raceWorkerCounts(g.N()) {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				hist, unreach := g.DistanceHistogramParallel(workers)
+				if unreach != wantUnreach || !reflect.DeepEqual(hist, wantHist) {
+					t.Errorf("workers=%d: histogram diverged under contention", workers)
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+}
+
+// TestParallelKernelsInterleavedRace runs different kernels against the
+// same shared digraph at once, the way the Table 1 search mixes
+// diameter checks and histogram collection.
+func TestParallelKernelsInterleavedRace(t *testing.T) {
+	g := deBruijnCongruence(3, 4)
+	want := g.Diameter()
+	wantHist, _ := g.DistanceHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			if got := g.DiameterParallel(0); got != want {
+				t.Errorf("interleaved diameter %d, want %d", got, want)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if hist, _ := g.DistanceHistogramParallel(0); !reflect.DeepEqual(hist, wantHist) {
+				t.Error("interleaved histogram diverged")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if !g.DiameterAtMostParallel(want, 0) {
+				t.Error("interleaved bound check failed")
+			}
+		}()
+	}
+	wg.Wait()
+}

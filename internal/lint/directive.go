@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective suppresses one analyzer at one line. A directive written
+// as a trailing comment suppresses its own line; a directive on a line of
+// its own suppresses the line below it. The suite honors:
+//
+//	//lint:ignore <analyzer> <reason>
+type ignoreDirective struct {
+	analyzer string
+	file     string
+	line     int // line of the directive comment itself
+}
+
+type ignoreSet []ignoreDirective
+
+func (s ignoreSet) match(analyzer string, pos token.Position) bool {
+	for _, d := range s {
+		if d.analyzer != analyzer || d.file != pos.Filename {
+			continue
+		}
+		if pos.Line == d.line || pos.Line == d.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans the package's comments for //lint:ignore
+// directives. Malformed directives (missing analyzer or reason) are
+// returned as diagnostics so they cannot silently suppress nothing.
+func collectDirectives(pkg *Package) (ignoreSet, []Diagnostic) {
+	var set ignoreSet
+	var malformed []Diagnostic
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				set = append(set, ignoreDirective{
+					analyzer: fields[0],
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return set, malformed
+}

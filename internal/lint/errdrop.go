@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags silently dropped errors in the command-line layers
+// (cmd/* and examples/*): a call whose results include an error used as
+// a bare statement or deferred. Explicit discards (_ = f(), _, _ = ...)
+// pass, as do the fmt.Print* stdout conveniences and writes into
+// strings.Builder / bytes.Buffer, which are documented never to fail.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  `cmd/* and examples/* must handle or explicitly discard error returns`,
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pkg *Package, report func(ast.Node, string, ...any)) {
+	if !strings.Contains(pkg.Path, "/cmd/") && !strings.Contains(pkg.Path, "/examples/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+					checkDroppedErr(pkg, call, false, report)
+				}
+			case *ast.DeferStmt:
+				checkDroppedErr(pkg, s.Call, true, report)
+			case *ast.GoStmt:
+				checkDroppedErr(pkg, s.Call, true, report)
+			}
+			return true
+		})
+	}
+}
+
+func checkDroppedErr(pkg *Package, call *ast.CallExpr, deferred bool, report func(ast.Node, string, ...any)) {
+	if !callReturnsError(pkg, call) || errExempt(pkg, call) {
+		return
+	}
+	if deferred {
+		report(call, "deferred call drops its error; wrap it: defer func() { _ = %s }()", callName(pkg, call))
+		return
+	}
+	report(call, "call drops its error; handle it or discard explicitly (_ = %s)", callName(pkg, call))
+}
+
+// callReturnsError reports whether any result of the call is error.
+func callReturnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errExempt lists calls whose dropped error is acceptable by convention:
+// the fmt print family and writes to in-memory buffers.
+func errExempt(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if p := fn.Pkg(); p != nil && p.Path() == "fmt" {
+		name := fn.Name()
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Sprint") {
+			return true
+		}
+		// Fprint* to the standard streams is diagnostic output; writes to
+		// files and other writers must be checked.
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			if w, ok := unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				if id, ok := w.X.(*ast.Ident); ok && id.Name == "os" &&
+					(w.Sel.Name == "Stdout" || w.Sel.Name == "Stderr") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Methods on *strings.Builder and *bytes.Buffer never return a
+	// non-nil error.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full == "strings.Builder" || full == "bytes.Buffer" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func callName(pkg *Package, call *ast.CallExpr) string {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name + "(...)"
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name + "(...)"
+		}
+		return f.Sel.Name + "(...)"
+	}
+	return "the call"
+}

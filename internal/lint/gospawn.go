@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoSpawn is the concurrency-hygiene check for the parallel kernels. Any
+// function in internal/* that spawns goroutines must (a) accept an int
+// parameter named "workers" so the spawn count is caller-bounded, (b)
+// spawn inside a loop bounded by that parameter (no unbounded go
+// statements), and (c) coordinate through sync or sync/atomic — a
+// WaitGroup join, mutex-protected merge, or atomic work counter — so the
+// kernel cannot leak goroutines or race on its results.
+var GoSpawn = &Analyzer{
+	Name: "gospawn",
+	Doc:  `goroutine-spawning functions in internal/* must take a workers bound and coordinate via sync/atomic`,
+	Run:  runGoSpawn,
+}
+
+func runGoSpawn(pkg *Package, report func(ast.Node, string, ...any)) {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			spawns := collectGoStmts(fn.Body)
+			if len(spawns) == 0 {
+				continue
+			}
+			workers := workersParam(pkg, fn)
+			if workers == nil {
+				report(fn, "%s spawns goroutines but has no int parameter named \"workers\" bounding the spawn count", fn.Name.Name)
+			} else {
+				for _, g := range spawns {
+					if !spawnBoundedBy(pkg, fn.Body, g, workers) {
+						report(g, "%s spawns a goroutine outside a loop bounded by the \"workers\" parameter", fn.Name.Name)
+					}
+				}
+			}
+			if !usesSyncCoordination(pkg, fn.Body) {
+				report(fn, "%s spawns goroutines without sync/atomic coordination (WaitGroup, Mutex, or atomic counters)", fn.Name.Name)
+			}
+		}
+	}
+}
+
+func collectGoStmts(body *ast.BlockStmt) []*ast.GoStmt {
+	var out []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			out = append(out, g)
+		}
+		return true
+	})
+	return out
+}
+
+// workersParam returns the *types.Var of an int parameter named
+// "workers", or nil.
+func workersParam(pkg *Package, fn *ast.FuncDecl) *types.Var {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name != "workers" {
+				continue
+			}
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok && isIntType(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// spawnBoundedBy reports whether the go statement sits inside a for loop
+// whose condition references the workers parameter.
+func spawnBoundedBy(pkg *Package, body *ast.BlockStmt, g *ast.GoStmt, workers *types.Var) bool {
+	bounded := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == ast.Node(g) {
+			for _, anc := range stack {
+				if f, ok := anc.(*ast.ForStmt); ok && f.Cond != nil && exprMentionsVar(pkg, f.Cond, workers) {
+					bounded = true
+				}
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+func exprMentionsVar(pkg *Package, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// usesSyncCoordination reports whether body references package sync or
+// sync/atomic.
+func usesSyncCoordination(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		switch o := obj.(type) {
+		case *types.PkgName:
+			p := o.Imported().Path()
+			if p == "sync" || p == "sync/atomic" {
+				found = true
+			}
+		case *types.TypeName, *types.Func:
+			if p := obj.Pkg(); p != nil && (p.Path() == "sync" || p.Path() == "sync/atomic") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,150 @@
+// Package lint is a repo-specific static-analysis suite for the
+// reproduction. It enforces, at `go test ./...` time, the hand-maintained
+// invariants the correctness claims rest on: panic-message hygiene in the
+// internal packages, no aliasing of caller-owned permutation/adjacency
+// slices, overflow guards on d^D/Horner accumulation loops, no silently
+// dropped errors in the command-line tools, and bounded, coordinated
+// goroutine spawning in the parallel kernels.
+//
+// The framework is deliberately stdlib-only: packages are parsed with
+// go/parser, type-checked with go/types using the source importer, and
+// analyzed over the AST. There is no dependency on golang.org/x/tools.
+//
+// False positives are suppressed with a directive on, or on the line
+// immediately above, the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned in the original source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/word"
+	Name  string // package name, e.g. "word"
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one check. Run reports findings through report; the driver
+// owns position resolution and directive filtering.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pkg *Package, report func(n ast.Node, format string, args ...any))
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PanicStyle,
+		SliceAlias,
+		OverflowGuard,
+		ErrDrop,
+		GoSpawn,
+	}
+}
+
+// Run applies the analyzers to the packages, honors //lint:ignore
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, malformed := collectDirectives(pkg)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			report := func(n ast.Node, format string, args ...any) {
+				pos := pkg.Fset.Position(n.Pos())
+				if ignores.match(a.Name, pos) {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      pos,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			a.Run(pkg, report)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// isIntType reports whether t's underlying type is an integer (of either
+// signedness); overflow guards only concern integer arithmetic.
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// paramObjects resolves the *types.Var objects of a function's parameters
+// whose type has underlying []int (this covers perm.Perm and friends).
+func paramObjects(pkg *Package, fn *ast.FuncDecl) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if s, ok := obj.Type().Underlying().(*types.Slice); ok && isIntType(s.Elem()) {
+				out[obj] = name.Name
+			}
+		}
+	}
+	return out
+}
+
+// useOf resolves an expression to the variable it denotes, or nil.
+func useOf(pkg *Package, e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	return v
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one module. Intra-module
+// imports are resolved recursively from source; everything else is
+// delegated to the go/importer "source" importer, so the loader works
+// with nothing but the standard library and a GOROOT.
+type Loader struct {
+	ModulePath string // module path from go.mod, e.g. "repro"
+	Root       string // module root directory
+	Fset       *token.FileSet
+
+	std    types.Importer
+	loaded map[string]*Package // by import path
+}
+
+// NewLoader locates go.mod at or above root and prepares a loader.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	dir := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			mod := modulePath(string(data))
+			if mod == "" {
+				return nil, fmt.Errorf("lint: no module line in %s/go.mod", dir)
+			}
+			fset := token.NewFileSet()
+			return &Loader{
+				ModulePath: mod,
+				Root:       dir,
+				Fset:       fset,
+				std:        importer.ForCompiler(fset, "source", nil),
+				loaded:     map[string]*Package{},
+			}, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Load resolves package patterns relative to the module root. Supported
+// patterns: "./..." (every package in the module), a relative directory
+// ("./cmd/reprolint"), or an import path within the module.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.packageDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasPrefix(pat, l.ModulePath+"/"):
+			add(filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, l.ModulePath+"/"))))
+		case pat == l.ModulePath:
+			add(l.Root)
+		default:
+			add(filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single package in dir under a caller-chosen
+// import path. Used by tests to load fixture packages from testdata with
+// paths that exercise the analyzers' applicability rules.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(abs, importPath)
+}
+
+// packageDirs walks the module and returns every directory holding at
+// least one non-test .go file, skipping testdata, hidden, and scripts
+// directories.
+func (l *Loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "scripts") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.Root)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(dir, path)
+}
+
+// Import implements types.Importer so that type-checking one module
+// package recursively loads its intra-module dependencies from source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := l.Root
+		if path != l.ModulePath {
+			dir = filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+		}
+		pkg, err := l.check(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files for import %q in %s", path, dir)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// check parses and type-checks the package in dir, memoized by import
+// path. Test files are skipped: the analyzers guard production code.
+func (l *Loader) check(dir, path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}

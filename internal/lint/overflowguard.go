@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OverflowGuard watches the d^D / Horner accumulation loops that convert
+// between words and integers. Any loop that multiplies an integer
+// accumulator into itself (n *= d, n = n*d, u = u*d + x) can silently
+// wrap; the reproduction's house rule is that every such loop carries an
+// explicit guard — a division-based check (next/d != n, bound/d
+// comparisons) or a comparison against a Max bound — before trusting the
+// product. Loops whose accumulator is bounded by construction document
+// that with a //lint:ignore overflowguard directive.
+var OverflowGuard = &Analyzer{
+	Name: "overflowguard",
+	Doc:  `integer power/Horner accumulation loops must contain an overflow guard`,
+	Run:  runOverflowGuard,
+}
+
+func runOverflowGuard(pkg *Package, report func(ast.Node, string, ...any)) {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			guarded := loopHasGuard(body)
+			for _, mul := range selfMultiplies(pkg, body) {
+				if !guarded {
+					report(mul.node, "loop multiplies accumulator %q without an overflow guard; check the product (e.g. next/d != n) or bound it before the multiply", mul.name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+type selfMultiply struct {
+	node ast.Node
+	name string
+}
+
+// selfMultiplies finds assignments in body (not in nested loops, which
+// are inspected on their own) where an integer variable is multiplied
+// into itself: v *= d, v = v*d, v = v*d + x.
+func selfMultiplies(pkg *Package, body *ast.BlockStmt) []selfMultiply {
+	var out []selfMultiply
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // handled by the outer walk
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.MUL_ASSIGN:
+			for i, lhs := range as.Lhs {
+				v := useOf(pkg, lhs)
+				if v != nil && isIntType(v.Type()) && i < len(as.Rhs) {
+					out = append(out, selfMultiply{node: as, name: v.Name()})
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, lhs := range as.Lhs {
+				v := useOf(pkg, lhs)
+				if v == nil || !isIntType(v.Type()) || i >= len(as.Rhs) {
+					continue
+				}
+				if exprMultipliesVar(pkg, as.Rhs[i], v) {
+					out = append(out, selfMultiply{node: as, name: v.Name()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprMultipliesVar reports whether e contains a product with v as a
+// factor — v*d, d*v, or v*d + x (Horner).
+func exprMultipliesVar(pkg *Package, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.MUL {
+			return true
+		}
+		for _, op := range []ast.Expr{b.X, b.Y} {
+			if u := useOf(pkg, op); u != nil && u == v {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasGuard reports whether the loop body contains an if-condition
+// that looks like an overflow guard: a division, or a comparison against
+// a Max-named bound.
+func loopHasGuard(body *ast.BlockStmt) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ifStmt.Cond, func(c ast.Node) bool {
+			switch e := c.(type) {
+			case *ast.BinaryExpr:
+				if e.Op == token.QUO {
+					guarded = true
+				}
+			case *ast.Ident:
+				if strings.Contains(e.Name, "Max") || strings.Contains(e.Name, "max") {
+					guarded = true
+				}
+			case *ast.SelectorExpr:
+				if strings.Contains(e.Sel.Name, "Max") {
+					guarded = true
+				}
+			}
+			return true
+		})
+		return !guarded
+	})
+	return guarded
+}

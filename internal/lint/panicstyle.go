@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicStyle enforces the panic-message house style. Inside internal
+// packages every panic must carry a constant-format message prefixed
+// "<pkg>: " — a string literal, a named string constant, a "<pkg>: ..."
+// literal concatenated with a computed tail, or fmt.Sprintf/fmt.Errorf
+// with a constant "<pkg>: " format. In the public facade (the module root
+// package) and in cmd/* the panic builtin is forbidden outright: those
+// layers must return errors or exit.
+var PanicStyle = &Analyzer{
+	Name: "panicstyle",
+	Doc:  `panics in internal/* must carry a constant "<pkg>: "-prefixed message; panic is forbidden in the facade and cmd/*`,
+	Run:  runPanicStyle,
+}
+
+func runPanicStyle(pkg *Package, report func(ast.Node, string, ...any)) {
+	internal := strings.Contains(pkg.Path, "/internal/")
+	facade := !strings.Contains(pkg.Path, "/")
+	command := strings.Contains(pkg.Path, "/cmd/")
+	if !internal && !facade && !command {
+		return
+	}
+	prefix := pkg.Name + ": "
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(pkg, call.Fun, "panic") {
+				return true
+			}
+			if facade || command {
+				report(call, "panic is forbidden in %s: return an error or exit instead", pkg.Path)
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			if !panicMsgOK(pkg, call.Args[0], prefix) {
+				report(call, "panic message must be a constant-format string prefixed %q", prefix)
+			}
+			return true
+		})
+	}
+}
+
+// panicMsgOK reports whether arg is an accepted panic argument for a
+// package whose messages must start with prefix.
+func panicMsgOK(pkg *Package, arg ast.Expr, prefix string) bool {
+	arg = unparen(arg)
+	// Constant string (literal or named constant) with the prefix.
+	if tv, ok := pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+	}
+	switch e := arg.(type) {
+	case *ast.BinaryExpr:
+		// "pkg: something: " + err.Error() — the leftmost operand must be
+		// the constant prefix.
+		left := e.X
+		for {
+			b, ok := unparen(left).(*ast.BinaryExpr)
+			if !ok {
+				break
+			}
+			left = b.X
+		}
+		if tv, ok := pkg.Info.Types[unparen(left)]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+		}
+	case *ast.CallExpr:
+		// fmt.Sprintf / fmt.Errorf with a constant prefixed format.
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+				if p := fn.Pkg(); p != nil && p.Path() == "fmt" &&
+					(fn.Name() == "Sprintf" || fn.Name() == "Errorf" || fn.Name() == "Sprint") &&
+					len(e.Args) > 0 {
+					if tv, ok := pkg.Info.Types[unparen(e.Args[0])]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether fun denotes the predeclared function name.
+func isBuiltin(pkg *Package, fun ast.Expr, name string) bool {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}

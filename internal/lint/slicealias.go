@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SliceAlias guards the ownership contract on permutation and adjacency
+// slices. Exported functions (and methods) in internal packages that
+// receive a parameter whose underlying type is []int must treat it as
+// caller-owned and read-only: no writes through the parameter, and no
+// retaining the slice itself (storing it in a composite literal, a field,
+// a package variable, a channel, or returning it). Functions that
+// intentionally work in place must say "in-place" in their doc comment,
+// which lifts the restriction and documents the contract at the same time.
+var SliceAlias = &Analyzer{
+	Name: "slicealias",
+	Doc:  `exported functions must not mutate or retain []int parameters unless their doc comment says "in-place"`,
+	Run:  runSliceAlias,
+}
+
+func runSliceAlias(pkg *Package, report func(ast.Node, string, ...any)) {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "in-place") {
+				continue
+			}
+			params := paramObjects(pkg, fn)
+			if len(params) == 0 {
+				continue
+			}
+			checkSliceAliasBody(pkg, fn, params, report)
+		}
+	}
+}
+
+func checkSliceAliasBody(pkg *Package, fn *ast.FuncDecl, params map[*types.Var]string, report func(ast.Node, string, ...any)) {
+	paramOf := func(e ast.Expr) (string, bool) {
+		v := useOf(pkg, e)
+		if v == nil {
+			return "", false
+		}
+		name, ok := params[v]
+		return name, ok
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+					if name, ok := paramOf(ix.X); ok {
+						report(lhs, "%s writes to caller-owned slice parameter %q; copy it or document the function as in-place", fn.Name.Name, name)
+					}
+				}
+			}
+			for i, rhs := range s.Rhs {
+				name, ok := paramOf(rhs)
+				if !ok {
+					continue
+				}
+				if len(s.Lhs) == len(s.Rhs) && isLocalVar(pkg, s.Lhs[i]) {
+					continue // p2 := p is a local alias; only stores escape
+				}
+				report(rhs, "%s stores caller-owned slice parameter %q; copy it before retaining", fn.Name.Name, name)
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := unparen(s.X).(*ast.IndexExpr); ok {
+				if name, ok := paramOf(ix.X); ok {
+					report(s, "%s writes to caller-owned slice parameter %q; copy it or document the function as in-place", fn.Name.Name, name)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range s.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if name, ok := paramOf(v); ok {
+					report(v, "%s retains caller-owned slice parameter %q in a composite literal; copy it first", fn.Name.Name, name)
+				}
+			}
+		case *ast.SendStmt:
+			if name, ok := paramOf(s.Value); ok {
+				report(s.Value, "%s sends caller-owned slice parameter %q over a channel; copy it first", fn.Name.Name, name)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if name, ok := paramOf(res); ok {
+					report(res, "%s returns caller-owned slice parameter %q, aliasing it into the result; copy it first", fn.Name.Name, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isLocalVar reports whether lhs is a plain identifier naming a
+// function-local variable (or the blank identifier).
+func isLocalVar(pkg *Package, lhs ast.Expr) bool {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	var obj types.Object
+	if d, ok := pkg.Info.Defs[id]; ok {
+		obj = d
+	} else if u, ok := pkg.Info.Uses[id]; ok {
+		obj = u
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// Package-level variables have the package scope as parent.
+	return v.Parent() != pkg.Types.Scope()
+}

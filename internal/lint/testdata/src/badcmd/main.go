@@ -1,0 +1,55 @@
+// Command badcmd is a known-bad fixture for the errdrop analyzer (and
+// for the cmd/* panic ban). Loaded under repro/cmd/badcmd.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func main() {
+	work() // want errdrop "drops its error"
+
+	defer work() // want errdrop "deferred call drops its error"
+
+	f, err := os.Create("out.txt")
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(f, "hello") // want errdrop "drops its error"
+
+	// Explicit discards and handled errors are fine.
+	_ = work()
+	_, _ = pair()
+	if err := work(); err != nil {
+		fmt.Fprintln(os.Stderr, "badcmd:", err)
+	}
+
+	// The fmt print family and standard-stream diagnostics are exempt.
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+	fmt.Fprintln(os.Stderr, "diagnostic")
+	fmt.Fprintf(os.Stdout, "%d\n", 2)
+
+	// In-memory builders never fail.
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Println(b.String())
+
+	if err := f.Close(); err != nil {
+		os.Exit(1)
+	}
+
+	explode(len(os.Args))
+}
+
+func explode(n int) {
+	if n > 99 {
+		panic("badcmd: panics are banned in commands") // want panicstyle "panic is forbidden"
+	}
+}

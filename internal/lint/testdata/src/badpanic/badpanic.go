@@ -1,0 +1,52 @@
+// Package badpanic is a known-bad fixture for the panicstyle analyzer.
+// Loaded by lint_test.go under the import path repro/internal/badpanic.
+package badpanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+const prefixed = "badpanic: named constant message"
+
+// Bad panics: every line below must be reported.
+func Bad(x int) {
+	if x == 1 {
+		panic("no prefix at all") // want panicstyle "constant-format string"
+	}
+	if x == 2 {
+		panic(fmt.Sprintf("wrongpkg: value %d", x)) // want panicstyle "constant-format string"
+	}
+	if x == 3 {
+		panic(errors.New("badpanic: dynamic error")) // want panicstyle "constant-format string"
+	}
+	if x == 4 {
+		msg := "badpanic: built at run time"
+		panic(msg) // want panicstyle "constant-format string"
+	}
+}
+
+// Good panics: none of these may be reported.
+func Good(x int, err error) {
+	switch x {
+	case 1:
+		panic("badpanic: plain literal")
+	case 2:
+		panic(fmt.Sprintf("badpanic: value %d out of range", x))
+	case 3:
+		panic("badpanic: wrapped: " + err.Error())
+	case 4:
+		panic(prefixed)
+	case 5:
+		panic(fmt.Errorf("badpanic: %d", x))
+	}
+}
+
+// Suppressed re-panics an error under a directive; it must not be
+// reported.
+func Suppressed(err error) {
+	if err != nil {
+		//lint:ignore panicstyle fixture proves the directive is honored
+		panic(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package badpow is a known-bad fixture for the overflowguard analyzer.
+// Loaded under repro/internal/badpow.
+package badpow
+
+import "math"
+
+// UnguardedPow is the classic d^D accumulation with no guard.
+func UnguardedPow(d, D int) int {
+	n := 1
+	for i := 0; i < D; i++ {
+		n *= d // want overflowguard "without an overflow guard"
+	}
+	return n
+}
+
+// UnguardedHorner accumulates v = v*d + x with no guard.
+func UnguardedHorner(d int, letters []int) int {
+	v := 0
+	for _, x := range letters {
+		v = v*d + x // want overflowguard "without an overflow guard"
+	}
+	return v
+}
+
+// GuardedDivision uses the product/divisor round-trip check.
+func GuardedDivision(d, D int) int {
+	n := 1
+	for i := 0; i < D; i++ {
+		next := n * d
+		if next/d != n {
+			panic("badpow: d^D overflows int")
+		}
+		n = next
+	}
+	return n
+}
+
+// GuardedBound compares against MaxInt before multiplying.
+func GuardedBound(d, D int) int {
+	n := 1
+	for i := 0; i < D; i++ {
+		if n > math.MaxInt/d {
+			panic("badpow: d^D overflows int")
+		}
+		n *= d
+	}
+	return n
+}
+
+// FloatScale multiplies floats; overflow guards are an integer concern.
+func FloatScale(gain float64, stages int) float64 {
+	p := 1.0
+	for i := 0; i < stages; i++ {
+		p *= gain
+	}
+	return p
+}

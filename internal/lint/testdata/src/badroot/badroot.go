@@ -1,0 +1,8 @@
+// Package badroot stands in for the public facade (a module-root import
+// path with no slash): panic is forbidden outright.
+package badroot
+
+// Explode must be reported no matter how well-formed the message is.
+func Explode() {
+	panic("badroot: even a styled panic is banned here") // want panicstyle "panic is forbidden"
+}

@@ -1,0 +1,60 @@
+// Package badslice is a known-bad fixture for the slicealias analyzer.
+// Loaded under repro/internal/badslice.
+package badslice
+
+// Perm mirrors the repo's named-slice permutation type; parameters of
+// this type are covered because the underlying type is []int.
+type Perm []int
+
+type holder struct{ data []int }
+
+var global []int
+
+// MutateParam writes through a caller-owned slice.
+func MutateParam(p []int) {
+	p[0] = 1 // want slicealias "writes to caller-owned slice parameter"
+}
+
+// MutateNamed writes through a named slice type.
+func MutateNamed(p Perm) {
+	p[0]++ // want slicealias "writes to caller-owned slice parameter"
+}
+
+// RetainInStruct stores the parameter into a composite literal.
+func RetainInStruct(adj []int) *holder {
+	return &holder{data: adj} // want slicealias "composite literal"
+}
+
+// RetainInGlobal stores the parameter into a package variable.
+func RetainInGlobal(p []int) {
+	global = p // want slicealias "stores caller-owned slice parameter"
+}
+
+// ReturnAlias hands the caller's slice back as the result.
+func ReturnAlias(p []int) []int {
+	return p // want slicealias "returns caller-owned slice parameter"
+}
+
+// Reverse reverses p in-place; the doc comment lifts the restriction.
+func Reverse(p []int) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ReadOnly only reads; local aliases and copies are fine.
+func ReadOnly(p []int) int {
+	q := p
+	sum := 0
+	for _, v := range q {
+		sum += v
+	}
+	out := make([]int, len(p))
+	copy(out, p)
+	return sum
+}
+
+// unexportedMutate is not checked: the contract covers the exported API.
+func unexportedMutate(p []int) {
+	p[0] = 9
+}

@@ -1,0 +1,69 @@
+// Package badspawn is a known-bad fixture for the gospawn analyzer.
+// Loaded under repro/internal/badspawn.
+package badspawn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// NoBound spawns one goroutine per item with no workers parameter.
+func NoBound(items []int) { // want gospawn "no int parameter named"
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// UnboundedSpawn has a workers parameter but ignores it.
+func UnboundedSpawn(items []int, workers int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { defer wg.Done() }() // want gospawn "outside a loop bounded"
+	}
+	wg.Wait()
+}
+
+// NoCoordination joins through a bare channel of results but never uses
+// sync or atomic; the house style requires explicit coordination.
+func NoCoordination(workers int) int { // want gospawn "without sync/atomic coordination"
+	done := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() { done <- 1 }()
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += <-done
+	}
+	return total
+}
+
+// GoodKernel is the house pattern: workers bound, atomic work counter,
+// WaitGroup join. It must not be reported.
+func GoodKernel(n, workers int) int {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	sums := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				sums[w] += u
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}

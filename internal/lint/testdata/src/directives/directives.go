@@ -1,0 +1,35 @@
+// Package directives pins the //lint:ignore semantics. Loaded under
+// repro/internal/directives.
+package directives
+
+// SameLine is suppressed by a trailing directive on the offending line.
+func SameLine() {
+	panic("wrong prefix") //lint:ignore panicstyle trailing directives suppress their own line
+}
+
+// LineAbove is suppressed by a directive on the line above.
+func LineAbove() {
+	//lint:ignore panicstyle standalone directives suppress the next line
+	panic("wrong prefix")
+}
+
+// WrongAnalyzer names a different analyzer, so the panic still fires.
+func WrongAnalyzer() {
+	//lint:ignore errdrop this names the wrong analyzer
+	panic("wrong prefix") // want panicstyle "constant-format string"
+}
+
+// TooFar is two lines above the offense, so the panic still fires.
+func TooFar() {
+	//lint:ignore panicstyle this directive is too far away
+
+	panic("wrong prefix") // want panicstyle "constant-format string"
+}
+
+// Malformed lacks a reason; the driver reports the directive itself (a
+// "lint" diagnostic on the directive's own line, checked by the test
+// harness directly) and the panic it failed to suppress.
+func Malformed() {
+	//lint:ignore panicstyle
+	panic("wrong prefix") // want panicstyle "constant-format string"
+}

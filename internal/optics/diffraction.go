@@ -87,7 +87,11 @@ func MaxFeasibleDiameterEven(d int, pitch, wavelength float64) int {
 func intPow(d, k int) int {
 	n := 1
 	for i := 0; i < k; i++ {
-		n *= d
+		next := n * d
+		if next/d != n {
+			panic("optics: d^k overflows int")
+		}
+		n = next
 	}
 	return n
 }

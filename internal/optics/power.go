@@ -101,10 +101,7 @@ func (bom BOM) String() string {
 // d^{D/2+1})) for B(d, D), as the ratio baseline/optimized. Both counts
 // come from actual benches so the comparison includes geometry.
 func CompareLayouts(d, D int) (baselineLenses, optimizedLenses int, ratio float64, err error) {
-	n := 1
-	for i := 0; i < D; i++ {
-		n *= d
-	}
+	n := intPow(d, D)
 	baseline, err := NewBench(d, n, DefaultPitch)
 	if err != nil {
 		return 0, 0, 0, err
@@ -112,10 +109,7 @@ func CompareLayouts(d, D int) (baselineLenses, optimizedLenses int, ratio float6
 	if D%2 != 0 {
 		return 0, 0, 0, fmt.Errorf("optics: optimized comparison requires even D, got %d", D)
 	}
-	p := 1
-	for i := 0; i < D/2; i++ {
-		p *= d
-	}
+	p := intPow(d, D/2)
 	optimized, err := NewBench(p, p*d, DefaultPitch)
 	if err != nil {
 		return 0, 0, 0, err

@@ -107,6 +107,7 @@ func H(p, q, d int) (*digraph.Digraph, error) {
 func MustH(p, q, d int) *digraph.Digraph {
 	g, err := H(p, q, d)
 	if err != nil {
+		//lint:ignore panicstyle the error from H already carries the "otis: " prefix
 		panic(err)
 	}
 	return g

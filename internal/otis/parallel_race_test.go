@@ -1,0 +1,35 @@
+package otis
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Race-focused exercise of the parallel Table 1 search: several
+// goroutines run SearchDegreeDiameterParallel concurrently over the same
+// range at worker counts 1, 2, GOMAXPROCS, and span+1 (more workers than
+// jobs, so the worker clamp engages). scripts/check.sh runs this under
+// -race; the assertions pin that the mutex-merged row set is identical
+// to the sequential search under contention.
+func TestSearchParallelRaceMatrix(t *testing.T) {
+	const d, diam, minN, maxN = 2, 8, 480, 520
+	span := maxN - minN + 1
+	want := SearchDegreeDiameter(d, diam, minN, maxN)
+	const callers = 3
+	var wg sync.WaitGroup
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), span + 1} {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				got := SearchDegreeDiameterParallel(d, diam, minN, maxN, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: parallel rows diverged from sequential under contention", workers)
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+}

@@ -88,6 +88,7 @@ func FromImage(image []int) (Perm, error) {
 func MustFromImage(image []int) Perm {
 	p, err := FromImage(image)
 	if err != nil {
+		//lint:ignore panicstyle the error from FromImage already carries the "perm: " prefix
 		panic(err)
 	}
 	return p
@@ -106,6 +107,7 @@ func FromFunc(n int, f func(int) int) (Perm, error) {
 func MustFromFunc(n int, f func(int) int) Perm {
 	p, err := FromFunc(n, f)
 	if err != nil {
+		//lint:ignore panicstyle the error from FromFunc already carries the "perm: " prefix
 		panic(err)
 	}
 	return p

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/debruijn"
 	"repro/internal/digraph"
+	"repro/internal/word"
 )
 
 // Router chooses the next hop for a packet at node `at` destined to `dst`.
@@ -66,11 +67,12 @@ func (r *TableRouter) NextArc(at, dst int) int { return r.arcOf[at][dst] }
 // self-routing the de Bruijn literature advertises.
 type DeBruijnRouter struct {
 	d, D int
+	n    int // d^D, precomputed with an overflow-guarded power
 }
 
 // NewDeBruijnRouter returns the native router for B(d, D).
 func NewDeBruijnRouter(d, D int) *DeBruijnRouter {
-	return &DeBruijnRouter{d: d, D: D}
+	return &DeBruijnRouter{d: d, D: D, n: word.Pow(d, D)}
 }
 
 // NextArc implements Router. In congruence form the successor via letter α
@@ -83,10 +85,7 @@ func (r *DeBruijnRouter) NextArc(at, dst int) int {
 	path := debruijn.RouteInts(r.d, r.D, at, dst)
 	next := path[1]
 	// Recover α from next = (d·at + α) mod n.
-	n := 1
-	for i := 0; i < r.D; i++ {
-		n *= r.d
-	}
+	n := r.n
 	alpha := (next - r.d*at) % n
 	if alpha < 0 {
 		alpha += n

@@ -11,6 +11,7 @@ package word
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/perm"
@@ -54,6 +55,7 @@ func FromLetters(d int, letters ...int) (Word, error) {
 func MustFromLetters(d int, letters ...int) Word {
 	w, err := FromLetters(d, letters...)
 	if err != nil {
+		//lint:ignore panicstyle the error from FromLetters already carries the "word: " prefix
 		panic(err)
 	}
 	return w
@@ -80,16 +82,23 @@ func FromInt(d, D, u int) (Word, error) {
 func MustFromInt(d, D, u int) Word {
 	w, err := FromInt(d, D, u)
 	if err != nil {
+		//lint:ignore panicstyle the error from FromInt already carries the "word: " prefix
 		panic(err)
 	}
 	return w
 }
 
-// Int returns the Horner value Σ x_i d^i of w.
+// Int returns the Horner value Σ x_i d^i of w. Words built through
+// FromInt always fit by construction, but New permits arbitrary lengths,
+// so Int guards the accumulation and panics if the value exceeds int.
 func (w Word) Int() int {
 	u := 0
 	for i := len(w.letters) - 1; i >= 0; i-- {
-		u = u*w.d + w.letters[i]
+		letter := w.letters[i]
+		if u > (math.MaxInt-letter)/w.d {
+			panic("word: word value overflows int")
+		}
+		u = u*w.d + letter
 	}
 	return u
 }

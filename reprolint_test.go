@@ -1,0 +1,33 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestReproLint wires the repo-specific static-analysis suite into the
+// tier-1 gate: `go test ./...` fails if any package in the module
+// violates the panic-style, slice-aliasing, overflow-guard, dropped-
+// error, or concurrency-hygiene invariants. The same suite is available
+// on the command line as `go run ./cmd/reprolint ./...`; suppress a
+// false positive with a "//lint:ignore <analyzer> <reason>" directive.
+func TestReproLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not short")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("lint.NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("lint loader: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("lint loader found only %d packages; the module walk is broken", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("%s", d)
+	}
+}

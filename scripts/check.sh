@@ -1,0 +1,33 @@
+#!/bin/sh
+# check.sh — the repository's development gate. Runs formatting, vet,
+# build, the repo-specific static-analysis suite (reprolint), and the
+# race detector over the parallel BFS / Table 1 search kernels.
+#
+# Usage: sh scripts/check.sh
+# POSIX sh only; no bashisms.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== reprolint =="
+go run ./cmd/reprolint ./...
+
+echo "== go test -race (parallel kernels) =="
+go test -race ./internal/digraph/... ./internal/otis/...
+
+echo "check.sh: all checks passed"
