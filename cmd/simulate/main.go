@@ -7,15 +7,21 @@
 //	simulate -topo debruijn -d 2 -diam 8 -workload uniform -packets 5000
 //	simulate -topo otis -d 2 -diam 10 -workload permutation
 //	simulate -topo kautz -d 2 -diam 8 -workload broadcast
+//	simulate -topo debruijn -d 3 -diam 3 -faults
+//	simulate -d 3 -diam 4 -faultlens 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/debruijn"
 	"repro/internal/digraph"
+	"repro/internal/machine"
+	"repro/internal/optics"
 	"repro/internal/otis"
 	"repro/internal/simnet"
 )
@@ -30,7 +36,21 @@ func main() {
 	hop := flag.Int("hop", 1, "hop latency in cycles")
 	seed := flag.Int64("seed", 1, "workload seed")
 	sweep := flag.Bool("sweep", false, "run a load-latency sweep instead of a single workload")
+	faults := flag.Bool("faults", false, "run a fault-rate degradation sweep instead of a single workload")
+	faultRates := flag.String("faultrates", "0,0.02,0.05,0.1,0.2,0.4,0.7,1",
+		"comma-separated per-arc fault rates for -faults")
+	faultLens := flag.Int("faultlens", -1,
+		"inject a permanent fault of this lens on the B(d,diam) machine and run the workload")
 	flag.Parse()
+
+	if *faults {
+		runDegradation(*topo, *d, *diam, *faultRates, *packets, *seed)
+		return
+	}
+	if *faultLens >= 0 {
+		runLensFault(*d, *diam, *faultLens, *packets, *seed)
+		return
+	}
 
 	if *sweep {
 		g, router, name := buildTopology(*topo, *d, *diam)
@@ -71,6 +91,86 @@ func main() {
 		fmt.Printf("queueing: %.3f cycles/packet average wait\n",
 			float64(res.TotalWait)/float64(res.Delivered))
 	}
+}
+
+// runDegradation sweeps the per-arc permanent fault rate and prints the
+// delivered fraction, latency and reroute counts at each point.
+func runDegradation(topo string, d, diam int, rateList string, packets int, seed int64) {
+	g, router, name := buildTopology(topo, d, diam)
+	rates, err := parseRates(rateList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("topology: %s — %d nodes, %d arcs\n", name, g.N(), g.M())
+	fmt.Printf("degradation sweep: %d packets/point, seed %d\n\n", packets, seed)
+	points, err := simnet.DegradationSweep(g, router, rates, packets, seed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	for _, p := range points {
+		fmt.Println(" ", p)
+	}
+}
+
+// runLensFault assembles the B(d, diam) machine, downs one lens
+// permanently and reports who is silenced and what survives.
+func runLensFault(d, diam, lens, packets int, seed int64) {
+	m, err := machine.Build(d, diam, optics.DefaultPitch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine: %v\n", m.Layout)
+	side := "transmitter"
+	if lens >= m.Layout.P() {
+		side = "receiver"
+	}
+	silencedOut, silencedIn, err := m.LensShadow(lens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("fault: %s-side lens %d down permanently\n", side, lens)
+	if len(silencedOut) > 0 {
+		fmt.Printf("shadow: nodes %v silenced as senders\n", silencedOut)
+	}
+	if len(silencedIn) > 0 {
+		fmt.Printf("shadow: nodes %v silenced as receivers\n", silencedIn)
+	}
+	plan, err := m.LensFaultPlan(0, 0, lens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	res, err := m.RunWithFaults(simnet.UniformRandom(m.Nodes(), packets, seed),
+		plan, simnet.DefaultFaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("result: %v\n", res)
+	fmt.Printf("delivered fraction: %.3f\n", res.DeliveredFraction())
+}
+
+func parseRates(list string) ([]float64, error) {
+	var rates []float64
+	for _, field := range strings.Split(list, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault rate %q: %v", field, err)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("no fault rates in %q", list)
+	}
+	return rates, nil
 }
 
 func buildTopology(topo string, d, diam int) (*digraph.Digraph, simnet.Router, string) {

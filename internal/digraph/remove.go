@@ -1,0 +1,57 @@
+package digraph
+
+import "fmt"
+
+// Fault-model removals. Both operations return modified copies — the
+// receiver is never mutated — and keep the vertex set intact so vertex
+// labels (de Bruijn words, OTIS transceiver blocks) stay valid in the
+// residual digraph. They are the building blocks of the runtime fault
+// engine in internal/simnet: a failed link is RemoveArc, a failed node is
+// RemoveVertex, and a failed OTIS lens is a RemoveArc per beam of its
+// arc group.
+
+// RemoveArc returns a copy of g with one (u, v) arc removed. If several
+// parallel (u, v) arcs exist only the first (in adjacency order) is
+// dropped; if none exists the copy equals g. Panics if u or v is out of
+// range.
+func (g *Digraph) RemoveArc(u, v int) *Digraph {
+	n := g.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		panic(fmt.Sprintf("digraph: RemoveArc(%d,%d) out of range [0,%d)", u, v, n))
+	}
+	h := New(n)
+	removed := false
+	for a := 0; a < n; a++ {
+		for _, w := range g.adj[a] {
+			if !removed && a == u && w == v {
+				removed = true
+				continue
+			}
+			h.AddArc(a, w)
+		}
+	}
+	return h
+}
+
+// RemoveVertex returns a copy of g with every arc entering or leaving v
+// removed. The vertex itself stays, isolated, preserving the labels of
+// all other vertices — the convention the fault-injection tests and the
+// simulator rely on. Panics if v is out of range.
+func (g *Digraph) RemoveVertex(v int) *Digraph {
+	n := g.N()
+	if v < 0 || v >= n {
+		panic(fmt.Sprintf("digraph: RemoveVertex(%d) out of range [0,%d)", v, n))
+	}
+	h := New(n)
+	for u := 0; u < n; u++ {
+		if u == v {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if w != v {
+				h.AddArc(u, w)
+			}
+		}
+	}
+	return h
+}

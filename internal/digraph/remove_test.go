@@ -1,0 +1,76 @@
+package digraph
+
+import "testing"
+
+func TestRemoveArc(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1) // parallel
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	g.AddArc(3, 0)
+
+	h := g.RemoveArc(0, 1)
+	if h.M() != g.M()-1 {
+		t.Fatalf("RemoveArc: m = %d, want %d", h.M(), g.M()-1)
+	}
+	if h.ArcMultiplicity(0, 1) != 1 {
+		t.Errorf("RemoveArc dropped %d parallel arcs, want exactly 1 left",
+			2-h.ArcMultiplicity(0, 1))
+	}
+	if g.ArcMultiplicity(0, 1) != 2 {
+		t.Error("RemoveArc mutated the receiver")
+	}
+	// Removing an absent arc yields an equal copy.
+	same := g.RemoveArc(1, 3)
+	if !same.Equal(g) {
+		t.Error("RemoveArc of an absent arc changed the digraph")
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 1)
+	g.AddArc(2, 3)
+	g.AddArc(3, 0)
+	g.AddArc(1, 1) // loop at the victim
+
+	h := g.RemoveVertex(1)
+	if h.N() != g.N() {
+		t.Fatalf("RemoveVertex changed the vertex count: %d != %d", h.N(), g.N())
+	}
+	if h.OutDegree(1) != 0 {
+		t.Errorf("vertex 1 still has %d out-arcs", h.OutDegree(1))
+	}
+	for u := 0; u < h.N(); u++ {
+		if h.HasArc(u, 1) {
+			t.Errorf("arc (%d,1) survived RemoveVertex", u)
+		}
+	}
+	if h.M() != 2 { // only (2,3) and (3,0) avoid vertex 1
+		t.Errorf("residual m = %d, want 2", h.M())
+	}
+	if g.M() != 6 {
+		t.Error("RemoveVertex mutated the receiver")
+	}
+}
+
+func TestRemoveArcPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveArc out of range did not panic")
+		}
+	}()
+	New(2).RemoveArc(0, 5)
+}
+
+func TestRemoveVertexPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveVertex out of range did not panic")
+		}
+	}()
+	New(2).RemoveVertex(-1)
+}

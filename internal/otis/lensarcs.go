@@ -1,0 +1,126 @@
+package otis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lens fault groups. Each beam of OTIS(p, q) traverses exactly two
+// lenses: transmitter-side lens i (one of p, imaging transmitter group
+// i) and receiver-side lens ri (one of q, imaging receiver group ri).
+// A lens that fails — misaligned, occluded, delaminated — therefore
+// kills a *structured group* of arcs of H(p, q, d) at once, not an
+// isolated link ("OTIS Layouts of De Bruijn Digraphs", Wu & Deng). These
+// functions compute the group, as (node, adjacency-position) pairs in
+// the physical H digraph, for the runtime fault engine in simnet.
+//
+// The group structure is brutal by design and worth stating: when d
+// divides q (always true in a power-of-d layout), the q transmitters
+// under one transmitter lens are the *complete* out-arc sets of q/d
+// consecutive nodes — those nodes are silenced as senders. Dually a
+// receiver lens silences p/d consecutive nodes as receivers. The
+// simulator's job is not to route around the silenced block (no route
+// exists) but to keep everyone else at full service, which the d−1
+// arc-disjoint redundancy delivers.
+
+// TransmitterLensArcs returns the arcs of H(p, q, d) carried by
+// transmitter-side lens i (0 <= i < p): the arcs whose beams originate
+// from transmitter group i. Each arc is (tail node, adjacency position).
+func (s System) TransmitterLensArcs(lens, d int) ([][2]int, error) {
+	if lens < 0 || lens >= s.P {
+		return nil, fmt.Errorf("otis: transmitter lens %d out of [0,%d)", lens, s.P)
+	}
+	if err := s.checkDegree(d); err != nil {
+		return nil, err
+	}
+	arcs := make([][2]int, 0, s.Q)
+	for j := 0; j < s.Q; j++ {
+		t := s.TransmitterID(lens, j)
+		arcs = append(arcs, [2]int{t / d, t % d})
+	}
+	return arcs, nil
+}
+
+// ReceiverLensArcs returns the arcs of H(p, q, d) carried by
+// receiver-side lens ri (0 <= ri < q): the arcs whose beams land in
+// receiver group ri. Each arc is (tail node, adjacency position).
+func (s System) ReceiverLensArcs(lens, d int) ([][2]int, error) {
+	if lens < 0 || lens >= s.Q {
+		return nil, fmt.Errorf("otis: receiver lens %d out of [0,%d)", lens, s.Q)
+	}
+	if err := s.checkDegree(d); err != nil {
+		return nil, err
+	}
+	arcs := make([][2]int, 0, s.P)
+	for rj := 0; rj < s.P; rj++ {
+		i, j := s.Transmitter(lens, rj)
+		t := s.TransmitterID(i, j)
+		arcs = append(arcs, [2]int{t / d, t % d})
+	}
+	return arcs, nil
+}
+
+func (s System) checkDegree(d int) error {
+	if d < 1 || (s.P*s.Q)%d != 0 {
+		return fmt.Errorf("otis: degree %d does not divide pq = %d", d, s.P*s.Q)
+	}
+	return nil
+}
+
+// LensArcs returns the arc group of lens number `lens` of the layout's
+// OTIS system, under the convention that lenses 0..P-1 are the
+// transmitter-side array and P..P+Q-1 the receiver-side array (P + Q =
+// Lenses()). Arcs are (tail node, adjacency position) in the physical
+// digraph H(P, Q, d).
+func (l Layout) LensArcs(lens int) ([][2]int, error) {
+	s := l.System()
+	if lens < 0 || lens >= s.P+s.Q {
+		return nil, fmt.Errorf("otis: lens %d out of [0,%d)", lens, s.P+s.Q)
+	}
+	if lens < s.P {
+		return s.TransmitterLensArcs(lens, l.Degree)
+	}
+	return s.ReceiverLensArcs(lens-s.P, l.Degree)
+}
+
+// LensShadow returns the physical nodes fully silenced by a lens fault:
+// silencedOut lists nodes losing every out-arc (transmitter-side lens),
+// silencedIn nodes losing every in-arc (receiver-side lens). Nodes only
+// partially affected (possible when d does not divide the group size)
+// appear in neither list.
+func (l Layout) LensShadow(lens int) (silencedOut, silencedIn []int, err error) {
+	s := l.System()
+	d := l.Degree
+	if lens < 0 || lens >= s.P+s.Q {
+		return nil, nil, fmt.Errorf("otis: lens %d out of [0,%d)", lens, s.P+s.Q)
+	}
+	if lens < s.P {
+		// Transmitter lens: node u is silenced when all d of its
+		// transmitters sit under this lens.
+		hit := map[int]int{}
+		for j := 0; j < s.Q; j++ {
+			hit[s.TransmitterID(lens, j)/d]++
+		}
+		for u, c := range hit {
+			if c >= d {
+				silencedOut = append(silencedOut, u)
+			}
+		}
+		sort.Ints(silencedOut)
+		return silencedOut, nil, nil
+	}
+	// Receiver lens: node v is silenced when all d of its receivers sit
+	// under this lens.
+	ri := lens - s.P
+	hit := map[int]int{}
+	for rj := 0; rj < s.P; rj++ {
+		hit[s.ReceiverID(ri, rj)/d]++
+	}
+	for v, c := range hit {
+		if c >= d {
+			silencedIn = append(silencedIn, v)
+		}
+	}
+	sort.Ints(silencedIn)
+	return nil, silencedIn, nil
+}

@@ -1,0 +1,166 @@
+package otis
+
+import "testing"
+
+// The B(3,4) optimal layout, OTIS(9,27) ⊢ B(3,4): the fixture of claim
+// X-FAULT and of the examples.
+func layout34(t *testing.T) Layout {
+	t.Helper()
+	l, ok := OptimalLayout(3, 4)
+	if !ok {
+		t.Fatal("OptimalLayout(3,4) not found")
+	}
+	if l.P() != 9 || l.Q() != 27 {
+		t.Fatalf("OptimalLayout(3,4) = OTIS(%d,%d), want OTIS(9,27)", l.P(), l.Q())
+	}
+	return l
+}
+
+// Every arc of H traverses exactly one transmitter lens and exactly one
+// receiver lens, so each lens array partitions the arc set.
+func TestLensArcsPartition(t *testing.T) {
+	l := layout34(t)
+	s := l.System()
+	d := l.Degree
+	n := l.Nodes()
+
+	count := func(first, last int) map[[2]int]int {
+		seen := map[[2]int]int{}
+		for lens := first; lens < last; lens++ {
+			arcs, err := l.LensArcs(lens)
+			if err != nil {
+				t.Fatalf("LensArcs(%d): %v", lens, err)
+			}
+			for _, a := range arcs {
+				seen[a]++
+			}
+		}
+		return seen
+	}
+	check := func(side string, seen map[[2]int]int) {
+		if len(seen) != n*d {
+			t.Fatalf("%s lenses cover %d distinct arcs, want %d", side, len(seen), n*d)
+		}
+		for u := 0; u < n; u++ {
+			for k := 0; k < d; k++ {
+				if seen[[2]int{u, k}] != 1 {
+					t.Fatalf("%s lenses cover arc (%d,%d) %d times, want 1",
+						side, u, k, seen[[2]int{u, k}])
+				}
+			}
+		}
+	}
+	check("transmitter", count(0, s.P))
+	check("receiver", count(s.P, s.P+s.Q))
+}
+
+// A transmitter lens of OTIS(9,27) ⊢ B(3,4) carries the complete out-arc
+// sets of q/d = 9 consecutive nodes; a receiver lens the complete in-arc
+// sets of p/d = 3 nodes. LensShadow names exactly those nodes, and the
+// arc group agrees with the physical digraph H.
+func TestLensShadow(t *testing.T) {
+	l := layout34(t)
+	s := l.System()
+	d := l.Degree
+	g := MustH(s.P, s.Q, d)
+
+	for lens := 0; lens < s.P; lens++ {
+		out, in, err := l.LensShadow(lens)
+		if err != nil {
+			t.Fatalf("LensShadow(%d): %v", lens, err)
+		}
+		if len(in) != 0 {
+			t.Fatalf("transmitter lens %d silences in-arcs of %v", lens, in)
+		}
+		if len(out) != s.Q/d {
+			t.Fatalf("transmitter lens %d silences %d nodes, want %d", lens, len(out), s.Q/d)
+		}
+		for i, u := range out {
+			if want := lens*s.Q/d + i; u != want {
+				t.Fatalf("transmitter lens %d shadow[%d] = %d, want %d", lens, i, u, want)
+			}
+		}
+		// The arc group is exactly the out-arcs of the shadowed nodes.
+		arcs, err := l.LensArcs(lens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tails := map[int]int{}
+		for _, a := range arcs {
+			tails[a[0]]++
+		}
+		for _, u := range out {
+			if tails[u] != d {
+				t.Fatalf("transmitter lens %d carries %d arcs of node %d, want %d",
+					lens, tails[u], u, d)
+			}
+		}
+	}
+
+	for ri := 0; ri < s.Q; ri++ {
+		lens := s.P + ri
+		out, in, err := l.LensShadow(lens)
+		if err != nil {
+			t.Fatalf("LensShadow(%d): %v", lens, err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("receiver lens %d silences out-arcs of %v", ri, out)
+		}
+		if len(in) != s.P/d {
+			t.Fatalf("receiver lens %d silences %d nodes, want %d", ri, len(in), s.P/d)
+		}
+		for i, v := range in {
+			if want := ri*s.P/d + i; v != want {
+				t.Fatalf("receiver lens %d shadow[%d] = %d, want %d", ri, i, v, want)
+			}
+		}
+		// Every arc of the group lands at a shadowed node, and the group
+		// holds all d in-arcs of each: the complete in-arc sets.
+		arcs, err := l.LensArcs(lens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads := map[int]int{}
+		for _, a := range arcs {
+			heads[g.Out(a[0])[a[1]]]++
+		}
+		if len(heads) != len(in) {
+			t.Fatalf("receiver lens %d arcs land at %d nodes, want %d", ri, len(heads), len(in))
+		}
+		for _, v := range in {
+			if heads[v] != d {
+				t.Fatalf("receiver lens %d carries %d in-arcs of node %d, want %d",
+					ri, heads[v], v, d)
+			}
+		}
+	}
+}
+
+func TestLensArcsErrors(t *testing.T) {
+	l := layout34(t)
+	s := l.System()
+	if _, err := l.LensArcs(-1); err == nil {
+		t.Error("LensArcs(-1) accepted")
+	}
+	if _, err := l.LensArcs(s.P + s.Q); err == nil {
+		t.Error("LensArcs(P+Q) accepted")
+	}
+	if _, _, err := l.LensShadow(-1); err == nil {
+		t.Error("LensShadow(-1) accepted")
+	}
+	if _, _, err := l.LensShadow(s.P + s.Q); err == nil {
+		t.Error("LensShadow(P+Q) accepted")
+	}
+	if _, err := s.TransmitterLensArcs(0, 5); err == nil {
+		t.Error("TransmitterLensArcs with non-dividing degree accepted")
+	}
+	if _, err := s.ReceiverLensArcs(0, 5); err == nil {
+		t.Error("ReceiverLensArcs with non-dividing degree accepted")
+	}
+	if _, err := s.TransmitterLensArcs(s.P, 3); err == nil {
+		t.Error("TransmitterLensArcs out-of-range lens accepted")
+	}
+	if _, err := s.ReceiverLensArcs(s.Q, 3); err == nil {
+		t.Error("ReceiverLensArcs out-of-range lens accepted")
+	}
+}

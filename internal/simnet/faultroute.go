@@ -1,0 +1,139 @@
+package simnet
+
+import (
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+// Fault-aware routing. The de Bruijn digraph promises λ = d−1 arc-
+// disjoint paths between every pair (claim X-CONN); this router turns
+// that structural redundancy into runtime behaviour. Decisions depend on
+// which faults are active:
+//
+//   - No fault: the primary router's arc, untouched.
+//   - Transient faults only: the primary arc if it is up, else a
+//     deflection onto the best live alternate out-arc ranked by
+//     fault-free distance — the d−1 arc-disjoint alternatives every de
+//     Bruijn node offers. Transients heal, so a locally-greedy dodge
+//     (bounded by the run loop's TTL and retry budget) is enough.
+//   - Permanent faults active: exact shortest paths of the residual
+//     digraph, for every pair — the "rebuild the tables" a control plane
+//     does. Local dodging is NOT enough here: a fault-blind primary path
+//     can lead over live arcs into a region silenced downstream (a lens
+//     fault turns whole node blocks into sinks), so the router must be
+//     path-aware, not arc-aware. The residual table is recomputed
+//     lazily whenever a new permanent fault activates. Transient faults
+//     on top of permanent ones deflect by residual distance.
+//   - -1 when the destination is unreachable or every useful out-arc is
+//     down; the run loop answers with bounded retry/backoff and,
+//     eventually, a clean drop.
+//
+// The router never returns a downed arc: that is the invariant the
+// property tests check.
+
+// FaultAwareRouter wraps a primary Router with awareness of a FaultState.
+type FaultAwareRouter struct {
+	g       *digraph.Digraph
+	primary Router
+	state   *FaultState
+
+	// dist[u][v] is the fault-free distance, for ranking deflections when
+	// no permanent fault is active.
+	dist [][]int
+
+	// Residual tables under the currently active permanent faults,
+	// rebuilt when the version changes: next-hop vertices and distances.
+	resHop          [][]int
+	resDist         [][]int
+	fallbackVersion int
+}
+
+// NewFaultAwareRouter builds the router. state may be nil (or empty), in
+// which case decisions are exactly the primary's.
+func NewFaultAwareRouter(g *digraph.Digraph, primary Router, state *FaultState) *FaultAwareRouter {
+	n := g.N()
+	dist := make([][]int, n)
+	for u := 0; u < n; u++ {
+		dist[u] = g.BFSFrom(u)
+	}
+	return &FaultAwareRouter{g: g, primary: primary, state: state, dist: dist}
+}
+
+// NextArc implements Router: the cascade above, or -1.
+func (r *FaultAwareRouter) NextArc(at, dst int) int {
+	if at == dst {
+		return -1
+	}
+	p := r.primary.NextArc(at, dst)
+	if r.state.Empty() {
+		return p
+	}
+	if r.state.PermanentVersion() == 0 {
+		// Transient faults only: primary, else deflect by fault-free
+		// distance.
+		if p >= 0 && !r.state.ArcDown(at, p) {
+			return p
+		}
+		return r.deflect(at, dst, p, r.dist)
+	}
+	// Permanent faults active: exact residual shortest paths.
+	r.refreshResidual()
+	hop := r.resHop[at][dst]
+	if hop == at || hop < 0 {
+		return -1 // unreachable under the permanent faults: no arc helps
+	}
+	for k, v := range r.g.Out(at) {
+		if v == hop && !r.state.ArcDown(at, k) {
+			return k
+		}
+	}
+	// The residual arc is transiently down too: deflect by residual
+	// distance so the dodge cannot re-enter a silenced region.
+	return r.deflect(at, dst, p, r.resDist)
+}
+
+// Primary returns the wrapped router's decision, fault-blind.
+func (r *FaultAwareRouter) Primary(at, dst int) int { return r.primary.NextArc(at, dst) }
+
+// deflect returns the live out-arc (≠ avoid) whose head minimizes
+// dist[head][dst], or -1.
+func (r *FaultAwareRouter) deflect(at, dst, avoid int, dist [][]int) int {
+	best, bestDist := -1, -1
+	for k, v := range r.g.Out(at) {
+		if k == avoid || v == at || r.state.ArcDown(at, k) {
+			continue
+		}
+		dv := dist[v][dst]
+		if dv == digraph.Unreachable {
+			continue
+		}
+		if best < 0 || dv < bestDist {
+			best, bestDist = k, dv
+		}
+	}
+	return best
+}
+
+// refreshResidual rebuilds the residual next-hop and distance tables when
+// the active permanent fault set has grown since the last build.
+func (r *FaultAwareRouter) refreshResidual() {
+	version := r.state.PermanentVersion()
+	if version == r.fallbackVersion && r.resHop != nil {
+		return
+	}
+	n := r.g.N()
+	residual := digraph.New(n)
+	for u := 0; u < n; u++ {
+		for k, v := range r.g.Out(u) {
+			if !r.state.ArcPermanentlyDown(u, k) {
+				residual.AddArc(u, v)
+			}
+		}
+	}
+	r.resHop = debruijn.RoutingTable(residual)
+	r.resDist = make([][]int, n)
+	for u := 0; u < n; u++ {
+		r.resDist[u] = residual.BFSFrom(u)
+	}
+	r.fallbackVersion = version
+}

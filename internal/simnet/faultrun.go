@@ -1,0 +1,308 @@
+package simnet
+
+import "fmt"
+
+// The fault-aware run loop. Structurally a store-and-forward simulation
+// like Network.Run, with three changes that make it survive a hostile
+// fault schedule instead of deadlocking:
+//
+//   - routing decisions are re-taken at departure time (not enqueue
+//     time) through a FaultAwareRouter, so a packet never commits to a
+//     link that has died while it was queued;
+//   - a packet that finds no live useful out-arc is requeued with
+//     exponential backoff a bounded number of times (transient faults
+//     heal; permanent ones eventually exhaust the retries) and then
+//     dropped with explicit accounting;
+//   - every packet carries a TTL (hop budget) so deflections under heavy
+//     transient faulting cannot loop forever.
+//
+// Every loss path increments a named counter; delivered + dropped +
+// still-in-flight always equals the offered packet count.
+
+// FaultConfig tunes RunWithFaults. The zero value selects defaults.
+type FaultConfig struct {
+	// HopLatency is the wire time of one hop in cycles (0: 1).
+	HopLatency int
+	// MaxCycles aborts the run (0: a generous bound).
+	MaxCycles int
+	// TTL is the per-packet hop budget (0: 4·diameter+8, or 2n when the
+	// digraph is not strongly connected).
+	TTL int
+	// MaxRetries bounds how often a packet with no live out-arc is
+	// requeued before it is dropped (0: 8).
+	MaxRetries int
+	// BackoffBase is the first retry delay in cycles (0: 1); successive
+	// retries double it up to BackoffCap (0: 64).
+	BackoffBase int
+	BackoffCap  int
+}
+
+// DefaultFaultConfig returns the default fault-run tuning.
+func DefaultFaultConfig() FaultConfig { return FaultConfig{} }
+
+func (c FaultConfig) withDefaults(n, diameter int) FaultConfig {
+	if c.HopLatency < 1 {
+		c.HopLatency = 1
+	}
+	if c.TTL < 1 {
+		if diameter >= 0 {
+			c.TTL = 4*diameter + 8
+		} else {
+			c.TTL = 2 * n
+		}
+	}
+	if c.MaxRetries < 1 {
+		c.MaxRetries = 8
+	}
+	if c.BackoffBase < 1 {
+		c.BackoffBase = 1
+	}
+	if c.BackoffCap < 1 {
+		c.BackoffCap = 64
+	}
+	return c
+}
+
+// FaultResult extends Result with the fault-path accounting.
+type FaultResult struct {
+	Result
+	// Reroutes counts forwards on an arc other than the primary
+	// router's choice (residual reroutes and deflections).
+	Reroutes int
+	// Retries counts backoff requeues of packets that found no live
+	// useful out-arc.
+	Retries int
+	// DroppedTTL, DroppedNoRoute and DroppedFault break Dropped down:
+	// hop budget exhausted; retries exhausted with no live route; lost
+	// in flight to a node fault at the arrival end.
+	DroppedTTL     int
+	DroppedNoRoute int
+	DroppedFault   int
+	// Stuck counts packets neither delivered nor dropped when MaxCycles
+	// ran out (0 on any completed run).
+	Stuck int
+}
+
+// String renders the headline numbers; safe when nothing was delivered.
+func (r FaultResult) String() string {
+	return fmt.Sprintf("%v reroutes=%d retries=%d dropTTL=%d dropNoRoute=%d dropFault=%d stuck=%d",
+		r.Result, r.Reroutes, r.Retries, r.DroppedTTL, r.DroppedNoRoute, r.DroppedFault, r.Stuck)
+}
+
+// DeliveredFraction returns Delivered over the offered packet count, 0
+// when nothing was offered (never NaN).
+func (r FaultResult) DeliveredFraction() float64 {
+	offered := r.Delivered + r.Dropped + r.Stuck
+	if offered == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(offered)
+}
+
+// pktMeta is the per-packet fault-run bookkeeping.
+type pktMeta struct {
+	retries int
+	readyAt int
+}
+
+// RunWithFaults simulates the workload under the fault plan. The
+// network's router is wrapped in a FaultAwareRouter; see FaultConfig for
+// the retry/TTL semantics. A nil plan degenerates to a fault-free run of
+// the fault engine (useful for differential tests).
+func (nw *Network) RunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig) (FaultResult, error) {
+	res, _, err := nw.runWithFaults(packets, plan, cfg, false)
+	return res, err
+}
+
+// TracedRunWithFaults is RunWithFaults with a full event log: inject,
+// depart, arrive, deliver, plus the fault-path kinds reroute and drop.
+// Unlike TracedRun, events are recorded live (fault decisions depend on
+// the cycle, so a shadow re-run cannot reconstruct them) and all carry
+// their cycle.
+func (nw *Network) TracedRunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig) (FaultResult, []Event, error) {
+	res, events, err := nw.runWithFaults(packets, plan, cfg, true)
+	return res, events, err
+}
+
+func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig, traced bool) (FaultResult, []Event, error) {
+	state, err := plan.Compile(nw.g)
+	if err != nil {
+		return FaultResult{}, nil, err
+	}
+	router := NewFaultAwareRouter(nw.g, nw.router, state)
+
+	n := nw.g.N()
+	cfg = cfg.withDefaults(n, nw.g.Diameter())
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 64*n*cfg.HopLatency + 16*len(packets) + 1024
+		// Room for every retry of the backoff ladder to play out.
+		maxCycles += cfg.MaxRetries * cfg.BackoffCap
+	}
+
+	pkts := make([]Packet, len(packets))
+	copy(pkts, packets)
+	meta := make([]pktMeta, len(pkts))
+
+	var events []Event
+	emit := func(e Event) {
+		if traced {
+			events = append(events, e)
+		}
+	}
+
+	res := FaultResult{}
+	drop := func(i, cycle, node int, bucket *int) {
+		*bucket++
+		res.Dropped++
+		emit(Event{Cycle: cycle, Kind: EventDrop, Packet: pkts[i].ID, Node: node, Peer: -1})
+	}
+
+	// waiting[u] is the FIFO of packet indices held at node u; pipes are
+	// the per-arc link pipelines as in Run.
+	waiting := make([][]int, n)
+	pipes := make([][][]inflight, n)
+	for u := 0; u < n; u++ {
+		pipes[u] = make([][]inflight, nw.g.OutDegree(u))
+	}
+
+	remaining := 0
+	byRelease := map[int][]int{}
+	for i := range pkts {
+		pkts[i].Delivered = -1
+		pkts[i].Hops = 0
+		if pkts[i].Src == pkts[i].Dst {
+			pkts[i].Delivered = pkts[i].Release
+			res.Delivered++
+			continue
+		}
+		byRelease[pkts[i].Release] = append(byRelease[pkts[i].Release], i)
+		remaining++
+	}
+
+	for cycle := 0; remaining > 0 && cycle <= maxCycles; cycle++ {
+		state.Advance(cycle)
+
+		// Inject.
+		for _, i := range byRelease[cycle] {
+			waiting[pkts[i].Src] = append(waiting[pkts[i].Src], i)
+			emit(Event{Cycle: cycle, Kind: EventInject, Packet: pkts[i].ID, Node: pkts[i].Src, Peer: -1})
+		}
+		delete(byRelease, cycle)
+
+		// Arrivals: wire time completes; a downed node loses the packet.
+		for u := 0; u < n; u++ {
+			out := nw.g.Out(u)
+			for a := range pipes[u] {
+				pipe := pipes[u][a]
+				keep := pipe[:0]
+				for _, fl := range pipe {
+					if fl.ready > cycle {
+						keep = append(keep, fl)
+						continue
+					}
+					v := out[a]
+					p := &pkts[fl.pkt]
+					p.Hops++
+					if state.NodeDown(v) {
+						emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
+						drop(fl.pkt, cycle, v, &res.DroppedFault)
+						remaining--
+						continue
+					}
+					if v == p.Dst {
+						p.Delivered = cycle
+						res.Delivered++
+						remaining--
+						if cycle > res.Cycles {
+							res.Cycles = cycle
+						}
+						emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
+						emit(Event{Cycle: cycle, Kind: EventDeliver, Packet: p.ID, Node: v, Peer: -1})
+						continue
+					}
+					emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
+					waiting[v] = append(waiting[v], fl.pkt)
+				}
+				pipes[u][a] = keep
+			}
+		}
+
+		// Departures: each node forwards its waiting packets in FIFO
+		// order; each live arc accepts one packet per cycle.
+		for u := 0; u < n; u++ {
+			if len(waiting[u]) == 0 {
+				continue
+			}
+			if depth := len(waiting[u]); depth > res.MaxQueue {
+				res.MaxQueue = depth
+				res.HotNode = u
+			}
+			busy := make([]bool, nw.g.OutDegree(u))
+			keep := waiting[u][:0]
+			for _, i := range waiting[u] {
+				p := &pkts[i]
+				if meta[i].readyAt > cycle {
+					keep = append(keep, i)
+					continue
+				}
+				if p.Hops >= cfg.TTL {
+					drop(i, cycle, u, &res.DroppedTTL)
+					remaining--
+					continue
+				}
+				arc := router.NextArc(u, p.Dst)
+				if arc < 0 {
+					meta[i].retries++
+					if meta[i].retries > cfg.MaxRetries {
+						drop(i, cycle, u, &res.DroppedNoRoute)
+						remaining--
+						continue
+					}
+					res.Retries++
+					backoff := cfg.BackoffBase << uint(meta[i].retries-1)
+					if backoff > cfg.BackoffCap || backoff <= 0 {
+						backoff = cfg.BackoffCap
+					}
+					meta[i].readyAt = cycle + backoff
+					keep = append(keep, i)
+					continue
+				}
+				if busy[arc] {
+					keep = append(keep, i) // link occupied this cycle: queue
+					continue
+				}
+				busy[arc] = true
+				if router.Primary(u, p.Dst) != arc {
+					res.Reroutes++
+					emit(Event{Cycle: cycle, Kind: EventReroute, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
+				}
+				emit(Event{Cycle: cycle, Kind: EventDepart, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
+				pipes[u][arc] = append(pipes[u][arc], inflight{pkt: i, ready: cycle + cfg.HopLatency})
+			}
+			waiting[u] = keep
+		}
+	}
+	res.Stuck = remaining
+
+	// Aggregate, guarding every ratio against the nothing-delivered case.
+	latencySum := 0
+	for i := range pkts {
+		p := pkts[i]
+		if p.Delivered < 0 {
+			continue
+		}
+		res.TotalHops += p.Hops
+		if p.Hops > res.MaxHops {
+			res.MaxHops = p.Hops
+		}
+		latencySum += p.Delivered - p.Release
+		res.TotalWait += (p.Delivered - p.Release) - p.Hops*cfg.HopLatency
+	}
+	if res.Delivered > 0 {
+		res.MeanLatency = float64(latencySum) / float64(res.Delivered)
+		res.MeanHops = float64(res.TotalHops) / float64(res.Delivered)
+	}
+	res.Packets = pkts
+	return res, events, nil
+}

@@ -1,0 +1,305 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/digraph"
+)
+
+// Runtime fault injection. The paper's machines are built from physical
+// optics — VCSELs, lenses, lenslet arrays — hardware that degrades and
+// fails while the machine is running. The static fault experiments
+// (delete arcs, rebuild, re-route) only show that the residual graph is
+// usable; this engine models faults as *events on the running network*:
+// a FaultPlan schedules link, node and lens faults at given cycles, and
+// Network.RunWithFaults applies them mid-flight without rebuilding the
+// digraph. A lens fault is the OTIS-specific correlated failure: one
+// lens carries a whole group of beams (arcs), computed by the otis
+// layer, and all of them die together.
+
+// FaultKind classifies scheduled faults.
+type FaultKind int
+
+const (
+	// FaultLink downs a single directed link (one arc of the digraph).
+	FaultLink FaultKind = iota
+	// FaultNode downs a node: every arc entering or leaving it, and the
+	// node neither forwards nor absorbs packets while down.
+	FaultNode
+	// FaultLens downs a correlated arc group — the beams routed through
+	// one physical lens of an OTIS layout (see otis.Layout.LensArcs).
+	FaultLens
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLink:
+		return "link"
+	case FaultNode:
+		return "node"
+	case FaultLens:
+		return "lens"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Arc identifies one directed link as (tail vertex, adjacency position).
+// Position — not head vertex — because the digraphs are multigraphs and
+// the simulator's queues and pipelines are per-position.
+type Arc struct {
+	Tail  int
+	Index int
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Kind FaultKind
+	// Start is the first cycle at which the fault is active.
+	Start int
+	// Duration is the number of cycles the fault lasts; <= 0 means
+	// permanent.
+	Duration int
+	// Arc is the failed link (FaultLink).
+	Arc Arc
+	// Node is the failed node (FaultNode).
+	Node int
+	// Lens labels the failed lens (FaultLens); informational.
+	Lens int
+	// Arcs is the expanded arc group of a lens fault (FaultLens).
+	Arcs []Arc
+}
+
+// Permanent reports whether the fault never heals.
+func (f Fault) Permanent() bool { return f.Duration <= 0 }
+
+// String renders e.g. "link (5#1) down @12 for 30" or "lens 3 down @0 permanently".
+func (f Fault) String() string {
+	dur := "permanently"
+	if !f.Permanent() {
+		dur = fmt.Sprintf("for %d", f.Duration)
+	}
+	switch f.Kind {
+	case FaultLink:
+		return fmt.Sprintf("link (%d#%d) down @%d %s", f.Arc.Tail, f.Arc.Index, f.Start, dur)
+	case FaultNode:
+		return fmt.Sprintf("node %d down @%d %s", f.Node, f.Start, dur)
+	case FaultLens:
+		return fmt.Sprintf("lens %d (%d arcs) down @%d %s", f.Lens, len(f.Arcs), f.Start, dur)
+	}
+	return fmt.Sprintf("%v down @%d %s", f.Kind, f.Start, dur)
+}
+
+// FaultPlan schedules faults against a run. The zero value (and nil) is
+// the empty plan.
+type FaultPlan struct {
+	faults []Fault
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// LinkDown schedules the arc at (tail, index) to fail at cycle start for
+// duration cycles (duration <= 0: permanent).
+func (p *FaultPlan) LinkDown(start, duration, tail, index int) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultLink, Start: start, Duration: duration,
+		Arc: Arc{Tail: tail, Index: index}})
+	return p
+}
+
+// NodeDown schedules node to fail at cycle start for duration cycles
+// (duration <= 0: permanent).
+func (p *FaultPlan) NodeDown(start, duration, node int) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultNode, Start: start, Duration: duration, Node: node})
+	return p
+}
+
+// LensDown schedules a lens fault: the given arc group (typically from
+// otis.Layout.LensArcs, mapped to (tail, index) pairs) fails together at
+// cycle start for duration cycles (duration <= 0: permanent). lens is a
+// label for reporting.
+func (p *FaultPlan) LensDown(start, duration, lens int, arcs []Arc) *FaultPlan {
+	group := make([]Arc, len(arcs))
+	copy(group, arcs)
+	p.faults = append(p.faults, Fault{Kind: FaultLens, Start: start, Duration: duration,
+		Lens: lens, Arcs: group})
+	return p
+}
+
+// Faults returns the scheduled faults in insertion order.
+func (p *FaultPlan) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	out := make([]Fault, len(p.faults))
+	copy(out, p.faults)
+	return out
+}
+
+// span is a half-open down interval [start, end); end < 0 means forever.
+type span struct {
+	start, end int
+}
+
+func (s span) contains(cycle int) bool {
+	return cycle >= s.start && (s.end < 0 || cycle < s.end)
+}
+
+// FaultState is a compiled FaultPlan bound to a digraph: per-arc and
+// per-node down intervals, with a current-cycle cursor the run loop
+// advances. It answers "is this arc/node down right now?" in O(#spans on
+// that arc) and exposes a version counter for the set of *active
+// permanent* faults so routers know when to recompute residual paths.
+type FaultState struct {
+	g         *digraph.Digraph
+	arcSpans  map[Arc][]span
+	nodeSpans map[int][]span
+	// permStarts holds the start cycles of permanent arc faults, sorted;
+	// PermanentVersion is the count of starts <= current cycle.
+	permStarts []int
+	cycle      int
+}
+
+// Compile validates the plan against g and expands node and lens faults
+// to their arc groups: a node fault downs all out-arcs and in-arcs of
+// the node, a lens fault downs its listed group.
+func (p *FaultPlan) Compile(g *digraph.Digraph) (*FaultState, error) {
+	st := &FaultState{
+		g:         g,
+		arcSpans:  map[Arc][]span{},
+		nodeSpans: map[int][]span{},
+		cycle:     -1,
+	}
+	if p == nil {
+		return st, nil
+	}
+	n := g.N()
+	addArc := func(a Arc, sp span) error {
+		if a.Tail < 0 || a.Tail >= n || a.Index < 0 || a.Index >= g.OutDegree(a.Tail) {
+			return fmt.Errorf("simnet: fault arc (%d#%d) out of range", a.Tail, a.Index)
+		}
+		st.arcSpans[a] = append(st.arcSpans[a], sp)
+		if sp.end < 0 {
+			st.permStarts = append(st.permStarts, sp.start)
+		}
+		return nil
+	}
+	for _, f := range p.faults {
+		if f.Start < 0 {
+			return nil, fmt.Errorf("simnet: fault start cycle %d < 0", f.Start)
+		}
+		sp := span{start: f.Start, end: -1}
+		if !f.Permanent() {
+			sp.end = f.Start + f.Duration
+		}
+		switch f.Kind {
+		case FaultLink:
+			if err := addArc(f.Arc, sp); err != nil {
+				return nil, err
+			}
+		case FaultNode:
+			if f.Node < 0 || f.Node >= n {
+				return nil, fmt.Errorf("simnet: fault node %d out of range [0,%d)", f.Node, n)
+			}
+			st.nodeSpans[f.Node] = append(st.nodeSpans[f.Node], sp)
+			for k := 0; k < g.OutDegree(f.Node); k++ {
+				if err := addArc(Arc{Tail: f.Node, Index: k}, sp); err != nil {
+					return nil, err
+				}
+			}
+			for u := 0; u < n; u++ {
+				for k, v := range g.Out(u) {
+					if v == f.Node && u != f.Node {
+						if err := addArc(Arc{Tail: u, Index: k}, sp); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		case FaultLens:
+			for _, a := range f.Arcs {
+				if err := addArc(a, sp); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("simnet: unknown fault kind %v", f.Kind)
+		}
+	}
+	sort.Ints(st.permStarts)
+	return st, nil
+}
+
+// Empty reports whether no fault is scheduled.
+func (s *FaultState) Empty() bool {
+	return s == nil || (len(s.arcSpans) == 0 && len(s.nodeSpans) == 0)
+}
+
+// Advance sets the current cycle.
+func (s *FaultState) Advance(cycle int) { s.cycle = cycle }
+
+// Cycle returns the current cycle.
+func (s *FaultState) Cycle() int { return s.cycle }
+
+// ArcDown reports whether the arc at (tail, index) is down at the
+// current cycle.
+func (s *FaultState) ArcDown(tail, index int) bool {
+	if s == nil {
+		return false
+	}
+	return s.ArcDownAt(tail, index, s.cycle)
+}
+
+// ArcDownAt reports whether the arc at (tail, index) is down at the
+// given cycle.
+func (s *FaultState) ArcDownAt(tail, index, cycle int) bool {
+	if s == nil || len(s.arcSpans) == 0 {
+		return false
+	}
+	for _, sp := range s.arcSpans[Arc{Tail: tail, Index: index}] {
+		if sp.contains(cycle) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeDown reports whether a node fault is active on node at the current
+// cycle. (Arc faults touching the node are reported by ArcDown, not
+// here.)
+func (s *FaultState) NodeDown(node int) bool {
+	if s == nil || len(s.nodeSpans) == 0 {
+		return false
+	}
+	for _, sp := range s.nodeSpans[node] {
+		if sp.contains(s.cycle) {
+			return true
+		}
+	}
+	return false
+}
+
+// ArcPermanentlyDown reports whether a permanent fault covering the arc
+// is active at the current cycle.
+func (s *FaultState) ArcPermanentlyDown(tail, index int) bool {
+	if s == nil || len(s.arcSpans) == 0 {
+		return false
+	}
+	for _, sp := range s.arcSpans[Arc{Tail: tail, Index: index}] {
+		if sp.end < 0 && s.cycle >= sp.start {
+			return true
+		}
+	}
+	return false
+}
+
+// PermanentVersion counts the permanent arc faults active at the current
+// cycle. Routers cache residual shortest paths keyed by this version:
+// it only changes when a new permanent fault activates.
+func (s *FaultState) PermanentVersion() int {
+	if s == nil {
+		return 0
+	}
+	return sort.SearchInts(s.permStarts, s.cycle+1)
+}

@@ -8,46 +8,15 @@ import (
 )
 
 // Failure injection: the de Bruijn machine keeps operating around faults,
-// as its (d-1)-connectivity promises.
-
-// withoutVertex returns a copy of g with every arc touching v removed
-// (the vertex stays, isolated, to preserve labels).
-func withoutVertex(g *digraph.Digraph, v int) *digraph.Digraph {
-	h := digraph.New(g.N())
-	for u := 0; u < g.N(); u++ {
-		if u == v {
-			continue
-		}
-		for _, w := range g.Out(u) {
-			if w != v {
-				h.AddArc(u, w)
-			}
-		}
-	}
-	return h
-}
-
-// withoutArc returns a copy of g lacking one (u, v) arc.
-func withoutArc(g *digraph.Digraph, u, v int) *digraph.Digraph {
-	h := digraph.New(g.N())
-	removed := false
-	for a := 0; a < g.N(); a++ {
-		for _, w := range g.Out(a) {
-			if !removed && a == u && w == v {
-				removed = true
-				continue
-			}
-			h.AddArc(a, w)
-		}
-	}
-	return h
-}
+// as its (d-1)-connectivity promises. Static fault surgery uses
+// digraph.RemoveArc / digraph.RemoveVertex; the runtime counterpart lives
+// in faults.go / faultrun.go.
 
 func TestSingleArcFailureRerouted(t *testing.T) {
 	// B(3,3) has arc connectivity 2: any single arc failure leaves all
 	// (non-failed) traffic deliverable with table rerouting.
 	g := debruijn.DeBruijn(3, 3)
-	faulty := withoutArc(g, 5, 16) // 5 → 3·5+1 = 16
+	faulty := g.RemoveArc(5, 16) // 5 → 3·5+1 = 16
 	if faulty.M() != g.M()-1 {
 		t.Fatal("arc removal failed")
 	}
@@ -70,7 +39,7 @@ func TestVertexFailurePartialService(t *testing.T) {
 	// disconnect some pairs (the price of d = 2); traffic not involving
 	// the failed region must still flow.
 	g := debruijn.DeBruijn(2, 4)
-	faulty := withoutVertex(g, 5)
+	faulty := g.RemoveVertex(5)
 	nw, err := New(faulty, NewTableRouter(faulty), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +57,7 @@ func TestVertexFailurePartialService(t *testing.T) {
 	}
 	// At degree 3 the same failure leaves everything routable.
 	g3 := debruijn.DeBruijn(3, 3)
-	faulty3 := withoutVertex(g3, 5)
+	faulty3 := g3.RemoveVertex(5)
 	nw3, _ := New(faulty3, NewTableRouter(faulty3), DefaultConfig())
 	pkts3 := UniformRandom(g3.N(), 400, 82)
 	var filtered3 []Packet
@@ -113,7 +82,7 @@ func TestDisjointPathsSurviveFault(t *testing.T) {
 		t.Fatalf("expected ≥2 disjoint paths, got %d", len(paths))
 	}
 	victim := paths[0]
-	faulty := withoutArc(g, victim[0], victim[1])
+	faulty := g.RemoveArc(victim[0], victim[1])
 	dist := faulty.BFSFrom(2)
 	if dist[19] == digraph.Unreachable {
 		t.Error("second disjoint path did not survive the fault")

@@ -24,6 +24,13 @@ const (
 	EventArrive
 	// EventDeliver marks final delivery.
 	EventDeliver
+	// EventReroute marks a forward on an arc other than the primary
+	// router's choice (fault-aware runs only); the matching EventDepart
+	// follows with the same cycle and peer.
+	EventReroute
+	// EventDrop marks a packet leaving the simulation undelivered (TTL
+	// exhausted, retries exhausted, or lost to a node fault).
+	EventDrop
 )
 
 // String names the kind.
@@ -37,6 +44,10 @@ func (k EventKind) String() string {
 		return "arrive"
 	case EventDeliver:
 		return "deliver"
+	case EventReroute:
+		return "reroute"
+	case EventDrop:
+		return "drop"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -118,8 +129,10 @@ func (r *recordingRouter) decision(at, dst int) int {
 }
 
 // VerifyTrace checks a trace against the digraph: every depart/arrive
-// pair follows an arc and each packet's walk is connected from source to
-// destination.
+// pair follows an arc, each packet's walk is connected from source to
+// destination, reroutes announce a real arc at the packet's position,
+// and a dropped packet never moves (or delivers) afterwards. Traces from
+// TracedRun and TracedRunWithFaults both satisfy it.
 func VerifyTrace(g *digraph.Digraph, packets []Packet, events []Event) error {
 	byPacket := map[int][]Event{}
 	for _, e := range events {
@@ -131,16 +144,20 @@ func VerifyTrace(g *digraph.Digraph, packets []Packet, events []Event) error {
 			continue // dropped or self-delivered without movement
 		}
 		at := -1
+		dropped := false
 		for _, e := range evs {
+			if dropped {
+				return fmt.Errorf("simnet: packet %d has %v after its drop", p.ID, e.Kind)
+			}
 			switch e.Kind {
 			case EventInject:
 				if e.Node != p.Src {
 					return fmt.Errorf("simnet: packet %d injected at %d, src %d", p.ID, e.Node, p.Src)
 				}
 				at = e.Node
-			case EventDepart:
+			case EventDepart, EventReroute:
 				if e.Node != at {
-					return fmt.Errorf("simnet: packet %d departs %d but is at %d", p.ID, e.Node, at)
+					return fmt.Errorf("simnet: packet %d %vs %d but is at %d", p.ID, e.Kind, e.Node, at)
 				}
 				if !g.HasArc(e.Node, e.Peer) {
 					return fmt.Errorf("simnet: packet %d uses missing arc (%d,%d)", p.ID, e.Node, e.Peer)
@@ -151,6 +168,11 @@ func VerifyTrace(g *digraph.Digraph, packets []Packet, events []Event) error {
 				if e.Node != p.Dst || at != p.Dst {
 					return fmt.Errorf("simnet: packet %d delivered at %d (at=%d), dst %d", p.ID, e.Node, at, p.Dst)
 				}
+			case EventDrop:
+				if e.Node != at {
+					return fmt.Errorf("simnet: packet %d dropped at %d but is at %d", p.ID, e.Node, at)
+				}
+				dropped = true
 			}
 		}
 	}

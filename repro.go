@@ -514,3 +514,40 @@ type MachinePlan = machine.PlanResult
 
 // OpticalMachine is a fully assembled, audited optical de Bruijn machine.
 type OpticalMachine = machine.Machine
+
+// Runtime fault injection and fault-aware rerouting.
+var (
+	// NewFaultPlan returns an empty runtime fault schedule.
+	NewFaultPlan = simnet.NewFaultPlan
+	// NewFaultAwareRouter wraps a router with fault awareness.
+	NewFaultAwareRouter = simnet.NewFaultAwareRouter
+	// DefaultFaultSimConfig returns the default TTL/retry/backoff tuning.
+	DefaultFaultSimConfig = simnet.DefaultFaultConfig
+	// DegradationSweep measures delivery and latency vs. fault rate.
+	DegradationSweep = simnet.DegradationSweep
+)
+
+type (
+	// FaultPlan schedules link, node and lens faults against a run.
+	FaultPlan = simnet.FaultPlan
+	// FaultKind classifies scheduled faults (link, node, lens).
+	FaultKind = simnet.FaultKind
+	// Fault is one scheduled failure.
+	Fault = simnet.Fault
+	// SimArc identifies a directed link as (tail, adjacency position).
+	SimArc = simnet.Arc
+	// FaultState is a compiled FaultPlan bound to a digraph.
+	FaultState = simnet.FaultState
+	// FaultAwareRouter reroutes around the faults of a FaultState.
+	FaultAwareRouter = simnet.FaultAwareRouter
+	// FaultSimConfig tunes RunWithFaults (TTL, retries, backoff).
+	FaultSimConfig = simnet.FaultConfig
+	// FaultSimResult extends SimResult with fault-path accounting.
+	FaultSimResult = simnet.FaultResult
+	// DegradationPoint is one fault-rate measurement of a sweep.
+	DegradationPoint = simnet.DegradationPoint
+	// SimEvent is one record of a traced simulation run.
+	SimEvent = simnet.Event
+	// SimEventKind classifies trace events (inject … reroute, drop).
+	SimEventKind = simnet.EventKind
+)

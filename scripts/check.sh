@@ -27,7 +27,11 @@ go build ./...
 echo "== reprolint =="
 go run ./cmd/reprolint ./...
 
-echo "== go test -race (parallel kernels) =="
-go test -race ./internal/digraph/... ./internal/otis/...
+echo "== go test -race (parallel kernels + fault engine) =="
+go test -race ./internal/digraph/... ./internal/otis/... ./internal/simnet/...
+
+echo "== fault-sweep smoke run =="
+go run ./cmd/simulate -topo debruijn -d 3 -diam 3 -faults -packets 200 \
+    -faultrates 0,0.5,1 > /dev/null
 
 echo "check.sh: all checks passed"
