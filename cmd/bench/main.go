@@ -1,0 +1,283 @@
+// bench is the repository's performance harness: it runs a canonical,
+// fixed-seed benchmark set over the simulation hot path (router
+// construction, permutation runs on B(3,6)/B(3,7), an OTIS machine load
+// sweep, and a fault-rate degradation sweep) and emits the measurements
+// as BENCH_simnet.json so the performance trajectory of the repository
+// is recorded, comparable across commits, and checkable in CI.
+//
+// Usage:
+//
+//	bench                   # canonical set, writes BENCH_simnet.json
+//	bench -smoke            # tiny sizes for the CI gate (same schema)
+//	bench -out FILE         # write somewhere else
+//	bench -validate FILE    # parse and sanity-check an emitted file
+//
+// Every entry reports ns/op, B/op and allocs/op as measured by
+// testing.Benchmark, plus delivered-packets/sec for the entries that
+// move traffic (delivered work per op divided by wall time per op).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/debruijn"
+	"repro/internal/machine"
+	"repro/internal/optics"
+	"repro/internal/simnet"
+)
+
+// benchSchema identifies the output format; bump on breaking changes.
+const benchSchema = "BENCH_simnet/v1"
+
+// benchEntry is one measured benchmark in the JSON output.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// DeliveredPacketsPerSec is delivered-work throughput for entries
+	// that run traffic (0 for pure construction benchmarks).
+	DeliveredPacketsPerSec float64 `json:"delivered_packets_per_sec"`
+}
+
+// benchFile is the BENCH_simnet.json document.
+type benchFile struct {
+	Schema    string       `json:"schema"`
+	Smoke     bool         `json:"smoke"`
+	GoVersion string       `json:"go_version"`
+	Timestamp string       `json:"timestamp"`
+	Results   []benchEntry `json:"results"`
+}
+
+// spec is one benchmark to run: fn is the measured body, delivered the
+// packets delivered by a single op (for throughput), nodes the network
+// size.
+type spec struct {
+	name      string
+	nodes     int
+	delivered int
+	fn        func(b *testing.B)
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run tiny sizes (CI smoke gate)")
+	out := flag.String("out", "BENCH_simnet.json", "output path")
+	validate := flag.String("validate", "", "validate an emitted JSON file and exit")
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: invalid:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: %s is a valid %s document\n", *validate, benchSchema)
+		return
+	}
+
+	// Keep the smoke gate fast: testing.Benchmark honours -test.benchtime.
+	testing.Init()
+	if *smoke {
+		if err := flag.Set("test.benchtime", "50ms"); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	specs, err := buildSpecs(*smoke)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	doc := benchFile{
+		Schema:    benchSchema,
+		Smoke:     *smoke,
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, s := range specs {
+		r := testing.Benchmark(s.fn)
+		e := benchEntry{
+			Name:        s.name,
+			Nodes:       s.nodes,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if s.delivered > 0 && e.NsPerOp > 0 {
+			e.DeliveredPacketsPerSec = float64(s.delivered) * 1e9 / e.NsPerOp
+		}
+		doc.Results = append(doc.Results, e)
+		fmt.Printf("%-24s %14.0f ns/op %12d B/op %8d allocs/op %14.0f pkts/s\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.DeliveredPacketsPerSec)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// buildSpecs assembles the canonical benchmark set. Seeds are fixed so
+// runs are comparable across commits; sizes shrink under -smoke.
+func buildSpecs(smoke bool) ([]spec, error) {
+	type size struct{ d, D int }
+	routerSizes := []size{{3, 6}, {3, 7}}
+	permSizes := []size{{3, 6}, {3, 7}}
+	machineD, machineDiam := 2, 8
+	sweepRates := []float64{0.1, 0.3, 0.5}
+	sweepPackets := 2000
+	faultD, faultDiam := 3, 5
+	faultRates := []float64{0, 0.05, 0.2, 0.5}
+	faultPackets := 400
+	if smoke {
+		routerSizes = []size{{2, 5}}
+		permSizes = []size{{2, 5}}
+		machineD, machineDiam = 2, 4
+		sweepRates = []float64{0.2, 0.5}
+		sweepPackets = 300
+		faultD, faultDiam = 2, 4
+		faultRates = []float64{0, 0.5}
+		faultPackets = 100
+	}
+
+	var specs []spec
+	for _, sz := range routerSizes {
+		g := debruijn.DeBruijn(sz.d, sz.D)
+		specs = append(specs, spec{
+			name:  fmt.Sprintf("router_build/B(%d,%d)", sz.d, sz.D),
+			nodes: g.N(),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					simnet.NewTableRouter(g)
+				}
+			},
+		})
+	}
+
+	for _, sz := range permSizes {
+		g := debruijn.DeBruijn(sz.d, sz.D)
+		nw, err := simnet.New(g, simnet.NewTableRouter(g), simnet.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		pkts := simnet.Permutation(g.N(), 1)
+		probe := nw.Run(pkts)
+		specs = append(specs, spec{
+			name:      fmt.Sprintf("permutation/B(%d,%d)", sz.d, sz.D),
+			nodes:     g.N(),
+			delivered: probe.Delivered,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					nw.Run(pkts)
+				}
+			},
+		})
+	}
+
+	m, err := machine.Build(machineD, machineDiam, optics.DefaultPitch)
+	if err != nil {
+		return nil, fmt.Errorf("machine B(%d,%d): %w", machineD, machineDiam, err)
+	}
+	mg := m.Physical
+	mRouter := simnet.NewTableRouter(mg)
+	probePts, err := simnet.LoadSweep(mg, mRouter, sweepRates, sweepPackets, 1)
+	if err != nil {
+		return nil, err
+	}
+	sweepDelivered := 0
+	for _, p := range probePts {
+		sweepDelivered += p.Delivered
+	}
+	specs = append(specs, spec{
+		name:      fmt.Sprintf("machine_sweep/B(%d,%d)", machineD, machineDiam),
+		nodes:     mg.N(),
+		delivered: sweepDelivered,
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := simnet.LoadSweep(mg, mRouter, sweepRates, sweepPackets, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	fg := debruijn.DeBruijn(faultD, faultDiam)
+	fRouter := simnet.NewTableRouter(fg)
+	probeFault, err := simnet.DegradationSweep(fg, fRouter, faultRates, faultPackets, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	faultDelivered := 0
+	for _, p := range probeFault {
+		faultDelivered += p.Delivered
+	}
+	specs = append(specs, spec{
+		name:      fmt.Sprintf("fault_sweep/B(%d,%d)", faultD, faultDiam),
+		nodes:     fg.N(),
+		delivered: faultDelivered,
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := simnet.DegradationSweep(fg, fRouter, faultRates, faultPackets, 5, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	return specs, nil
+}
+
+// validateFile parses an emitted BENCH_simnet.json and checks the schema
+// invariants the CI gate relies on.
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var doc benchFile
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != benchSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, benchSchema)
+	}
+	if len(doc.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for i, r := range doc.Results {
+		if r.Name == "" {
+			return fmt.Errorf("%s: result %d has no name", path, i)
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			return fmt.Errorf("%s: result %q has non-positive timing", path, r.Name)
+		}
+		if r.BytesPerOp < 0 || r.AllocsPerOp < 0 || r.DeliveredPacketsPerSec < 0 {
+			return fmt.Errorf("%s: result %q has negative counters", path, r.Name)
+		}
+	}
+	return nil
+}

@@ -55,6 +55,7 @@ func main() {
 	if *sweep {
 		g, router, name := buildTopology(*topo, *d, *diam)
 		fmt.Printf("topology: %s — %d nodes\n", name, g.N())
+		reportRouter(router)
 		zero, _ := simnet.ZeroLoadLatency(g, 1)
 		fmt.Printf("analytic zero-load latency: %.3f cycles\n\n", zero)
 		rates := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9}
@@ -72,6 +73,7 @@ func main() {
 	g, router, name := buildTopology(*topo, *d, *diam)
 	fmt.Printf("topology: %s — %d nodes, degree %d, diameter %d\n",
 		name, g.N(), *d, g.Diameter())
+	reportRouter(router)
 
 	pkts := buildWorkload(*workload, g.N(), *packets, *rate, *seed)
 	fmt.Printf("workload: %s, %d packets\n", *workload, len(pkts))
@@ -103,6 +105,7 @@ func runDegradation(topo string, d, diam int, rateList string, packets int, seed
 		os.Exit(2)
 	}
 	fmt.Printf("topology: %s — %d nodes, %d arcs\n", name, g.N(), g.M())
+	reportRouter(router)
 	fmt.Printf("degradation sweep: %d packets/point, seed %d\n\n", packets, seed)
 	points, err := simnet.DegradationSweep(g, router, rates, packets, seed, 0)
 	if err != nil {
@@ -152,6 +155,14 @@ func runLensFault(d, diam, lens, packets int, seed int64) {
 	}
 	fmt.Printf("result: %v\n", res)
 	fmt.Printf("delivered fraction: %.3f\n", res.DeliveredFraction())
+}
+
+// reportRouter prints the routing-state footprint when the topology uses
+// precomputed tables (the native de Bruijn router holds none).
+func reportRouter(router simnet.Router) {
+	if tr, ok := router.(*simnet.TableRouter); ok {
+		fmt.Printf("routing:  %d-byte next-hop slab\n", tr.Footprint())
+	}
 }
 
 func parseRates(list string) ([]float64, error) {

@@ -180,3 +180,61 @@ func TestRoutingTableDisconnected(t *testing.T) {
 		t.Error("direct hop wrong")
 	}
 }
+
+func TestNextHopSlabMatchesRoutingTable(t *testing.T) {
+	for _, g := range []*digraph.Digraph{DeBruijn(2, 4), RRK(2, 12), ImaseItoh(3, 10)} {
+		n := g.N()
+		slab := NewNextHopSlab(g)
+		table := RoutingTable(g)
+		if slab.N() != n {
+			t.Fatalf("slab.N() = %d, want %d", slab.N(), n)
+		}
+		if got, want := slab.Footprint(), 4*n*n; got != want {
+			t.Fatalf("Footprint() = %d, want %d", got, want)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if slab.Hop(u, v) != table[u][v] {
+					t.Fatalf("Hop(%d,%d) = %d, table %d", u, v, slab.Hop(u, v), table[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestNextHopSlabDistanceSlabConsistency(t *testing.T) {
+	g := DeBruijn(3, 3)
+	n := g.N()
+	slab := NewNextHopSlab(g)
+	dist := g.DistanceSlab()
+	for u := 0; u < n; u++ {
+		dd := g.BFSFrom(u)
+		for v := 0; v < n; v++ {
+			if int(dist[u*n+v]) != dd[v] {
+				t.Fatalf("DistanceSlab[%d,%d] = %d, BFS %d", u, v, dist[u*n+v], dd[v])
+			}
+			if u == v {
+				continue
+			}
+			hop := slab.Hop(u, v)
+			if dist[hop*n+v] != dist[u*n+v]-1 {
+				t.Fatalf("Hop(%d,%d) = %d does not decrease distance", u, v, hop)
+			}
+		}
+	}
+}
+
+func TestNextHopSlabDisconnected(t *testing.T) {
+	g := digraph.New(3)
+	g.AddArc(0, 1)
+	slab := NewNextHopSlab(g)
+	if slab.Hop(0, 2) != -1 {
+		t.Error("unreachable pair should have hop -1")
+	}
+	if slab.Hop(0, 1) != 1 {
+		t.Error("direct hop wrong")
+	}
+	if slab.Hop(1, 1) != 1 {
+		t.Error("self hop should be the node itself")
+	}
+}

@@ -54,6 +54,36 @@ func (g *Digraph) bfsScratch(src int, dist, queue []int) []int {
 	return dist
 }
 
+// DistanceSlab returns all-pairs shortest-path distances as one flat
+// row-major slab: slab[u*n+v] is the arc distance from u to v, or
+// Unreachable. A single []int32 allocation instead of n ragged []int
+// rows keeps the table cache-friendly at a quarter of the size — the
+// form the simulator shares read-only between sweep workers.
+func (g *Digraph) DistanceSlab() []int32 {
+	n := g.N()
+	slab := make([]int32, n*n)
+	for i := range slab {
+		slab[i] = Unreachable
+	}
+	queue := make([]int32, 0, n)
+	for u := 0; u < n; u++ {
+		row := slab[u*n : (u+1)*n]
+		row[u] = 0
+		queue = append(queue[:0], int32(u))
+		for head := 0; head < len(queue); head++ {
+			x := int(queue[head])
+			dx := row[x]
+			for _, v := range g.adj[x] {
+				if row[v] == Unreachable {
+					row[v] = dx + 1
+					queue = append(queue, int32(v))
+				}
+			}
+		}
+	}
+	return slab
+}
+
 // Eccentricity returns the maximum finite distance from src to any vertex,
 // or Unreachable if some vertex cannot be reached.
 func (g *Digraph) Eccentricity(src int) int {

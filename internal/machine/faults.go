@@ -43,16 +43,12 @@ func (m *Machine) LensShadow(lens int) (silencedOut, silencedIn []int, err error
 // with fault-aware rerouting, bounded retries and TTL; see
 // simnet.FaultConfig for the knobs.
 func (m *Machine) RunWithFaults(pkts []simnet.Packet, plan *simnet.FaultPlan, cfg simnet.FaultConfig) (simnet.FaultResult, error) {
-	nw, err := simnet.New(m.Physical, m.router, simnet.DefaultConfig())
-	if err != nil {
-		return simnet.FaultResult{}, err
-	}
-	return nw.RunWithFaults(pkts, plan, cfg)
+	return m.net.RunWithFaults(pkts, plan, cfg)
 }
 
 // DegradationSweep measures delivered fraction, latency and reroutes on
 // the physical interconnect as the per-arc fault rate rises; see
 // simnet.DegradationSweep.
 func (m *Machine) DegradationSweep(rates []float64, packets int, seed int64, workers int) ([]simnet.DegradationPoint, error) {
-	return simnet.DegradationSweep(m.Physical, m.router, rates, packets, seed, workers)
+	return m.net.DegradationSweep(rates, packets, seed, workers)
 }

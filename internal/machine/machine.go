@@ -35,7 +35,10 @@ type Machine struct {
 	// ToPhysical is its inverse.
 	ToPhysical []int
 
-	router simnet.Router
+	// net is the packet simulator over Physical, compiled once at Build:
+	// the routing slab, distance slab and scratch arenas are shared by
+	// every Run/Broadcast/RunWithFaults/DegradationSweep on this machine.
+	net *simnet.Network
 }
 
 // Build assembles the machine for B(d, D), verifying every layer:
@@ -69,6 +72,10 @@ func Build(d, D int, pitch float64) (*Machine, error) {
 	for p, l := range toLogical {
 		toPhysical[l] = p
 	}
+	net, err := simnet.New(physical, simnet.NewTableRouter(physical), simnet.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("machine: simulator: %w", err)
+	}
 	return &Machine{
 		Degree:     d,
 		Diam:       D,
@@ -77,7 +84,7 @@ func Build(d, D int, pitch float64) (*Machine, error) {
 		Physical:   physical,
 		ToLogical:  toLogical,
 		ToPhysical: toPhysical,
-		router:     simnet.NewTableRouter(physical),
+		net:        net,
 	}, nil
 }
 
@@ -127,11 +134,7 @@ func (m *Machine) VerifyRoutes(stride int) error {
 // Run executes a workload (physical ids) on the machine's packet
 // simulator with unit hop latency.
 func (m *Machine) Run(pkts []simnet.Packet) (simnet.Result, error) {
-	nw, err := simnet.New(m.Physical, m.router, simnet.DefaultConfig())
-	if err != nil {
-		return simnet.Result{}, err
-	}
-	return nw.Run(pkts), nil
+	return m.net.Run(pkts), nil
 }
 
 // Broadcast runs a one-to-all broadcast from a physical root and returns

@@ -1,0 +1,113 @@
+package simnet
+
+import "sort"
+
+// Per-run scratch storage. A simulation run needs O(M) queue and
+// pipeline state plus O(packets) metadata; sweeps run hundreds of points
+// over one Network, so that state is pooled and reused instead of being
+// reallocated per point. Arenas hold only packet indices and cycle
+// numbers — never pointers into a particular run — so a recycled arena
+// carries no aliasing hazard between runs.
+
+// fifo is a reusable first-in-first-out queue of packet indices. Popping
+// advances a head cursor instead of reslicing away the front, so the
+// backing array is reclaimed (not leaked) the moment the queue drains.
+type fifo struct {
+	buf  []int32
+	head int
+}
+
+func (f *fifo) push(x int32) { f.buf = append(f.buf, x) }
+
+func (f *fifo) pop() int32 {
+	x := f.buf[f.head]
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return x
+}
+
+func (f *fifo) depth() int { return len(f.buf) - f.head }
+
+func (f *fifo) reset() {
+	f.buf = f.buf[:0]
+	f.head = 0
+}
+
+// arena is the scratch state of one in-progress run. Network.scratch
+// pools arenas; concurrent runs each check out their own.
+type arena struct {
+	queues  []fifo       // per-arc output queues, flat by Network.arcBase (Run)
+	pipes   [][]inflight // per-arc link pipelines, flat by Network.arcBase
+	waiting [][]int32    // per-node hold queues (fault runs)
+	order   []int32      // packet indices sorted by (Release, index)
+	meta    []pktMeta    // per-packet fault-run bookkeeping
+
+	// busy marks out-arcs already used this (node, cycle): busy[k] equals
+	// the current busyToken. Bumping the token invalidates every mark in
+	// O(1), replacing a per-node-per-cycle []bool allocation.
+	busy      []int64
+	busyToken int64
+}
+
+// getArena checks a scratch arena out of the pool, reset and sized for
+// this network's digraph.
+func (nw *Network) getArena() *arena {
+	ar, ok := nw.scratch.Get().(*arena)
+	if !ok {
+		m := int(nw.arcBase[nw.g.N()])
+		ar = &arena{
+			queues:  make([]fifo, m),
+			pipes:   make([][]inflight, m),
+			waiting: make([][]int32, nw.g.N()),
+			busy:    make([]int64, nw.maxDeg),
+		}
+		return ar
+	}
+	for i := range ar.queues {
+		ar.queues[i].reset()
+	}
+	for i := range ar.pipes {
+		ar.pipes[i] = ar.pipes[i][:0]
+	}
+	for i := range ar.waiting {
+		ar.waiting[i] = ar.waiting[i][:0]
+	}
+	// order and meta are resized by the run; busy stays valid because the
+	// token only ever grows.
+	return ar
+}
+
+// putArena returns a run's scratch to the pool.
+func (nw *Network) putArena(ar *arena) { nw.scratch.Put(ar) }
+
+// metaFor returns the per-packet bookkeeping slice, zeroed, reusing the
+// arena's backing storage when it is large enough.
+func (ar *arena) metaFor(n int) []pktMeta {
+	if cap(ar.meta) < n {
+		ar.meta = make([]pktMeta, n)
+	} else {
+		ar.meta = ar.meta[:n]
+		for i := range ar.meta {
+			ar.meta[i] = pktMeta{}
+		}
+	}
+	return ar.meta
+}
+
+// sortByRelease orders packet indices by (Release, index): the injection
+// schedule a single cursor can walk, replacing the historical per-cycle
+// map of release buckets. The index tie-break keeps same-cycle injection
+// order identical to the map-era behaviour (buckets were appended in
+// index order).
+func sortByRelease(order []int32, pkts []Packet) {
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := pkts[order[a]].Release, pkts[order[b]].Release
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+}

@@ -43,12 +43,31 @@ func (p DegradationPoint) String() string {
 }
 
 // DegradationSweep measures the delivered fraction, latency and reroute
-// counts of a uniform workload as the per-arc fault rate rises. Rates
-// must lie in [0, 1]; packets per point and the rng seed are fixed so
-// the sweep is deterministic. Points are independent, so they are run by
-// a pool of up to workers goroutines (workers <= 0 selects GOMAXPROCS);
-// results are ordered like rates regardless of scheduling.
+// counts of a uniform workload as the per-arc fault rate rises; see the
+// Network method of the same name for the semantics. This free function
+// builds the Network and delegates.
 func DegradationSweep(g *digraph.Digraph, router Router, rates []float64, packets int, seed int64, workers int) ([]DegradationPoint, error) {
+	nw, err := New(g, router, DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return nw.DegradationSweep(rates, packets, seed, workers)
+}
+
+// DegradationSweep runs the fault-rate sweep on this network. Rates must
+// lie in [0, 1]; packets per point and the rng seed are fixed so the
+// sweep is deterministic. Points are independent, so they are run by a
+// pool of up to workers goroutines (workers <= 0 selects GOMAXPROCS)
+// sharing this network's compiled router, distance slab and arena pool;
+// results are ordered like rates regardless of scheduling.
+//
+// Every point offers the SAME workload — UniformRandom(n, packets, seed),
+// unmixed with the point index — while the fault sample is drawn from
+// (seed, pointIndex). This is intentional: holding the workload fixed
+// makes the sweep a paired comparison, so the delivered fraction varies
+// only with the fault draw, not with workload resampling noise. Mix the
+// point index into the seed yourself if independent workloads are wanted.
+func (nw *Network) DegradationSweep(rates []float64, packets int, seed int64, workers int) ([]DegradationPoint, error) {
 	if packets < 1 {
 		return nil, fmt.Errorf("simnet: DegradationSweep needs >= 1 packet, got %d", packets)
 	}
@@ -57,15 +76,14 @@ func DegradationSweep(g *digraph.Digraph, router Router, rates []float64, packet
 			return nil, fmt.Errorf("simnet: fault rate %v out of [0, 1]", rate)
 		}
 	}
-	if _, err := New(g, router, DefaultConfig()); err != nil {
-		return nil, err
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(rates) {
 		workers = len(rates)
 	}
+	// Build the shared distance slab before the workers race to use it.
+	_ = nw.distSlab()
 
 	points := make([]DegradationPoint, len(rates))
 	var next atomic.Int64
@@ -80,7 +98,7 @@ func DegradationSweep(g *digraph.Digraph, router Router, rates []float64, packet
 				if idx >= len(rates) {
 					return
 				}
-				pt, err := degradationPoint(g, router, rates[idx], packets, seed, int64(idx))
+				pt, err := nw.degradationPoint(rates[idx], packets, seed, int64(idx))
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -98,8 +116,10 @@ func DegradationSweep(g *digraph.Digraph, router Router, rates []float64, packet
 
 // degradationPoint runs one fault rate. The fault sample is drawn from
 // (seed, pointIndex) so each point is reproducible independently of the
-// worker that ran it.
-func degradationPoint(g *digraph.Digraph, router Router, rate float64, packets int, seed, point int64) (DegradationPoint, error) {
+// worker that ran it; the workload is shared across points (paired
+// comparison, see DegradationSweep).
+func (nw *Network) degradationPoint(rate float64, packets int, seed, point int64) (DegradationPoint, error) {
+	g := nw.g
 	rng := rand.New(rand.NewSource(seed*1000003 + point))
 	plan := NewFaultPlan()
 	down := 0
@@ -110,10 +130,6 @@ func degradationPoint(g *digraph.Digraph, router Router, rate float64, packets i
 				down++
 			}
 		}
-	}
-	nw, err := New(g, router, DefaultConfig())
-	if err != nil {
-		return DegradationPoint{}, err
 	}
 	res, err := nw.RunWithFaults(UniformRandom(g.N(), packets, seed), plan, DefaultFaultConfig())
 	if err != nil {

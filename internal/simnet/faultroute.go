@@ -36,27 +36,31 @@ type FaultAwareRouter struct {
 	g       *digraph.Digraph
 	primary Router
 	state   *FaultState
+	n       int
 
-	// dist[u][v] is the fault-free distance, for ranking deflections when
-	// no permanent fault is active.
-	dist [][]int
+	// dist is the flat fault-free distance slab (dist[u*n+v]), for
+	// ranking deflections when no permanent fault is active. It may be
+	// shared read-only with other routers over the same digraph.
+	dist []int32
 
 	// Residual tables under the currently active permanent faults,
-	// rebuilt when the version changes: next-hop vertices and distances.
-	resHop          [][]int
-	resDist         [][]int
+	// rebuilt when the version changes: next-hop slab and distances.
+	resHop          *debruijn.NextHopSlab
+	resDist         []int32
 	fallbackVersion int
 }
 
 // NewFaultAwareRouter builds the router. state may be nil (or empty), in
 // which case decisions are exactly the primary's.
 func NewFaultAwareRouter(g *digraph.Digraph, primary Router, state *FaultState) *FaultAwareRouter {
-	n := g.N()
-	dist := make([][]int, n)
-	for u := 0; u < n; u++ {
-		dist[u] = g.BFSFrom(u)
-	}
-	return &FaultAwareRouter{g: g, primary: primary, state: state, dist: dist}
+	return newFaultAwareRouterShared(g, primary, state, g.DistanceSlab())
+}
+
+// newFaultAwareRouterShared is NewFaultAwareRouter with a caller-provided
+// fault-free distance slab, so sweeps over one Network build it once and
+// share it read-only across every worker's router.
+func newFaultAwareRouterShared(g *digraph.Digraph, primary Router, state *FaultState, dist []int32) *FaultAwareRouter {
+	return &FaultAwareRouter{g: g, primary: primary, state: state, n: g.N(), dist: dist}
 }
 
 // NextArc implements Router: the cascade above, or -1.
@@ -78,7 +82,7 @@ func (r *FaultAwareRouter) NextArc(at, dst int) int {
 	}
 	// Permanent faults active: exact residual shortest paths.
 	r.refreshResidual()
-	hop := r.resHop[at][dst]
+	hop := r.resHop.Hop(at, dst)
 	if hop == at || hop < 0 {
 		return -1 // unreachable under the permanent faults: no arc helps
 	}
@@ -96,14 +100,15 @@ func (r *FaultAwareRouter) NextArc(at, dst int) int {
 func (r *FaultAwareRouter) Primary(at, dst int) int { return r.primary.NextArc(at, dst) }
 
 // deflect returns the live out-arc (≠ avoid) whose head minimizes
-// dist[head][dst], or -1.
-func (r *FaultAwareRouter) deflect(at, dst, avoid int, dist [][]int) int {
-	best, bestDist := -1, -1
+// dist[head*n+dst], or -1.
+func (r *FaultAwareRouter) deflect(at, dst, avoid int, dist []int32) int {
+	best := -1
+	bestDist := int32(-1)
 	for k, v := range r.g.Out(at) {
 		if k == avoid || v == at || r.state.ArcDown(at, k) {
 			continue
 		}
-		dv := dist[v][dst]
+		dv := dist[v*r.n+dst]
 		if dv == digraph.Unreachable {
 			continue
 		}
@@ -130,10 +135,7 @@ func (r *FaultAwareRouter) refreshResidual() {
 			}
 		}
 	}
-	r.resHop = debruijn.RoutingTable(residual)
-	r.resDist = make([][]int, n)
-	for u := 0; u < n; u++ {
-		r.resDist[u] = residual.BFSFrom(u)
-	}
+	r.resHop = debruijn.NewNextHopSlab(residual)
+	r.resDist = residual.DistanceSlab()
 	r.fallbackVersion = version
 }

@@ -16,8 +16,11 @@ import "fmt"
 //   - every packet carries a TTL (hop budget) so deflections under heavy
 //     transient faulting cannot loop forever.
 //
-// Every loss path increments a named counter; delivered + dropped +
-// still-in-flight always equals the offered packet count.
+// Every loss path increments a named counter, and the exit path drains
+// whatever the cycle budget stranded (queued, in flight on a link, or
+// never injected because its release lay beyond the horizon), so
+// Delivered + Dropped == Offered holds unconditionally — the invariant
+// the property tests exercise with adversarial release schedules.
 
 // FaultConfig tunes RunWithFaults. The zero value selects defaults.
 type FaultConfig struct {
@@ -63,7 +66,10 @@ func (c FaultConfig) withDefaults(n, diameter int) FaultConfig {
 	return c
 }
 
-// FaultResult extends Result with the fault-path accounting.
+// FaultResult extends Result with the fault-path accounting. Dropped is
+// the sum of every Dropped* bucket plus Stuck, and Delivered + Dropped
+// equals the offered packet count on every run, even one cut short by
+// MaxCycles.
 type FaultResult struct {
 	Result
 	// Reroutes counts forwards on an arc other than the primary
@@ -78,21 +84,27 @@ type FaultResult struct {
 	DroppedTTL     int
 	DroppedNoRoute int
 	DroppedFault   int
-	// Stuck counts packets neither delivered nor dropped when MaxCycles
-	// ran out (0 on any completed run).
+	// DroppedHorizon counts packets whose Release lay beyond the cycle
+	// budget: never injected, dropped at their source when the run ends.
+	// (Historically these leaked from the accounting entirely.)
+	DroppedHorizon int
+	// Stuck counts packets stranded in a queue or on a link when
+	// MaxCycles ran out (0 on any completed run). Stuck packets are
+	// dropped at exit and included in Dropped.
 	Stuck int
 }
 
 // String renders the headline numbers; safe when nothing was delivered.
 func (r FaultResult) String() string {
-	return fmt.Sprintf("%v reroutes=%d retries=%d dropTTL=%d dropNoRoute=%d dropFault=%d stuck=%d",
-		r.Result, r.Reroutes, r.Retries, r.DroppedTTL, r.DroppedNoRoute, r.DroppedFault, r.Stuck)
+	return fmt.Sprintf("%v reroutes=%d retries=%d dropTTL=%d dropNoRoute=%d dropFault=%d dropHorizon=%d stuck=%d",
+		r.Result, r.Reroutes, r.Retries, r.DroppedTTL, r.DroppedNoRoute, r.DroppedFault, r.DroppedHorizon, r.Stuck)
 }
 
 // DeliveredFraction returns Delivered over the offered packet count, 0
-// when nothing was offered (never NaN).
+// when nothing was offered (never NaN). Since every packet is either
+// delivered or dropped, the offered count is their sum.
 func (r FaultResult) DeliveredFraction() float64 {
-	offered := r.Delivered + r.Dropped + r.Stuck
+	offered := r.Delivered + r.Dropped
 	if offered == 0 {
 		return 0
 	}
@@ -129,20 +141,29 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	if err != nil {
 		return FaultResult{}, nil, err
 	}
-	router := NewFaultAwareRouter(nw.g, nw.router, state)
+	// The fault-free distance slab is built once per Network and shared
+	// read-only; only the residual tables are per-router state.
+	router := newFaultAwareRouterShared(nw.g, nw.router, state, nw.distSlab())
 
 	n := nw.g.N()
-	cfg = cfg.withDefaults(n, nw.g.Diameter())
+	cfg = cfg.withDefaults(n, nw.diameter())
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
-		maxCycles = 64*n*cfg.HopLatency + 16*len(packets) + 1024
+		maxCycles = nw.defaultBudget(len(packets), cfg.HopLatency)
 		// Room for every retry of the backoff ladder to play out.
 		maxCycles += cfg.MaxRetries * cfg.BackoffCap
 	}
 
 	pkts := make([]Packet, len(packets))
 	copy(pkts, packets)
-	meta := make([]pktMeta, len(pkts))
+
+	ar := nw.getArena()
+	defer nw.putArena(ar)
+	meta := ar.metaFor(len(pkts))
+	// waiting[u] is the FIFO of packet indices held at node u; pipes are
+	// the per-arc link pipelines (flat by arcBase) as in Run.
+	waiting := ar.waiting
+	pipes := ar.pipes
 
 	var events []Event
 	emit := func(e Event) {
@@ -158,16 +179,8 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 		emit(Event{Cycle: cycle, Kind: EventDrop, Packet: pkts[i].ID, Node: node, Peer: -1})
 	}
 
-	// waiting[u] is the FIFO of packet indices held at node u; pipes are
-	// the per-arc link pipelines as in Run.
-	waiting := make([][]int, n)
-	pipes := make([][][]inflight, n)
-	for u := 0; u < n; u++ {
-		pipes[u] = make([][]inflight, nw.g.OutDegree(u))
-	}
-
 	remaining := 0
-	byRelease := map[int][]int{}
+	order := ar.order[:0]
 	for i := range pkts {
 		pkts[i].Delivered = -1
 		pkts[i].Hops = 0
@@ -176,32 +189,38 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 			res.Delivered++
 			continue
 		}
-		byRelease[pkts[i].Release] = append(byRelease[pkts[i].Release], i)
+		order = append(order, int32(i))
 		remaining++
 	}
+	sortByRelease(order, pkts)
+	ar.order = order
+	cursor := 0
 
-	for cycle := 0; remaining > 0 && cycle <= maxCycles; cycle++ {
+	var cycle int
+	for cycle = 0; remaining > 0 && cycle <= maxCycles; cycle++ {
 		state.Advance(cycle)
 
 		// Inject.
-		for _, i := range byRelease[cycle] {
-			waiting[pkts[i].Src] = append(waiting[pkts[i].Src], i)
+		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
+			i := int(order[cursor])
+			cursor++
+			waiting[pkts[i].Src] = append(waiting[pkts[i].Src], int32(i))
 			emit(Event{Cycle: cycle, Kind: EventInject, Packet: pkts[i].ID, Node: pkts[i].Src, Peer: -1})
 		}
-		delete(byRelease, cycle)
 
 		// Arrivals: wire time completes; a downed node loses the packet.
 		for u := 0; u < n; u++ {
 			out := nw.g.Out(u)
-			for a := range pipes[u] {
-				pipe := pipes[u][a]
+			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
+			for a := lo; a < hi; a++ {
+				pipe := pipes[a]
 				keep := pipe[:0]
 				for _, fl := range pipe {
 					if fl.ready > cycle {
 						keep = append(keep, fl)
 						continue
 					}
-					v := out[a]
+					v := out[a-lo]
 					p := &pkts[fl.pkt]
 					p.Hops++
 					if state.NodeDown(v) {
@@ -222,14 +241,15 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 						continue
 					}
 					emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
-					waiting[v] = append(waiting[v], fl.pkt)
+					waiting[v] = append(waiting[v], int32(fl.pkt))
 				}
-				pipes[u][a] = keep
+				pipes[a] = keep
 			}
 		}
 
 		// Departures: each node forwards its waiting packets in FIFO
-		// order; each live arc accepts one packet per cycle.
+		// order; each live arc accepts one packet per cycle. busy marks
+		// are invalidated per node by bumping the arena's stamp token.
 		for u := 0; u < n; u++ {
 			if len(waiting[u]) == 0 {
 				continue
@@ -238,12 +258,15 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 				res.MaxQueue = depth
 				res.HotNode = u
 			}
-			busy := make([]bool, nw.g.OutDegree(u))
+			ar.busyToken++
+			token := ar.busyToken
+			busy := ar.busy
 			keep := waiting[u][:0]
-			for _, i := range waiting[u] {
+			for _, i32 := range waiting[u] {
+				i := int(i32)
 				p := &pkts[i]
 				if meta[i].readyAt > cycle {
-					keep = append(keep, i)
+					keep = append(keep, i32)
 					continue
 				}
 				if p.Hops >= cfg.TTL {
@@ -265,25 +288,56 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 						backoff = cfg.BackoffCap
 					}
 					meta[i].readyAt = cycle + backoff
-					keep = append(keep, i)
+					keep = append(keep, i32)
 					continue
 				}
-				if busy[arc] {
-					keep = append(keep, i) // link occupied this cycle: queue
+				if busy[arc] == token {
+					keep = append(keep, i32) // link occupied this cycle: queue
 					continue
 				}
-				busy[arc] = true
+				busy[arc] = token
 				if router.Primary(u, p.Dst) != arc {
 					res.Reroutes++
 					emit(Event{Cycle: cycle, Kind: EventReroute, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
 				}
 				emit(Event{Cycle: cycle, Kind: EventDepart, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
-				pipes[u][arc] = append(pipes[u][arc], inflight{pkt: i, ready: cycle + cfg.HopLatency})
+				pipes[nw.arcBase[u]+int32(arc)] = append(pipes[nw.arcBase[u]+int32(arc)], inflight{pkt: i, ready: cycle + cfg.HopLatency})
 			}
 			waiting[u] = keep
 		}
 	}
-	res.Stuck = remaining
+
+	// Exit drain: the cycle budget ran out with work outstanding. Every
+	// survivor is dropped with a cause so Delivered + Dropped == Offered
+	// holds on truncated runs too. Order is deterministic: node queues,
+	// then link pipelines, then never-injected packets.
+	if remaining > 0 {
+		for u := 0; u < n; u++ {
+			for _, i32 := range waiting[u] {
+				drop(int(i32), cycle, u, &res.Stuck)
+				remaining--
+			}
+			waiting[u] = waiting[u][:0]
+		}
+		for u := 0; u < n; u++ {
+			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
+			for a := lo; a < hi; a++ {
+				for _, fl := range pipes[a] {
+					drop(fl.pkt, cycle, u, &res.Stuck)
+					remaining--
+				}
+				pipes[a] = pipes[a][:0]
+			}
+		}
+		// Packets whose Release exceeded the horizon were never injected:
+		// drop them at their source under their own bucket.
+		for ; cursor < len(order); cursor++ {
+			i := int(order[cursor])
+			drop(i, cycle, pkts[i].Src, &res.DroppedHorizon)
+			remaining--
+		}
+		_ = remaining // zero by construction: every outstanding packet was drained
+	}
 
 	// Aggregate, guarding every ratio against the nothing-delivered case.
 	latencySum := 0

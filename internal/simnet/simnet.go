@@ -15,6 +15,7 @@ package simnet
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/debruijn"
 	"repro/internal/digraph"
@@ -28,39 +29,80 @@ type Router interface {
 	NextArc(at, dst int) int
 }
 
-// TableRouter routes by precomputed shortest-path next hops.
+// TableRouter routes by precomputed shortest-path next hops held in one
+// flat []int32 arc-index slab: arcs[at*n+dst] is the out-arc to forward
+// on, -1 when dst is unreachable or at = dst. One 4-byte entry per
+// ordered pair replaces the two ragged n×n []int tables the router
+// historically kept (next-hop vertices plus a memoized arc index —
+// ≈2·n²·8 bytes), and the arc index is derived directly during the
+// reverse-BFS pass instead of by an O(n²·deg) scan afterwards. The slab
+// is immutable after construction and safe to share across goroutines.
 type TableRouter struct {
-	g     *digraph.Digraph
-	table [][]int // next-hop vertex per (node, dst)
-	arcOf [][]int // memoized arc index per (node, dst)
+	n    int
+	arcs []int32
 }
 
-// NewTableRouter builds shortest-path tables for g.
+// NewTableRouter builds the shortest-path arc slab for g.
 func NewTableRouter(g *digraph.Digraph) *TableRouter {
-	table := debruijn.RoutingTable(g)
 	n := g.N()
-	arcOf := make([][]int, n)
+	// CSR of the reverse digraph with the forward arc index carried
+	// alongside each reversed arc: entry (u, k) at head v means arc k of
+	// u points to v. Discovering u from v in a reverse BFS rooted at dst
+	// then yields the routing decision (forward on arc k) immediately.
+	base := make([]int32, n+1)
 	for u := 0; u < n; u++ {
-		arcOf[u] = make([]int, n)
-		for dst := 0; dst < n; dst++ {
-			arcOf[u][dst] = -1
-			hop := table[u][dst]
-			if hop < 0 || u == dst {
-				continue
-			}
-			for k, v := range g.Out(u) {
-				if v == hop {
-					arcOf[u][dst] = k
-					break
+		for _, v := range g.Out(u) {
+			base[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		base[v+1] += base[v]
+	}
+	revTail := make([]int32, g.M())
+	revArc := make([]int32, g.M())
+	fill := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for k, v := range g.Out(u) {
+			slot := base[v] + fill[v]
+			revTail[slot] = int32(u)
+			revArc[slot] = int32(k)
+			fill[v]++
+		}
+	}
+
+	arcs := make([]int32, n*n)
+	for i := range arcs {
+		arcs[i] = -1
+	}
+	seen := make([]int32, n) // epoch marks: seen[u] == dst+1 ⇔ visited this pass
+	queue := make([]int32, 0, n)
+	for dst := 0; dst < n; dst++ {
+		epoch := int32(dst + 1)
+		seen[dst] = epoch
+		queue = append(queue[:0], int32(dst))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for idx := base[v]; idx < base[v+1]; idx++ {
+				u := revTail[idx]
+				if seen[u] == epoch {
+					continue
 				}
+				seen[u] = epoch
+				arcs[int(u)*n+dst] = revArc[idx]
+				queue = append(queue, u)
 			}
 		}
 	}
-	return &TableRouter{g: g, table: table, arcOf: arcOf}
+	return &TableRouter{n: n, arcs: arcs}
 }
 
 // NextArc implements Router.
-func (r *TableRouter) NextArc(at, dst int) int { return r.arcOf[at][dst] }
+func (r *TableRouter) NextArc(at, dst int) int { return int(r.arcs[at*r.n+dst]) }
+
+// Footprint returns the bytes held by the router's table storage — 4·n²,
+// the single surviving table (asserted by tests against the historical
+// double-table layout).
+func (r *TableRouter) Footprint() int { return 4 * len(r.arcs) }
 
 // DeBruijnRouter routes natively on B(d, D) congruence labels using the
 // left-shift rule — no tables, O(D) work per decision, exactly the
@@ -145,11 +187,31 @@ type inflight struct {
 }
 
 // Network binds a digraph, a router and a config into a runnable
-// simulation.
+// simulation. A Network is safe for concurrent Run/RunWithFaults calls:
+// the compiled router and distance slab are shared read-only, while each
+// run checks a scratch arena out of a pool so repeated runs (sweeps)
+// reuse their queue/pipeline/metadata storage instead of reallocating it
+// per point.
 type Network struct {
 	g      *digraph.Digraph
 	router Router
 	cfg    Config
+
+	// arcBase[u] is the flat index of node u's first out-arc: queues and
+	// pipelines live in M-length slabs addressed by arcBase[u]+k.
+	arcBase []int32
+	maxDeg  int
+
+	// dist is the fault-free all-pairs distance slab, built on first use
+	// and then shared read-only by every fault-aware run and sweep worker.
+	distOnce sync.Once
+	dist     []int32
+
+	// diam caches g.Diameter(), which fault runs consult for TTL defaults.
+	diamOnce sync.Once
+	diam     int
+
+	scratch sync.Pool // *arena
 }
 
 // New creates a network simulation over g.
@@ -160,12 +222,53 @@ func New(g *digraph.Digraph, router Router, cfg Config) (*Network, error) {
 	if cfg.HopLatency < 1 {
 		return nil, fmt.Errorf("simnet: HopLatency must be >= 1, got %d", cfg.HopLatency)
 	}
-	return &Network{g: g, router: router, cfg: cfg}, nil
+	return newNetwork(g, router, cfg), nil
+}
+
+// newNetwork builds the derived state for already-validated inputs (the
+// shadow network of TracedRun reuses it without re-threading the error).
+func newNetwork(g *digraph.Digraph, router Router, cfg Config) *Network {
+	n := g.N()
+	arcBase := make([]int32, n+1)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg := g.OutDegree(u)
+		arcBase[u+1] = arcBase[u] + int32(deg)
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	return &Network{g: g, router: router, cfg: cfg, arcBase: arcBase, maxDeg: maxDeg}
+}
+
+// distSlab returns the fault-free all-pairs distance slab, building it
+// exactly once per Network; callers share it read-only.
+func (nw *Network) distSlab() []int32 {
+	nw.distOnce.Do(func() { nw.dist = nw.g.DistanceSlab() })
+	return nw.dist
+}
+
+// diameter returns g.Diameter(), computed once per Network.
+func (nw *Network) diameter() int {
+	nw.diamOnce.Do(func() { nw.diam = nw.g.Diameter() })
+	return nw.diam
+}
+
+// defaultBudget is the generous cycle bound used when MaxCycles is 0.
+func (nw *Network) defaultBudget(pkts, hopLatency int) int {
+	return 64*nw.g.N()*hopLatency + 16*pkts + 1024
 }
 
 // Run simulates until every packet is delivered or dropped, or MaxCycles
 // elapses. The packets slice is copied; releases may be in any order.
 func (nw *Network) Run(packets []Packet) Result {
+	return nw.run(packets, 0)
+}
+
+// run is Run with an explicit cycle budget (0 selects cfg.MaxCycles or
+// the default bound); sweeps use it to retune the budget per point while
+// reusing one Network.
+func (nw *Network) run(packets []Packet, budget int) Result {
 	pkts := make([]Packet, len(packets))
 	copy(pkts, packets)
 	for i := range pkts {
@@ -174,27 +277,24 @@ func (nw *Network) Run(packets []Packet) Result {
 	}
 
 	n := nw.g.N()
-	// Per-vertex, per-arc FIFO queues of packet indices.
-	queues := make([][][]int, n)
-	// Per-vertex, per-arc link pipelines (at most one packet in flight on
-	// a link at a time would be bandwidth 1/HopLatency; we pipeline: a
-	// link accepts one new packet per cycle).
-	pipes := make([][][]inflight, n)
-	for u := 0; u < n; u++ {
-		deg := nw.g.OutDegree(u)
-		queues[u] = make([][]int, deg)
-		pipes[u] = make([][]inflight, deg)
-	}
+	ar := nw.getArena()
+	defer nw.putArena(ar)
+	queues := ar.queues // per-arc FIFO queues, flat by arcBase
+	pipes := ar.pipes   // per-arc link pipelines, flat by arcBase
 
-	maxCycles := nw.cfg.MaxCycles
+	maxCycles := budget
 	if maxCycles == 0 {
-		maxCycles = 64*n*nw.cfg.HopLatency + 16*len(pkts) + 1024
+		maxCycles = nw.cfg.MaxCycles
+	}
+	if maxCycles == 0 {
+		maxCycles = nw.defaultBudget(len(pkts), nw.cfg.HopLatency)
 	}
 
 	res := Result{}
 	remaining := 0
-	// Route-or-drop at injection time, bucketed by release cycle.
-	byRelease := map[int][]int{}
+	// Route-or-drop at injection time; survivors are injected in sorted
+	// (Release, index) order via a cursor — no per-cycle map lookups.
+	order := ar.order[:0]
 	for i := range pkts {
 		if pkts[i].Src == pkts[i].Dst {
 			pkts[i].Delivered = pkts[i].Release
@@ -205,9 +305,12 @@ func (nw *Network) Run(packets []Packet) Result {
 			res.Dropped++
 			continue
 		}
-		byRelease[pkts[i].Release] = append(byRelease[pkts[i].Release], i)
+		order = append(order, int32(i))
 		remaining++
 	}
+	sortByRelease(order, pkts)
+	ar.order = order
+	cursor := 0
 
 	enqueue := func(at, pkt int) bool {
 		arc := nw.router.NextArc(at, pkts[pkt].Dst)
@@ -215,8 +318,9 @@ func (nw *Network) Run(packets []Packet) Result {
 			res.Dropped++
 			return false
 		}
-		queues[at][arc] = append(queues[at][arc], pkt)
-		if depth := len(queues[at][arc]); depth > res.MaxQueue {
+		q := &queues[nw.arcBase[at]+int32(arc)]
+		q.push(int32(pkt))
+		if depth := q.depth(); depth > res.MaxQueue {
 			res.MaxQueue = depth
 			res.HotNode = at
 		}
@@ -225,25 +329,27 @@ func (nw *Network) Run(packets []Packet) Result {
 
 	for cycle := 0; remaining > 0 && cycle <= maxCycles; cycle++ {
 		// Inject.
-		for _, i := range byRelease[cycle] {
+		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
+			i := int(order[cursor])
+			cursor++
 			if !enqueue(pkts[i].Src, i) {
 				remaining--
 			}
 		}
-		delete(byRelease, cycle)
 
 		// Arrivals: packets whose wire time completes this cycle.
 		for u := 0; u < n; u++ {
 			out := nw.g.Out(u)
-			for a := range pipes[u] {
-				pipe := pipes[u][a]
+			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
+			for a := lo; a < hi; a++ {
+				pipe := pipes[a]
 				keep := pipe[:0]
 				for _, fl := range pipe {
 					if fl.ready > cycle {
 						keep = append(keep, fl)
 						continue
 					}
-					v := out[a]
+					v := out[a-lo]
 					p := &pkts[fl.pkt]
 					p.Hops++
 					if v == p.Dst {
@@ -259,24 +365,20 @@ func (nw *Network) Run(packets []Packet) Result {
 						remaining--
 					}
 				}
-				pipes[u][a] = keep
+				pipes[a] = keep
 			}
 		}
 
 		// Departures: each link accepts one queued packet per cycle.
-		for u := 0; u < n; u++ {
-			for a := range queues[u] {
-				q := queues[u][a]
-				if len(q) == 0 {
-					continue
-				}
-				pkt := q[0]
-				queues[u][a] = q[1:]
-				pipes[u][a] = append(pipes[u][a], inflight{
-					pkt:   pkt,
-					ready: cycle + nw.cfg.HopLatency,
-				})
+		for a := range queues {
+			q := &queues[a]
+			if q.depth() == 0 {
+				continue
 			}
+			pipes[a] = append(pipes[a], inflight{
+				pkt:   int(q.pop()),
+				ready: cycle + nw.cfg.HopLatency,
+			})
 		}
 	}
 

@@ -38,22 +38,22 @@ func (p SweepPoint) String() string {
 
 // LoadSweep offers `packets` Poisson-arrival packets at each rate and
 // measures latency. The cycle budget is generous but finite so saturated
-// runs terminate and are flagged.
+// runs terminate and are flagged. All points run on one Network, so the
+// compiled router and the scratch arena are built once and reused.
 func LoadSweep(g *digraph.Digraph, router Router, rates []float64, packets int, seed int64) ([]SweepPoint, error) {
+	nw, err := New(g, router, DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	points := make([]SweepPoint, 0, len(rates))
 	for _, rate := range rates {
 		if rate <= 0 || rate > 1 {
 			return nil, fmt.Errorf("simnet: rate %v out of (0, 1]", rate)
 		}
-		cfg := DefaultConfig()
 		// Budget: the ideal drain time plus ample slack; saturated loads
 		// blow through it and get flagged rather than running forever.
-		cfg.MaxCycles = int(float64(packets)/rate)*4 + 64*g.N()
-		nw, err := New(g, router, cfg)
-		if err != nil {
-			return nil, err
-		}
-		res := nw.Run(PoissonArrivals(g.N(), packets, rate, seed))
+		budget := int(float64(packets)/rate)*4 + 64*g.N()
+		res := nw.run(PoissonArrivals(g.N(), packets, rate, seed), budget)
 		pt := SweepPoint{
 			Rate:      rate,
 			Delivered: res.Delivered,

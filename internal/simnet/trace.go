@@ -79,7 +79,7 @@ func (e Event) String() string {
 // decisions are recorded.
 func (nw *Network) TracedRun(packets []Packet) (Result, []Event) {
 	rec := &recordingRouter{inner: nw.router}
-	shadow := &Network{g: nw.g, router: rec, cfg: nw.cfg}
+	shadow := newNetwork(nw.g, rec, nw.cfg)
 	res := shadow.Run(packets)
 
 	// Reconstruct per-packet paths by walking the recorded decisions.
@@ -169,7 +169,11 @@ func VerifyTrace(g *digraph.Digraph, packets []Packet, events []Event) error {
 					return fmt.Errorf("simnet: packet %d delivered at %d (at=%d), dst %d", p.ID, e.Node, at, p.Dst)
 				}
 			case EventDrop:
-				if e.Node != at {
+				// at == -1 with a drop at the source is a horizon drop:
+				// the packet's release lay beyond the cycle budget, so it
+				// was never injected and is dropped where it would have
+				// entered.
+				if e.Node != at && !(at == -1 && e.Node == p.Src) {
 					return fmt.Errorf("simnet: packet %d dropped at %d but is at %d", p.ID, e.Node, at)
 				}
 				dropped = true

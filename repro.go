@@ -158,7 +158,15 @@ var (
 	DeBruijnRoute = debruijn.Route
 	// BroadcastTree returns a BFS arborescence of B(d, D).
 	BroadcastTree = debruijn.BroadcastTree
+	// NewNextHopSlab builds the flat shortest-path next-hop table of an
+	// arbitrary digraph (4 bytes per vertex pair, shared read-only).
+	NewNextHopSlab = debruijn.NewNextHopSlab
+	// RoutingTable is the [][]int compatibility view over NewNextHopSlab.
+	RoutingTable = debruijn.RoutingTable
 )
+
+// NextHopSlab is the flat next-hop routing table built by NewNextHopSlab.
+type NextHopSlab = debruijn.NextHopSlab
 
 // Alphabet digraphs A(f, σ, j) (Section 3.2).
 var (

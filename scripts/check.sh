@@ -34,4 +34,10 @@ echo "== fault-sweep smoke run =="
 go run ./cmd/simulate -topo debruijn -d 3 -diam 3 -faults -packets 200 \
     -faultrates 0,0.5,1 > /dev/null
 
+echo "== bench smoke (BENCH_simnet.json schema) =="
+bench_out=$(mktemp /tmp/BENCH_simnet.XXXXXX.json)
+go run ./cmd/bench -smoke -out "$bench_out"
+go run ./cmd/bench -validate "$bench_out"
+rm -f "$bench_out"
+
 echo "check.sh: all checks passed"
