@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/debruijn"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/optics"
 	"repro/internal/simnet"
 )
@@ -47,6 +48,10 @@ type benchEntry struct {
 	// DeliveredPacketsPerSec is delivered-work throughput for entries
 	// that run traffic (0 for pure construction benchmarks).
 	DeliveredPacketsPerSec float64 `json:"delivered_packets_per_sec"`
+	// Metrics holds selected obs-registry readings from one instrumented
+	// op of the same workload (the timed loop itself runs with a nil
+	// recorder, so the numbers above are uninstrumented).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // benchFile is the BENCH_simnet.json document.
@@ -66,6 +71,9 @@ type spec struct {
 	nodes     int
 	delivered int
 	fn        func(b *testing.B)
+	// metrics, when set, runs ONE instrumented op after the timed loop
+	// and returns selected registry readings for the entry.
+	metrics func() (map[string]int64, error)
 }
 
 func main() {
@@ -116,6 +124,14 @@ func main() {
 		}
 		if s.delivered > 0 && e.NsPerOp > 0 {
 			e.DeliveredPacketsPerSec = float64(s.delivered) * 1e9 / e.NsPerOp
+		}
+		if s.metrics != nil {
+			m, err := s.metrics()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			e.Metrics = m
 		}
 		doc.Results = append(doc.Results, e)
 		fmt.Printf("%-24s %14.0f ns/op %12d B/op %8d allocs/op %14.0f pkts/s\n",
@@ -170,6 +186,15 @@ func buildSpecs(smoke bool) ([]spec, error) {
 					simnet.NewTableRouter(g)
 				}
 			},
+			metrics: func() (map[string]int64, error) {
+				rec := obs.NewRecorder(nil)
+				simnet.NewTableRouterObserved(g, rec)
+				snap := rec.Snapshot()
+				return map[string]int64{
+					obs.MetricRouterNS:    snap.Gauges[obs.MetricRouterNS],
+					obs.MetricRouterBytes: snap.Gauges[obs.MetricRouterBytes],
+				}, nil
+			},
 		})
 	}
 
@@ -190,6 +215,18 @@ func buildSpecs(smoke bool) ([]spec, error) {
 				for i := 0; i < b.N; i++ {
 					nw.Run(pkts)
 				}
+			},
+			metrics: func() (map[string]int64, error) {
+				rec := obs.NewRecorder(nil)
+				if _, err := nw.RunOpts(simnet.Fixed(pkts), simnet.WithRecorder(rec)); err != nil {
+					return nil, err
+				}
+				snap := rec.Snapshot()
+				return map[string]int64{
+					obs.MetricDelivered:    snap.Counters[obs.MetricDelivered],
+					obs.MetricArcTraversed: snap.Counters[obs.MetricArcTraversed],
+					obs.MetricMaxQueue:     snap.Gauges[obs.MetricMaxQueue],
+				}, nil
 			},
 		})
 	}
@@ -244,6 +281,24 @@ func buildSpecs(smoke bool) ([]spec, error) {
 				}
 			}
 		},
+		metrics: func() (map[string]int64, error) {
+			fnw, err := simnet.New(fg, fRouter, simnet.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			rec := obs.NewRecorder(nil)
+			fnw.Observe(rec)
+			if _, err := fnw.DegradationSweep(faultRates, faultPackets, 5, 0); err != nil {
+				return nil, err
+			}
+			snap := rec.Snapshot()
+			return map[string]int64{
+				obs.MetricDelivered: snap.Counters[obs.MetricDelivered],
+				obs.MetricDropped:   snap.Counters[obs.MetricDropped],
+				obs.MetricReroutes:  snap.Counters[obs.MetricReroutes],
+				obs.MetricRetries:   snap.Counters[obs.MetricRetries],
+			}, nil
+		},
 	})
 
 	return specs, nil
@@ -277,6 +332,11 @@ func validateFile(path string) error {
 		}
 		if r.BytesPerOp < 0 || r.AllocsPerOp < 0 || r.DeliveredPacketsPerSec < 0 {
 			return fmt.Errorf("%s: result %q has negative counters", path, r.Name)
+		}
+		for name, v := range r.Metrics {
+			if v < 0 {
+				return fmt.Errorf("%s: result %q metric %q is negative", path, r.Name, name)
+			}
 		}
 	}
 	return nil

@@ -9,11 +9,21 @@
 //	simulate -topo kautz -d 2 -diam 8 -workload broadcast
 //	simulate -topo debruijn -d 3 -diam 3 -faults
 //	simulate -d 3 -diam 4 -faultlens 2
+//
+// Observability:
+//
+//	simulate -topo otis -d 3 -diam 4 -metrics run.json   # OBS_run/v1 document
+//	simulate -d 3 -diam 4 -faultlens 2 -metrics run.json # with per-lens roll-up
+//	simulate -validate-metrics run.json                  # schema check, exit 0/1
+//	simulate -pprof :6060 ...                            # pprof + expvar during the run
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -21,6 +31,7 @@ import (
 	"repro/internal/debruijn"
 	"repro/internal/digraph"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/optics"
 	"repro/internal/otis"
 	"repro/internal/simnet"
@@ -41,19 +52,43 @@ func main() {
 		"comma-separated per-arc fault rates for -faults")
 	faultLens := flag.Int("faultlens", -1,
 		"inject a permanent fault of this lens on the B(d,diam) machine and run the workload")
+	metricsOut := flag.String("metrics", "", "write an OBS_run/v1 metrics document to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+	validate := flag.String("validate-metrics", "", "validate an OBS_run/v1 metrics file and exit")
 	flag.Parse()
 
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err == nil {
+			err = obs.ValidateRunMetrics(data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate: metrics invalid:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s document\n", *validate, obs.RunMetricsSchema)
+		return
+	}
+
+	var rec *obs.Recorder
+	if *metricsOut != "" {
+		rec = obs.NewRecorder(nil)
+	}
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr, rec)
+	}
+
 	if *faults {
-		runDegradation(*topo, *d, *diam, *faultRates, *packets, *seed)
+		runDegradation(*topo, *d, *diam, *faultRates, *packets, *seed, rec, *metricsOut)
 		return
 	}
 	if *faultLens >= 0 {
-		runLensFault(*d, *diam, *faultLens, *packets, *seed)
+		runLensFault(*d, *diam, *faultLens, *packets, *seed, rec, *metricsOut)
 		return
 	}
 
 	if *sweep {
-		g, router, name := buildTopology(*topo, *d, *diam)
+		g, router, name := buildTopology(*topo, *d, *diam, rec)
 		fmt.Printf("topology: %s — %d nodes\n", name, g.N())
 		reportRouter(router)
 		zero, _ := simnet.ZeroLoadLatency(g, 1)
@@ -70,7 +105,7 @@ func main() {
 		return
 	}
 
-	g, router, name := buildTopology(*topo, *d, *diam)
+	g, router, name := buildTopology(*topo, *d, *diam, rec)
 	fmt.Printf("topology: %s — %d nodes, degree %d, diameter %d\n",
 		name, g.N(), *d, g.Diameter())
 	reportRouter(router)
@@ -83,6 +118,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
+	nw.Observe(rec)
 	res := nw.Run(pkts)
 	fmt.Printf("result:   %v\n", res)
 	if mean, ok := g.MeanDistance(); ok {
@@ -93,12 +129,49 @@ func main() {
 		fmt.Printf("queueing: %.3f cycles/packet average wait\n",
 			float64(res.TotalWait)/float64(res.Delivered))
 	}
+	writeMetrics(*metricsOut, rec.Snapshot())
+}
+
+// servePprof exposes net/http/pprof (and, when metrics are being
+// recorded, the registry as an expvar) on addr for the duration of the
+// run.
+func servePprof(addr string, rec *obs.Recorder) {
+	if rec != nil {
+		rec.Registry().PublishExpvar("simulate")
+	}
+	expvar.Publish("simulate_args", expvar.Func(func() any { return os.Args }))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "simulate: pprof server:", err)
+		}
+	}()
+	fmt.Printf("pprof:    serving /debug/pprof and /debug/vars on %s\n", addr)
+}
+
+// writeMetrics validates and writes an OBS_run/v1 document (no-op when
+// path is empty).
+func writeMetrics(path string, m obs.RunMetrics) {
+	if path == "" {
+		return
+	}
+	data, err := m.MarshalIndent()
+	if err == nil {
+		err = obs.ValidateRunMetrics(data)
+	}
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate: metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metrics:  %s written to %s\n", obs.RunMetricsSchema, path)
 }
 
 // runDegradation sweeps the per-arc permanent fault rate and prints the
 // delivered fraction, latency and reroute counts at each point.
-func runDegradation(topo string, d, diam int, rateList string, packets int, seed int64) {
-	g, router, name := buildTopology(topo, d, diam)
+func runDegradation(topo string, d, diam int, rateList string, packets int, seed int64, rec *obs.Recorder, metricsOut string) {
+	g, router, name := buildTopology(topo, d, diam, rec)
 	rates, err := parseRates(rateList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
@@ -107,7 +180,13 @@ func runDegradation(topo string, d, diam int, rateList string, packets int, seed
 	fmt.Printf("topology: %s — %d nodes, %d arcs\n", name, g.N(), g.M())
 	reportRouter(router)
 	fmt.Printf("degradation sweep: %d packets/point, seed %d\n\n", packets, seed)
-	points, err := simnet.DegradationSweep(g, router, rates, packets, seed, 0)
+	nw, err := simnet.New(g, router, simnet.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	nw.Observe(rec)
+	points, err := nw.DegradationSweep(rates, packets, seed, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
@@ -115,16 +194,19 @@ func runDegradation(topo string, d, diam int, rateList string, packets int, seed
 	for _, p := range points {
 		fmt.Println(" ", p)
 	}
+	writeMetrics(metricsOut, rec.Snapshot())
 }
 
 // runLensFault assembles the B(d, diam) machine, downs one lens
-// permanently and reports who is silenced and what survives.
-func runLensFault(d, diam, lens, packets int, seed int64) {
+// permanently and reports who is silenced and what survives. With
+// -metrics the document includes the per-lens utilization roll-up.
+func runLensFault(d, diam, lens, packets int, seed int64, rec *obs.Recorder, metricsOut string) {
 	m, err := machine.Build(d, diam, optics.DefaultPitch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
+	m.Observe(rec)
 	fmt.Printf("machine: %v\n", m.Layout)
 	side := "transmitter"
 	if lens >= m.Layout.P() {
@@ -155,6 +237,14 @@ func runLensFault(d, diam, lens, packets int, seed int64) {
 	}
 	fmt.Printf("result: %v\n", res)
 	fmt.Printf("delivered fraction: %.3f\n", res.DeliveredFraction())
+	if metricsOut != "" {
+		doc, err := m.RunMetrics(rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		writeMetrics(metricsOut, doc)
+	}
 }
 
 // reportRouter prints the routing-state footprint when the topology uses
@@ -184,7 +274,15 @@ func parseRates(list string) ([]float64, error) {
 	return rates, nil
 }
 
-func buildTopology(topo string, d, diam int) (*digraph.Digraph, simnet.Router, string) {
+// buildTopology returns the digraph and router; table builds are timed
+// into the recorder when one is attached.
+func buildTopology(topo string, d, diam int, rec *obs.Recorder) (*digraph.Digraph, simnet.Router, string) {
+	table := func(g *digraph.Digraph) simnet.Router {
+		if rec != nil {
+			return simnet.NewTableRouterObserved(g, rec)
+		}
+		return simnet.NewTableRouter(g)
+	}
 	switch topo {
 	case "debruijn":
 		g := debruijn.DeBruijn(d, diam)
@@ -196,11 +294,11 @@ func buildTopology(topo string, d, diam int) (*digraph.Digraph, simnet.Router, s
 			os.Exit(2)
 		}
 		g := otis.MustH(layout.P(), layout.Q(), d)
-		return g, simnet.NewTableRouter(g),
+		return g, table(g),
 			fmt.Sprintf("H(%d,%d,%d) = %v, table routing", layout.P(), layout.Q(), d, layout)
 	case "kautz":
 		g, _ := debruijn.Kautz(d, diam)
-		return g, simnet.NewTableRouter(g), fmt.Sprintf("K(%d,%d), table routing", d, diam)
+		return g, table(g), fmt.Sprintf("K(%d,%d), table routing", d, diam)
 	default:
 		fmt.Fprintf(os.Stderr, "simulate: unknown topology %q\n", topo)
 		os.Exit(2)

@@ -106,6 +106,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rec := repro.NewRecorder(nil)
+	m.Observe(rec)
 	pres, err := m.RunWithFaults(repro.UniformRandomWorkload(m.Nodes(), 2000, 5),
 		permanent, repro.DefaultFaultSimConfig())
 	if err != nil {
@@ -114,6 +116,26 @@ func main() {
 	fmt.Printf("permanent lens fault: %v\n", pres)
 	fmt.Printf("  delivered fraction %.3f — the shadowed block is dark, everyone else is served\n",
 		pres.DeliveredFraction())
+
+	// The recorder's per-arc slab rolled up by lens shows the failure in
+	// the optics' own terms: the dead lens carried nothing, its neighbours
+	// absorbed the rerouted beams.
+	lenses, err := m.LensUtilization(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-lens utilization of the degraded run (transmitter side):")
+	for _, l := range lenses {
+		if l.Side != "tx" {
+			continue
+		}
+		note := ""
+		if l.Lens == 2 {
+			note = "  <- faulted"
+		}
+		fmt.Printf("  lens %2d: %2d arcs, %5d traversals, share %.3f%s\n",
+			l.Lens, l.Arcs, l.Traversals, l.Share, note)
+	}
 
 	// Degradation: how service decays as arcs die at random.
 	fmt.Println("\ndegradation sweep on B(3,3) (delivered fraction vs. per-arc fault rate):")

@@ -63,6 +63,7 @@ func All() []*Analyzer {
 		OverflowGuard,
 		ErrDrop,
 		GoSpawn,
+		RecGuard,
 	}
 }
 

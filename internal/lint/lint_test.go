@@ -130,6 +130,10 @@ func TestGoSpawnFixture(t *testing.T) {
 	checkFixture(t, "badspawn", "repro/internal/badspawn")
 }
 
+func TestRecGuardFixture(t *testing.T) {
+	checkFixture(t, "badobs", "repro/internal/badobs")
+}
+
 // TestDirectiveSuppression pins the directive semantics beyond what the
 // badpanic fixture exercises: same-line suppression, next-line
 // suppression, analyzer mismatch, distance, and the malformed-directive
@@ -167,10 +171,10 @@ func TestDirectiveSuppression(t *testing.T) {
 	}
 }
 
-// TestAnalyzerInventory keeps All() honest: the five checks the repo
+// TestAnalyzerInventory keeps All() honest: the six checks the repo
 // depends on must all be registered under their documented names.
 func TestAnalyzerInventory(t *testing.T) {
-	want := []string{"panicstyle", "slicealias", "overflowguard", "errdrop", "gospawn"}
+	want := []string{"panicstyle", "slicealias", "overflowguard", "errdrop", "gospawn", "recguard"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RecGuard enforces the observability hot-path contract: a nil
+// *obs.Recorder is the uninstrumented mode, and simulators call through
+// it freely from their inner loops. That only works if every exported
+// pointer-receiver method of the Recorder type opens with a
+// nil-receiver guard —
+//
+//	func (r *Recorder) Deliver(latency, hops int) {
+//		if r == nil {
+//			return
+//		}
+//		...
+//	}
+//
+// (compound conditions like `if r == nil || m <= 0` are fine as long as
+// the nil test is there and the guarded branch returns). A method
+// missing the guard turns every uninstrumented recording site into a
+// nil-pointer panic, so the suite fails the build instead.
+var RecGuard = &Analyzer{
+	Name: "recguard",
+	Doc:  `exported Recorder methods in the obs package must open with a nil-receiver guard`,
+	Run:  runRecGuard,
+}
+
+func runRecGuard(pkg *Package, report func(ast.Node, string, ...any)) {
+	if pkg.Name != "obs" || !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recv, ok := recorderPointerRecv(fn)
+			if !ok {
+				continue
+			}
+			if recv == "" {
+				report(fn, "%s has an unnamed *Recorder receiver, so it cannot nil-guard itself", fn.Name.Name)
+				continue
+			}
+			if !opensWithNilGuard(fn.Body, recv) {
+				report(fn, "exported Recorder method %s does not open with an `if %s == nil` guard", fn.Name.Name, recv)
+			}
+		}
+	}
+}
+
+// recorderPointerRecv reports whether fn's receiver is *Recorder,
+// returning the receiver name ("" when anonymous).
+func recorderPointerRecv(fn *ast.FuncDecl) (string, bool) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return "", false
+	}
+	field := fn.Recv.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := star.X.(*ast.Ident)
+	if !ok || id.Name != "Recorder" {
+		return "", false
+	}
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return "", true
+	}
+	return field.Names[0].Name, true
+}
+
+// opensWithNilGuard reports whether the body's first statement is an if
+// whose condition nil-tests recv and whose branch ends in a return.
+func opensWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	iff, ok := body.List[0].(*ast.IfStmt)
+	if !ok || iff.Init != nil || len(iff.Body.List) == 0 {
+		return false
+	}
+	if _, ok := iff.Body.List[len(iff.Body.List)-1].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	return condNilTests(iff.Cond, recv)
+}
+
+// condNilTests walks a condition (possibly an || chain) looking for
+// `recv == nil`.
+func condNilTests(cond ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op.String() != "==" {
+			return true
+		}
+		if isIdentNamed(be.X, recv) && isIdentNamed(be.Y, "nil") {
+			found = true
+		}
+		if isIdentNamed(be.X, "nil") && isIdentNamed(be.Y, recv) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}

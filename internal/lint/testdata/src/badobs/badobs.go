@@ -1,0 +1,77 @@
+// Package obs is the recguard fixture: a metrics Recorder whose
+// exported methods variously miss the leading nil-receiver guard the
+// hot-path contract demands.
+package obs
+
+// Recorder mimics the real obs.Recorder shape.
+type Recorder struct {
+	n int64
+}
+
+// Good opens with the canonical guard: no finding.
+func (r *Recorder) Good() {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// GoodCompound guards with an extra condition; still accepted.
+func (r *Recorder) GoodCompound(m int) {
+	if r == nil || m <= 0 {
+		return
+	}
+	r.n += int64(m)
+}
+
+// GoodReversed writes the nil test the other way around.
+func (r *Recorder) GoodReversed() int64 {
+	if nil == r {
+		return 0
+	}
+	return r.n
+}
+
+func (r *Recorder) Bad() { // want recguard "does not open with"
+	r.n++
+}
+
+func (r *Recorder) GuardLate() { // want recguard "does not open with"
+	r.n++
+	if r == nil {
+		return
+	}
+}
+
+func (r *Recorder) GuardNoReturn() { // want recguard "does not open with"
+	if r == nil {
+		r = &Recorder{}
+	}
+	r.n++
+}
+
+func (r *Recorder) WrongTest(other *Recorder) { // want recguard "does not open with"
+	if other == nil {
+		return
+	}
+	r.n++
+}
+
+func (*Recorder) Anon() { // want recguard "unnamed"
+}
+
+// value receivers cannot be called through a nil pointer cheaply anyway;
+// out of scope.
+func (r Recorder) Value() int64 { return r.n }
+
+// unexported methods are internal call sites, also out of scope.
+func (r *Recorder) bump() {
+	r.n++
+}
+
+// Suppressed shows the directive escape hatch.
+//
+//lint:ignore recguard constructed, never nil by construction
+func (r *Recorder) Suppressed() {
+	r.n++
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// RunMetricsSchema identifies the JSON document format emitted by
+// Snapshot; bump on breaking changes.
+const RunMetricsSchema = "OBS_run/v1"
+
+// HistogramSnapshot is the JSON form of one histogram. Buckets are the
+// power-of-two buckets of Histogram with trailing empty buckets
+// trimmed: bucket 0 counts observations <= 0, bucket i observations in
+// [2^(i-1), 2^i - 1].
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// ArcMetrics is the per-arc utilization section: flat slabs indexed by
+// the simulator's CSR arc layout (arcBase[tail] + adjacency position).
+type ArcMetrics struct {
+	// Arcs is the slab length (the digraph's arc count M).
+	Arcs int `json:"arcs"`
+	// Traversals[a] counts packet hops over flat arc a.
+	Traversals []int64 `json:"traversals"`
+	// PeakQueue[a] is the deepest arc a's output queue got.
+	PeakQueue []int64 `json:"peak_queue"`
+}
+
+// LensUtilization is one lens of an OTIS layout with the traffic its
+// arc group carried. Every hop of the physical machine crosses exactly
+// one transmitter-side and one receiver-side lens, so within each side
+// the Share values sum to 1 on a run with any traffic.
+type LensUtilization struct {
+	// Lens is the lens number (0..P-1 transmitter side, P..P+Q-1
+	// receiver side).
+	Lens int `json:"lens"`
+	// Side is "tx" or "rx".
+	Side string `json:"side"`
+	// Arcs is the size of the lens's arc group.
+	Arcs int `json:"arcs"`
+	// Traversals is the total hops carried by the group.
+	Traversals int64 `json:"traversals"`
+	// Share is Traversals over the run's total hops (0 when idle).
+	Share float64 `json:"share"`
+}
+
+// RunMetrics is the OBS_run/v1 document: one simulation run's (or
+// accumulated sweep's) observability snapshot. Counters, gauges and
+// histograms come from the Registry; Arcs and Lenses are attached by
+// Recorder.Snapshot and machine.RunMetrics respectively.
+type RunMetrics struct {
+	Schema     string                       `json:"schema"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Arcs       *ArcMetrics                  `json:"arcs,omitempty"`
+	Lenses     []LensUtilization            `json:"lenses,omitempty"`
+}
+
+// MarshalIndent renders the document as stable, human-diffable JSON
+// (encoding/json sorts map keys) with a trailing newline.
+func (m RunMetrics) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ValidateRunMetrics parses data as an OBS_run/v1 document and checks
+// the invariants consumers rely on: the schema tag, non-negative
+// counters and histogram fields, bucket sums matching counts, per-arc
+// slab consistency, and per-side lens shares summing to at most 1.
+func ValidateRunMetrics(data []byte) error {
+	var m RunMetrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if m.Schema != RunMetricsSchema {
+		return fmt.Errorf("obs: schema %q, want %q", m.Schema, RunMetricsSchema)
+	}
+	for name, v := range m.Counters {
+		if v < 0 {
+			return fmt.Errorf("obs: counter %q is negative (%d)", name, v)
+		}
+	}
+	for name, h := range m.Histograms {
+		if h.Count < 0 || h.Max < 0 {
+			return fmt.Errorf("obs: histogram %q has negative count or max", name)
+		}
+		if len(h.Buckets) > HistogramBuckets {
+			return fmt.Errorf("obs: histogram %q has %d buckets, max %d", name, len(h.Buckets), HistogramBuckets)
+		}
+		var total int64
+		for i, b := range h.Buckets {
+			if b < 0 {
+				return fmt.Errorf("obs: histogram %q bucket %d is negative", name, i)
+			}
+			total += b
+		}
+		if total != h.Count {
+			return fmt.Errorf("obs: histogram %q buckets sum to %d, count %d", name, total, h.Count)
+		}
+	}
+	if m.Arcs != nil {
+		if m.Arcs.Arcs != len(m.Arcs.Traversals) || m.Arcs.Arcs != len(m.Arcs.PeakQueue) {
+			return fmt.Errorf("obs: arc section declares %d arcs but holds %d traversal and %d peak entries",
+				m.Arcs.Arcs, len(m.Arcs.Traversals), len(m.Arcs.PeakQueue))
+		}
+		for a, v := range m.Arcs.Traversals {
+			if v < 0 {
+				return fmt.Errorf("obs: arc %d has negative traversals", a)
+			}
+		}
+		for a, v := range m.Arcs.PeakQueue {
+			if v < 0 {
+				return fmt.Errorf("obs: arc %d has negative peak queue", a)
+			}
+		}
+	}
+	shares := map[string]float64{}
+	for _, l := range m.Lenses {
+		if l.Side != "tx" && l.Side != "rx" {
+			return fmt.Errorf("obs: lens %d has side %q, want tx or rx", l.Lens, l.Side)
+		}
+		if l.Traversals < 0 || l.Arcs < 0 || l.Share < 0 {
+			return fmt.Errorf("obs: lens %d has negative fields", l.Lens)
+		}
+		shares[l.Side] += l.Share
+	}
+	for side, s := range shares {
+		if s > 1+1e-9 {
+			return fmt.Errorf("obs: %s lens shares sum to %v > 1", side, s)
+		}
+	}
+	return nil
+}

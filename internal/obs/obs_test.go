@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	// Power-of-two buckets: 0 holds v <= 0, bucket i holds
+	// [2^(i-1), 2^i - 1].
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 62, HistogramBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106 || h.Max() != 100 {
+		t.Errorf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if mean := h.Mean(); mean != 26.5 {
+		t.Errorf("mean = %v, want 26.5", mean)
+	}
+	snap := h.snapshot()
+	var n int64
+	for _, b := range snap.Buckets {
+		n += b
+	}
+	if n != snap.Count {
+		t.Errorf("bucket sum %d != count %d", n, snap.Count)
+	}
+	if len(snap.Buckets) == 0 || snap.Buckets[len(snap.Buckets)-1] == 0 {
+		t.Errorf("trailing zeros not trimmed: %v", snap.Buckets)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Error("Counter not idempotent")
+	}
+	if reg.Gauge("g") != reg.Gauge("g") {
+		t.Error("Gauge not idempotent")
+	}
+	if reg.Histogram("h") != reg.Histogram("h") {
+		t.Error("Histogram not idempotent")
+	}
+	counters, gauges, hists := reg.Names()
+	if len(counters) != 1 || len(gauges) != 1 || len(hists) != 1 {
+		t.Errorf("Names() = %v %v %v", counters, gauges, hists)
+	}
+}
+
+// TestNilRecorderSafe drives every exported method through a nil
+// receiver: the uninstrumented mode the simulators rely on.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.SizeArcs(10)
+	r.ArcTraverse(3)
+	r.QueueDepth(1, 2)
+	r.NodeQueueDepth(2)
+	r.Deliver(10, 3)
+	r.Drop(DropTTL)
+	r.Reroute()
+	r.Retry()
+	r.Deflect()
+	r.Arena(true)
+	r.RouterBuild(1, 2)
+	if r.Registry() != nil || r.Arcs() != 0 || r.ArcTraversals() != nil || r.ArcPeakQueue() != nil {
+		t.Error("nil recorder leaked state")
+	}
+	snap := r.Snapshot()
+	if snap.Schema != RunMetricsSchema {
+		t.Errorf("nil snapshot schema %q", snap.Schema)
+	}
+}
+
+func TestSizeArcsGrowthPreservesCounts(t *testing.T) {
+	r := NewRecorder(nil)
+	r.SizeArcs(4)
+	r.ArcTraverse(2)
+	r.QueueDepth(2, 7)
+	r.SizeArcs(2) // never shrinks
+	if r.Arcs() != 4 {
+		t.Fatalf("Arcs() = %d after shrink attempt", r.Arcs())
+	}
+	r.SizeArcs(8)
+	tr, pq := r.ArcTraversals(), r.ArcPeakQueue()
+	if len(tr) != 8 || tr[2] != 1 || pq[2] != 7 {
+		t.Errorf("growth lost counts: traversals %v peaks %v", tr, pq)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(nil)
+	r.SizeArcs(16)
+	var wg sync.WaitGroup
+	workers := 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.ArcTraverse(i % 16)
+				r.QueueDepth(i%16, i%9)
+				r.Deliver(i, 3)
+				r.Drop(DropCause(i % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range r.ArcTraversals() {
+		total += v
+	}
+	if total != 8000 {
+		t.Errorf("traversal slab total %d, want 8000", total)
+	}
+	snap := r.Snapshot()
+	if snap.Counters[MetricArcTraversed] != 8000 || snap.Counters[MetricDelivered] != 8000 {
+		t.Errorf("counters %v", snap.Counters)
+	}
+	if snap.Counters[MetricDropped] != 8000 {
+		t.Errorf("dropped %d", snap.Counters[MetricDropped])
+	}
+}
+
+func TestValidateRunMetrics(t *testing.T) {
+	r := NewRecorder(nil)
+	r.SizeArcs(4)
+	r.ArcTraverse(1)
+	r.Deliver(5, 2)
+	data, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRunMetrics(data); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"not json", "{", "unexpected"},
+		{"wrong schema", `{"schema":"OBS_run/v0"}`, "schema"},
+		{"negative counter", `{"schema":"OBS_run/v1","counters":{"x":-1}}`, "negative"},
+		{"bucket mismatch", `{"schema":"OBS_run/v1","histograms":{"h":{"count":2,"sum":3,"max":2,"buckets":[1]}}}`, "bucket"},
+		{"arc slab mismatch", `{"schema":"OBS_run/v1","arcs":{"arcs":3,"traversals":[1],"peak_queue":[0,0,0]}}`, "arc"},
+		{"bad lens side", `{"schema":"OBS_run/v1","lenses":[{"lens":0,"side":"up","arcs":1,"traversals":0,"share":0}]}`, "side"},
+		{"share overflow", `{"schema":"OBS_run/v1","lenses":[{"lens":0,"side":"tx","arcs":1,"traversals":1,"share":0.9},{"lens":1,"side":"tx","arcs":1,"traversals":1,"share":0.9}]}`, "share"},
+	}
+	for _, c := range bad {
+		err := ValidateRunMetrics([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDropCauseNames(t *testing.T) {
+	want := map[DropCause]string{
+		DropNoRoute: "noroute", DropTTL: "ttl", DropFault: "fault",
+		DropHorizon: "horizon", DropStuck: "stuck", DropCause(99): "unknown",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), name)
+		}
+	}
+}

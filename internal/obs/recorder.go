@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DropCause classifies why a packet left a simulation undelivered. The
+// causes mirror the FaultResult buckets of simnet so instrumented and
+// aggregate accounting can be cross-checked.
+type DropCause int
+
+const (
+	// DropNoRoute: the router found no (live) arc toward the
+	// destination and the retry budget is exhausted.
+	DropNoRoute DropCause = iota
+	// DropTTL: the per-packet hop budget ran out.
+	DropTTL
+	// DropFault: lost in flight to a node fault at the arrival end.
+	DropFault
+	// DropHorizon: the release cycle lay beyond the run's cycle budget;
+	// the packet was never injected.
+	DropHorizon
+	// DropStuck: stranded in a queue or on a link when the cycle budget
+	// ran out.
+	DropStuck
+	numDropCauses
+)
+
+// String names the cause; the names are the counter suffixes.
+func (c DropCause) String() string {
+	switch c {
+	case DropNoRoute:
+		return "noroute"
+	case DropTTL:
+		return "ttl"
+	case DropFault:
+		return "fault"
+	case DropHorizon:
+		return "horizon"
+	case DropStuck:
+		return "stuck"
+	}
+	return "unknown"
+}
+
+// Canonical metric names recorded by the simulators. Exposed so tests
+// and tools address the registry without stringly-typed drift.
+const (
+	MetricDelivered    = "sim_delivered"
+	MetricDropped      = "sim_dropped"
+	MetricDropPrefix   = "sim_drop_"
+	MetricReroutes     = "sim_reroutes"
+	MetricRetries      = "sim_retries"
+	MetricDeflections  = "sim_deflections"
+	MetricArenaReused  = "arena_reused"
+	MetricArenaAlloc   = "arena_allocated"
+	MetricRouterNS     = "router_build_ns"
+	MetricRouterBytes  = "router_slab_bytes"
+	MetricHistLatency  = "latency_cycles"
+	MetricHistQueue    = "queue_depth"
+	MetricHistHops     = "hops"
+	MetricMaxQueue     = "max_queue"
+	MetricArcTraversed = "arc_traversals_total"
+)
+
+// Recorder is the hot-path instrument handle the simulators record
+// through. It pre-resolves its registry handles at construction so a
+// recording site is one atomic op, and keeps flat []int64 slabs for
+// per-arc traversal counts and peak queue depths, indexed by the same
+// CSR arc layout the simulator's queues use (arcBase[u]+k).
+//
+// A nil *Recorder is the uninstrumented mode: every exported method is
+// nil-receiver guarded, so recording sites may call through nil freely
+// — the fast path pays one predictable branch and zero allocations.
+// All methods are safe for concurrent use (sweep workers share one
+// Recorder), at the price of atomic updates on the instrumented path.
+type Recorder struct {
+	reg *Registry
+
+	mu    sync.Mutex // serializes slab growth
+	slabs atomic.Pointer[arcSlabs]
+
+	delivered   *Counter
+	dropped     *Counter
+	drops       [numDropCauses]*Counter
+	reroutes    *Counter
+	retries     *Counter
+	deflections *Counter
+	arenaReused *Counter
+	arenaAlloc  *Counter
+	arcTotal    *Counter
+
+	routerNS    *Gauge
+	routerBytes *Gauge
+	maxQueue    *Gauge
+
+	latency *Histogram
+	queue   *Histogram
+	hops    *Histogram
+}
+
+// NewRecorder returns a Recorder reporting into reg (a fresh registry
+// when reg is nil).
+func NewRecorder(reg *Registry) *Recorder {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	r := &Recorder{
+		reg:         reg,
+		delivered:   reg.Counter(MetricDelivered),
+		dropped:     reg.Counter(MetricDropped),
+		reroutes:    reg.Counter(MetricReroutes),
+		retries:     reg.Counter(MetricRetries),
+		deflections: reg.Counter(MetricDeflections),
+		arenaReused: reg.Counter(MetricArenaReused),
+		arenaAlloc:  reg.Counter(MetricArenaAlloc),
+		arcTotal:    reg.Counter(MetricArcTraversed),
+		routerNS:    reg.Gauge(MetricRouterNS),
+		routerBytes: reg.Gauge(MetricRouterBytes),
+		maxQueue:    reg.Gauge(MetricMaxQueue),
+		latency:     reg.Histogram(MetricHistLatency),
+		queue:       reg.Histogram(MetricHistQueue),
+		hops:        reg.Histogram(MetricHistHops),
+	}
+	for c := DropCause(0); c < numDropCauses; c++ {
+		r.drops[c] = reg.Counter(MetricDropPrefix + c.String())
+	}
+	return r
+}
+
+// Registry returns the registry the recorder reports into (nil for a
+// nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// arcSlabs is the per-arc storage, swapped atomically as one unit so
+// hot-path readers never see a torn resize.
+type arcSlabs struct {
+	traversals []int64
+	peakQueue  []int64
+}
+
+// SizeArcs grows the per-arc slabs to hold m arcs. Networks call it when
+// a recorder is attached; growing never shrinks, so one recorder may
+// observe several networks and keeps the largest layout. Counts already
+// accumulated are preserved (attach before running: a grow racing live
+// recording may miss increments landing in the old slab mid-copy).
+func (r *Recorder) SizeArcs(m int) {
+	if r == nil || m <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.slabs.Load()
+	if cur != nil && len(cur.traversals) >= m {
+		return
+	}
+	next := &arcSlabs{traversals: make([]int64, m), peakQueue: make([]int64, m)}
+	if cur != nil {
+		for i := range cur.traversals {
+			next.traversals[i] = atomic.LoadInt64(&cur.traversals[i])
+			next.peakQueue[i] = atomic.LoadInt64(&cur.peakQueue[i])
+		}
+	}
+	r.slabs.Store(next)
+}
+
+// Arcs returns the current per-arc slab size (0 for a nil recorder).
+func (r *Recorder) Arcs() int {
+	if r == nil {
+		return 0
+	}
+	if s := r.slabs.Load(); s != nil {
+		return len(s.traversals)
+	}
+	return 0
+}
+
+// ArcTraverse records one packet hop over the flat arc index.
+func (r *Recorder) ArcTraverse(arc int) {
+	if r == nil {
+		return
+	}
+	if s := r.slabs.Load(); s != nil && arc >= 0 && arc < len(s.traversals) {
+		atomic.AddInt64(&s.traversals[arc], 1)
+	}
+	r.arcTotal.Add(1)
+}
+
+// QueueDepth records the depth of the flat arc's output queue after an
+// enqueue: the histogram takes every sample, the per-arc slab and the
+// max_queue gauge keep the peaks.
+func (r *Recorder) QueueDepth(arc int, depth int) {
+	if r == nil {
+		return
+	}
+	d := int64(depth)
+	r.queue.Observe(d)
+	r.maxQueue.SetMax(d)
+	s := r.slabs.Load()
+	if s == nil || arc < 0 || arc >= len(s.peakQueue) {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&s.peakQueue[arc])
+		if d <= cur || atomic.CompareAndSwapInt64(&s.peakQueue[arc], cur, d) {
+			return
+		}
+	}
+}
+
+// NodeQueueDepth records a per-node hold-queue depth (fault runs queue
+// at nodes, not arcs), feeding the same histogram and peak gauge.
+func (r *Recorder) NodeQueueDepth(depth int) {
+	if r == nil {
+		return
+	}
+	d := int64(depth)
+	r.queue.Observe(d)
+	r.maxQueue.SetMax(d)
+}
+
+// Deliver records a delivery with its end-to-end latency (cycles) and
+// hop count.
+func (r *Recorder) Deliver(latency, hops int) {
+	if r == nil {
+		return
+	}
+	r.delivered.Inc()
+	r.latency.Observe(int64(latency))
+	r.hops.Observe(int64(hops))
+}
+
+// Drop records an undelivered packet under its cause bucket.
+func (r *Recorder) Drop(cause DropCause) {
+	if r == nil {
+		return
+	}
+	r.dropped.Inc()
+	if cause >= 0 && cause < numDropCauses {
+		r.drops[cause].Inc()
+	}
+}
+
+// Reroute records a forward on an arc other than the primary router's
+// choice.
+func (r *Recorder) Reroute() {
+	if r == nil {
+		return
+	}
+	r.reroutes.Inc()
+}
+
+// Retry records a backoff requeue of a packet with no live out-arc.
+func (r *Recorder) Retry() {
+	if r == nil {
+		return
+	}
+	r.retries.Inc()
+}
+
+// Deflect records a hot-potato hop that moved a packet off its shortest
+// path.
+func (r *Recorder) Deflect() {
+	if r == nil {
+		return
+	}
+	r.deflections.Inc()
+}
+
+// Arena records one scratch-arena checkout: reused from the pool or
+// freshly allocated.
+func (r *Recorder) Arena(reused bool) {
+	if r == nil {
+		return
+	}
+	if reused {
+		r.arenaReused.Inc()
+	} else {
+		r.arenaAlloc.Inc()
+	}
+}
+
+// RouterBuild records a routing-slab construction: wall time in
+// nanoseconds and the slab footprint in bytes.
+func (r *Recorder) RouterBuild(ns, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.routerNS.Set(ns)
+	r.routerBytes.Set(bytes)
+}
+
+// ArcTraversals returns a copy of the per-arc traversal slab (nil for a
+// nil or unsized recorder).
+func (r *Recorder) ArcTraversals() []int64 {
+	if r == nil {
+		return nil
+	}
+	if s := r.slabs.Load(); s != nil {
+		return copyAtomicSlab(s.traversals)
+	}
+	return nil
+}
+
+// ArcPeakQueue returns a copy of the per-arc peak-queue slab (nil for a
+// nil or unsized recorder).
+func (r *Recorder) ArcPeakQueue() []int64 {
+	if r == nil {
+		return nil
+	}
+	if s := r.slabs.Load(); s != nil {
+		return copyAtomicSlab(s.peakQueue)
+	}
+	return nil
+}
+
+// Snapshot marshals the recorder's registry plus its per-arc slabs into
+// an OBS_run/v1 document. Per-lens roll-ups are a machine-level concept;
+// machine.RunMetrics attaches them to this document.
+func (r *Recorder) Snapshot() RunMetrics {
+	if r == nil {
+		return RunMetrics{Schema: RunMetricsSchema}
+	}
+	m := r.reg.Snapshot()
+	tr := r.ArcTraversals()
+	if len(tr) > 0 {
+		m.Arcs = &ArcMetrics{
+			Arcs:       len(tr),
+			Traversals: tr,
+			PeakQueue:  r.ArcPeakQueue(),
+		}
+	}
+	return m
+}
+
+func copyAtomicSlab(src []int64) []int64 {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]int64, len(src))
+	for i := range src {
+		out[i] = atomic.LoadInt64(&src[i])
+	}
+	return out
+}

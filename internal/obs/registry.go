@@ -1,0 +1,268 @@
+// Package obs is the simulation observability layer: a stdlib-only
+// metrics substrate the packet simulators report into. It exists because
+// SimResult-style aggregates say what a run *produced* but not how the
+// network *behaved* — which arcs ran hot, how deep the queues got, which
+// lens of an OTIS layout carried the traffic. The package provides
+//
+//   - Registry: named counters, gauges and fixed-bucket (power-of-two)
+//     histograms, safe for concurrent use from sweep workers;
+//   - Recorder: the hot-path instrument handle. Every exported Recorder
+//     method is nil-receiver guarded, so instrumented code can call
+//     through a nil *Recorder and the uninstrumented fast path stays
+//     branch-predictable and allocation-free (reprolint's recguard
+//     analyzer enforces the guards);
+//   - RunMetrics: a stable JSON document (schema "OBS_run/v1") built by
+//     Snapshot, carrying the registry plus flat per-arc utilization
+//     slabs and optional per-lens roll-ups.
+//
+// The package deliberately has no dependency on the simulators; simnet
+// and machine import obs, never the reverse.
+package obs
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistogramBuckets is the fixed bucket count of every Histogram. Bucket
+// 0 counts observations <= 0; bucket i (i >= 1) counts observations in
+// [2^(i-1), 2^i - 1]; the last bucket absorbs everything larger. With 32
+// buckets the histogram resolves latencies and queue depths up to ~2^31
+// cycles, far beyond any simulation budget.
+const HistogramBuckets = 32
+
+// Histogram is a fixed power-of-two-bucket histogram, safe for
+// concurrent use. It records count, sum and max alongside the buckets,
+// so mean and tail position survive the bucketing.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [HistogramBuckets]atomic.Int64
+}
+
+// bucketOf returns the bucket index of v: 0 for v <= 0, otherwise the
+// bit length of v clamped to the last bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		b++
+	}
+	if b >= HistogramBuckets {
+		b = HistogramBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 before any observation).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the mean observation, 0 when empty (never NaN).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// snapshot copies the histogram into its JSON form, trimming trailing
+// empty buckets so the document stays compact and stable.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	last := -1
+	var raw [HistogramBuckets]int64
+	for i := range raw {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			last = i
+		}
+	}
+	s.Buckets = append([]int64{}, raw[:last+1]...)
+	return s
+}
+
+// Registry holds named metrics. Lookup is get-or-create and the returned
+// handles are stable, so hot paths resolve names once and then update
+// through the handle. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Names returns the registered metric names, sorted, for reporting.
+func (r *Registry) Names() (counters, gauges, histograms []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.histograms {
+		histograms = append(histograms, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return counters, gauges, histograms
+}
+
+// Snapshot copies the registry into an OBS_run/v1 document (without the
+// per-arc or per-lens sections, which only a Recorder can supply).
+func (r *Registry) Snapshot() RunMetrics {
+	m := RunMetrics{
+		Schema:     RunMetricsSchema,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		m.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		m.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		m.Histograms[name] = h.snapshot()
+	}
+	return m
+}
+
+// PublishExpvar exposes the registry as an expvar variable under the
+// given name (so `-pprof`-style debug servers serve it at /debug/vars).
+// Publishing the same name twice is a no-op rather than a panic.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

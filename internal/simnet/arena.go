@@ -53,8 +53,10 @@ type arena struct {
 }
 
 // getArena checks a scratch arena out of the pool, reset and sized for
-// this network's digraph.
-func (nw *Network) getArena() *arena {
+// this network's digraph. The second result reports whether pooled
+// storage was reused (false: a fresh allocation), which instrumented
+// runs count into the arena_reused/arena_allocated metrics.
+func (nw *Network) getArena() (*arena, bool) {
 	ar, ok := nw.scratch.Get().(*arena)
 	if !ok {
 		m := int(nw.arcBase[nw.g.N()])
@@ -64,7 +66,7 @@ func (nw *Network) getArena() *arena {
 			waiting: make([][]int32, nw.g.N()),
 			busy:    make([]int64, nw.maxDeg),
 		}
-		return ar
+		return ar, false
 	}
 	for i := range ar.queues {
 		ar.queues[i].reset()
@@ -77,7 +79,7 @@ func (nw *Network) getArena() *arena {
 	}
 	// order and meta are resized by the run; busy stays valid because the
 	// token only ever grows.
-	return ar
+	return ar, true
 }
 
 // putArena returns a run's scratch to the pool.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/digraph"
+	"repro/internal/obs"
 )
 
 // Deflection (hot-potato) routing: the natural regime for all-optical
@@ -22,21 +23,41 @@ import (
 // destination are absorbed before assignment.
 
 // DeflectionResult extends the basic statistics with deflection counts.
+// Like FaultResult, the accounting drains completely: Delivered +
+// Dropped equals Offered on every run, including one cut short by the
+// cycle limit, with Dropped broken into cause buckets.
 type DeflectionResult struct {
+	Offered     int
 	Delivered   int
+	Dropped     int // Stuck + DroppedHorizon
 	Cycles      int
 	TotalHops   int
 	MaxHops     int
 	Deflections int // hops not on a shortest path
 	MeanLatency float64
 	MeanHops    float64
-	Packets     []Packet
+	// Stuck counts packets in flight or awaiting injection capacity when
+	// the cycle limit ran out (0 on any completed run).
+	Stuck int
+	// DroppedHorizon counts packets whose Release lay beyond the cycle
+	// limit: never injected, dropped at their source when the run ends.
+	DroppedHorizon int
+	Packets        []Packet
 }
 
 // String renders the headline numbers.
 func (r DeflectionResult) String() string {
-	return fmt.Sprintf("delivered=%d cycles=%d meanLatency=%.2f meanHops=%.2f maxHops=%d deflections=%d",
-		r.Delivered, r.Cycles, r.MeanLatency, r.MeanHops, r.MaxHops, r.Deflections)
+	return fmt.Sprintf("delivered=%d dropped=%d cycles=%d meanLatency=%.2f meanHops=%.2f maxHops=%d deflections=%d",
+		r.Delivered, r.Dropped, r.Cycles, r.MeanLatency, r.MeanHops, r.MaxHops, r.Deflections)
+}
+
+// DeliveredFraction returns Delivered over Offered, 0 when nothing was
+// offered (never NaN).
+func (r DeflectionResult) DeliveredFraction() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Offered)
 }
 
 // DeflectionNetwork simulates hot-potato routing on a d-regular digraph.
@@ -45,6 +66,7 @@ type DeflectionNetwork struct {
 	d     int
 	dist  [][]int // dist[u][v]: shortest distance, for output ranking
 	limit int
+	rec   *obs.Recorder // nil: uninstrumented
 }
 
 // NewDeflection builds the simulator. The digraph must be d-out-regular
@@ -64,19 +86,128 @@ func NewDeflection(g *digraph.Digraph, d int) (*DeflectionNetwork, error) {
 	return &DeflectionNetwork{g: g, d: d, dist: dist, limit: 64 * n}, nil
 }
 
+// Observe attaches a metrics recorder: runs record per-arc traversals
+// (flat index u*d + k on the d-regular digraph), deflections, latency
+// and hop histograms. Passing nil detaches.
+func (dn *DeflectionNetwork) Observe(rec *obs.Recorder) {
+	rec.SizeArcs(dn.g.N() * dn.d)
+	dn.rec = rec
+}
+
+// deflectionRun is the mutable state of one run, threaded through step.
+type deflectionRun struct {
+	pkts      []Packet
+	at        [][]int // packets currently held at each node (≤ d)
+	pendingAt [][]int // injected but not yet admitted
+	remaining int
+	res       *DeflectionResult
+}
+
+func (st *deflectionRun) deliver(i, cycle int, rec *obs.Recorder) {
+	st.pkts[i].Delivered = cycle
+	st.res.Delivered++
+	st.remaining--
+	if cycle > st.res.Cycles {
+		st.res.Cycles = cycle
+	}
+	if rec != nil {
+		rec.Deliver(cycle-st.pkts[i].Release, st.pkts[i].Hops)
+	}
+}
+
+// step advances the simulation one cycle: absorb arrivals, inject where
+// capacity allows, then assign every held packet an output (deflecting
+// losers). Recording sites are rec != nil guarded.
+func (dn *DeflectionNetwork) step(cycle int, st *deflectionRun, rec *obs.Recorder) {
+	n := dn.g.N()
+	pkts := st.pkts
+
+	// Absorb arrivals.
+	for u := 0; u < n; u++ {
+		keep := st.at[u][:0]
+		for _, i := range st.at[u] {
+			if pkts[i].Dst == u {
+				st.deliver(i, cycle, rec)
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		st.at[u] = keep
+	}
+	// Inject where capacity allows (transiting packets have priority
+	// for outputs; a node holds at most d packets after injection).
+	for u := 0; u < n; u++ {
+		for len(st.pendingAt[u]) > 0 && len(st.at[u]) < dn.d {
+			i := st.pendingAt[u][0]
+			if pkts[i].Release > cycle {
+				break // queued by release order; later packets wait
+			}
+			st.pendingAt[u] = st.pendingAt[u][1:]
+			st.at[u] = append(st.at[u], i)
+		}
+	}
+	// Assign outputs: oldest packet first (deadline monotone keeps
+	// worst-case latency bounded), each takes its best free output.
+	next := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if len(st.at[u]) == 0 {
+			continue
+		}
+		group := st.at[u]
+		sort.Slice(group, func(a, b int) bool {
+			return pkts[group[a]].Release < pkts[group[b]].Release ||
+				(pkts[group[a]].Release == pkts[group[b]].Release &&
+					pkts[group[a]].ID < pkts[group[b]].ID)
+		})
+		outs := dn.g.Out(u)
+		taken := make([]bool, len(outs))
+		for _, i := range group {
+			// Rank outputs by resulting distance to destination.
+			best, bestDist := -1, 0
+			for k, v := range outs {
+				if taken[k] {
+					continue
+				}
+				dv := dn.dist[v][pkts[i].Dst]
+				if best == -1 || dv < bestDist {
+					best, bestDist = k, dv
+				}
+			}
+			taken[best] = true
+			v := outs[best]
+			if dn.dist[v][pkts[i].Dst] >= dn.dist[u][pkts[i].Dst] {
+				st.res.Deflections++
+				if rec != nil {
+					rec.Deflect()
+				}
+			}
+			pkts[i].Hops++
+			if rec != nil {
+				rec.ArcTraverse(u*dn.d + best)
+			}
+			next[v] = append(next[v], i)
+		}
+	}
+	st.at = next
+}
+
 // Run simulates until all packets are delivered or the cycle limit hits.
-// Packets with Src == Dst are delivered at injection.
+// Packets with Src == Dst are delivered at injection. On a truncated
+// run the survivors are drained into the Stuck and DroppedHorizon
+// buckets, so Delivered + Dropped == Offered always holds.
 func (dn *DeflectionNetwork) Run(packets []Packet) DeflectionResult {
 	pkts := make([]Packet, len(packets))
 	copy(pkts, packets)
 	n := dn.g.N()
-	res := DeflectionResult{}
+	rec := dn.rec
+	res := DeflectionResult{Offered: len(pkts)}
 
-	// at[u] holds indices of packets currently at node u (≤ d transiting
-	// plus injections happen via pending queue).
-	at := make([][]int, n)
-	pendingAt := make([][]int, n) // not yet injected
-	remaining := 0
+	st := &deflectionRun{
+		pkts:      pkts,
+		at:        make([][]int, n),
+		pendingAt: make([][]int, n),
+		res:       &res,
+	}
 	for i := range pkts {
 		pkts[i].Delivered = -1
 		pkts[i].Hops = 0
@@ -85,81 +216,44 @@ func (dn *DeflectionNetwork) Run(packets []Packet) DeflectionResult {
 			res.Delivered++
 			continue
 		}
-		pendingAt[pkts[i].Src] = append(pendingAt[pkts[i].Src], i)
-		remaining++
+		st.pendingAt[pkts[i].Src] = append(st.pendingAt[pkts[i].Src], i)
+		st.remaining++
 	}
 
-	deliver := func(i, cycle int) {
-		pkts[i].Delivered = cycle
-		res.Delivered++
-		remaining--
-		if cycle > res.Cycles {
-			res.Cycles = cycle
+	var cycle int
+	for cycle = 0; st.remaining > 0 && cycle <= dn.limit; cycle++ {
+		dn.step(cycle, st, rec)
+	}
+
+	// Exit drain: the cycle limit hit with work outstanding. In-flight
+	// packets and release-eligible pending packets are Stuck; pending
+	// packets whose release lay beyond the limit were never injectable
+	// and drop under the horizon bucket.
+	if st.remaining > 0 {
+		drop := func(i int, bucket *int, cause obs.DropCause) {
+			*bucket++
+			res.Dropped++
+			st.remaining--
+			if rec != nil {
+				rec.Drop(cause)
+			}
+			_ = i
 		}
-	}
-
-	for cycle := 0; remaining > 0 && cycle <= dn.limit; cycle++ {
-		// Absorb arrivals.
 		for u := 0; u < n; u++ {
-			keep := at[u][:0]
-			for _, i := range at[u] {
-				if pkts[i].Dst == u {
-					deliver(i, cycle)
+			for _, i := range st.at[u] {
+				drop(i, &res.Stuck, obs.DropStuck)
+			}
+			st.at[u] = nil
+			for _, i := range st.pendingAt[u] {
+				if pkts[i].Release >= cycle {
+					drop(i, &res.DroppedHorizon, obs.DropHorizon)
 				} else {
-					keep = append(keep, i)
+					drop(i, &res.Stuck, obs.DropStuck)
 				}
 			}
-			at[u] = keep
+			st.pendingAt[u] = nil
 		}
-		// Inject where capacity allows (transiting packets have priority
-		// for outputs; a node holds at most d packets after injection).
-		for u := 0; u < n; u++ {
-			for len(pendingAt[u]) > 0 && len(at[u]) < dn.d {
-				i := pendingAt[u][0]
-				if pkts[i].Release > cycle {
-					break // queued by release order; later packets wait
-				}
-				pendingAt[u] = pendingAt[u][1:]
-				at[u] = append(at[u], i)
-			}
-		}
-		// Assign outputs: oldest packet first (deadline monotone keeps
-		// worst-case latency bounded), each takes its best free output.
-		next := make([][]int, n)
-		for u := 0; u < n; u++ {
-			if len(at[u]) == 0 {
-				continue
-			}
-			group := at[u]
-			sort.Slice(group, func(a, b int) bool {
-				return pkts[group[a]].Release < pkts[group[b]].Release ||
-					(pkts[group[a]].Release == pkts[group[b]].Release &&
-						pkts[group[a]].ID < pkts[group[b]].ID)
-			})
-			outs := dn.g.Out(u)
-			taken := make([]bool, len(outs))
-			for _, i := range group {
-				// Rank outputs by resulting distance to destination.
-				best, bestDist := -1, 0
-				for k, v := range outs {
-					if taken[k] {
-						continue
-					}
-					dv := dn.dist[v][pkts[i].Dst]
-					if best == -1 || dv < bestDist {
-						best, bestDist = k, dv
-					}
-				}
-				taken[best] = true
-				v := outs[best]
-				if dn.dist[v][pkts[i].Dst] >= dn.dist[u][pkts[i].Dst] {
-					res.Deflections++
-				}
-				pkts[i].Hops++
-				next[v] = append(next[v], i)
-			}
-		}
-		at = next
+		_ = st.remaining // zero by construction: every survivor was drained
 	}
 
 	// Aggregate.

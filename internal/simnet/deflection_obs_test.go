@@ -1,0 +1,116 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/obs"
+)
+
+// TestDeflectionDrainInvariant: a completed run and a truncated run both
+// satisfy Delivered + Dropped == Offered, with Dropped split into the
+// stuck and horizon buckets.
+func TestDeflectionDrainInvariant(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	dn, err := NewDeflection(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Completed run: nothing dropped.
+	res := dn.Run(UniformRandom(g.N(), 100, 7))
+	if res.Offered != 100 || res.Delivered != 100 || res.Dropped != 0 {
+		t.Fatalf("completed run accounting: %+v", res)
+	}
+	if res.DeliveredFraction() != 1 {
+		t.Errorf("DeliveredFraction = %v", res.DeliveredFraction())
+	}
+
+	// Horizon drop: a release beyond the cycle limit (64 * n cycles)
+	// means the packet is never injected.
+	far := dn.limit + 10
+	res = dn.Run([]Packet{
+		{ID: 0, Src: 0, Dst: 3},
+		{ID: 1, Src: 1, Dst: 5, Release: far},
+	})
+	if res.Offered != 2 || res.Delivered != 1 {
+		t.Fatalf("horizon run: %+v", res)
+	}
+	if res.Dropped != 1 || res.DroppedHorizon != 1 || res.Stuck != 0 {
+		t.Errorf("horizon drop misbucketed: %+v", res)
+	}
+	if res.Delivered+res.Dropped != res.Offered {
+		t.Errorf("drain invariant broken: %+v", res)
+	}
+	if res.Packets[1].Delivered >= 0 {
+		t.Errorf("horizon packet marked delivered")
+	}
+
+	// Stuck drop: flood one source with far more packets than the cycle
+	// limit admits (one injection per free output per cycle), so pending
+	// release-eligible packets survive to the exit drain.
+	flood := make([]Packet, 40*dn.limit)
+	for i := range flood {
+		flood[i] = Packet{ID: i, Src: 0, Dst: g.N() - 1}
+	}
+	res = dn.Run(flood)
+	if res.Delivered+res.Dropped != res.Offered {
+		t.Fatalf("flood drain invariant broken: %+v", res)
+	}
+	if res.Stuck == 0 {
+		t.Errorf("flood run reports no stuck packets: %+v", res)
+	}
+	if got := res.DeliveredFraction(); got <= 0 || got >= 1 {
+		t.Errorf("flood DeliveredFraction = %v, want in (0,1)", got)
+	}
+
+	// Zero-offered run never divides by zero.
+	if f := dn.Run(nil).DeliveredFraction(); f != 0 {
+		t.Errorf("empty run DeliveredFraction = %v", f)
+	}
+}
+
+// TestDeflectionObserved: the instrumented deflection run records arc
+// traversals summing to total hops, plus deflection and delivery
+// counters matching the result.
+func TestDeflectionObserved(t *testing.T) {
+	g := debruijn.DeBruijn(2, 5)
+	dn, err := NewDeflection(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(nil)
+	dn.Observe(rec)
+	res := dn.Run(UniformRandom(g.N(), 500, 11))
+	if res.Delivered != 500 {
+		t.Fatalf("undelivered: %v", res)
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counters[obs.MetricDelivered]; got != 500 {
+		t.Errorf("delivered counter %d", got)
+	}
+	if got := snap.Counters[obs.MetricDeflections]; got != int64(res.Deflections) {
+		t.Errorf("deflections counter %d, result %d", got, res.Deflections)
+	}
+	var slab int64
+	for _, v := range rec.ArcTraversals() {
+		slab += v
+	}
+	if slab != int64(res.TotalHops) {
+		t.Errorf("arc slab total %d, TotalHops %d", slab, res.TotalHops)
+	}
+	if len(rec.ArcTraversals()) != g.N()*2 {
+		t.Errorf("slab sized %d, want %d", len(rec.ArcTraversals()), g.N()*2)
+	}
+	if err := validateSnapshot(snap); err != nil {
+		t.Errorf("deflection snapshot invalid: %v", err)
+	}
+
+	// Instrumented and uninstrumented runs agree.
+	dn2, _ := NewDeflection(g, 2)
+	bare := dn2.Run(UniformRandom(g.N(), 500, 11))
+	if bare.Delivered != res.Delivered || bare.TotalHops != res.TotalHops ||
+		bare.Deflections != res.Deflections || bare.Cycles != res.Cycles {
+		t.Errorf("instrumented deflection diverged:\nbare: %+v\nobs:  %+v", bare, res)
+	}
+}

@@ -1,6 +1,10 @@
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // The fault-aware run loop. Structurally a store-and-forward simulation
 // like Network.Run, with three changes that make it survive a hostile
@@ -121,8 +125,12 @@ type pktMeta struct {
 // network's router is wrapped in a FaultAwareRouter; see FaultConfig for
 // the retry/TTL semantics. A nil plan degenerates to a fault-free run of
 // the fault engine (useful for differential tests).
+//
+// Deprecated: use RunOpts with WithFaults, which unifies the run entry
+// points behind functional options. RunWithFaults remains a thin
+// wrapper and is not going away.
 func (nw *Network) RunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig) (FaultResult, error) {
-	res, _, err := nw.runWithFaults(packets, plan, cfg, false)
+	res, _, err := nw.runWithFaults(packets, plan, cfg, false, nw.rec)
 	return res, err
 }
 
@@ -131,12 +139,15 @@ func (nw *Network) RunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 // Unlike TracedRun, events are recorded live (fault decisions depend on
 // the cycle, so a shadow re-run cannot reconstruct them) and all carry
 // their cycle.
+//
+// Deprecated: use RunOpts with WithFaults and WithTrace. The method
+// remains a thin wrapper and is not going away.
 func (nw *Network) TracedRunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig) (FaultResult, []Event, error) {
-	res, events, err := nw.runWithFaults(packets, plan, cfg, true)
+	res, events, err := nw.runWithFaults(packets, plan, cfg, true, nw.rec)
 	return res, events, err
 }
 
-func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig, traced bool) (FaultResult, []Event, error) {
+func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig, traced bool, rec *obs.Recorder) (FaultResult, []Event, error) {
 	state, err := plan.Compile(nw.g)
 	if err != nil {
 		return FaultResult{}, nil, err
@@ -157,8 +168,11 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	pkts := make([]Packet, len(packets))
 	copy(pkts, packets)
 
-	ar := nw.getArena()
+	ar, reused := nw.getArena()
 	defer nw.putArena(ar)
+	if rec != nil {
+		rec.Arena(reused)
+	}
 	meta := ar.metaFor(len(pkts))
 	// waiting[u] is the FIFO of packet indices held at node u; pipes are
 	// the per-arc link pipelines (flat by arcBase) as in Run.
@@ -173,9 +187,12 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	}
 
 	res := FaultResult{}
-	drop := func(i, cycle, node int, bucket *int) {
+	drop := func(i, cycle, node int, bucket *int, cause obs.DropCause) {
 		*bucket++
 		res.Dropped++
+		if rec != nil {
+			rec.Drop(cause)
+		}
 		emit(Event{Cycle: cycle, Kind: EventDrop, Packet: pkts[i].ID, Node: node, Peer: -1})
 	}
 
@@ -223,9 +240,12 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 					v := out[a-lo]
 					p := &pkts[fl.pkt]
 					p.Hops++
+					if rec != nil {
+						rec.ArcTraverse(int(a))
+					}
 					if state.NodeDown(v) {
 						emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
-						drop(fl.pkt, cycle, v, &res.DroppedFault)
+						drop(fl.pkt, cycle, v, &res.DroppedFault, obs.DropFault)
 						remaining--
 						continue
 					}
@@ -235,6 +255,9 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 						remaining--
 						if cycle > res.Cycles {
 							res.Cycles = cycle
+						}
+						if rec != nil {
+							rec.Deliver(cycle-p.Release, p.Hops)
 						}
 						emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
 						emit(Event{Cycle: cycle, Kind: EventDeliver, Packet: p.ID, Node: v, Peer: -1})
@@ -254,9 +277,13 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 			if len(waiting[u]) == 0 {
 				continue
 			}
-			if depth := len(waiting[u]); depth > res.MaxQueue {
+			depth := len(waiting[u])
+			if depth > res.MaxQueue {
 				res.MaxQueue = depth
 				res.HotNode = u
+			}
+			if rec != nil {
+				rec.NodeQueueDepth(depth)
 			}
 			ar.busyToken++
 			token := ar.busyToken
@@ -270,7 +297,7 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 					continue
 				}
 				if p.Hops >= cfg.TTL {
-					drop(i, cycle, u, &res.DroppedTTL)
+					drop(i, cycle, u, &res.DroppedTTL, obs.DropTTL)
 					remaining--
 					continue
 				}
@@ -278,11 +305,14 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 				if arc < 0 {
 					meta[i].retries++
 					if meta[i].retries > cfg.MaxRetries {
-						drop(i, cycle, u, &res.DroppedNoRoute)
+						drop(i, cycle, u, &res.DroppedNoRoute, obs.DropNoRoute)
 						remaining--
 						continue
 					}
 					res.Retries++
+					if rec != nil {
+						rec.Retry()
+					}
 					backoff := cfg.BackoffBase << uint(meta[i].retries-1)
 					if backoff > cfg.BackoffCap || backoff <= 0 {
 						backoff = cfg.BackoffCap
@@ -298,6 +328,9 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 				busy[arc] = token
 				if router.Primary(u, p.Dst) != arc {
 					res.Reroutes++
+					if rec != nil {
+						rec.Reroute()
+					}
 					emit(Event{Cycle: cycle, Kind: EventReroute, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
 				}
 				emit(Event{Cycle: cycle, Kind: EventDepart, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
@@ -314,7 +347,7 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	if remaining > 0 {
 		for u := 0; u < n; u++ {
 			for _, i32 := range waiting[u] {
-				drop(int(i32), cycle, u, &res.Stuck)
+				drop(int(i32), cycle, u, &res.Stuck, obs.DropStuck)
 				remaining--
 			}
 			waiting[u] = waiting[u][:0]
@@ -323,7 +356,7 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
 			for a := lo; a < hi; a++ {
 				for _, fl := range pipes[a] {
-					drop(fl.pkt, cycle, u, &res.Stuck)
+					drop(fl.pkt, cycle, u, &res.Stuck, obs.DropStuck)
 					remaining--
 				}
 				pipes[a] = pipes[a][:0]
@@ -333,7 +366,7 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 		// drop them at their source under their own bucket.
 		for ; cursor < len(order); cursor++ {
 			i := int(order[cursor])
-			drop(i, cycle, pkts[i].Src, &res.DroppedHorizon)
+			drop(i, cycle, pkts[i].Src, &res.DroppedHorizon, obs.DropHorizon)
 			remaining--
 		}
 		_ = remaining // zero by construction: every outstanding packet was drained

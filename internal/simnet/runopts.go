@@ -1,0 +1,158 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// The unified run entry point. Historically the Network grew three
+// parallel entry points — Run, RunWithFaults, TracedRunWithFaults —
+// each with its own positional signature; every new cross-cutting
+// concern (tracing, fault plans, now metrics recording) multiplied the
+// surface. RunOpts collapses them behind functional options:
+//
+//	rep, err := nw.RunOpts(simnet.UniformLoad(5000),
+//	        simnet.WithSeed(7),
+//	        simnet.WithFaults(plan),
+//	        simnet.WithRecorder(rec))
+//
+// The old names remain as thin deprecated wrappers.
+
+// Workload produces the packets of one run, given the network size and
+// a seed. Deterministic generators ignore the seed.
+type Workload interface {
+	Packets(n int, seed int64) []Packet
+}
+
+// WorkloadFunc adapts a function to the Workload interface.
+type WorkloadFunc func(n int, seed int64) []Packet
+
+// Packets implements Workload.
+func (f WorkloadFunc) Packets(n int, seed int64) []Packet { return f(n, seed) }
+
+// Fixed wraps a literal packet list as a Workload (the seed is unused).
+func Fixed(pkts []Packet) Workload {
+	return WorkloadFunc(func(int, int64) []Packet { return pkts })
+}
+
+// UniformLoad is the uniform-random workload of the given packet count.
+func UniformLoad(packets int) Workload {
+	return WorkloadFunc(func(n int, seed int64) []Packet { return UniformRandom(n, packets, seed) })
+}
+
+// PermutationLoad is the random-permutation workload (one packet per
+// node, destinations a uniform permutation).
+func PermutationLoad() Workload {
+	return WorkloadFunc(func(n int, seed int64) []Packet { return Permutation(n, seed) })
+}
+
+// BroadcastLoad is the one-to-all workload from the given root.
+func BroadcastLoad(root int) Workload {
+	return WorkloadFunc(func(n int, _ int64) []Packet { return Broadcast(n, root) })
+}
+
+// AllToAllLoad is the complete-exchange workload.
+func AllToAllLoad() Workload {
+	return WorkloadFunc(func(n int, _ int64) []Packet { return AllToAll(n) })
+}
+
+// PoissonLoad is the Poisson-arrival workload at the given rate
+// (packets per cycle per network).
+func PoissonLoad(packets int, rate float64) Workload {
+	return WorkloadFunc(func(n int, seed int64) []Packet { return PoissonArrivals(n, packets, rate, seed) })
+}
+
+// runConfig is the option state of one RunOpts call.
+type runConfig struct {
+	faults      bool
+	plan        *FaultPlan
+	faultCfg    FaultConfig
+	traced      bool
+	rec         *obs.Recorder
+	recOverride bool
+	seed        int64
+}
+
+// RunOption configures one RunOpts call.
+type RunOption func(*runConfig)
+
+// WithFaults runs the workload through the fault-aware engine under the
+// given plan (nil: the fault engine with no scheduled faults — still
+// useful for its TTL/retry semantics and Delivered+Dropped accounting).
+func WithFaults(plan *FaultPlan) RunOption {
+	return func(c *runConfig) {
+		c.faults = true
+		c.plan = plan
+	}
+}
+
+// WithFaultConfig tunes the fault engine (TTL, retries, backoff) and
+// implies the fault-aware engine like WithFaults(nil).
+func WithFaultConfig(cfg FaultConfig) RunOption {
+	return func(c *runConfig) {
+		c.faults = true
+		c.faultCfg = cfg
+	}
+}
+
+// WithTrace records the full event log of the run into the report.
+func WithTrace() RunOption {
+	return func(c *runConfig) { c.traced = true }
+}
+
+// WithRecorder records metrics into rec for this run only, overriding
+// (or, when the network has none, supplying) the recorder attached with
+// Observe. WithRecorder(nil) forces an uninstrumented run.
+func WithRecorder(rec *obs.Recorder) RunOption {
+	return func(c *runConfig) {
+		c.rec = rec
+		c.recOverride = true
+	}
+}
+
+// WithSeed seeds the workload generator (default 1).
+func WithSeed(seed int64) RunOption {
+	return func(c *runConfig) { c.seed = seed }
+}
+
+// RunReport is the unified result of RunOpts. The embedded FaultResult
+// extends Result; its fault-path counters are zero for runs without
+// WithFaults. Events is non-nil only under WithTrace.
+type RunReport struct {
+	FaultResult
+	Events []Event
+}
+
+// RunOpts generates the workload and runs it under the given options,
+// subsuming Run (no options), RunWithFaults (WithFaults) and
+// TracedRunWithFaults (WithFaults + WithTrace). Plain runs take the
+// allocation-free fast path; fault and traced runs use their engines.
+func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
+	if w == nil {
+		return RunReport{}, fmt.Errorf("simnet: RunOpts needs a workload")
+	}
+	cfg := runConfig{seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	rec := nw.rec
+	if cfg.recOverride {
+		rec = cfg.rec
+		rec.SizeArcs(int(nw.arcBase[nw.g.N()]))
+	}
+	pkts := w.Packets(nw.g.N(), cfg.seed)
+
+	if cfg.faults {
+		res, events, err := nw.runWithFaults(pkts, cfg.plan, cfg.faultCfg, cfg.traced, rec)
+		if err != nil {
+			return RunReport{}, err
+		}
+		return RunReport{FaultResult: res, Events: events}, nil
+	}
+	if cfg.traced {
+		res, events := nw.tracedRun(pkts, rec)
+		return RunReport{FaultResult: FaultResult{Result: res}, Events: events}, nil
+	}
+	return RunReport{FaultResult: FaultResult{Result: nw.run(pkts, 0, rec)}}, nil
+}

@@ -16,9 +16,11 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/debruijn"
 	"repro/internal/digraph"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -40,6 +42,17 @@ type Router interface {
 type TableRouter struct {
 	n    int
 	arcs []int32
+}
+
+// NewTableRouterObserved is NewTableRouter with build telemetry: the
+// wall time and slab footprint of the construction are recorded into
+// rec (router_build_ns / router_slab_bytes gauges). A nil rec degrades
+// to the plain constructor.
+func NewTableRouterObserved(g *digraph.Digraph, rec *obs.Recorder) *TableRouter {
+	start := time.Now()
+	r := NewTableRouter(g)
+	rec.RouterBuild(time.Since(start).Nanoseconds(), int64(r.Footprint()))
+	return r
 }
 
 // NewTableRouter builds the shortest-path arc slab for g.
@@ -211,8 +224,27 @@ type Network struct {
 	diamOnce sync.Once
 	diam     int
 
+	// rec is the attached metrics recorder (nil: uninstrumented). Every
+	// recording site is nil-guarded so the fast path stays
+	// allocation-free; WithRecorder overrides it per run.
+	rec *obs.Recorder
+
 	scratch sync.Pool // *arena
 }
+
+// Observe attaches a metrics recorder to the network: subsequent runs
+// record per-arc traversals, queue depths, latency histograms and
+// drop/reroute/retry causes into it. Passing nil detaches. Attach
+// before starting concurrent runs; the recorder itself is safe to share
+// between sweep workers.
+func (nw *Network) Observe(rec *obs.Recorder) {
+	rec.SizeArcs(int(nw.arcBase[nw.g.N()]))
+	nw.rec = rec
+}
+
+// ArcIndex returns the flat CSR index of out-arc k of node tail — the
+// index a Recorder's per-arc slabs are addressed by.
+func (nw *Network) ArcIndex(tail, k int) int { return int(nw.arcBase[tail]) + k }
 
 // New creates a network simulation over g.
 func New(g *digraph.Digraph, router Router, cfg Config) (*Network, error) {
@@ -261,14 +293,19 @@ func (nw *Network) defaultBudget(pkts, hopLatency int) int {
 
 // Run simulates until every packet is delivered or dropped, or MaxCycles
 // elapses. The packets slice is copied; releases may be in any order.
+//
+// Deprecated: use RunOpts, which unifies the run entry points behind
+// functional options (Run(pkts) is RunOpts(Fixed(pkts))). Run remains a
+// thin wrapper and is not going away.
 func (nw *Network) Run(packets []Packet) Result {
-	return nw.run(packets, 0)
+	return nw.run(packets, 0, nw.rec)
 }
 
 // run is Run with an explicit cycle budget (0 selects cfg.MaxCycles or
-// the default bound); sweeps use it to retune the budget per point while
-// reusing one Network.
-func (nw *Network) run(packets []Packet, budget int) Result {
+// the default bound) and recorder; sweeps use it to retune the budget
+// per point while reusing one Network. All recording sites are
+// rec != nil guarded so the uninstrumented path stays allocation-free.
+func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 	pkts := make([]Packet, len(packets))
 	copy(pkts, packets)
 	for i := range pkts {
@@ -277,8 +314,11 @@ func (nw *Network) run(packets []Packet, budget int) Result {
 	}
 
 	n := nw.g.N()
-	ar := nw.getArena()
+	ar, reused := nw.getArena()
 	defer nw.putArena(ar)
+	if rec != nil {
+		rec.Arena(reused)
+	}
 	queues := ar.queues // per-arc FIFO queues, flat by arcBase
 	pipes := ar.pipes   // per-arc link pipelines, flat by arcBase
 
@@ -303,6 +343,9 @@ func (nw *Network) run(packets []Packet, budget int) Result {
 		}
 		if nw.router.NextArc(pkts[i].Src, pkts[i].Dst) < 0 {
 			res.Dropped++
+			if rec != nil {
+				rec.Drop(obs.DropNoRoute)
+			}
 			continue
 		}
 		order = append(order, int32(i))
@@ -316,13 +359,21 @@ func (nw *Network) run(packets []Packet, budget int) Result {
 		arc := nw.router.NextArc(at, pkts[pkt].Dst)
 		if arc < 0 {
 			res.Dropped++
+			if rec != nil {
+				rec.Drop(obs.DropNoRoute)
+			}
 			return false
 		}
-		q := &queues[nw.arcBase[at]+int32(arc)]
+		flat := nw.arcBase[at] + int32(arc)
+		q := &queues[flat]
 		q.push(int32(pkt))
-		if depth := q.depth(); depth > res.MaxQueue {
+		depth := q.depth()
+		if depth > res.MaxQueue {
 			res.MaxQueue = depth
 			res.HotNode = at
+		}
+		if rec != nil {
+			rec.QueueDepth(int(flat), depth)
 		}
 		return true
 	}
@@ -352,12 +403,18 @@ func (nw *Network) run(packets []Packet, budget int) Result {
 					v := out[a-lo]
 					p := &pkts[fl.pkt]
 					p.Hops++
+					if rec != nil {
+						rec.ArcTraverse(int(a))
+					}
 					if v == p.Dst {
 						p.Delivered = cycle
 						res.Delivered++
 						remaining--
 						if cycle > res.Cycles {
 							res.Cycles = cycle
+						}
+						if rec != nil {
+							rec.Deliver(cycle-p.Release, p.Hops)
 						}
 						continue
 					}

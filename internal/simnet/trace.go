@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/digraph"
+	"repro/internal/obs"
 )
 
 // Event tracing: an instrumented run that records every packet movement,
@@ -78,9 +79,15 @@ func (e Event) String() string {
 // tracing re-runs the workload with a shadow network whose router
 // decisions are recorded.
 func (nw *Network) TracedRun(packets []Packet) (Result, []Event) {
+	return nw.tracedRun(packets, nw.rec)
+}
+
+// tracedRun is TracedRun with an explicit metrics recorder for the
+// shadow run (RunOpts threads its per-run recorder through here).
+func (nw *Network) tracedRun(packets []Packet, mrec *obs.Recorder) (Result, []Event) {
 	rec := &recordingRouter{inner: nw.router}
 	shadow := newNetwork(nw.g, rec, nw.cfg)
-	res := shadow.Run(packets)
+	res := shadow.run(packets, 0, mrec)
 
 	// Reconstruct per-packet paths by walking the recorded decisions.
 	var events []Event

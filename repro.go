@@ -12,26 +12,50 @@
 // this to lay out B(d, D) on the OTIS free-space optical architecture with
 // Θ(√n) lenses instead of the O(n) previously known.
 //
-// The facade re-exports the subsystems:
+// The facade re-exports the subsystems, grouped below in dependency
+// order:
 //
+//   - combinatorial substrate: permutations of Z_n and words over Z_d;
 //   - de Bruijn-family digraphs: DeBruijn, Kautz, RRK, ImaseItoh, BSigma,
-//     with explicit isomorphism witnesses (Propositions 3.2, 3.3);
+//     with explicit isomorphism witnesses (Propositions 3.2, 3.3), plus
+//     sequences, ring/tree embeddings and necklace certificates;
 //   - alphabet digraphs A(f, σ, j): NewAlpha and the Proposition 3.9
 //     machinery, plus the Remark 3.10 component decomposition;
+//   - general digraph machinery: diameters, connectivity, conjunction,
+//     line digraphs, isomorphism testing;
 //   - the OTIS architecture: OTISSystem, HDigraph, the layout criteria of
 //     Corollaries 4.2–4.6, OptimalLayout, and the Table 1 search;
-//   - the optical bench simulation: NewBench, beam tracing and power
-//     budgets;
-//   - the packet-level network simulator: NewNetwork and workloads;
-//   - general digraph machinery: diameters, connectivity, conjunction,
-//     line digraphs, isomorphism testing.
+//   - the optical bench simulation: NewBench, beam tracing, power budgets
+//     and diffraction feasibility;
+//   - the packet-level network simulator: NewNetwork, the Network.RunOpts
+//     functional-options entry point, workloads, load sweeps and
+//     bufferless deflection routing;
+//   - runtime fault injection and fault-aware rerouting;
+//   - observability: a stdlib-only metrics registry (counters, gauges,
+//     power-of-two histograms), per-arc and per-lens telemetry, and the
+//     stable OBS_run/v1 snapshot schema;
+//   - the assembled machine: layout + optics + witness + routing + metrics
+//     in one audited artifact;
+//   - applications on the de Bruijn dataflow: multistage networks,
+//     broadcasting/gossiping, the Pease FFT, Viterbi decoding, POPS
+//     comparisons.
 //
 // Quick start:
 //
-//	layout, ok := repro.OptimalLayout(2, 8)     // OTIS(16,32) ⊢ B(2,8)
+//	layout, ok := repro.OptimalLayout(2, 8)      // OTIS(16,32) ⊢ B(2,8)
 //	mapping, err := repro.LayoutWitness(2, 4, 5) // H(16,32,2) → B(2,8)
 //	bench, err := repro.NewBench(16, 32, repro.DefaultPitch)
-//	err = bench.VerifyTranspose()               // optics agree with graph theory
+//	err = bench.VerifyTranspose()                // optics agree with graph theory
+//
+// Instrumented simulation:
+//
+//	rec := repro.NewRecorder(repro.NewMetricsRegistry())
+//	g := repro.DeBruijn(2, 8)
+//	nw, err := repro.NewNetwork(g, repro.NewTableRouterObserved(g, rec),
+//		repro.DefaultSimConfig())
+//	nw.Observe(rec)
+//	rep, err := nw.RunOpts(repro.UniformLoad(10_000), repro.WithSeed(1))
+//	doc, err := rec.Snapshot().MarshalIndent() // stable OBS_run/v1 JSON
 package repro
 
 import (
@@ -42,6 +66,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/machine"
 	"repro/internal/multistage"
+	"repro/internal/obs"
 	"repro/internal/optics"
 	"repro/internal/otis"
 	"repro/internal/perm"
@@ -51,47 +76,17 @@ import (
 	"repro/internal/word"
 )
 
-// Re-exported types. Aliases keep the internal packages as the single
-// source of truth while giving users one import path.
+// ---------------------------------------------------------------------------
+// Combinatorial substrate: permutations (Section 2.1) and words.
+// ---------------------------------------------------------------------------
+
 type (
 	// Perm is a permutation of Z_n in one-line notation.
 	Perm = perm.Perm
 	// Word is a word over Z_d, the vertex label type of word digraphs.
 	Word = word.Word
-	// Digraph is a directed multigraph on vertices 0..n-1.
-	Digraph = digraph.Digraph
-	// Alpha is the alphabet digraph A(f, σ, j) of Definition 3.7.
-	Alpha = alpha.Alpha
-	// AlphaComponent annotates one weak component of a non-cyclic
-	// A(f, σ, j) with its Remark 3.10 structure.
-	AlphaComponent = alpha.Component
-	// OTISSystem is an OTIS(p, q) optical transpose interconnect.
-	OTISSystem = otis.System
-	// OTISLayout describes an OTIS realization of B(d, D).
-	OTISLayout = otis.Layout
-	// TableRow is one row of the Table 1 degree–diameter search.
-	TableRow = otis.TableRow
-	// Bench is a paraxial optical model of an OTIS(p, q) bench.
-	Bench = optics.Bench
-	// Trajectory is one traced beam through a Bench.
-	Trajectory = optics.Trajectory
-	// PowerBudget is the optical link budget model.
-	PowerBudget = optics.PowerBudget
-	// BOM is the hardware bill of materials of a realized network.
-	BOM = optics.BOM
-	// Network is a packet-level simulation over a Digraph.
-	Network = simnet.Network
-	// Packet is one simulated datagram.
-	Packet = simnet.Packet
-	// SimConfig tunes the network simulation.
-	SimConfig = simnet.Config
-	// SimResult summarizes a simulation run.
-	SimResult = simnet.Result
-	// Router chooses packet next hops.
-	Router = simnet.Router
 )
 
-// Permutations (Section 2.1).
 var (
 	// IdentityPerm returns the identity permutation of Z_n.
 	IdentityPerm = perm.Identity
@@ -113,7 +108,6 @@ var (
 	PermParse = perm.Parse
 )
 
-// Words.
 var (
 	// NewWord returns the all-zero word of the given length over Z_d.
 	NewWord = word.New
@@ -127,8 +121,11 @@ var (
 	Pow = word.Pow
 )
 
+// ---------------------------------------------------------------------------
 // De Bruijn-family digraphs (Section 2.2) and their isomorphisms
 // (Section 3.1).
+// ---------------------------------------------------------------------------
+
 var (
 	// DeBruijn returns B(d, D) (Definition 2.2) on Horner labels.
 	DeBruijn = debruijn.DeBruijn
@@ -163,119 +160,12 @@ var (
 	NewNextHopSlab = debruijn.NewNextHopSlab
 	// RoutingTable is the [][]int compatibility view over NewNextHopSlab.
 	RoutingTable = debruijn.RoutingTable
+	// DiameterGain measures the II-vs-RRK degree–diameter advantage.
+	DiameterGain = debruijn.DiameterGain
 )
 
 // NextHopSlab is the flat next-hop routing table built by NewNextHopSlab.
 type NextHopSlab = debruijn.NextHopSlab
-
-// Alphabet digraphs A(f, σ, j) (Section 3.2).
-var (
-	// NewAlpha builds A(f, σ, j) (Definition 3.7).
-	NewAlpha = alpha.New
-	// DeBruijnAlpha exhibits B(d, D) as A(ρ, Id, 0) (Remark 3.8).
-	DeBruijnAlpha = alpha.DeBruijnAlpha
-	// CountDefinitions returns d!(D-1)!, the number of alternative
-	// de Bruijn definitions (Section 3.2).
-	CountDefinitions = alpha.CountDefinitions
-	// ClassifyAlpha tallies the structural signatures of every (f, σ, j).
-	ClassifyAlpha = alpha.Classify
-	// AlphaSignature computes the component-shape signature of one
-	// alphabet digraph.
-	AlphaSignature = alpha.SignatureOf
-)
-
-// AlphaClassCount pairs a structural signature with its frequency.
-type AlphaClassCount = alpha.ClassCount
-
-// OTIS architecture and layouts (Section 4).
-var (
-	// NewOTIS returns an OTIS(p, q) system.
-	NewOTIS = otis.NewSystem
-	// HDigraph returns H(p, q, d) (Section 4.2).
-	HDigraph = otis.H
-	// IndexPermutation returns the Proposition 4.1 permutation f.
-	IndexPermutation = otis.IndexPermutation
-	// IsDeBruijnLayout is the O(D) layout criterion (Corollaries 4.2/4.5).
-	IsDeBruijnLayout = otis.IsDeBruijnLayout
-	// LayoutWitness returns the isomorphism H(d^p', d^q', d) → B(d, D).
-	LayoutWitness = otis.LayoutWitness
-	// OptimalLayout minimizes lenses over splits (Corollaries 4.4/4.6).
-	OptimalLayout = otis.OptimalLayout
-	// MinimizeLenses returns the minimum lens count for B(d, D).
-	MinimizeLenses = otis.MinimizeLenses
-	// IILayoutLenses returns the O(n) baseline lens count of [14].
-	IILayoutLenses = otis.IILayoutLenses
-	// SearchDegreeDiameter reruns the exhaustive search of Table 1.
-	SearchDegreeDiameter = otis.SearchDegreeDiameter
-	// LargestWithDiameter finds the largest OTIS-realizable digraph of a
-	// given degree and diameter.
-	LargestWithDiameter = otis.LargestWithDiameter
-	// OTISCatalog surveys what every power-of-d split physically builds.
-	OTISCatalog = otis.Catalog
-	// VerifyIILayout checks H(d, n, d) = II(d, n) ([14]).
-	VerifyIILayout = otis.VerifyIILayout
-)
-
-// Optical bench simulation.
-var (
-	// NewBench builds a paraxial OTIS(p, q) bench.
-	NewBench = optics.NewBench
-	// DefaultBudget returns a representative optical link budget.
-	DefaultBudget = optics.DefaultBudget
-	// WorstCaseMargin traces every beam and returns the worst margin.
-	WorstCaseMargin = optics.WorstCaseMargin
-	// BillOfMaterials summarizes hardware for a bench and degree.
-	BillOfMaterials = optics.BillOfMaterials
-	// CompareLayoutLenses compares baseline and optimized lens counts.
-	CompareLayoutLenses = optics.CompareLayouts
-)
-
-// DefaultPitch is the default transceiver pitch (metres).
-const DefaultPitch = optics.DefaultPitch
-
-// Network simulation.
-var (
-	// NewNetwork binds a digraph, router and config.
-	NewNetwork = simnet.New
-	// NewTableRouter routes by precomputed shortest paths.
-	NewTableRouter = simnet.NewTableRouter
-	// NewDeBruijnRouter routes natively on B(d, D) labels.
-	NewDeBruijnRouter = simnet.NewDeBruijnRouter
-	// DefaultSimConfig returns unit hop latency.
-	DefaultSimConfig = simnet.DefaultConfig
-	// UniformRandomWorkload, PermutationWorkload, BroadcastWorkload and
-	// AllToAllWorkload generate traffic patterns.
-	UniformRandomWorkload = simnet.UniformRandom
-	PermutationWorkload   = simnet.Permutation
-	BroadcastWorkload     = simnet.Broadcast
-	AllToAllWorkload      = simnet.AllToAll
-	PoissonWorkload       = simnet.PoissonArrivals
-)
-
-// Digraph machinery.
-var (
-	// NewDigraph returns an arcless digraph on n vertices.
-	NewDigraph = digraph.New
-	// DigraphFromFunc builds a digraph from an out-neighbour function.
-	DigraphFromFunc = digraph.FromFunc
-	// Conjunction returns G1 ⊗ G2 (Definition 2.3).
-	Conjunction = digraph.Conjunction
-	// LineDigraph returns L(G) and its arc table.
-	LineDigraph = digraph.LineDigraph
-	// Circuit returns the directed cycle C_k.
-	Circuit = digraph.Circuit
-	// CompleteWithLoops returns K*_n, the OTIS-realizable complete
-	// digraph of Zane et al.
-	CompleteWithLoops = digraph.CompleteWithLoops
-	// MooreBound returns 1 + d + ... + d^D.
-	MooreBound = digraph.MooreBound
-	// VerifyIsomorphism checks a proposed isomorphism in O(n+m).
-	VerifyIsomorphism = digraph.VerifyIsomorphism
-	// FindIsomorphism searches for an isomorphism (small instances).
-	FindIsomorphism = digraph.FindIsomorphism
-	// AreIsomorphic reports whether two digraphs are isomorphic.
-	AreIsomorphic = digraph.AreIsomorphic
-)
 
 // De Bruijn sequences and ring embeddings (the embedding literature [9]).
 var (
@@ -310,6 +200,460 @@ var (
 
 // TreeNode is one vertex of an embedded forest.
 type TreeNode = debruijn.TreeNode
+
+// Kautz extras: the explicit isomorphism onto Imase–Itoh ([21]) and
+// self-routing on Kautz words.
+var (
+	// WitnessKautzToII returns the explicit K(d,D) → II(d, d^{D-1}(d+1))
+	// isomorphism (alternating difference encoding).
+	WitnessKautzToII = debruijn.WitnessKautzToII
+	// IsoKautzToII builds and verifies the witness.
+	IsoKautzToII = debruijn.IsoKautzToII
+	// KautzDistance and KautzRoute are word-level self-routing on K(d,D).
+	KautzDistance = debruijn.KautzDistance
+	KautzRoute    = debruijn.KautzRoute
+	// IsKautzWord validates a Kautz vertex label.
+	IsKautzWord = debruijn.IsKautzWord
+)
+
+// Combinatorial certificates.
+var (
+	// NecklaceCycles returns the rotation 1-factor of B(d, D).
+	NecklaceCycles = debruijn.NecklaceCycles
+	// NecklaceCount returns the Burnside necklace number.
+	NecklaceCount = debruijn.NecklaceCount
+	// VerifyNecklaceFactor checks a proposed rotation factor.
+	VerifyNecklaceFactor = debruijn.VerifyNecklaceFactor
+)
+
+// ---------------------------------------------------------------------------
+// Alphabet digraphs A(f, σ, j) (Section 3.2).
+// ---------------------------------------------------------------------------
+
+type (
+	// Alpha is the alphabet digraph A(f, σ, j) of Definition 3.7.
+	Alpha = alpha.Alpha
+	// AlphaComponent annotates one weak component of a non-cyclic
+	// A(f, σ, j) with its Remark 3.10 structure.
+	AlphaComponent = alpha.Component
+	// AlphaClassCount pairs a structural signature with its frequency.
+	AlphaClassCount = alpha.ClassCount
+)
+
+var (
+	// NewAlpha builds A(f, σ, j) (Definition 3.7).
+	NewAlpha = alpha.New
+	// DeBruijnAlpha exhibits B(d, D) as A(ρ, Id, 0) (Remark 3.8).
+	DeBruijnAlpha = alpha.DeBruijnAlpha
+	// CountDefinitions returns d!(D-1)!, the number of alternative
+	// de Bruijn definitions (Section 3.2).
+	CountDefinitions = alpha.CountDefinitions
+	// ClassifyAlpha tallies the structural signatures of every (f, σ, j).
+	ClassifyAlpha = alpha.Classify
+	// AlphaSignature computes the component-shape signature of one
+	// alphabet digraph.
+	AlphaSignature = alpha.SignatureOf
+	// AlphaIsoBetween maps one cyclic alphabet digraph onto another.
+	AlphaIsoBetween = alpha.IsoBetween
+)
+
+// ---------------------------------------------------------------------------
+// General digraph machinery.
+// ---------------------------------------------------------------------------
+
+// Digraph is a directed multigraph on vertices 0..n-1.
+type Digraph = digraph.Digraph
+
+var (
+	// NewDigraph returns an arcless digraph on n vertices.
+	NewDigraph = digraph.New
+	// DigraphFromFunc builds a digraph from an out-neighbour function.
+	DigraphFromFunc = digraph.FromFunc
+	// Conjunction returns G1 ⊗ G2 (Definition 2.3).
+	Conjunction = digraph.Conjunction
+	// LineDigraph returns L(G) and its arc table.
+	LineDigraph = digraph.LineDigraph
+	// Circuit returns the directed cycle C_k.
+	Circuit = digraph.Circuit
+	// CompleteWithLoops returns K*_n, the OTIS-realizable complete
+	// digraph of Zane et al.
+	CompleteWithLoops = digraph.CompleteWithLoops
+	// MooreBound returns 1 + d + ... + d^D.
+	MooreBound = digraph.MooreBound
+	// VerifyIsomorphism checks a proposed isomorphism in O(n+m).
+	VerifyIsomorphism = digraph.VerifyIsomorphism
+	// FindIsomorphism searches for an isomorphism (small instances).
+	FindIsomorphism = digraph.FindIsomorphism
+	// AreIsomorphic reports whether two digraphs are isomorphic.
+	AreIsomorphic = digraph.AreIsomorphic
+)
+
+// TDM scheduling: d-regular digraphs decompose into d conflict-free
+// permutation slots (König). See Digraph.OneFactorization and
+// Digraph.VerifyFactorization, available on the Digraph type directly.
+
+// ---------------------------------------------------------------------------
+// OTIS architecture and layouts (Section 4).
+// ---------------------------------------------------------------------------
+
+type (
+	// OTISSystem is an OTIS(p, q) optical transpose interconnect.
+	OTISSystem = otis.System
+	// OTISLayout describes an OTIS realization of B(d, D).
+	OTISLayout = otis.Layout
+	// TableRow is one row of the Table 1 degree–diameter search.
+	TableRow = otis.TableRow
+	// OTISCatalogEntry describes one surveyed OTIS split.
+	OTISCatalogEntry = otis.CatalogEntry
+	// ConjectureSplitResult is one candidate of a conjecture scan.
+	ConjectureSplitResult = otis.SplitResult
+)
+
+var (
+	// NewOTIS returns an OTIS(p, q) system.
+	NewOTIS = otis.NewSystem
+	// HDigraph returns H(p, q, d) (Section 4.2).
+	HDigraph = otis.H
+	// IndexPermutation returns the Proposition 4.1 permutation f.
+	IndexPermutation = otis.IndexPermutation
+	// IsDeBruijnLayout is the O(D) layout criterion (Corollaries 4.2/4.5).
+	IsDeBruijnLayout = otis.IsDeBruijnLayout
+	// LayoutWitness returns the isomorphism H(d^p', d^q', d) → B(d, D).
+	LayoutWitness = otis.LayoutWitness
+	// OptimalLayout minimizes lenses over splits (Corollaries 4.4/4.6).
+	OptimalLayout = otis.OptimalLayout
+	// MinimizeLenses returns the minimum lens count for B(d, D).
+	MinimizeLenses = otis.MinimizeLenses
+	// IILayoutLenses returns the O(n) baseline lens count of [14].
+	IILayoutLenses = otis.IILayoutLenses
+	// SearchDegreeDiameter reruns the exhaustive search of Table 1.
+	SearchDegreeDiameter = otis.SearchDegreeDiameter
+	// SearchDegreeDiameterParallel is the worker-pool Table 1 search.
+	SearchDegreeDiameterParallel = otis.SearchDegreeDiameterParallel
+	// LargestWithDiameter finds the largest OTIS-realizable digraph of a
+	// given degree and diameter.
+	LargestWithDiameter = otis.LargestWithDiameter
+	// OTISCatalog surveys what every power-of-d split physically builds.
+	OTISCatalog = otis.Catalog
+	// VerifyIILayout checks H(d, n, d) = II(d, n) ([14]).
+	VerifyIILayout = otis.VerifyIILayout
+)
+
+// The concluding conjecture: exhaustive scans over all factorizations.
+var (
+	// ConjectureScan checks every pq = d^(D+1) split for B(d, D).
+	ConjectureScan = otis.ConjectureScan
+	// NonPowerLayouts filters a scan to conjecture counterexamples.
+	NonPowerLayouts = otis.NonPowerLayouts
+)
+
+// ---------------------------------------------------------------------------
+// Optical bench simulation.
+// ---------------------------------------------------------------------------
+
+type (
+	// Bench is a paraxial optical model of an OTIS(p, q) bench.
+	Bench = optics.Bench
+	// Trajectory is one traced beam through a Bench.
+	Trajectory = optics.Trajectory
+	// PowerBudget is the optical link budget model.
+	PowerBudget = optics.PowerBudget
+	// BOM is the hardware bill of materials of a realized network.
+	BOM = optics.BOM
+	// OpticalBench2D is a separable two-axis OTIS bench.
+	OpticalBench2D = optics.Bench2D
+	// DiffractionReport summarizes a bench's diffraction analysis.
+	DiffractionReport = optics.Diffraction
+)
+
+var (
+	// NewBench builds a paraxial OTIS(p, q) bench.
+	NewBench = optics.NewBench
+	// NewBench2D builds the separable 2-D bench for OTIS(px·py, qx·qy).
+	NewBench2D = optics.NewBench2D
+	// DefaultBudget returns a representative optical link budget.
+	DefaultBudget = optics.DefaultBudget
+	// WorstCaseMargin traces every beam and returns the worst margin.
+	WorstCaseMargin = optics.WorstCaseMargin
+	// BillOfMaterials summarizes hardware for a bench and degree.
+	BillOfMaterials = optics.BillOfMaterials
+	// CompareLayoutLenses compares baseline and optimized lens counts.
+	CompareLayoutLenses = optics.CompareLayouts
+	// Diffract evaluates the diffraction limits of a bench.
+	Diffract = optics.Diffract
+	// MaxFeasibleEvenDiameter returns the largest even D whose balanced
+	// layout passes the diffraction check.
+	MaxFeasibleEvenDiameter = optics.MaxFeasibleDiameterEven
+	// RayleighRange returns the collimation length of an unguided beam.
+	RayleighRange = optics.RayleighRange
+)
+
+// DefaultPitch is the default transceiver pitch (metres).
+const DefaultPitch = optics.DefaultPitch
+
+// DefaultWavelength is a typical VCSEL wavelength (850 nm).
+const DefaultWavelength = optics.DefaultWavelength
+
+// ---------------------------------------------------------------------------
+// Packet-level network simulation.
+//
+// Network.RunOpts is the unified entry point: a Workload plus functional
+// options (WithSeed, WithFaults, WithTrace, WithRecorder). The older
+// Network.Run, Network.RunWithFaults and Network.TracedRunWithFaults
+// methods are retained as thin deprecated wrappers over it.
+// ---------------------------------------------------------------------------
+
+type (
+	// Network is a packet-level simulation over a Digraph.
+	Network = simnet.Network
+	// Packet is one simulated datagram.
+	Packet = simnet.Packet
+	// SimConfig tunes the network simulation.
+	SimConfig = simnet.Config
+	// SimResult summarizes a simulation run.
+	SimResult = simnet.Result
+	// Router chooses packet next hops.
+	Router = simnet.Router
+	// Workload supplies the packets of a RunOpts call.
+	Workload = simnet.Workload
+	// WorkloadFunc adapts a plain generator function to Workload.
+	WorkloadFunc = simnet.WorkloadFunc
+	// RunOption is a functional option for Network.RunOpts.
+	RunOption = simnet.RunOption
+	// RunReport is the uniform result envelope of Network.RunOpts.
+	RunReport = simnet.RunReport
+)
+
+var (
+	// NewNetwork binds a digraph, router and config.
+	NewNetwork = simnet.New
+	// NewTableRouter routes by precomputed shortest paths.
+	NewTableRouter = simnet.NewTableRouter
+	// NewDeBruijnRouter routes natively on B(d, D) labels.
+	NewDeBruijnRouter = simnet.NewDeBruijnRouter
+	// DefaultSimConfig returns unit hop latency.
+	DefaultSimConfig = simnet.DefaultConfig
+)
+
+// Workloads for Network.RunOpts. Each returns a Workload whose Packets
+// method is driven by the run's packet budget and seed, so one workload
+// value can be reused across runs and sweeps.
+var (
+	// FixedWorkload wraps an explicit packet slice as a Workload.
+	FixedWorkload = simnet.Fixed
+	// UniformLoad sends n packets between uniformly random pairs.
+	UniformLoad = simnet.UniformLoad
+	// PermutationLoad sends one packet per node along a random permutation.
+	PermutationLoad = simnet.PermutationLoad
+	// BroadcastLoad floods one source to all other nodes.
+	BroadcastLoad = simnet.BroadcastLoad
+	// AllToAllLoad sends every ordered pair once.
+	AllToAllLoad = simnet.AllToAllLoad
+	// PoissonLoad injects Poisson arrivals at a given rate.
+	PoissonLoad = simnet.PoissonLoad
+)
+
+// Run options for Network.RunOpts (and OpticalMachine.RunOpts).
+var (
+	// WithSeed fixes the workload-generation seed (default 1).
+	WithSeed = simnet.WithSeed
+	// WithFaults runs the workload under a FaultPlan.
+	WithFaults = simnet.WithFaults
+	// WithFaultConfig overrides the fault-engine tuning.
+	WithFaultConfig = simnet.WithFaultConfig
+	// WithTrace captures the per-packet event log in RunReport.Events.
+	WithTrace = simnet.WithTrace
+	// WithRecorder records this run into the given Recorder, overriding
+	// (for this run only) any recorder attached with Network.Observe.
+	WithRecorder = simnet.WithRecorder
+)
+
+// Deprecated: the raw packet-slice generators below predate the Workload
+// interface. Prefer Network.RunOpts with UniformLoad, PermutationLoad,
+// BroadcastLoad, AllToAllLoad or PoissonLoad; wrap an explicit slice with
+// FixedWorkload. They remain for callers that want a bare []Packet.
+var (
+	// UniformRandomWorkload generates n uniformly random packets.
+	UniformRandomWorkload = simnet.UniformRandom
+	// PermutationWorkload generates a random-permutation pattern.
+	PermutationWorkload = simnet.Permutation
+	// BroadcastWorkload generates a one-to-all pattern.
+	BroadcastWorkload = simnet.Broadcast
+	// AllToAllWorkload generates every ordered pair once.
+	AllToAllWorkload = simnet.AllToAll
+	// PoissonWorkload generates Poisson arrivals.
+	PoissonWorkload = simnet.PoissonArrivals
+)
+
+// Load–latency characterization.
+var (
+	// LoadSweep measures mean latency across offered Poisson loads.
+	LoadSweep = simnet.LoadSweep
+	// ZeroLoadLatency returns mean distance × hop latency.
+	ZeroLoadLatency = simnet.ZeroLoadLatency
+)
+
+// LoadSweepPoint is one offered-load measurement.
+type LoadSweepPoint = simnet.SweepPoint
+
+// Deflection (hot-potato) routing — the bufferless optical regime.
+var (
+	// NewDeflection builds a hot-potato simulator on a d-regular digraph.
+	NewDeflection = simnet.NewDeflection
+)
+
+// DeflectionNetwork simulates bufferless hot-potato routing.
+type DeflectionNetwork = simnet.DeflectionNetwork
+
+// DeflectionResult summarizes a hot-potato run. It satisfies the drain
+// invariant Delivered + Dropped == Offered, with Dropped split into the
+// Stuck and DroppedHorizon buckets.
+type DeflectionResult = simnet.DeflectionResult
+
+// ---------------------------------------------------------------------------
+// Runtime fault injection and fault-aware rerouting.
+// ---------------------------------------------------------------------------
+
+var (
+	// NewFaultPlan returns an empty runtime fault schedule.
+	NewFaultPlan = simnet.NewFaultPlan
+	// NewFaultAwareRouter wraps a router with fault awareness.
+	NewFaultAwareRouter = simnet.NewFaultAwareRouter
+	// DefaultFaultSimConfig returns the default TTL/retry/backoff tuning.
+	DefaultFaultSimConfig = simnet.DefaultFaultConfig
+	// DegradationSweep measures delivery and latency vs. fault rate.
+	DegradationSweep = simnet.DegradationSweep
+)
+
+type (
+	// FaultPlan schedules link, node and lens faults against a run.
+	FaultPlan = simnet.FaultPlan
+	// FaultKind classifies scheduled faults (link, node, lens).
+	FaultKind = simnet.FaultKind
+	// Fault is one scheduled failure.
+	Fault = simnet.Fault
+	// SimArc identifies a directed link as (tail, adjacency position).
+	SimArc = simnet.Arc
+	// FaultState is a compiled FaultPlan bound to a digraph.
+	FaultState = simnet.FaultState
+	// FaultAwareRouter reroutes around the faults of a FaultState.
+	FaultAwareRouter = simnet.FaultAwareRouter
+	// FaultSimConfig tunes RunWithFaults (TTL, retries, backoff).
+	FaultSimConfig = simnet.FaultConfig
+	// FaultSimResult extends SimResult with fault-path accounting.
+	FaultSimResult = simnet.FaultResult
+	// DegradationPoint is one fault-rate measurement of a sweep.
+	DegradationPoint = simnet.DegradationPoint
+	// SimEvent is one record of a traced simulation run.
+	SimEvent = simnet.Event
+	// SimEventKind classifies trace events (inject … reroute, drop).
+	SimEventKind = simnet.EventKind
+)
+
+// ---------------------------------------------------------------------------
+// Observability: metrics registry, per-arc/per-lens telemetry, and the
+// OBS_run/v1 snapshot schema.
+//
+// A Recorder attached via Network.Observe (or OpticalMachine.Observe)
+// instruments every subsequent run at near-zero cost: counters and the
+// per-arc traversal/peak-queue slabs are updated with atomic operations,
+// and an unattached (nil) recorder costs one predictable branch per hop.
+// Recorder.Snapshot yields a RunMetrics document in the stable OBS_run/v1
+// JSON schema; ValidateRunMetrics checks a document an external tool is
+// about to trust.
+// ---------------------------------------------------------------------------
+
+type (
+	// MetricsRegistry is a concurrency-safe registry of named counters,
+	// gauges and power-of-two histograms.
+	MetricsRegistry = obs.Registry
+	// Recorder is the simulator-facing instrumentation handle. All its
+	// methods are safe on a nil receiver (the uninstrumented mode).
+	Recorder = obs.Recorder
+	// RunMetrics is one OBS_run/v1 snapshot document.
+	RunMetrics = obs.RunMetrics
+	// ArcMetrics is the per-arc traversal and peak-queue slab pair.
+	ArcMetrics = obs.ArcMetrics
+	// HistogramSnapshot is a frozen power-of-two histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// LensUtilization is one per-lens traffic roll-up row.
+	LensUtilization = obs.LensUtilization
+	// DropCause classifies packet drops (noroute, ttl, fault, horizon,
+	// stuck).
+	DropCause = obs.DropCause
+)
+
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewRecorder binds a recorder to a registry (nil for a private one).
+	NewRecorder = obs.NewRecorder
+	// ValidateRunMetrics checks an OBS_run/v1 JSON document.
+	ValidateRunMetrics = obs.ValidateRunMetrics
+	// NewTableRouterObserved builds a table router and records its
+	// construction time and slab footprint into the recorder's gauges.
+	NewTableRouterObserved = simnet.NewTableRouterObserved
+)
+
+// ObsRunSchema is the schema tag of RunMetrics documents.
+const ObsRunSchema = obs.RunMetricsSchema
+
+// Metric names used by the instrumented simulators. Stable: external
+// dashboards may key on them.
+const (
+	MetricDelivered    = obs.MetricDelivered
+	MetricDropped      = obs.MetricDropped
+	MetricDropPrefix   = obs.MetricDropPrefix
+	MetricReroutes     = obs.MetricReroutes
+	MetricRetries      = obs.MetricRetries
+	MetricDeflections  = obs.MetricDeflections
+	MetricArcTraversed = obs.MetricArcTraversed
+	MetricArenaReused  = obs.MetricArenaReused
+	MetricArenaAlloc   = obs.MetricArenaAlloc
+	MetricRouterNS     = obs.MetricRouterNS
+	MetricRouterBytes  = obs.MetricRouterBytes
+	MetricMaxQueue     = obs.MetricMaxQueue
+	MetricHistLatency  = obs.MetricHistLatency
+	MetricHistQueue    = obs.MetricHistQueue
+	MetricHistHops     = obs.MetricHistHops
+)
+
+// Drop causes recorded under MetricDropPrefix + cause.String().
+const (
+	DropNoRoute = obs.DropNoRoute
+	DropTTL     = obs.DropTTL
+	DropFault   = obs.DropFault
+	DropHorizon = obs.DropHorizon
+	DropStuck   = obs.DropStuck
+)
+
+// ---------------------------------------------------------------------------
+// The assembled machine: layout + optics + witness + routing + metrics in
+// one artifact.
+// ---------------------------------------------------------------------------
+
+var (
+	// BuildMachine assembles and fully verifies an optical de Bruijn
+	// machine for B(d, D).
+	BuildMachine = machine.Build
+	// PlanMachine picks the largest de Bruijn machine within a node
+	// budget.
+	PlanMachine = machine.Plan
+	// PlanAndBuildMachine plans and assembles in one call.
+	PlanAndBuildMachine = machine.PlanAndBuild
+)
+
+// MachinePlan is a capacity-planning recommendation.
+type MachinePlan = machine.PlanResult
+
+// OpticalMachine is a fully assembled, audited optical de Bruijn machine.
+// Observe/RunOpts/LensUtilization/RunMetrics expose the observability
+// layer at machine level, including the per-lens traffic roll-up.
+type OpticalMachine = machine.Machine
+
+// ---------------------------------------------------------------------------
+// Applications on the de Bruijn dataflow.
+// ---------------------------------------------------------------------------
 
 // Multistage networks built from de Bruijn digraphs ([27], [30]).
 var (
@@ -377,54 +721,13 @@ var (
 // is the de Bruijn digraph B(2, K-1).
 type ConvolutionalCode = viterbi.Code
 
-// The concluding conjecture: exhaustive scans over all factorizations.
+// Soft-decision channel tools for the Viterbi substrate.
 var (
-	// ConjectureScan checks every pq = d^(D+1) split for B(d, D).
-	ConjectureScan = otis.ConjectureScan
-	// NonPowerLayouts filters a scan to conjecture counterexamples.
-	NonPowerLayouts = otis.NonPowerLayouts
+	// AWGNChannel modulates to BPSK and adds Gaussian noise.
+	AWGNChannel = viterbi.AWGN
+	// HardSlice converts soft symbols to hard bits.
+	HardSlice = viterbi.HardSlice
 )
-
-// ConjectureSplitResult is one candidate of a conjecture scan.
-type ConjectureSplitResult = otis.SplitResult
-
-// OTISCatalogEntry describes one surveyed OTIS split.
-type OTISCatalogEntry = otis.CatalogEntry
-
-// Kautz extras: the explicit isomorphism onto Imase–Itoh ([21]) and
-// self-routing on Kautz words.
-var (
-	// WitnessKautzToII returns the explicit K(d,D) → II(d, d^{D-1}(d+1))
-	// isomorphism (alternating difference encoding).
-	WitnessKautzToII = debruijn.WitnessKautzToII
-	// IsoKautzToII builds and verifies the witness.
-	IsoKautzToII = debruijn.IsoKautzToII
-	// KautzDistance and KautzRoute are word-level self-routing on K(d,D).
-	KautzDistance = debruijn.KautzDistance
-	KautzRoute    = debruijn.KautzRoute
-	// IsKautzWord validates a Kautz vertex label.
-	IsKautzWord = debruijn.IsKautzWord
-)
-
-// Two-dimensional optical packaging.
-var (
-	// NewBench2D builds the separable 2-D bench for OTIS(px·py, qx·qy).
-	NewBench2D = optics.NewBench2D
-)
-
-// OpticalBench2D is a separable two-axis OTIS bench.
-type OpticalBench2D = optics.Bench2D
-
-// Load–latency characterization.
-var (
-	// LoadSweep measures mean latency across offered Poisson loads.
-	LoadSweep = simnet.LoadSweep
-	// ZeroLoadLatency returns mean distance × hop latency.
-	ZeroLoadLatency = simnet.ZeroLoadLatency
-)
-
-// LoadSweepPoint is one offered-load measurement.
-type LoadSweepPoint = simnet.SweepPoint
 
 // Prior-work multi-OPS networks ([10], [13], [34]).
 var (
@@ -446,116 +749,3 @@ type POPSNetwork = pops.POPS
 
 // OpticalHardwareComparison contrasts per-processor optics across designs.
 type OpticalHardwareComparison = pops.HardwareComparison
-
-// Physical feasibility and further analysis helpers.
-var (
-	// Diffract evaluates the diffraction limits of a bench.
-	Diffract = optics.Diffract
-	// MaxFeasibleEvenDiameter returns the largest even D whose balanced
-	// layout passes the diffraction check.
-	MaxFeasibleEvenDiameter = optics.MaxFeasibleDiameterEven
-	// RayleighRange returns the collimation length of an unguided beam.
-	RayleighRange = optics.RayleighRange
-	// AlphaIsoBetween maps one cyclic alphabet digraph onto another.
-	AlphaIsoBetween = alpha.IsoBetween
-	// DiameterGain measures the II-vs-RRK degree–diameter advantage.
-	DiameterGain = debruijn.DiameterGain
-	// SearchDegreeDiameterParallel is the worker-pool Table 1 search.
-	SearchDegreeDiameterParallel = otis.SearchDegreeDiameterParallel
-)
-
-// DiffractionReport summarizes a bench's diffraction analysis.
-type DiffractionReport = optics.Diffraction
-
-// DefaultWavelength is a typical VCSEL wavelength (850 nm).
-const DefaultWavelength = optics.DefaultWavelength
-
-// Deflection (hot-potato) routing — the bufferless optical regime.
-var (
-	// NewDeflection builds a hot-potato simulator on a d-regular digraph.
-	NewDeflection = simnet.NewDeflection
-)
-
-// DeflectionNetwork simulates bufferless hot-potato routing.
-type DeflectionNetwork = simnet.DeflectionNetwork
-
-// DeflectionResult summarizes a hot-potato run.
-type DeflectionResult = simnet.DeflectionResult
-
-// Combinatorial certificates.
-var (
-	// NecklaceCycles returns the rotation 1-factor of B(d, D).
-	NecklaceCycles = debruijn.NecklaceCycles
-	// NecklaceCount returns the Burnside necklace number.
-	NecklaceCount = debruijn.NecklaceCount
-	// VerifyNecklaceFactor checks a proposed rotation factor.
-	VerifyNecklaceFactor = debruijn.VerifyNecklaceFactor
-)
-
-// TDM scheduling: d-regular digraphs decompose into d conflict-free
-// permutation slots (König). See Digraph.OneFactorization and
-// Digraph.VerifyFactorization, available on the Digraph type directly.
-
-// Soft-decision channel tools for the Viterbi substrate.
-var (
-	// AWGNChannel modulates to BPSK and adds Gaussian noise.
-	AWGNChannel = viterbi.AWGN
-	// HardSlice converts soft symbols to hard bits.
-	HardSlice = viterbi.HardSlice
-)
-
-// The assembled machine: layout + optics + witness + routing in one
-// artifact.
-var (
-	// BuildMachine assembles and fully verifies an optical de Bruijn
-	// machine for B(d, D).
-	BuildMachine = machine.Build
-	// PlanMachine picks the largest de Bruijn machine within a node
-	// budget.
-	PlanMachine = machine.Plan
-	// PlanAndBuildMachine plans and assembles in one call.
-	PlanAndBuildMachine = machine.PlanAndBuild
-)
-
-// MachinePlan is a capacity-planning recommendation.
-type MachinePlan = machine.PlanResult
-
-// OpticalMachine is a fully assembled, audited optical de Bruijn machine.
-type OpticalMachine = machine.Machine
-
-// Runtime fault injection and fault-aware rerouting.
-var (
-	// NewFaultPlan returns an empty runtime fault schedule.
-	NewFaultPlan = simnet.NewFaultPlan
-	// NewFaultAwareRouter wraps a router with fault awareness.
-	NewFaultAwareRouter = simnet.NewFaultAwareRouter
-	// DefaultFaultSimConfig returns the default TTL/retry/backoff tuning.
-	DefaultFaultSimConfig = simnet.DefaultFaultConfig
-	// DegradationSweep measures delivery and latency vs. fault rate.
-	DegradationSweep = simnet.DegradationSweep
-)
-
-type (
-	// FaultPlan schedules link, node and lens faults against a run.
-	FaultPlan = simnet.FaultPlan
-	// FaultKind classifies scheduled faults (link, node, lens).
-	FaultKind = simnet.FaultKind
-	// Fault is one scheduled failure.
-	Fault = simnet.Fault
-	// SimArc identifies a directed link as (tail, adjacency position).
-	SimArc = simnet.Arc
-	// FaultState is a compiled FaultPlan bound to a digraph.
-	FaultState = simnet.FaultState
-	// FaultAwareRouter reroutes around the faults of a FaultState.
-	FaultAwareRouter = simnet.FaultAwareRouter
-	// FaultSimConfig tunes RunWithFaults (TTL, retries, backoff).
-	FaultSimConfig = simnet.FaultConfig
-	// FaultSimResult extends SimResult with fault-path accounting.
-	FaultSimResult = simnet.FaultResult
-	// DegradationPoint is one fault-rate measurement of a sweep.
-	DegradationPoint = simnet.DegradationPoint
-	// SimEvent is one record of a traced simulation run.
-	SimEvent = simnet.Event
-	// SimEventKind classifies trace events (inject … reroute, drop).
-	SimEventKind = simnet.EventKind
-)

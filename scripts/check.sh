@@ -27,12 +27,19 @@ go build ./...
 echo "== reprolint =="
 go run ./cmd/reprolint ./...
 
-echo "== go test -race (parallel kernels + fault engine) =="
-go test -race ./internal/digraph/... ./internal/otis/... ./internal/simnet/...
+echo "== go test -race (parallel kernels + fault engine + metrics) =="
+go test -race ./internal/digraph/... ./internal/otis/... ./internal/simnet/... \
+    ./internal/obs/...
 
 echo "== fault-sweep smoke run =="
 go run ./cmd/simulate -topo debruijn -d 3 -diam 3 -faults -packets 200 \
     -faultrates 0,0.5,1 > /dev/null
+
+echo "== metrics smoke (OBS_run/v1 schema) =="
+metrics_out=$(mktemp /tmp/OBS_run.XXXXXX.json)
+go run ./cmd/simulate -topo otis -d 3 -diam 4 -metrics "$metrics_out" > /dev/null
+go run ./cmd/simulate -validate-metrics "$metrics_out"
+rm -f "$metrics_out"
 
 echo "== bench smoke (BENCH_simnet.json schema) =="
 bench_out=$(mktemp /tmp/BENCH_simnet.XXXXXX.json)
