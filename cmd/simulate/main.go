@@ -9,6 +9,8 @@
 //	simulate -topo kautz -d 2 -diam 8 -workload broadcast
 //	simulate -topo debruijn -d 3 -diam 3 -faults
 //	simulate -d 3 -diam 4 -faultlens 2
+//	simulate -d 3 -diam 4 -selfheal                          # single-arc fault, no-oracle repair
+//	simulate -d 3 -diam 4 -faultlens 2 -selfheal -quarantine # lens fault + circuit breaker
 //
 // Observability:
 //
@@ -52,6 +54,10 @@ func main() {
 		"comma-separated per-arc fault rates for -faults")
 	faultLens := flag.Int("faultlens", -1,
 		"inject a permanent fault of this lens on the B(d,diam) machine and run the workload")
+	selfheal := flag.Bool("selfheal", false,
+		"run the fault through the self-healing engine (no-oracle detection, gossip, slab repair) and report convergence")
+	quarantine := flag.Bool("quarantine", false,
+		"with -selfheal: wire the per-lens circuit breaker in and report its transitions")
 	metricsOut := flag.String("metrics", "", "write an OBS_run/v1 metrics document to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	validate := flag.String("validate-metrics", "", "validate an OBS_run/v1 metrics file and exit")
@@ -80,6 +86,10 @@ func main() {
 
 	if *faults {
 		runDegradation(*topo, *d, *diam, *faultRates, *packets, *seed, rec, *metricsOut)
+		return
+	}
+	if *selfheal {
+		runSelfHeal(*d, *diam, *faultLens, *quarantine, *packets, *seed, rec, *metricsOut)
 		return
 	}
 	if *faultLens >= 0 {
@@ -237,6 +247,95 @@ func runLensFault(d, diam, lens, packets int, seed int64, rec *obs.Recorder, met
 	}
 	fmt.Printf("result: %v\n", res)
 	fmt.Printf("delivered fraction: %.3f\n", res.DeliveredFraction())
+	if metricsOut != "" {
+		doc, err := m.RunMetrics(rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		writeMetrics(metricsOut, doc)
+	}
+}
+
+// runSelfHeal injects a permanent fault on the B(d, diam) machine and
+// runs the workload through the self-healing engine: nodes discover the
+// dead arcs by NACK timeout, flood link-state events, and patch their
+// routing slabs — no oracle access to the fault plan. With -faultlens
+// the fault is a whole lens (whose shadow may silence nodes outright,
+// so full convergence can be physically unattainable); without it a
+// single arc dies, the regime where the network provably converges.
+// With -quarantine a per-lens circuit breaker rides along and its
+// transitions are reported.
+func runSelfHeal(d, diam, lens int, quarantine bool, packets int, seed int64, rec *obs.Recorder, metricsOut string) {
+	m, err := machine.Build(d, diam, optics.DefaultPitch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	m.Observe(rec)
+	fmt.Printf("machine: %v\n", m.Layout)
+	var plan *simnet.FaultPlan
+	if lens >= 0 {
+		plan, err = m.LensFaultPlan(0, 0, lens) // permanent
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fault: lens %d down permanently; self-healing with no fault oracle\n", lens)
+	} else {
+		plan = simnet.NewFaultPlan()
+		plan.LinkDown(0, 0, 1, 0)
+		fmt.Println("fault: arc (1#0) down permanently; self-healing with no fault oracle")
+	}
+	cfg := simnet.HealConfig{}
+	var breaker *machine.LensBreaker
+	if quarantine {
+		breaker, err = machine.NewLensBreaker(m, machine.BreakerConfig{}, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		cfg.Monitor = breaker
+	}
+	session, err := m.SelfHeal(plan, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	var res simnet.HealResult
+	// Two waves through one session: the first takes the NACKs and
+	// seeds detection + gossip, the second runs on the repaired slabs.
+	for wave := 1; wave <= 2; wave++ {
+		res, err = session.Run(simnet.UniformRandom(m.Nodes(), packets, seed+int64(wave)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wave %d: %v\n", wave, res)
+	}
+	fmt.Printf("delivered fraction: %.3f (wave 2)\n", res.DeliveredFraction())
+	if res.Converged {
+		fmt.Printf("healing: converged at cycle %d, epoch %d (%d events, %d slab repairs)\n",
+			res.ConvergedCycle, res.FinalEpoch, res.EventsCommitted, res.Repairs)
+	} else {
+		fmt.Printf("healing: NOT converged (%d events committed, epoch %d)\n",
+			res.EventsCommitted, res.FinalEpoch)
+	}
+	fmt.Printf("believed down: %v\n", session.BelievedDown())
+	if breaker != nil {
+		for _, tr := range breaker.Transitions() {
+			fmt.Printf("breaker: cycle %4d lens %d %v -> %v\n", tr.Cycle, tr.Lens, tr.From, tr.To)
+		}
+		for _, st := range breaker.States() {
+			if st.State != machine.BreakerClosed {
+				fmt.Printf("breaker: lens %d (%s) ends %v, trips %d, hold until %d\n",
+					st.Lens, st.Side, st.State, st.Trips, st.HoldUntil)
+			}
+		}
+		if q := session.Quarantined(); len(q) > 0 {
+			fmt.Printf("quarantined arcs: %v\n", q)
+		}
+	}
 	if metricsOut != "" {
 		doc, err := m.RunMetrics(rec)
 		if err != nil {

@@ -1,0 +1,139 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+)
+
+// Incremental routing repair. When arcs fail at runtime the control
+// plane needs the residual next-hop slab, but a from-scratch
+// NewNextHopSlab re-runs one reverse BFS per destination — O(n·(n+m))
+// — even though a small fault set leaves most destinations' routing
+// trees untouched. RepairSlab patches instead: it finds the
+// destinations whose shortest-path tree actually traverses a dead arc
+// and re-runs the builder's reverse BFS only for those, over the same
+// CSR with the dead arcs masked.
+//
+// Because the masked per-destination BFS is executionally identical to
+// the from-scratch builder's (same reverse CSR order, same dequeue
+// discipline), the patched slab is bit-identical to
+// NewNextHopSlab(residual), tie-breaks included — the property the
+// repair tests assert. The affected-destination test is exact, not
+// heuristic: a dead arc (u, k) with head v changes the BFS execution
+// for destination dst only if u was being discovered from v at that
+// scan, which is precisely when base records hop v for (u, dst).
+
+// RepairSlab returns a copy of base — the slab NewNextHopSlab built for
+// g — patched to the residual digraph of g minus the dead arcs, given
+// as (tail, adjacency position) pairs. Only destinations whose routing
+// tree traverses a dead arc are recomputed; the result equals
+// NewNextHopSlab of the residual digraph bit for bit. base is not
+// modified.
+func RepairSlab(g *digraph.Digraph, base *NextHopSlab, dead [][2]int) (*NextHopSlab, error) {
+	n := g.N()
+	if base == nil || base.n != n {
+		return nil, fmt.Errorf("debruijn: RepairSlab: base slab built for %d nodes, digraph has %d", baseN(base), n)
+	}
+
+	// Forward CSR bases give every arc a flat index for the dead mask.
+	fwdBase := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		fwdBase[u+1] = fwdBase[u] + int32(g.OutDegree(u))
+	}
+	deadMask := make([]bool, g.M())
+	for _, a := range dead {
+		u, k := a[0], a[1]
+		if u < 0 || u >= n || k < 0 || k >= g.OutDegree(u) {
+			return nil, fmt.Errorf("debruijn: RepairSlab: dead arc (%d#%d) out of range", u, k)
+		}
+		deadMask[fwdBase[u]+int32(k)] = true
+	}
+
+	hops := make([]int32, len(base.hops))
+	copy(hops, base.hops)
+
+	// Exact affected-destination set: dst is touched iff some dead arc
+	// (u, k) with head v is the recorded hop of (u, dst). Loops never
+	// carry shortest paths and are skipped.
+	affected := make([]bool, n)
+	count := 0
+	for _, a := range dead {
+		u, k := a[0], a[1]
+		v := int32(g.Out(u)[k])
+		if int(v) == u {
+			continue
+		}
+		row := base.hops[u*n : (u+1)*n]
+		for dst, hop := range row {
+			if hop == v && !affected[dst] {
+				affected[dst] = true
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return &NextHopSlab{n: n, hops: hops}, nil
+	}
+
+	// Reverse CSR in the builder's order, with each entry's forward flat
+	// index carried for masking.
+	revBase := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			revBase[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		revBase[v+1] += revBase[v]
+	}
+	revTail := make([]int32, g.M())
+	revFlat := make([]int32, g.M())
+	fill := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for k, v := range g.Out(u) {
+			slot := revBase[v] + fill[v]
+			revTail[slot] = int32(u)
+			revFlat[slot] = fwdBase[u] + int32(k)
+			fill[v]++
+		}
+	}
+
+	seen := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for dst := 0; dst < n; dst++ {
+		if !affected[dst] {
+			continue
+		}
+		for x := 0; x < n; x++ {
+			hops[x*n+dst] = -1
+		}
+		epoch := int32(dst + 1)
+		seen[dst] = epoch
+		hops[dst*n+dst] = int32(dst)
+		queue = append(queue[:0], int32(dst))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for idx := revBase[v]; idx < revBase[v+1]; idx++ {
+				if deadMask[revFlat[idx]] {
+					continue
+				}
+				u := revTail[idx]
+				if seen[u] == epoch {
+					continue
+				}
+				seen[u] = epoch
+				hops[int(u)*n+dst] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return &NextHopSlab{n: n, hops: hops}, nil
+}
+
+func baseN(s *NextHopSlab) int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}

@@ -1,0 +1,172 @@
+package debruijn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/digraph"
+)
+
+// RepairSlab's contract is bit-identity: the patched slab must equal
+// what NewNextHopSlab builds from scratch on the residual digraph —
+// tie-breaks included — for any fault set. These tests enumerate every
+// single-arc fault and sample random multi-arc fault sets across the
+// digraph catalog.
+
+// repairCatalog returns one representative per digraph family.
+func repairCatalog(t *testing.T) map[string]*digraph.Digraph {
+	t.Helper()
+	graphs := map[string]*digraph.Digraph{
+		"B(2,4)":    DeBruijn(2, 4),
+		"B(3,3)":    DeBruijn(3, 3),
+		"RRK(2,12)": RRK(2, 12),
+		"II(2,12)":  ImaseItoh(2, 12),
+	}
+	kautz, _ := Kautz(2, 4)
+	graphs["K(2,4)"] = kautz
+	return graphs
+}
+
+// residualOf rebuilds g minus the dead (tail, index) arcs, preserving
+// the adjacency order of the survivors — the digraph RepairSlab's
+// output must match from scratch.
+func residualOf(g *digraph.Digraph, dead [][2]int) *digraph.Digraph {
+	mask := map[[2]int]bool{}
+	for _, a := range dead {
+		mask[a] = true
+	}
+	h := digraph.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for k, v := range g.Out(u) {
+			if mask[[2]int{u, k}] {
+				continue
+			}
+			h.AddArc(u, v)
+		}
+	}
+	return h
+}
+
+// TestRepairSlabEverySingleArc: for every arc of every catalog graph,
+// the repaired slab is bit-identical to the from-scratch slab of the
+// residual digraph. Where the dead arc is its tail's first arc to that
+// head, the residual is cross-checked against digraph.RemoveArc too.
+func TestRepairSlabEverySingleArc(t *testing.T) {
+	for name, g := range repairCatalog(t) {
+		base := NewNextHopSlab(g)
+		for u := 0; u < g.N(); u++ {
+			for k, v := range g.Out(u) {
+				dead := [][2]int{{u, k}}
+				got, err := RepairSlab(g, base, dead)
+				if err != nil {
+					t.Fatalf("%s arc (%d#%d): %v", name, u, k, err)
+				}
+				residual := residualOf(g, dead)
+				// RemoveArc drops the first (u, v) arc in adjacency
+				// order; when that is ours, it must agree with the mask.
+				if first := firstArcTo(g, u, v); first == k {
+					byRemove := g.RemoveArc(u, v)
+					if !reflect.DeepEqual(residual, byRemove) {
+						t.Fatalf("%s arc (%d#%d): masked residual disagrees with RemoveArc", name, u, k)
+					}
+				}
+				want := NewNextHopSlab(residual)
+				if !reflect.DeepEqual(got.hops, want.hops) {
+					t.Fatalf("%s arc (%d#%d): repaired slab differs from from-scratch residual slab", name, u, k)
+				}
+			}
+		}
+	}
+}
+
+func firstArcTo(g *digraph.Digraph, u, v int) int {
+	for k, w := range g.Out(u) {
+		if w == v {
+			return k
+		}
+	}
+	return -1
+}
+
+// TestRepairSlabRandomFaultSets: seeded random multi-arc fault sets
+// stay bit-identical to from-scratch residual slabs.
+func TestRepairSlabRandomFaultSets(t *testing.T) {
+	for name, g := range repairCatalog(t) {
+		rng := rand.New(rand.NewSource(7))
+		base := NewNextHopSlab(g)
+		for trial := 0; trial < 25; trial++ {
+			seen := map[[2]int]bool{}
+			var dead [][2]int
+			for len(dead) < 1+rng.Intn(5) {
+				u := rng.Intn(g.N())
+				if g.OutDegree(u) == 0 {
+					continue
+				}
+				a := [2]int{u, rng.Intn(g.OutDegree(u))}
+				if seen[a] {
+					continue
+				}
+				seen[a] = true
+				dead = append(dead, a)
+			}
+			got, err := RepairSlab(g, base, dead)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+			want := NewNextHopSlab(residualOf(g, dead))
+			if !reflect.DeepEqual(got.hops, want.hops) {
+				t.Fatalf("%s trial %d (dead %v): repaired slab differs from from-scratch residual slab", name, trial, dead)
+			}
+		}
+	}
+}
+
+// TestRepairSlabRecovery: repairing with a shrunken dead set restores
+// the original entries — in particular the empty set reproduces the
+// base slab bit for bit (in a fresh allocation).
+func TestRepairSlabRecovery(t *testing.T) {
+	g := DeBruijn(2, 4)
+	base := NewNextHopSlab(g)
+	dead := [][2]int{{1, 0}, {5, 1}}
+	if _, err := RepairSlab(g, base, dead); err != nil {
+		t.Fatal(err)
+	}
+	back, err := RepairSlab(g, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.hops, base.hops) {
+		t.Fatal("empty dead set did not reproduce the base slab")
+	}
+	if &back.hops[0] == &base.hops[0] {
+		t.Fatal("RepairSlab must not alias the base slab's storage")
+	}
+	part, err := RepairSlab(g, base, dead[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewNextHopSlab(residualOf(g, dead[:1]))
+	if !reflect.DeepEqual(part.hops, want.hops) {
+		t.Fatal("shrunken dead set (recovery) differs from from-scratch residual slab")
+	}
+}
+
+// TestRepairSlabErrors: nil/mismatched base and out-of-range arcs are
+// rejected with descriptive errors.
+func TestRepairSlabErrors(t *testing.T) {
+	g := DeBruijn(2, 3)
+	base := NewNextHopSlab(g)
+	if _, err := RepairSlab(g, nil, nil); err == nil {
+		t.Fatal("nil base accepted")
+	}
+	other := NewNextHopSlab(DeBruijn(2, 4))
+	if _, err := RepairSlab(g, other, nil); err == nil {
+		t.Fatal("mismatched base accepted")
+	}
+	for _, dead := range [][][2]int{{{-1, 0}}, {{g.N(), 0}}, {{0, -1}}, {{0, g.OutDegree(0)}}} {
+		if _, err := RepairSlab(g, base, dead); err == nil {
+			t.Fatalf("out-of-range dead arc %v accepted", dead)
+		}
+	}
+}

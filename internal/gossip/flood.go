@@ -1,0 +1,104 @@
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+)
+
+// Flood is an incremental, fault-tolerant all-port flood: the
+// dissemination primitive the self-healing network layer piggybacks on
+// its cycle loop. Unlike the one-shot BroadcastAllPort simulation, a
+// Flood is advanced one round at a time by the caller, and each round
+// may see a different set of live arcs — the situation of a link-state
+// update spreading through a network that is itself degraded.
+//
+// The flood is persistent, not frontier-based: every informed node
+// re-offers the message to every uninformed out-neighbour each round, so
+// a transiently-down arc delays the message instead of losing it. On a
+// fully-live digraph the flood therefore completes in exactly the
+// all-port broadcast time of the origin (its eccentricity), which the
+// tests cross-check against BroadcastAllPort.
+type Flood struct {
+	g        *digraph.Digraph
+	informed []bool
+	count    int
+	rounds   int
+}
+
+// NewFlood starts a flood of one message from origin.
+func NewFlood(g *digraph.Digraph, origin int) (*Flood, error) {
+	if origin < 0 || origin >= g.N() {
+		return nil, fmt.Errorf("gossip: flood origin %d out of range [0,%d)", origin, g.N())
+	}
+	f := &Flood{g: g, informed: make([]bool, g.N())}
+	f.informed[origin] = true
+	f.count = 1
+	return f, nil
+}
+
+// Step performs one all-port round: every informed node informs every
+// uninformed out-neighbour whose connecting arc is live. live reports
+// whether the out-arc at (tail, index) can carry the message this round;
+// nil means every arc is live. Step returns the number of nodes newly
+// informed. Calling Step on a complete flood is a no-op returning 0.
+func (f *Flood) Step(live func(tail, index int) bool) int {
+	if f.Complete() {
+		return 0
+	}
+	f.rounds++
+	// Nodes informed this round must not relay until the next one, so
+	// collect first and mark after the scan.
+	var fresh []int
+	for u := 0; u < f.g.N(); u++ {
+		if !f.informed[u] {
+			continue
+		}
+		for k, v := range f.g.Out(u) {
+			if f.informed[v] {
+				continue
+			}
+			if live != nil && !live(u, k) {
+				continue
+			}
+			already := false
+			for _, w := range fresh {
+				if w == v {
+					already = true
+					break
+				}
+			}
+			if !already {
+				fresh = append(fresh, v)
+			}
+		}
+	}
+	for _, v := range fresh {
+		f.informed[v] = true
+		f.count++
+	}
+	return len(fresh)
+}
+
+// Mark records out-of-band knowledge: node u learned the message
+// directly (e.g. by observing the failure itself) rather than from a
+// neighbour. Marked nodes join the flood as relays next round.
+func (f *Flood) Mark(u int) {
+	if u < 0 || u >= len(f.informed) || f.informed[u] {
+		return
+	}
+	f.informed[u] = true
+	f.count++
+}
+
+// Informed reports whether node u has the message.
+func (f *Flood) Informed(u int) bool { return f.informed[u] }
+
+// Count returns how many nodes have the message.
+func (f *Flood) Count() int { return f.count }
+
+// Rounds returns how many Step calls have run.
+func (f *Flood) Rounds() int { return f.rounds }
+
+// Complete reports whether every node has the message.
+func (f *Flood) Complete() bool { return f.count == f.g.N() }

@@ -1,0 +1,130 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+// Flood is the dissemination primitive of the self-healing layer, so its
+// round semantics must be exact: one hop of spread per Step, agreement
+// with the all-port broadcast number on live graphs, and delay-not-loss
+// under transient arc failures.
+
+// TestFloodMatchesBroadcastAllPort: on a fully live digraph, the flood
+// from any origin completes in exactly BroadcastAllPort rounds — the
+// origin's eccentricity.
+func TestFloodMatchesBroadcastAllPort(t *testing.T) {
+	for name, g := range map[string]*digraph.Digraph{
+		"B(2,4)": debruijn.DeBruijn(2, 4),
+		"B(3,3)": debruijn.DeBruijn(3, 3),
+	} {
+		for origin := 0; origin < g.N(); origin++ {
+			f, err := NewFlood(g, origin)
+			if err != nil {
+				t.Fatalf("%s origin %d: %v", name, origin, err)
+			}
+			for !f.Complete() {
+				if f.Step(nil) == 0 {
+					t.Fatalf("%s origin %d: flood stalled at %d/%d informed", name, origin, f.Count(), g.N())
+				}
+			}
+			if want := BroadcastAllPort(g, origin); f.Rounds() != want {
+				t.Fatalf("%s origin %d: flood took %d rounds, all-port broadcast time is %d", name, origin, f.Rounds(), want)
+			}
+		}
+	}
+}
+
+// TestFloodOneHopPerRound: on a directed path, the flood advances one
+// node per round — newly informed nodes must not relay until the next
+// round.
+func TestFloodOneHopPerRound(t *testing.T) {
+	g := digraph.New(5)
+	for u := 0; u+1 < 5; u++ {
+		g.AddArc(u, u+1)
+	}
+	f, err := NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 4; round++ {
+		if newly := f.Step(nil); newly != 1 {
+			t.Fatalf("round %d: %d newly informed, want exactly 1", round, newly)
+		}
+	}
+	if !f.Complete() || f.Rounds() != 4 {
+		t.Fatalf("path flood: complete=%v rounds=%d, want complete in 4", f.Complete(), f.Rounds())
+	}
+	if f.Step(nil) != 0 {
+		t.Fatal("Step on a complete flood must be a no-op")
+	}
+}
+
+// TestFloodTransientFaultDelaysNotLoses: blocking every arc stalls the
+// flood without losing the message; once arcs come back the flood
+// completes in the usual time.
+func TestFloodTransientFaultDelaysNotLoses(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	f, err := NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := func(tail, index int) bool { return false }
+	for i := 0; i < 5; i++ {
+		if f.Step(blocked) != 0 {
+			t.Fatal("blocked round informed someone")
+		}
+	}
+	if f.Count() != 1 {
+		t.Fatalf("count %d after blocked rounds, want 1", f.Count())
+	}
+	rounds := 0
+	for !f.Complete() {
+		if f.Step(nil) == 0 {
+			t.Fatal("flood stalled on live digraph")
+		}
+		rounds++
+	}
+	if want := BroadcastAllPort(g, 0); rounds != want {
+		t.Fatalf("post-block spread took %d rounds, want %d", rounds, want)
+	}
+}
+
+// TestFloodMark: out-of-band knowledge joins the flood as a relay on
+// the next round.
+func TestFloodMark(t *testing.T) {
+	g := digraph.New(4) // two disconnected pairs: 0→1, 2→3
+	g.AddArc(0, 1)
+	g.AddArc(2, 3)
+	f, err := NewFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Step(nil)
+	if f.Informed(3) || f.Count() != 2 {
+		t.Fatalf("count %d informed(3)=%v before Mark", f.Count(), f.Informed(3))
+	}
+	f.Mark(2)
+	f.Mark(2) // idempotent
+	f.Mark(-1)
+	f.Mark(99)
+	if f.Count() != 3 {
+		t.Fatalf("count %d after Mark(2), want 3", f.Count())
+	}
+	f.Step(nil)
+	if !f.Complete() {
+		t.Fatal("marked node 2 did not relay to 3")
+	}
+}
+
+// TestFloodOriginOutOfRange: bad origins are rejected.
+func TestFloodOriginOutOfRange(t *testing.T) {
+	g := debruijn.DeBruijn(2, 2)
+	for _, origin := range []int{-1, g.N()} {
+		if _, err := NewFlood(g, origin); err == nil {
+			t.Fatalf("NewFlood accepted origin %d", origin)
+		}
+	}
+}

@@ -62,6 +62,19 @@ const (
 	MetricHistHops     = "hops"
 	MetricMaxQueue     = "max_queue"
 	MetricArcTraversed = "arc_traversals_total"
+
+	// Self-healing control plane (simnet heal engine).
+	MetricHealNacks      = "heal_nacks"
+	MetricHealDetections = "heal_detections"
+	MetricHealEvents     = "heal_events"
+	MetricHealRepairs    = "heal_repairs"
+	MetricHealProbes     = "heal_probes"
+	MetricHealConverge   = "heal_converge_cycles"
+
+	// Lens quarantine circuit breaker (machine layer).
+	MetricQuarTrips    = "quarantine_trips"
+	MetricQuarHalfOpen = "quarantine_halfopen"
+	MetricQuarCloses   = "quarantine_closes"
 )
 
 // Recorder is the hot-path instrument handle the simulators record
@@ -91,9 +104,19 @@ type Recorder struct {
 	arenaAlloc  *Counter
 	arcTotal    *Counter
 
-	routerNS    *Gauge
-	routerBytes *Gauge
-	maxQueue    *Gauge
+	healNacks   *Counter
+	healDetects *Counter
+	healEvents  *Counter
+	healRepairs *Counter
+	healProbes  *Counter
+	quarTrips   *Counter
+	quarHalf    *Counter
+	quarCloses  *Counter
+
+	routerNS     *Gauge
+	routerBytes  *Gauge
+	maxQueue     *Gauge
+	healConverge *Gauge
 
 	latency *Histogram
 	queue   *Histogram
@@ -116,12 +139,22 @@ func NewRecorder(reg *Registry) *Recorder {
 		arenaReused: reg.Counter(MetricArenaReused),
 		arenaAlloc:  reg.Counter(MetricArenaAlloc),
 		arcTotal:    reg.Counter(MetricArcTraversed),
+		healNacks:   reg.Counter(MetricHealNacks),
+		healDetects: reg.Counter(MetricHealDetections),
+		healEvents:  reg.Counter(MetricHealEvents),
+		healRepairs: reg.Counter(MetricHealRepairs),
+		healProbes:  reg.Counter(MetricHealProbes),
+		quarTrips:   reg.Counter(MetricQuarTrips),
+		quarHalf:    reg.Counter(MetricQuarHalfOpen),
+		quarCloses:  reg.Counter(MetricQuarCloses),
 		routerNS:    reg.Gauge(MetricRouterNS),
 		routerBytes: reg.Gauge(MetricRouterBytes),
 		maxQueue:    reg.Gauge(MetricMaxQueue),
-		latency:     reg.Histogram(MetricHistLatency),
-		queue:       reg.Histogram(MetricHistQueue),
-		hops:        reg.Histogram(MetricHistHops),
+
+		healConverge: reg.Gauge(MetricHealConverge),
+		latency:      reg.Histogram(MetricHistLatency),
+		queue:        reg.Histogram(MetricHistQueue),
+		hops:         reg.Histogram(MetricHistHops),
 	}
 	for c := DropCause(0); c < numDropCauses; c++ {
 		r.drops[c] = reg.Counter(MetricDropPrefix + c.String())
@@ -294,6 +327,84 @@ func (r *Recorder) RouterBuild(ns, bytes int64) {
 	}
 	r.routerNS.Set(ns)
 	r.routerBytes.Set(bytes)
+}
+
+// Nack records a failed transmission attempt on a physically-down arc
+// (the sender learns by timeout/NACK — the self-healing detection
+// signal).
+func (r *Recorder) Nack() {
+	if r == nil {
+		return
+	}
+	r.healNacks.Inc()
+}
+
+// Detect records a locally confirmed arc failure: suspicion on the arc
+// crossed the threshold and the node committed a link-state event.
+func (r *Recorder) Detect() {
+	if r == nil {
+		return
+	}
+	r.healDetects.Inc()
+}
+
+// HealEvent records one committed link-state event (an epoch).
+func (r *Recorder) HealEvent() {
+	if r == nil {
+		return
+	}
+	r.healEvents.Inc()
+}
+
+// RepairSlabBuild records one incremental routing-slab repair.
+func (r *Recorder) RepairSlabBuild() {
+	if r == nil {
+		return
+	}
+	r.healRepairs.Inc()
+}
+
+// Probe records one recovery or half-open probe sent by the control
+// plane.
+func (r *Recorder) Probe() {
+	if r == nil {
+		return
+	}
+	r.healProbes.Inc()
+}
+
+// ConvergeCycles records the convergence time of a self-healing run:
+// cycles from the first committed event to the last node informed of
+// the final epoch.
+func (r *Recorder) ConvergeCycles(cycles int64) {
+	if r == nil {
+		return
+	}
+	r.healConverge.Set(cycles)
+}
+
+// QuarantineTrip records a circuit breaker tripping open.
+func (r *Recorder) QuarantineTrip() {
+	if r == nil {
+		return
+	}
+	r.quarTrips.Inc()
+}
+
+// QuarantineHalfOpen records a breaker moving to half-open (probing).
+func (r *Recorder) QuarantineHalfOpen() {
+	if r == nil {
+		return
+	}
+	r.quarHalf.Inc()
+}
+
+// QuarantineClose records a breaker closing after a successful probe.
+func (r *Recorder) QuarantineClose() {
+	if r == nil {
+		return
+	}
+	r.quarCloses.Inc()
 }
 
 // ArcTraversals returns a copy of the per-arc traversal slab (nil for a

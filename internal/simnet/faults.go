@@ -92,39 +92,113 @@ func (f Fault) String() string {
 }
 
 // FaultPlan schedules faults against a run. The zero value (and nil) is
-// the empty plan.
+// the empty plan. A plan built with NewFaultPlanFor validates every
+// fault as it is added; a plain NewFaultPlan plan is validated when it
+// is compiled against a digraph.
 type FaultPlan struct {
 	faults []Fault
+	g      *digraph.Digraph // bound digraph for eager validation (may be nil)
+	err    error            // first validation error, reported by Err and Compile
 }
 
-// NewFaultPlan returns an empty plan.
+// NewFaultPlan returns an empty plan. Faults are validated when the
+// plan is compiled (Compile reports the first invalid fault).
 func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
 
-// LinkDown schedules the arc at (tail, index) to fail at cycle start for
-// duration cycles (duration <= 0: permanent).
-func (p *FaultPlan) LinkDown(start, duration, tail, index int) *FaultPlan {
-	p.faults = append(p.faults, Fault{Kind: FaultLink, Start: start, Duration: duration,
-		Arc: Arc{Tail: tail, Index: index}})
+// NewFaultPlanFor returns an empty plan bound to g: every builder call
+// validates its fault against g immediately, and the first invalid
+// fault is reported by Err (and again by Compile) with a descriptive
+// error instead of surfacing mid-run. Subsequent faults after an error
+// are still recorded so Err describes the first mistake, not the last.
+func NewFaultPlanFor(g *digraph.Digraph) *FaultPlan { return &FaultPlan{g: g} }
+
+// Err returns the first validation error recorded so far. Bound plans
+// (NewFaultPlanFor) validate every field eagerly; unbound plans check
+// only graph-independent fields (start, duration) here and defer the
+// rest to Compile.
+func (p *FaultPlan) Err() error {
+	if p == nil {
+		return nil
+	}
+	return p.err
+}
+
+// add records the fault, eagerly validating against the bound digraph.
+func (p *FaultPlan) add(f Fault) *FaultPlan {
+	p.faults = append(p.faults, f)
+	if p.err == nil {
+		if err := validateFault(f, p.g); err != nil {
+			p.err = err
+		}
+	}
 	return p
+}
+
+// validateFault checks one fault's fields. g may be nil (unbound plan),
+// in which case only graph-independent fields are checked.
+func validateFault(f Fault, g *digraph.Digraph) error {
+	if f.Start < 0 {
+		return fmt.Errorf("simnet: %v: start cycle %d < 0", f.Kind, f.Start)
+	}
+	if f.Duration < 0 {
+		return fmt.Errorf("simnet: %v: duration %d < 0 (use 0 for a permanent fault)", f.Kind, f.Duration)
+	}
+	if g == nil {
+		return nil
+	}
+	n := g.N()
+	checkArc := func(a Arc) error {
+		if a.Tail < 0 || a.Tail >= n {
+			return fmt.Errorf("simnet: %v: arc tail %d out of range [0,%d)", f.Kind, a.Tail, n)
+		}
+		if a.Index < 0 || a.Index >= g.OutDegree(a.Tail) {
+			return fmt.Errorf("simnet: %v: arc (%d#%d) out of range (node %d has %d out-arcs)",
+				f.Kind, a.Tail, a.Index, a.Tail, g.OutDegree(a.Tail))
+		}
+		return nil
+	}
+	switch f.Kind {
+	case FaultLink:
+		return checkArc(f.Arc)
+	case FaultNode:
+		if f.Node < 0 || f.Node >= n {
+			return fmt.Errorf("simnet: %v: node %d out of range [0,%d)", f.Kind, f.Node, n)
+		}
+	case FaultLens:
+		if f.Lens < 0 {
+			return fmt.Errorf("simnet: %v: lens %d < 0", f.Kind, f.Lens)
+		}
+		for _, a := range f.Arcs {
+			if err := checkArc(a); err != nil {
+				return fmt.Errorf("%w (lens %d)", err, f.Lens)
+			}
+		}
+	}
+	return nil
+}
+
+// LinkDown schedules the arc at (tail, index) to fail at cycle start for
+// duration cycles (0: permanent).
+func (p *FaultPlan) LinkDown(start, duration, tail, index int) *FaultPlan {
+	return p.add(Fault{Kind: FaultLink, Start: start, Duration: duration,
+		Arc: Arc{Tail: tail, Index: index}})
 }
 
 // NodeDown schedules node to fail at cycle start for duration cycles
-// (duration <= 0: permanent).
+// (0: permanent).
 func (p *FaultPlan) NodeDown(start, duration, node int) *FaultPlan {
-	p.faults = append(p.faults, Fault{Kind: FaultNode, Start: start, Duration: duration, Node: node})
-	return p
+	return p.add(Fault{Kind: FaultNode, Start: start, Duration: duration, Node: node})
 }
 
 // LensDown schedules a lens fault: the given arc group (typically from
 // otis.Layout.LensArcs, mapped to (tail, index) pairs) fails together at
-// cycle start for duration cycles (duration <= 0: permanent). lens is a
-// label for reporting.
+// cycle start for duration cycles (0: permanent). lens is a label for
+// reporting.
 func (p *FaultPlan) LensDown(start, duration, lens int, arcs []Arc) *FaultPlan {
 	group := make([]Arc, len(arcs))
 	copy(group, arcs)
-	p.faults = append(p.faults, Fault{Kind: FaultLens, Start: start, Duration: duration,
+	return p.add(Fault{Kind: FaultLens, Start: start, Duration: duration,
 		Lens: lens, Arcs: group})
-	return p
 }
 
 // Faults returns the scheduled faults in insertion order.
@@ -174,6 +248,9 @@ func (p *FaultPlan) Compile(g *digraph.Digraph) (*FaultState, error) {
 	if p == nil {
 		return st, nil
 	}
+	if p.err != nil {
+		return nil, p.err
+	}
 	n := g.N()
 	addArc := func(a Arc, sp span) error {
 		if a.Tail < 0 || a.Tail >= n || a.Index < 0 || a.Index >= g.OutDegree(a.Tail) {
@@ -186,8 +263,8 @@ func (p *FaultPlan) Compile(g *digraph.Digraph) (*FaultState, error) {
 		return nil
 	}
 	for _, f := range p.faults {
-		if f.Start < 0 {
-			return nil, fmt.Errorf("simnet: fault start cycle %d < 0", f.Start)
+		if err := validateFault(f, g); err != nil {
+			return nil, err
 		}
 		sp := span{start: f.Start, end: -1}
 		if !f.Permanent() {

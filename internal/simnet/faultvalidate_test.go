@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/debruijn"
+)
+
+// FaultPlan validation: a plan bound to a digraph with NewFaultPlanFor
+// rejects malformed faults at build time with descriptive errors, and
+// Compile reports the same first error. Unbound plans keep deferring to
+// Compile.
+
+func TestFaultPlanForValidatesEagerly(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	n := g.N()
+	cases := []struct {
+		name string
+		plan *FaultPlan
+		want string
+	}{
+		{"negative start", NewFaultPlanFor(g).LinkDown(-1, 0, 0, 0), "start cycle -1 < 0"},
+		{"negative duration", NewFaultPlanFor(g).LinkDown(0, -5, 0, 0), "duration -5 < 0"},
+		{"tail out of range", NewFaultPlanFor(g).LinkDown(0, 0, n, 0), "arc tail 8 out of range"},
+		{"negative tail", NewFaultPlanFor(g).LinkDown(0, 0, -1, 0), "arc tail -1 out of range"},
+		{"index out of range", NewFaultPlanFor(g).LinkDown(0, 0, 3, 2), "arc (3#2) out of range (node 3 has 2 out-arcs)"},
+		{"node out of range", NewFaultPlanFor(g).NodeDown(0, 0, n), "node 8 out of range"},
+		{"negative node", NewFaultPlanFor(g).NodeDown(0, 0, -2), "node -2 out of range"},
+		{"negative lens", NewFaultPlanFor(g).LensDown(0, 0, -1, nil), "lens -1 < 0"},
+		{"lens group arc", NewFaultPlanFor(g).LensDown(0, 0, 3, []Arc{{Tail: 0, Index: 0}, {Tail: 1, Index: 9}}), "(lens 3)"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Err()
+		if err == nil {
+			t.Fatalf("%s: Err() = nil", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, cerr := tc.plan.Compile(g); cerr == nil || cerr.Error() != err.Error() {
+			t.Fatalf("%s: Compile error %v != Err %v", tc.name, cerr, err)
+		}
+	}
+}
+
+func TestFaultPlanForKeepsFirstError(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	plan := NewFaultPlanFor(g).
+		LinkDown(0, 0, -1, 0). // first mistake
+		NodeDown(0, 0, 999).   // second mistake
+		LinkDown(0, 0, 0, 0)   // valid
+	err := plan.Err()
+	if err == nil || !strings.Contains(err.Error(), "arc tail -1") {
+		t.Fatalf("Err() = %v, want the first mistake (arc tail -1)", err)
+	}
+	if got := len(plan.Faults()); got != 3 {
+		t.Fatalf("plan recorded %d faults, want all 3", got)
+	}
+}
+
+func TestFaultPlanForValidPlanErrNil(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	plan := NewFaultPlanFor(g).
+		LinkDown(0, 10, 1, 1).
+		NodeDown(5, 0, 3).
+		LensDown(2, 4, 0, []Arc{{Tail: 2, Index: 0}})
+	if err := plan.Err(); err != nil {
+		t.Fatalf("valid plan Err() = %v", err)
+	}
+	if _, err := plan.Compile(g); err != nil {
+		t.Fatalf("valid plan Compile: %v", err)
+	}
+}
+
+func TestUnboundFaultPlanValidatesAtCompile(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	plan := NewFaultPlan().LinkDown(0, 0, 99, 0)
+	if err := plan.Err(); err != nil {
+		t.Fatalf("unbound plan Err() = %v, want nil (validation deferred)", err)
+	}
+	if _, err := plan.Compile(g); err == nil || !strings.Contains(err.Error(), "arc tail 99") {
+		t.Fatalf("Compile = %v, want arc tail 99 error", err)
+	}
+	// Graph-independent fields are rejected even unbound.
+	bad := NewFaultPlan().NodeDown(0, -1, 2)
+	if _, err := bad.Compile(g); err == nil || !strings.Contains(err.Error(), "duration -1 < 0") {
+		t.Fatalf("Compile = %v, want duration error", err)
+	}
+}

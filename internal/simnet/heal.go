@@ -1,0 +1,542 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/digraph"
+	"repro/internal/obs"
+)
+
+// The self-healing run loop. RunWithFaults hands its router the
+// compiled FaultState — an oracle no real network has. A SelfHealing
+// session runs the same store-and-forward simulation with the oracle
+// removed: the fault plan is consulted only as physical truth (does
+// this transmission succeed? is this node alive?), never as routing
+// input. Everything the control plane knows it learned the hard way:
+//
+//   - detect: a transmission onto a downed arc fails; the sender times
+//     out (DetectLatency cycles), bumps a per-arc suspicion counter,
+//     and after SuspectThreshold consecutive failures commits a
+//     link-down event — local knowledge, at the tail only;
+//   - disseminate: each committed event floods the network one
+//     all-port round per cycle over the arcs that still work
+//     (gossip.Flood), piggybacked on the cycle loop. Nodes at a stale
+//     epoch keep routing into dead arcs and pay more timeouts;
+//   - repair: a node at epoch e routes by the pristine slab patched
+//     with the believed-down set of its epoch (TableRouter.Repair) —
+//     an incremental patch per event, never a from-scratch rebuild;
+//   - recover: tails probe their believed-down out-arcs every
+//     ProbeInterval cycles; a probe that succeeds commits a link-up
+//     event that floods the same way.
+//
+// A HealMonitor (the machine layer's lens circuit breaker) can
+// additionally quarantine arc groups: quarantined arcs are refused at
+// departure without a physical attempt, and half-open probe results are
+// fed back to the monitor.
+//
+// The session outlives a single Run: the clock, the event log and the
+// epoch slabs persist, so a second Run on the same session starts with
+// everything the network already learned — the converged regime the
+// claim tests compare against the omniscient router.
+
+// HealMonitor observes per-arc transmission outcomes of a self-healing
+// run and may quarantine arc groups (a circuit breaker). All calls are
+// made from the run loop, single-threaded, with session-absolute
+// cycles.
+type HealMonitor interface {
+	// ArcFailed reports a failed transmission attempt (NACK) on arc.
+	ArcFailed(cycle int, arc Arc)
+	// ArcOK reports a successful transmission on arc.
+	ArcOK(cycle int, arc Arc)
+	// Tick runs once per cycle before routing. Arcs in quarantine stop
+	// carrying traffic until they appear in release; arcs in probe get
+	// one half-open probe each, answered via ProbeResult.
+	Tick(cycle int) (quarantine, release, probe []Arc)
+	// ProbeResult answers a probe requested by Tick: ok reports whether
+	// the arc is physically up.
+	ProbeResult(cycle int, arc Arc, ok bool)
+}
+
+// HealConfig tunes a self-healing session. The zero value selects
+// defaults. The embedded FaultConfig keeps its RunWithFaults meaning
+// (hop latency, TTL, retry/backoff budget, cycle bound per Run).
+type HealConfig struct {
+	FaultConfig
+	// DetectLatency is the timeout a sender pays for a failed
+	// transmission attempt before the packet may try again — the stand-
+	// in for a NACK round trip (0: 2).
+	DetectLatency int
+	// SuspectThreshold is how many failed attempts on an out-arc its
+	// tail accumulates before committing a link-down event (0: 2).
+	SuspectThreshold int
+	// ProbeInterval is how often (in cycles) tails probe believed-down
+	// out-arcs for recovery (0: 16).
+	ProbeInterval int
+	// Monitor, when non-nil, is consulted every cycle and may
+	// quarantine arc groups (see HealMonitor).
+	Monitor HealMonitor
+}
+
+func (c HealConfig) withHealDefaults(n, diameter int) HealConfig {
+	c.FaultConfig = c.FaultConfig.withDefaults(n, diameter)
+	if c.DetectLatency < 1 {
+		c.DetectLatency = 2
+	}
+	if c.SuspectThreshold < 1 {
+		c.SuspectThreshold = 2
+	}
+	if c.ProbeInterval < 1 {
+		c.ProbeInterval = 16
+	}
+	return c
+}
+
+// HealResult extends FaultResult with the control-plane accounting of
+// one Run. The FaultResult invariants hold unchanged: Delivered +
+// Dropped == Offered on every run, including truncated ones.
+type HealResult struct {
+	FaultResult
+	// Nacks counts failed transmission attempts (the detection signal).
+	Nacks int
+	// Detections counts link-down events committed by suspicion.
+	Detections int
+	// EventsCommitted counts all link-state events committed this Run,
+	// down and recovery alike.
+	EventsCommitted int
+	// Repairs counts epoch slabs patched so far in the session.
+	Repairs int
+	// Probes counts recovery and half-open probes sent this Run.
+	Probes int
+	// FinalEpoch is the session's committed event count after the Run.
+	FinalEpoch int
+	// Converged reports whether every committed event has finished
+	// flooding — all nodes hold the latest epoch.
+	Converged bool
+	// ConvergedCycle is the session cycle the last flood completed (0
+	// when no event was ever committed, -1 while still spreading).
+	ConvergedCycle int
+}
+
+// String renders the headline numbers.
+func (r HealResult) String() string {
+	return fmt.Sprintf("%v nacks=%d detections=%d events=%d repairs=%d probes=%d epoch=%d converged=%v@%d",
+		r.FaultResult, r.Nacks, r.Detections, r.EventsCommitted, r.Repairs, r.Probes,
+		r.FinalEpoch, r.Converged, r.ConvergedCycle)
+}
+
+// SelfHealing is a live self-healing session over a network and a fault
+// plan. Create one with Network.SelfHeal, then call Run one or more
+// times; the session clock, event log, suspicion counters and epoch
+// slabs persist across Runs.
+type SelfHealing struct {
+	nw    *Network
+	state *FaultState
+	heal  *healState
+	cfg   HealConfig
+	clock int
+
+	quarantined map[Arc]bool
+}
+
+// SelfHeal compiles the plan and opens a self-healing session. The
+// plan is physical truth only — no routing decision ever reads it. If
+// the network's router is not a *TableRouter, a pristine slab is built
+// for the session (self-healing repairs table slabs).
+func (nw *Network) SelfHeal(plan *FaultPlan, cfg HealConfig) (*SelfHealing, error) {
+	state, err := plan.Compile(nw.g)
+	if err != nil {
+		return nil, err
+	}
+	base, ok := nw.router.(*TableRouter)
+	if !ok {
+		base = NewTableRouter(nw.g)
+	}
+	return &SelfHealing{
+		nw:          nw,
+		state:       state,
+		heal:        newHealState(nw.g, base),
+		cfg:         cfg.withHealDefaults(nw.g.N(), nw.diameter()),
+		quarantined: map[Arc]bool{},
+	}, nil
+}
+
+// Cycle returns the session clock: the first cycle the next Run will
+// simulate.
+func (s *SelfHealing) Cycle() int { return s.clock }
+
+// Epoch returns the number of committed link-state events.
+func (s *SelfHealing) Epoch() int { return len(s.heal.events) }
+
+// Converged reports whether every committed event has finished
+// flooding.
+func (s *SelfHealing) Converged() bool { return s.heal.converged() }
+
+// BelievedDown returns the arcs the latest epoch holds down, sorted.
+func (s *SelfHealing) BelievedDown() []Arc { return s.heal.downSet(len(s.heal.events)) }
+
+// Quarantined returns the currently quarantined arcs, sorted.
+func (s *SelfHealing) Quarantined() []Arc {
+	out := make([]Arc, 0, len(s.quarantined))
+	for a := range s.quarantined {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tail != out[j].Tail {
+			return out[i].Tail < out[j].Tail
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Run simulates the workload under the session. Packet releases are
+// relative to the session clock (a packet with Release 0 injects on the
+// first cycle of this Run); Delivered cycles and latency aggregates are
+// likewise Run-relative, while ConvergedCycle and monitor callbacks use
+// session-absolute cycles. The fault plan's Start cycles are
+// session-absolute.
+func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
+	nw, cfg, h := s.nw, s.cfg, s.heal
+	n := nw.g.N()
+	start := s.clock
+	mon := cfg.Monitor
+	rec := nw.rec
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = nw.defaultBudget(len(packets), cfg.HopLatency)
+		maxCycles += cfg.MaxRetries * cfg.BackoffCap
+	}
+
+	pkts := make([]Packet, len(packets))
+	copy(pkts, packets)
+
+	ar, reused := nw.getArena()
+	defer nw.putArena(ar)
+	if rec != nil {
+		rec.Arena(reused)
+	}
+	meta := ar.metaFor(len(pkts))
+	waiting := ar.waiting
+	pipes := ar.pipes
+
+	res := HealResult{}
+	drop := func(bucket *int, cause obs.DropCause) {
+		*bucket++
+		res.Dropped++
+		if rec != nil {
+			rec.Drop(cause)
+		}
+	}
+
+	remaining := 0
+	order := ar.order[:0]
+	for i := range pkts {
+		pkts[i].Delivered = -1
+		pkts[i].Hops = 0
+		if pkts[i].Src == pkts[i].Dst {
+			pkts[i].Delivered = pkts[i].Release
+			res.Delivered++
+			continue
+		}
+		order = append(order, int32(i))
+		remaining++
+	}
+	sortByRelease(order, pkts)
+	ar.order = order
+	cursor := 0
+
+	// gossipLive reports physical arc liveness for flood steps: link-
+	// state updates travel only over arcs that actually work.
+	gossipLive := func(tail, index int) bool { return !s.state.ArcDown(tail, index) }
+
+	var cycle int
+	for cycle = 0; remaining > 0 && cycle <= maxCycles; cycle++ {
+		abs := start + cycle
+		s.state.Advance(abs)
+
+		// Circuit breaker transitions and half-open probes.
+		if mon != nil {
+			quarantine, release, probe := mon.Tick(abs)
+			for _, a := range quarantine {
+				s.quarantined[a] = true
+			}
+			for _, a := range release {
+				delete(s.quarantined, a)
+			}
+			for _, a := range probe {
+				res.Probes++
+				if rec != nil {
+					rec.Probe()
+				}
+				mon.ProbeResult(abs, a, !s.state.ArcDown(a.Tail, a.Index))
+			}
+		}
+
+		// Recovery probes: tails test their believed-down out-arcs; a
+		// probe that succeeds commits a link-up event.
+		if abs > 0 && abs%cfg.ProbeInterval == 0 {
+			for _, a := range h.downSet(len(h.events)) {
+				res.Probes++
+				if rec != nil {
+					rec.Probe()
+				}
+				if !s.state.ArcDown(a.Tail, a.Index) {
+					if err := h.commit(a, true, abs); err != nil {
+						return res, err
+					}
+					res.EventsCommitted++
+					if rec != nil {
+						rec.HealEvent()
+					}
+				}
+			}
+		}
+
+		// Gossip: every in-flight link-state flood advances one round.
+		h.stepFloods(abs, gossipLive)
+
+		// Inject.
+		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
+			i := int(order[cursor])
+			cursor++
+			waiting[pkts[i].Src] = append(waiting[pkts[i].Src], int32(i))
+		}
+
+		// Arrivals: wire time completes; a downed node loses the packet.
+		for u := 0; u < n; u++ {
+			out := nw.g.Out(u)
+			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
+			for a := lo; a < hi; a++ {
+				pipe := pipes[a]
+				keep := pipe[:0]
+				for _, fl := range pipe {
+					if fl.ready > cycle {
+						keep = append(keep, fl)
+						continue
+					}
+					v := out[a-lo]
+					p := &pkts[fl.pkt]
+					p.Hops++
+					if rec != nil {
+						rec.ArcTraverse(int(a))
+					}
+					if s.state.NodeDown(v) {
+						drop(&res.DroppedFault, obs.DropFault)
+						remaining--
+						continue
+					}
+					if v == p.Dst {
+						p.Delivered = cycle
+						res.Delivered++
+						remaining--
+						if cycle > res.Cycles {
+							res.Cycles = cycle
+						}
+						if rec != nil {
+							rec.Deliver(cycle-p.Release, p.Hops)
+						}
+						continue
+					}
+					waiting[v] = append(waiting[v], int32(fl.pkt))
+				}
+				pipes[a] = keep
+			}
+		}
+
+		// Departures: FIFO per node, one packet per live arc per cycle.
+		// A transmission onto a physically-down arc fails: the packet
+		// stays queued for DetectLatency cycles and the tail's suspicion
+		// of the arc grows — this is the only way the control plane ever
+		// learns of a fault.
+		for u := 0; u < n; u++ {
+			if len(waiting[u]) == 0 {
+				continue
+			}
+			depth := len(waiting[u])
+			if depth > res.MaxQueue {
+				res.MaxQueue = depth
+				res.HotNode = u
+			}
+			if rec != nil {
+				rec.NodeQueueDepth(depth)
+			}
+			ar.busyToken++
+			token := ar.busyToken
+			busy := ar.busy
+			keep := waiting[u][:0]
+			for _, i32 := range waiting[u] {
+				i := int(i32)
+				p := &pkts[i]
+				if meta[i].readyAt > cycle {
+					keep = append(keep, i32)
+					continue
+				}
+				if p.Hops >= cfg.TTL {
+					drop(&res.DroppedTTL, obs.DropTTL)
+					remaining--
+					continue
+				}
+				arc := s.routeArc(u, p.Dst, rec)
+				if arc < 0 {
+					meta[i].retries++
+					if meta[i].retries > cfg.MaxRetries {
+						drop(&res.DroppedNoRoute, obs.DropNoRoute)
+						remaining--
+						continue
+					}
+					res.Retries++
+					if rec != nil {
+						rec.Retry()
+					}
+					backoff := cfg.BackoffBase << uint(meta[i].retries-1)
+					if backoff > cfg.BackoffCap || backoff <= 0 {
+						backoff = cfg.BackoffCap
+					}
+					meta[i].readyAt = cycle + backoff
+					keep = append(keep, i32)
+					continue
+				}
+				if busy[arc] == token {
+					keep = append(keep, i32) // link occupied this cycle: queue
+					continue
+				}
+				busy[arc] = token
+				a := Arc{Tail: u, Index: arc}
+				if s.state.ArcDown(u, arc) {
+					// NACK: the attempt consumed the link slot and failed.
+					res.Nacks++
+					if rec != nil {
+						rec.Nack()
+					}
+					if mon != nil {
+						mon.ArcFailed(start+cycle, a)
+					}
+					h.suspicion[a]++
+					meta[i].readyAt = cycle + cfg.DetectLatency
+					keep = append(keep, i32)
+					if h.suspicion[a] >= cfg.SuspectThreshold && !h.activeDown(a) {
+						if err := h.commit(a, false, start+cycle); err != nil {
+							return res, err
+						}
+						delete(h.suspicion, a)
+						res.Detections++
+						res.EventsCommitted++
+						if rec != nil {
+							rec.Detect()
+							rec.HealEvent()
+						}
+					}
+					continue
+				}
+				delete(h.suspicion, a)
+				if mon != nil {
+					mon.ArcOK(start+cycle, a)
+				}
+				if s.nw.router.NextArc(u, p.Dst) != arc {
+					res.Reroutes++
+					if rec != nil {
+						rec.Reroute()
+					}
+				}
+				pipes[nw.arcBase[u]+int32(arc)] = append(pipes[nw.arcBase[u]+int32(arc)], inflight{pkt: i, ready: cycle + cfg.HopLatency})
+			}
+			waiting[u] = keep
+		}
+	}
+	s.clock = start + cycle
+
+	// Exit drain: identical to the fault run — every survivor drops
+	// with a cause so Delivered + Dropped == Offered holds on truncated
+	// runs too.
+	if remaining > 0 {
+		for u := 0; u < n; u++ {
+			for range waiting[u] {
+				drop(&res.Stuck, obs.DropStuck)
+				remaining--
+			}
+			waiting[u] = waiting[u][:0]
+		}
+		for u := 0; u < n; u++ {
+			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
+			for a := lo; a < hi; a++ {
+				for range pipes[a] {
+					drop(&res.Stuck, obs.DropStuck)
+					remaining--
+				}
+				pipes[a] = pipes[a][:0]
+			}
+		}
+		for ; cursor < len(order); cursor++ {
+			drop(&res.DroppedHorizon, obs.DropHorizon)
+			remaining--
+		}
+		_ = remaining // zero by construction
+	}
+
+	// Aggregate.
+	latencySum := 0
+	for i := range pkts {
+		p := pkts[i]
+		if p.Delivered < 0 {
+			continue
+		}
+		res.TotalHops += p.Hops
+		if p.Hops > res.MaxHops {
+			res.MaxHops = p.Hops
+		}
+		latencySum += p.Delivered - p.Release
+		res.TotalWait += (p.Delivered - p.Release) - p.Hops*cfg.HopLatency
+	}
+	if res.Delivered > 0 {
+		res.MeanLatency = float64(latencySum) / float64(res.Delivered)
+		res.MeanHops = float64(res.TotalHops) / float64(res.Delivered)
+	}
+	res.Packets = pkts
+
+	res.FinalEpoch = len(h.events)
+	res.Repairs = h.repairs
+	res.Converged = h.converged()
+	res.ConvergedCycle = h.convergedCycle()
+	if res.Converged && len(h.events) > 0 && rec != nil {
+		rec.ConvergeCycles(int64(res.ConvergedCycle - h.firstEventCycle()))
+	}
+	return res, nil
+}
+
+// routeArc is the self-healed routing decision at node u for dst: the
+// epoch slab of u's knowledge, overridden by directly-observed failures
+// and quarantines, with distance-ranked deflection as the fallback.
+func (s *SelfHealing) routeArc(u, dst int, rec *obs.Recorder) int {
+	h := s.heal
+	usable := func(k int) bool {
+		a := Arc{Tail: u, Index: k}
+		return !s.quarantined[a] && !h.believedDown(u, a)
+	}
+	r := h.routerFor(h.knownEpoch(u), rec)
+	arc := r.NextArc(u, dst)
+	if arc >= 0 && usable(arc) {
+		return arc
+	}
+	// The slab's choice is believed dead or quarantined (or dst is
+	// unreachable at this epoch): deflect onto the best usable out-arc
+	// by fault-free distance; the TTL and retry budgets bound the dodge.
+	dist := s.nw.distSlab()
+	n := s.nw.g.N()
+	best := -1
+	bestDist := int32(-1)
+	for k, v := range s.nw.g.Out(u) {
+		if k == arc || v == u || !usable(k) {
+			continue
+		}
+		dv := dist[v*n+dst]
+		if dv == digraph.Unreachable {
+			continue
+		}
+		if best < 0 || dv < bestDist {
+			best, bestDist = k, dv
+		}
+	}
+	return best
+}

@@ -1,0 +1,126 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/digraph"
+)
+
+// Incremental repair of the TableRouter's arc slab — the simnet mirror
+// of debruijn.RepairSlab, operating on arc indices instead of hop
+// vertices. The self-healing layer patches its epoch slabs through this
+// instead of paying a full NewTableRouter rebuild per committed
+// link-state event.
+//
+// The affected-destination test is exact: masking a dead arc (u, k)
+// changes the builder's reverse BFS for destination dst only if u was
+// being discovered over that very arc, which is precisely when the base
+// slab records arc k for (u, dst). Unaffected destinations keep their
+// rows verbatim, so the patched slab is bit-identical to what
+// NewTableRouter would build on the residual digraph.
+
+// Repair returns a TableRouter equal to NewTableRouter on the residual
+// digraph of g minus the dead arcs, patching only the destinations
+// whose routing tree traverses a dead arc. The receiver must be the
+// slab NewTableRouter built for g; it is not modified.
+func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, error) {
+	n := g.N()
+	if r == nil || r.n != n {
+		return nil, fmt.Errorf("simnet: Repair: router built for %d nodes, digraph has %d", routerN(r), n)
+	}
+
+	fwdBase := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		fwdBase[u+1] = fwdBase[u] + int32(g.OutDegree(u))
+	}
+	deadMask := make([]bool, g.M())
+	for _, a := range dead {
+		if a.Tail < 0 || a.Tail >= n || a.Index < 0 || a.Index >= g.OutDegree(a.Tail) {
+			return nil, fmt.Errorf("simnet: Repair: dead arc (%d#%d) out of range", a.Tail, a.Index)
+		}
+		deadMask[fwdBase[a.Tail]+int32(a.Index)] = true
+	}
+
+	arcs := make([]int32, len(r.arcs))
+	copy(arcs, r.arcs)
+
+	affected := make([]bool, n)
+	count := 0
+	for _, a := range dead {
+		if g.Out(a.Tail)[a.Index] == a.Tail {
+			continue // loops never carry shortest paths
+		}
+		row := r.arcs[a.Tail*n : (a.Tail+1)*n]
+		for dst, arc := range row {
+			if arc == int32(a.Index) && !affected[dst] {
+				affected[dst] = true
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return &TableRouter{n: n, arcs: arcs}, nil
+	}
+
+	// Reverse CSR in NewTableRouter's order, with the forward arc index
+	// (for the routing decision) and flat index (for the mask).
+	revBase := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			revBase[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		revBase[v+1] += revBase[v]
+	}
+	revTail := make([]int32, g.M())
+	revArc := make([]int32, g.M())
+	revFlat := make([]int32, g.M())
+	fill := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for k, v := range g.Out(u) {
+			slot := revBase[v] + fill[v]
+			revTail[slot] = int32(u)
+			revArc[slot] = int32(k)
+			revFlat[slot] = fwdBase[u] + int32(k)
+			fill[v]++
+		}
+	}
+
+	seen := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for dst := 0; dst < n; dst++ {
+		if !affected[dst] {
+			continue
+		}
+		for x := 0; x < n; x++ {
+			arcs[x*n+dst] = -1
+		}
+		epoch := int32(dst + 1)
+		seen[dst] = epoch
+		queue = append(queue[:0], int32(dst))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for idx := revBase[v]; idx < revBase[v+1]; idx++ {
+				if deadMask[revFlat[idx]] {
+					continue
+				}
+				u := revTail[idx]
+				if seen[u] == epoch {
+					continue
+				}
+				seen[u] = epoch
+				arcs[int(u)*n+dst] = revArc[idx]
+				queue = append(queue, u)
+			}
+		}
+	}
+	return &TableRouter{n: n, arcs: arcs}, nil
+}
+
+func routerN(r *TableRouter) int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}

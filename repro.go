@@ -31,6 +31,9 @@
 //     functional-options entry point, workloads, load sweeps and
 //     bufferless deflection routing;
 //   - runtime fault injection and fault-aware rerouting;
+//   - self-healing: oracle-free failure detection, gossip-flooded
+//     link-state events, incremental routing-slab repair, and the
+//     per-lens quarantine circuit breaker;
 //   - observability: a stdlib-only metrics registry (counters, gauges,
 //     power-of-two histograms), per-arc and per-lens telemetry, and the
 //     stable OBS_run/v1 snapshot schema;
@@ -551,6 +554,66 @@ type (
 )
 
 // ---------------------------------------------------------------------------
+// Self-healing: local failure detection, gossip-driven route repair and
+// lens quarantine.
+//
+// Network.SelfHeal (and OpticalMachine.SelfHeal) opens a session that
+// runs the fault engine with the oracle removed: the fault plan is
+// physical truth only, and every routing decision works from knowledge
+// the nodes earned — NACK timeouts, flooded link-state events
+// (GossipFlood), and epoch slabs patched incrementally by
+// TableRouter.Repair / RepairNextHopSlab. NewLensBreaker adds the
+// machine-level circuit breaker that quarantines a misbehaving lens's
+// whole arc group with exponential-backoff hysteresis.
+// ---------------------------------------------------------------------------
+
+type (
+	// SelfHealingSession is a live self-healing run context; the clock,
+	// event log and epoch slabs persist across its Run calls.
+	SelfHealingSession = simnet.SelfHealing
+	// HealConfig tunes detection, gossip and probing.
+	HealConfig = simnet.HealConfig
+	// HealResult extends FaultSimResult with control-plane accounting.
+	HealResult = simnet.HealResult
+	// HealMonitor observes transmission outcomes and may quarantine arc
+	// groups (the lens circuit breaker implements it).
+	HealMonitor = simnet.HealMonitor
+	// GossipFlood is the incremental fault-tolerant all-port flood that
+	// spreads link-state events.
+	GossipFlood = gossip.Flood
+	// LensBreaker is the per-lens quarantine circuit breaker.
+	LensBreaker = machine.LensBreaker
+	// LensBreakerConfig tunes the breaker's threshold and hold times.
+	LensBreakerConfig = machine.BreakerConfig
+	// LensBreakerState is the breaker state of one lens.
+	LensBreakerState = machine.BreakerState
+	// LensBreakerStatus is one row of LensBreaker.States.
+	LensBreakerStatus = machine.LensBreakerStatus
+	// LensBreakerTransition is one recorded state change.
+	LensBreakerTransition = machine.BreakerTransition
+)
+
+var (
+	// NewFaultPlanFor returns a fault schedule validated eagerly against
+	// a digraph (errors surface on Err instead of at Compile).
+	NewFaultPlanFor = simnet.NewFaultPlanFor
+	// RepairNextHopSlab patches a NextHopSlab around dead arcs without a
+	// from-scratch rebuild, bit-identical to rebuilding on the residual.
+	RepairNextHopSlab = debruijn.RepairSlab
+	// NewGossipFlood starts a flood of one message from an origin node.
+	NewGossipFlood = gossip.NewFlood
+	// NewLensBreaker builds the per-lens circuit breaker of a machine.
+	NewLensBreaker = machine.NewLensBreaker
+)
+
+// Breaker states.
+const (
+	LensBreakerClosed   = machine.BreakerClosed
+	LensBreakerOpen     = machine.BreakerOpen
+	LensBreakerHalfOpen = machine.BreakerHalfOpen
+)
+
+// ---------------------------------------------------------------------------
 // Observability: metrics registry, per-arc/per-lens telemetry, and the
 // OBS_run/v1 snapshot schema.
 //
@@ -616,6 +679,16 @@ const (
 	MetricHistLatency  = obs.MetricHistLatency
 	MetricHistQueue    = obs.MetricHistQueue
 	MetricHistHops     = obs.MetricHistHops
+
+	MetricHealNacks      = obs.MetricHealNacks
+	MetricHealDetections = obs.MetricHealDetections
+	MetricHealEvents     = obs.MetricHealEvents
+	MetricHealRepairs    = obs.MetricHealRepairs
+	MetricHealProbes     = obs.MetricHealProbes
+	MetricHealConverge   = obs.MetricHealConverge
+	MetricQuarTrips      = obs.MetricQuarTrips
+	MetricQuarHalfOpen   = obs.MetricQuarHalfOpen
+	MetricQuarCloses     = obs.MetricQuarCloses
 )
 
 // Drop causes recorded under MetricDropPrefix + cause.String().

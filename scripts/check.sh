@@ -27,13 +27,21 @@ go build ./...
 echo "== reprolint =="
 go run ./cmd/reprolint ./...
 
-echo "== go test -race (parallel kernels + fault engine + metrics) =="
+echo "== go test -race (parallel kernels + fault/heal engines + metrics) =="
 go test -race ./internal/digraph/... ./internal/otis/... ./internal/simnet/... \
-    ./internal/obs/...
+    ./internal/obs/... ./internal/gossip/... ./internal/machine/...
+
+echo "== chaos smoke (seeded random fault plans) =="
+go test ./internal/simnet -run Chaos -count=1
 
 echo "== fault-sweep smoke run =="
 go run ./cmd/simulate -topo debruijn -d 3 -diam 3 -faults -packets 200 \
     -faultrates 0,0.5,1 > /dev/null
+
+echo "== self-healing smoke run =="
+go run ./cmd/simulate -d 3 -diam 4 -selfheal -packets 300 > /dev/null
+go run ./cmd/simulate -d 3 -diam 4 -faultlens 2 -selfheal -quarantine \
+    -packets 300 > /dev/null
 
 echo "== metrics smoke (OBS_run/v1 schema) =="
 metrics_out=$(mktemp /tmp/OBS_run.XXXXXX.json)
