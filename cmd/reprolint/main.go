@@ -1,18 +1,23 @@
 // reprolint runs the repository's static-analysis suite (internal/lint)
 // over the module: panic-message hygiene, slice-aliasing contracts,
-// overflow guards on d^D loops, dropped errors in the command layer, and
-// concurrency hygiene in the parallel kernels.
+// overflow guards on d^D loops, dropped errors in the command layer,
+// concurrency hygiene in the parallel kernels, atomic/lock access
+// discipline, seeded-determinism rules, hot-path allocation budgets and
+// int32 slab-narrowing guards.
 //
 // Usage:
 //
-//	reprolint ./...            # whole module (the default)
-//	reprolint ./internal/word  # one package
-//	reprolint -json ./...      # machine-readable findings
+//	reprolint ./...                        # whole module, full suite
+//	reprolint ./internal/word              # one package
+//	reprolint -json ./...                  # machine-readable findings
+//	reprolint -list                        # name + one-line doc per analyzer
+//	reprolint -analyzers hotalloc,slabindex ./...  # CI subset split
 //
 // The exit status is 0 when the tree is clean, 1 when there are
-// findings, 2 on usage or load errors. Suppress a false positive with a
-// "//lint:ignore <analyzer> <reason>" directive on (or directly above)
-// the offending line.
+// findings, 2 on usage or load errors — identically with and without
+// -json. Suppress a false positive with a "//lint:ignore <analyzer>
+// <reason>" directive on (or directly above) the offending line; a
+// directive that suppresses nothing is itself reported (unuseddirective).
 package main
 
 import (
@@ -20,20 +25,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
-	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	list := flag.Bool("list", false, "list the analyzers (name + one-line doc) and exit")
+	subset := flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers := lint.All()
+	if *subset != "" {
+		var names []string
+		for _, n := range strings.Split(*subset, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		var err error
+		analyzers, err = lint.ByName(names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+		if len(analyzers) == 0 {
+			fmt.Fprintln(os.Stderr, "reprolint: -analyzers selected nothing")
+			os.Exit(2)
+		}
 	}
 
 	patterns := flag.Args()
@@ -50,7 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reprolint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(pkgs, lint.All())
+	diags := lint.Run(pkgs, analyzers)
 	if diags == nil {
 		diags = []lint.Diagnostic{}
 	}

@@ -35,6 +35,8 @@ func RepairSlab(g *digraph.Digraph, base *NextHopSlab, dead [][2]int) (*NextHopS
 	if base == nil || base.n != n {
 		return nil, fmt.Errorf("debruijn: RepairSlab: base slab built for %d nodes, digraph has %d", baseN(base), n)
 	}
+	guardSlabInt32(n, "nodes")
+	guardSlabInt32(g.M(), "arcs")
 
 	// Forward CSR bases give every arc a flat index for the dead mask.
 	fwdBase := make([]int32, n+1)
@@ -101,6 +103,19 @@ func RepairSlab(g *digraph.Digraph, base *NextHopSlab, dead [][2]int) (*NextHopS
 
 	seen := make([]int32, n)
 	queue := make([]int32, 0, n)
+	repatchHops(hops, n, affected, deadMask, revBase, revTail, revFlat, seen, queue)
+	return &NextHopSlab{n: n, hops: hops}, nil
+}
+
+// repatchHops re-runs the builder's reverse BFS for every affected
+// destination over the dead-arc-masked reverse CSR, rewriting those
+// destinations' columns of hops in place. This is the repair inner loop,
+// so it must not allocate: every slab, including the BFS queue
+// (cap ≥ n), arrives preallocated.
+//
+//lint:hotpath
+func repatchHops(hops []int32, n int, affected, deadMask []bool, revBase, revTail, revFlat, seen, queue []int32) {
+	guardSlabInt32(n, "nodes")
 	for dst := 0; dst < n; dst++ {
 		if !affected[dst] {
 			continue
@@ -128,7 +143,6 @@ func RepairSlab(g *digraph.Digraph, base *NextHopSlab, dead [][2]int) (*NextHopS
 			}
 		}
 	}
-	return &NextHopSlab{n: n, hops: hops}, nil
 }
 
 func baseN(s *NextHopSlab) int {

@@ -1,6 +1,9 @@
 package debruijn
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/digraph"
 	"repro/internal/word"
 )
@@ -118,9 +121,19 @@ type NextHopSlab struct {
 	hops []int32
 }
 
+// guardSlabInt32 panics unless count distinct ids fit the slab's int32
+// entries; one call at builder entry dominates every narrowing below it.
+func guardSlabInt32(count int, what string) {
+	if int64(count) > math.MaxInt32 {
+		panic(fmt.Sprintf("debruijn: %d %s exceed the int32 slab entry range", count, what))
+	}
+}
+
 // NewNextHopSlab builds the slab for an arbitrary digraph.
 func NewNextHopSlab(g *digraph.Digraph) *NextHopSlab {
 	n := g.N()
+	guardSlabInt32(n, "nodes")
+	guardSlabInt32(g.M(), "arcs")
 	// CSR of the reverse digraph: revTail lists, for each head vertex v,
 	// the tails u of arcs u→v, so the BFS from dst walks arcs backwards
 	// without materializing a second Digraph.

@@ -48,6 +48,18 @@ func (g *Digraph) OneFactorization(d int) ([][]int, error) {
 // graph with edges (u, v) for remaining[u][v] > 0, by Kuhn's augmenting
 // paths. The remaining graph of a regular digraph always has one (Hall).
 func perfectMatching(n int, remaining []map[int]int) ([]int, error) {
+	// Candidate heads in sorted order: Kuhn's search must not follow Go's
+	// randomized map order, or the matching — and with it the TDM
+	// schedule — would change from run to run under the same inputs.
+	heads := make([][]int, n)
+	for u := 0; u < n; u++ {
+		hs := make([]int, 0, len(remaining[u]))
+		for v := range remaining[u] {
+			hs = append(hs, v)
+		}
+		sortInts(hs)
+		heads[u] = hs
+	}
 	matchHead := make([]int, n) // head v ← tail matched to it
 	matchTail := make([]int, n) // tail u → head matched
 	for i := 0; i < n; i++ {
@@ -56,7 +68,7 @@ func perfectMatching(n int, remaining []map[int]int) ([]int, error) {
 	}
 	var try func(u int, seen []bool) bool
 	try = func(u int, seen []bool) bool {
-		for v := range remaining[u] {
+		for _, v := range heads[u] {
 			if seen[v] {
 				continue
 			}

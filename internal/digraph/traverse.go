@@ -1,5 +1,10 @@
 package digraph
 
+import (
+	"fmt"
+	"math"
+)
+
 // Traversal, distance and diameter algorithms. The degree–diameter search of
 // the paper's Table 1 reduces to computing the diameter of each candidate
 // H(p, q, d) digraph; these BFS routines are the workhorse.
@@ -61,6 +66,7 @@ func (g *Digraph) bfsScratch(src int, dist, queue []int) []int {
 // form the simulator shares read-only between sweep workers.
 func (g *Digraph) DistanceSlab() []int32 {
 	n := g.N()
+	guardNodeInt32(n)
 	slab := make([]int32, n*n)
 	for i := range slab {
 		slab[i] = Unreachable
@@ -82,6 +88,14 @@ func (g *Digraph) DistanceSlab() []int32 {
 		}
 	}
 	return slab
+}
+
+// guardNodeInt32 panics unless every vertex id fits the slab's int32
+// entries; one call at builder entry dominates every narrowing below it.
+func guardNodeInt32(n int) {
+	if int64(n) > math.MaxInt32 {
+		panic(fmt.Sprintf("digraph: %d vertices exceed the int32 slab entry range", n))
+	}
 }
 
 // Eccentricity returns the maximum finite distance from src to any vertex,

@@ -22,6 +22,8 @@ import (
 type Flood struct {
 	g        *digraph.Digraph
 	informed []bool
+	seen     []bool // per-round dedup marks, cleared again before Step returns
+	fresh    []int  // per-round newly-informed scratch, reused across Steps
 	count    int
 	rounds   int
 }
@@ -31,7 +33,12 @@ func NewFlood(g *digraph.Digraph, origin int) (*Flood, error) {
 	if origin < 0 || origin >= g.N() {
 		return nil, fmt.Errorf("gossip: flood origin %d out of range [0,%d)", origin, g.N())
 	}
-	f := &Flood{g: g, informed: make([]bool, g.N())}
+	f := &Flood{
+		g:        g,
+		informed: make([]bool, g.N()),
+		seen:     make([]bool, g.N()),
+		fresh:    make([]int, 0, g.N()),
+	}
 	f.informed[origin] = true
 	f.count = 1
 	return f, nil
@@ -42,6 +49,12 @@ func NewFlood(g *digraph.Digraph, origin int) (*Flood, error) {
 // whether the out-arc at (tail, index) can carry the message this round;
 // nil means every arc is live. Step returns the number of nodes newly
 // informed. Calling Step on a complete flood is a no-op returning 0.
+//
+// Step is the gossip inner loop of the self-healing cycle: it runs once
+// per flood per cycle, so it reuses the Flood's scratch slabs and the
+// per-round dedup is O(1) per offer via the seen marks.
+//
+//lint:hotpath
 func (f *Flood) Step(live func(tail, index int) bool) int {
 	if f.Complete() {
 		return 0
@@ -49,34 +62,28 @@ func (f *Flood) Step(live func(tail, index int) bool) int {
 	f.rounds++
 	// Nodes informed this round must not relay until the next one, so
 	// collect first and mark after the scan.
-	var fresh []int
+	fresh := f.fresh[:0]
 	for u := 0; u < f.g.N(); u++ {
 		if !f.informed[u] {
 			continue
 		}
 		for k, v := range f.g.Out(u) {
-			if f.informed[v] {
+			if f.informed[v] || f.seen[v] {
 				continue
 			}
 			if live != nil && !live(u, k) {
 				continue
 			}
-			already := false
-			for _, w := range fresh {
-				if w == v {
-					already = true
-					break
-				}
-			}
-			if !already {
-				fresh = append(fresh, v)
-			}
+			f.seen[v] = true
+			fresh = append(fresh, v)
 		}
 	}
 	for _, v := range fresh {
 		f.informed[v] = true
+		f.seen[v] = false
 		f.count++
 	}
+	f.fresh = fresh
 	return len(fresh)
 }
 

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicGuard enforces all-or-nothing atomicity on struct fields. A
+// field that is ever passed by address to a sync/atomic function
+// (atomic.AddInt64(&s.n, 1), atomic.LoadInt64(&s.slab[i]), …) is an
+// atomic field: mixing in even one plain read or write reintroduces the
+// data race the atomic calls were meant to remove, and — worse for this
+// repository — a race the race detector only catches when the interleaving
+// happens to strike. The analyzer therefore finds every field accessed
+// through sync/atomic anywhere in the package and reports every remaining
+// plain access to it, package-wide.
+//
+// Sanctioned non-atomic forms, because they touch only the immutable
+// slice header or no memory at all: len(s.f), cap(s.f), and index-only
+// `for i := range s.f` loops. Initialization of a struct that has not
+// been published yet (composite literals, or stores into a freshly
+// allocated value) is invisible to other goroutines; composite-literal
+// keys are exempt automatically, and the rare plain store into a fresh
+// value carries a //lint:ignore atomicguard directive documenting the
+// happens-before argument.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc:  `fields accessed via sync/atomic must never be read or written plainly anywhere in the package`,
+	Run:  runAtomicGuard,
+}
+
+func runAtomicGuard(pkg *Package, report func(ast.Node, string, ...any)) {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	atomicFields := map[*types.Var]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg, call) || len(call.Args) == 0 {
+				return true
+			}
+			if v := addressedField(pkg, call.Args[0]); v != nil {
+				atomicFields[v] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, file := range pkg.Files {
+		sanctioned := sanctionedSelectors(pkg, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldOf(pkg, sel)
+			if v == nil || !atomicFields[v] || sanctioned[sel] {
+				return true
+			}
+			report(sel, "field %s is accessed via sync/atomic elsewhere in this package; plain access races with the atomic sites", v.Name())
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic (the Value/Int64/Pointer method forms need no guard: their
+// fields cannot be accessed plainly at all).
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedField resolves &x.f or &x.f[i] to the struct field f, or nil.
+func addressedField(pkg *Package, arg ast.Expr) *types.Var {
+	u, ok := unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil
+	}
+	e := unparen(u.X)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldOf(pkg, sel)
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// sanctionedSelectors collects the selector nodes in file that are
+// legitimate non-plain uses of atomic fields: the address argument of an
+// atomic call, len/cap operands, and index-only range subjects.
+func sanctionedSelectors(pkg *Package, file *ast.File) map[*ast.SelectorExpr]bool {
+	ok := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		e = unparen(e)
+		if ix, okx := e.(*ast.IndexExpr); okx {
+			e = unparen(ix.X)
+		}
+		if sel, oks := e.(*ast.SelectorExpr); oks {
+			ok[sel] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicCall(pkg, e) && len(e.Args) > 0 {
+				if u, oku := unparen(e.Args[0]).(*ast.UnaryExpr); oku && u.Op.String() == "&" {
+					mark(u.X)
+				}
+			}
+			if isBuiltin(pkg, e.Fun, "len") || isBuiltin(pkg, e.Fun, "cap") {
+				for _, a := range e.Args {
+					mark(a)
+				}
+			}
+		case *ast.RangeStmt:
+			if e.Value == nil {
+				mark(e.X)
+			}
+		}
+		return true
+	})
+	return ok
+}

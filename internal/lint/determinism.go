@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the seeded-reproducibility contract the claim tests
+// (Table 1, X-FAULT, X-HEAL) rest on: the same seed must produce the
+// same trace, the same metrics document, byte for byte. Three classes of
+// nondeterminism sneak into simulation code:
+//
+//   - map iteration feeding ordered output: a `range` over a map whose
+//     body appends to a slice (a trace, a result list), stores through a
+//     slice index, or sends on a channel observes Go's randomized map
+//     order. The house pattern — collect then sort — is recognized: a
+//     function that also calls into package sort (or slices), or a local
+//     sort… helper, is presumed to fix the order before it escapes;
+//   - wall-clock reads: time.Now / time.Since have no place in library
+//     code whose outputs are compared bit-for-bit (telemetry that is
+//     deliberately wall-clock carries a directive);
+//   - the global math/rand generator: rand.Intn and friends share
+//     process-wide state seeded who-knows-where. Library code draws from
+//     an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed)));
+//     only cmd/* may use the global convenience functions.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  `no ordered output from map iteration, no time.Now, no global math/rand outside cmd/*`,
+	Run:  runDeterminism,
+}
+
+// globalRandOK are the package-level math/rand functions that do not
+// touch the global generator.
+var globalRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pkg *Package, report func(ast.Node, string, ...any)) {
+	if strings.Contains(pkg.Path, "/cmd/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sorts := callsSort(pkg, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					if fn, pkgPath := calleeOf(pkg, e); fn != nil {
+						switch {
+						case pkgPath == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+							report(e, "time.%s breaks seeded reproducibility outside cmd/*; thread cycles or a seed instead", fn.Name())
+						case pkgPath == "math/rand" && fn.Type().(*types.Signature).Recv() == nil && !globalRandOK[fn.Name()]:
+							report(e, "global math/rand.%s shares process-wide state; draw from a seeded *rand.Rand", fn.Name())
+						}
+					}
+				case *ast.RangeStmt:
+					if !isMapRange(pkg, e) || sorts {
+						return true
+					}
+					if w := orderedWriteIn(pkg, e.Body); w != nil {
+						report(e, "map iteration order is random; this loop %s (collect and sort, or iterate a sorted key slice)", w.what)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeOf resolves a call to the *types.Func it invokes and its
+// package path ("" for builtins and local calls without a package).
+func calleeOf(pkg *Package, call *ast.CallExpr) (*types.Func, string) {
+	var id *ast.Ident
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil, ""
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, ""
+	}
+	return fn, fn.Pkg().Path()
+}
+
+// callsSort reports whether body calls into package sort or slices, or a
+// function whose name starts with "sort" (the repo's local insertion-sort
+// helpers, e.g. sortInts, sortByRelease) — the collect-then-sort pattern
+// that re-fixes map-iteration order.
+func callsSort(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, p := calleeOf(pkg, call); fn != nil {
+				if p == "sort" || p == "slices" || strings.HasPrefix(strings.ToLower(fn.Name()), "sort") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isMapRange(pkg *Package, r *ast.RangeStmt) bool {
+	tv, ok := pkg.Info.Types[r.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+type orderedWrite struct{ what string }
+
+// orderedWriteIn finds the first order-sensitive effect in a map-range
+// body: an append, a store through a slice index, or a channel send.
+// (Counter-style metric increments are commutative and deliberately not
+// flagged; trace appends are just slice appends and are.)
+func orderedWriteIn(pkg *Package, body *ast.BlockStmt) *orderedWrite {
+	var found *orderedWrite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pkg, e.Fun, "append") {
+				found = &orderedWrite{what: "appends to a slice"}
+			}
+		case *ast.SendStmt:
+			found = &orderedWrite{what: "sends on a channel"}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				ix, ok := unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if tv, ok := pkg.Info.Types[ix.X]; ok {
+					if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+						found = &orderedWrite{what: "stores through a slice index"}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -10,24 +10,50 @@ import (
 // its own suppresses the line below it. The suite honors:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// The driver tracks which directives actually suppressed a finding; a
+// directive naming an analyzer that ran yet suppressed nothing is stale
+// and is itself reported (analyzer name "unuseddirective"), so ignores
+// cannot outlive the code they excused.
 type ignoreDirective struct {
 	analyzer string
 	file     string
 	line     int // line of the directive comment itself
+	pos      token.Position
+	used     bool
 }
 
-type ignoreSet []ignoreDirective
+type ignoreSet []*ignoreDirective
 
 func (s ignoreSet) match(analyzer string, pos token.Position) bool {
+	hit := false
 	for _, d := range s {
 		if d.analyzer != analyzer || d.file != pos.Filename {
 			continue
 		}
 		if pos.Line == d.line || pos.Line == d.line+1 {
-			return true
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns a diagnostic for every directive that names one of the
+// analyzers that ran (by name) but never suppressed a finding.
+func (s ignoreSet) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s {
+		if d.used || !ran[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "unuseddirective",
+			Pos:      d.pos,
+			Message:  "//lint:ignore " + d.analyzer + " directive suppresses nothing; remove it",
+		})
+	}
+	return out
 }
 
 // collectDirectives scans the package's comments for //lint:ignore
@@ -53,10 +79,11 @@ func collectDirectives(pkg *Package) (ignoreSet, []Diagnostic) {
 					})
 					continue
 				}
-				set = append(set, ignoreDirective{
+				set = append(set, &ignoreDirective{
 					analyzer: fields[0],
 					file:     pos.Filename,
 					line:     pos.Line,
+					pos:      pos,
 				})
 			}
 		}

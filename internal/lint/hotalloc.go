@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc is the allocation budget for the simulator's inner loops. A
+// function marked with a
+//
+//	//lint:hotpath
+//
+// directive (in its doc comment, or on the line directly above the
+// declaration) runs once per cycle — or per cycle per node — in the
+// sharded million-node regime, where a single allocation per call turns
+// into gigabytes per second of garbage. Inside a hotpath function the
+// analyzer reports every construct that allocates:
+//
+//   - make(...) and new(...);
+//   - function literals (a closure capturing locals heap-allocates its
+//     environment every call);
+//   - &CompositeLit{...} (escaping heap allocation);
+//   - append to a slice the function itself declared empty (`var s []T`
+//     or `s := []T{}`): that append grows from nil on every call.
+//     Appends into parameters, struct fields, or reslices of existing
+//     storage are the arena idiom and are allowed — the backing array is
+//     owned and reused by the caller.
+//
+// A deliberate per-run (not per-cycle) allocation inside a hotpath
+// function carries a //lint:ignore hotalloc directive stating why it is
+// off the per-cycle path.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  `functions marked //lint:hotpath must not allocate: no make/new/closures/&literals/append-growth from empty`,
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pkg *Package, report func(ast.Node, string, ...any)) {
+	for _, file := range pkg.Files {
+		hotLines := hotpathLines(pkg, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(pkg, fn, hotLines) {
+				continue
+			}
+			emptyLocals := emptyDeclaredSlices(pkg, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					switch {
+					case isBuiltin(pkg, e.Fun, "make"):
+						report(e, "hotpath function %s allocates with make; move the storage to an arena or the enclosing state", fn.Name.Name)
+					case isBuiltin(pkg, e.Fun, "new"):
+						report(e, "hotpath function %s allocates with new; move the storage to an arena or the enclosing state", fn.Name.Name)
+					case isBuiltin(pkg, e.Fun, "append"):
+						if len(e.Args) > 0 {
+							if v := useOfAny(pkg, e.Args[0]); v != nil && emptyLocals[v] {
+								report(e, "hotpath function %s appends to %s, declared empty in this function: every call grows from nil", fn.Name.Name, v.Name())
+							}
+						}
+					}
+				case *ast.FuncLit:
+					report(e, "hotpath function %s defines a closure, which heap-allocates its captured environment per call", fn.Name.Name)
+					return false // the closure body is off the direct path
+				case *ast.UnaryExpr:
+					if e.Op == token.AND {
+						if _, isLit := unparen(e.X).(*ast.CompositeLit); isLit {
+							report(e, "hotpath function %s heap-allocates a composite literal; reuse storage from an arena", fn.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hotpathLines collects the lines of //lint:hotpath directives in file.
+func hotpathLines(pkg *Package, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			if strings.HasPrefix(c.Text, "//lint:hotpath") {
+				lines[pkg.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isHotpath reports whether fn carries the //lint:hotpath directive: in
+// its doc comment, or on the line directly above the declaration.
+func isHotpath(pkg *Package, fn *ast.FuncDecl, hotLines map[int]bool) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if strings.HasPrefix(c.Text, "//lint:hotpath") {
+				return true
+			}
+		}
+	}
+	return hotLines[pkg.Fset.Position(fn.Pos()).Line-1]
+}
+
+// emptyDeclaredSlices finds local slice variables declared with no
+// backing storage: `var s []T`, `s := []T{}`, or `s := []T(nil)`.
+// Appending to these inside a hot loop regrows the backing array per
+// call.
+func emptyDeclaredSlices(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	markIdent := func(id *ast.Ident) {
+		if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := e.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					markIdent(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if e.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range e.Lhs {
+				if i >= len(e.Rhs) {
+					break
+				}
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := unparen(e.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						markIdent(id)
+					}
+				case *ast.CallExpr: // []T(nil) conversion
+					if len(rhs.Args) == 1 {
+						if lit, ok := unparen(rhs.Args[0]).(*ast.Ident); ok && lit.Name == "nil" {
+							markIdent(id)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// useOfAny resolves an expression to the variable it denotes regardless
+// of element type (useOf is specialized to int slices for the aliasing
+// check).
+func useOfAny(pkg *Package, e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	return v
+}

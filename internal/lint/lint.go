@@ -24,6 +24,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one finding, positioned in the original source.
@@ -64,12 +65,49 @@ func All() []*Analyzer {
 		ErrDrop,
 		GoSpawn,
 		RecGuard,
+		AtomicGuard,
+		LockDiscipline,
+		Determinism,
+		HotAlloc,
+		SlabIndex,
 	}
+}
+
+// ByName resolves analyzer names to the registered analyzers, preserving
+// the All() order. Unknown names are an error, so CI subset selection
+// cannot silently run nothing.
+func ByName(names []string) ([]*Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("lint: unknown analyzer(s): %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
 }
 
 // Run applies the analyzers to the packages, honors //lint:ignore
 // directives, and returns the surviving diagnostics sorted by position.
+// Directives naming an analyzer that ran but suppressed nothing are
+// stale and reported under the name "unuseddirective".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores, malformed := collectDirectives(pkg)
@@ -88,6 +126,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pkg, report)
 		}
+		diags = append(diags, ignores.stale(ran)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -134,6 +134,44 @@ func TestRecGuardFixture(t *testing.T) {
 	checkFixture(t, "badobs", "repro/internal/badobs")
 }
 
+func TestAtomicGuardFixture(t *testing.T) {
+	checkFixture(t, "badatomic", "repro/internal/badatomic")
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	checkFixture(t, "badlock", "repro/internal/badlock")
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "baddeterm", "repro/internal/baddeterm")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkFixture(t, "badhot", "repro/internal/badhot")
+}
+
+func TestSlabIndexFixture(t *testing.T) {
+	checkFixture(t, "badslab", "repro/internal/badslab")
+}
+
+// TestByName pins the subset-selection contract cmd/reprolint's
+// -analyzers flag builds on: known names resolve in All() order,
+// unknown names error rather than silently running nothing.
+func TestByName(t *testing.T) {
+	subset, err := ByName([]string{"determinism", "hotalloc"})
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(subset) != 2 || subset[0].Name != "determinism" || subset[1].Name != "hotalloc" {
+		t.Errorf("ByName returned %v", subset)
+	}
+	if _, err := ByName([]string{"determinism", "nope", "alsono"}); err == nil {
+		t.Error("ByName accepted unknown analyzer names")
+	} else if !strings.Contains(err.Error(), "alsono, nope") {
+		t.Errorf("ByName error %q does not list the unknown names sorted", err)
+	}
+}
+
 // TestDirectiveSuppression pins the directive semantics beyond what the
 // badpanic fixture exercises: same-line suppression, next-line
 // suppression, analyzer mismatch, distance, and the malformed-directive
@@ -171,10 +209,11 @@ func TestDirectiveSuppression(t *testing.T) {
 	}
 }
 
-// TestAnalyzerInventory keeps All() honest: the six checks the repo
+// TestAnalyzerInventory keeps All() honest: the eleven checks the repo
 // depends on must all be registered under their documented names.
 func TestAnalyzerInventory(t *testing.T) {
-	want := []string{"panicstyle", "slicealias", "overflowguard", "errdrop", "gospawn", "recguard"}
+	want := []string{"panicstyle", "slicealias", "overflowguard", "errdrop", "gospawn", "recguard",
+		"atomicguard", "lockdiscipline", "determinism", "hotalloc", "slabindex"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

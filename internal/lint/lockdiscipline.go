@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockDiscipline checks the documented lock annotations the concurrent
+// structures carry. A struct field whose declaration comment says
+//
+//	guarded by <mu>
+//
+// (conventionally written `counters map[string]*Counter // guarded by mu`)
+// must only be accessed from functions that demonstrably hold that
+// mutex: the enclosing function either calls <mu>.Lock() / <mu>.RLock()
+// itself, or is named with the house "...Locked" suffix marking it as a
+// callee that requires the lock to be held on entry. Composite-literal
+// initialization (the constructor pattern) is exempt: a value under
+// construction is unpublished.
+//
+// The check is a lexical discipline, not a race prover — it cannot see
+// a lock taken by a caller two frames up — but it catches the common
+// regression exactly: a new method reading a guarded map without taking
+// the lock first.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  `fields annotated "guarded by <mu>" may only be accessed while holding that mutex (or from a ...Locked function)`,
+	Run:  runLockDiscipline,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockDiscipline(pkg *Package, report func(ast.Node, string, ...any)) {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	guarded := guardedFields(pkg, report)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			locked := heldMutexes(pkg, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v := fieldOf(pkg, sel)
+				if v == nil {
+					return true
+				}
+				mu, ok := guarded[v]
+				if !ok || locked[mu] {
+					return true
+				}
+				report(sel, "%s accesses %s without holding %s (no %s.Lock/RLock in %s; name it ...Locked if the caller holds it)",
+					fn.Name.Name, v.Name(), mu, mu, fn.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// guardedFields collects the struct fields annotated "guarded by <mu>",
+// mapping each field object to its mutex name. An annotation naming a
+// mutex that is not a sibling field is reported: the discipline cannot
+// be checked against a lock that does not exist.
+func guardedFields(pkg *Package, report func(ast.Node, string, ...any)) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			names := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := guardAnnotation(f)
+				if mu == "" {
+					continue
+				}
+				if !names[mu] {
+					report(f, "field is annotated \"guarded by %s\" but the struct has no field %s", mu, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						out[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, "" when unannotated.
+func guardAnnotation(f *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if group == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// heldMutexes returns the mutex names body locks: every receiver of a
+// .Lock() or .RLock() call, identified by the final selector component
+// (s.mu.Lock() and mu.Lock() both register "mu").
+func heldMutexes(pkg *Package, body *ast.BlockStmt) map[string]bool {
+	held := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := unparen(sel.X).(type) {
+		case *ast.Ident:
+			held[x.Name] = true
+		case *ast.SelectorExpr:
+			held[x.Sel.Name] = true
+		}
+		return true
+	})
+	return held
+}

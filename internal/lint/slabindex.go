@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SlabIndex polices the int32 narrowing that the flat routing/CSR slabs
+// depend on. The slabs store node ids, arc indices and packet indices as
+// int32 to halve the footprint (the TableRouter's 4n² bytes is the
+// difference between fitting in RAM and not at B(2,20) ≈ 1M nodes) — but
+// exactly in that regime the quantities being narrowed approach and can
+// exceed 2³¹: a million-node network has ~4M arcs, an all-to-all
+// workload n(n-1) packets, and n² pair indices overflow int32 outright.
+// A silent wrap poisons a slab with negative indices far from the
+// conversion site.
+//
+// The rule: any conversion int32(e) of a non-constant int expression
+// must sit in a function that demonstrably guards the magnitude first —
+// either a comparison against math.MaxInt32, or a call to a guard helper
+// (a function whose name contains both a guard verb — guard/check/must —
+// and "Int32", e.g. guardSlabInt32(n, m)). Conversions whose bound is
+// structural carry a //lint:ignore slabindex directive stating the bound.
+var SlabIndex = &Analyzer{
+	Name: "slabindex",
+	Doc:  `int→int32 conversions feeding the slabs must be dominated by an overflow guard (math.MaxInt32 or a guard*Int32 helper)`,
+	Run:  runSlabIndex,
+}
+
+func runSlabIndex(pkg *Package, report func(ast.Node, string, ...any)) {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			guarded := hasInt32Guard(pkg, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 || !isInt32Conversion(pkg, call) {
+					return true
+				}
+				arg := unparen(call.Args[0])
+				if tv, ok := pkg.Info.Types[arg]; ok {
+					if tv.Value != nil {
+						return true // constant: the compiler checks the range
+					}
+					if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.Int {
+						return true // only the int→int32 narrowing can wrap here
+					}
+				}
+				if !guarded {
+					report(call, "int→int32 slab narrowing in %s has no dominating overflow guard; compare against math.MaxInt32 or call a guard…Int32 helper first", fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isInt32Conversion reports whether call is a conversion to int32.
+func isInt32Conversion(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[unparen(call.Fun)]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int32
+}
+
+// hasInt32Guard reports whether body contains an overflow guard: a
+// mention of math.MaxInt32 (or MaxInt32 from any package), or a call to
+// a guard helper whose name combines guard/check/must with Int32.
+func hasInt32Guard(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "MaxInt32" {
+				found = true
+			}
+		case *ast.Ident:
+			if e.Name == "MaxInt32" {
+				found = true
+			}
+		case *ast.CallExpr:
+			name := ""
+			switch f := unparen(e.Fun).(type) {
+			case *ast.Ident:
+				name = f.Name
+			case *ast.SelectorExpr:
+				name = f.Sel.Name
+			}
+			lower := strings.ToLower(name)
+			if strings.Contains(lower, "int32") &&
+				(strings.Contains(lower, "guard") || strings.Contains(lower, "check") || strings.Contains(lower, "must")) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

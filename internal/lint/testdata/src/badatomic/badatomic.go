@@ -1,0 +1,65 @@
+// Package badatomic is the atomicguard fixture: a stats struct whose
+// counter field is updated through sync/atomic on the hot path but read
+// and written plainly elsewhere in the package.
+package badatomic
+
+import "sync/atomic"
+
+// Stats mixes atomic and plain access to its fields.
+type Stats struct {
+	hits  int64
+	slab  []int64
+	plain int64 // never touched atomically: out of scope
+}
+
+// Record is the hot path: atomic everywhere, no findings.
+func (s *Stats) Record(arc int) {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.slab[arc], 1)
+}
+
+// Read uses atomic loads; no findings.
+func (s *Stats) Read(arc int) int64 {
+	return atomic.LoadInt64(&s.hits) + atomic.LoadInt64(&s.slab[arc])
+}
+
+// Sloppy reads the atomic field plainly: the race the analyzer exists
+// to catch.
+func (s *Stats) Sloppy() int64 {
+	return s.hits // want atomicguard "plain access races"
+}
+
+// Reset writes both fields plainly.
+func (s *Stats) Reset() {
+	s.hits = 0 // want atomicguard "plain access races"
+	for i := range s.slab {
+		s.slab[i] = 0 // want atomicguard "plain access races"
+	}
+}
+
+// Grow touches only the slice header via len and an index-only range;
+// both are sanctioned, but the element copy from the old slab is plain.
+func (s *Stats) Grow(m int) {
+	if len(s.slab) >= m {
+		return
+	}
+	next := make([]int64, m)
+	for i := range s.slab {
+		next[i] = atomic.LoadInt64(&s.slab[i])
+	}
+	s.slab = next // want atomicguard "plain access races"
+}
+
+// Bump touches the never-atomic field plainly: out of scope, no finding.
+func (s *Stats) Bump() {
+	s.plain++
+}
+
+// Fresh initializes a not-yet-published value; the directive documents
+// the happens-before argument.
+func Fresh() *Stats {
+	st := &Stats{slab: make([]int64, 8)}
+	//lint:ignore atomicguard st is unpublished until Fresh returns
+	st.hits = 1
+	return st
+}

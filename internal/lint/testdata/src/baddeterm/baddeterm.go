@@ -1,0 +1,111 @@
+// Package baddeterm is the determinism fixture: wall-clock reads,
+// global math/rand draws, and map iterations feeding ordered output.
+package baddeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() int64 {
+	t := time.Now() // want determinism "time.Now breaks seeded reproducibility"
+	return t.UnixNano()
+}
+
+// Elapsed hides the second Now inside Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want determinism "time.Since breaks seeded reproducibility"
+}
+
+// Draw uses the process-global generator.
+func Draw(n int) int {
+	return rand.Intn(n) // want determinism "global math/rand.Intn"
+}
+
+// DrawSeeded is the house pattern: an explicitly seeded source.
+func DrawSeeded(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Keys collects map keys in iteration order: the order leaks.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want determinism "appends to a slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysSorted collects then sorts: the house pattern, no finding.
+func KeysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeysLocalSorted fixes the order with a local sort helper instead of
+// package sort: also the house pattern, no finding.
+func KeysLocalSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Fill stores through a slice index from map order.
+func Fill(m map[int]int) []int {
+	out := make([]int, len(m))
+	i := 0
+	for _, v := range m { // want determinism "stores through a slice index"
+		out[i] = v
+		i++
+	}
+	return out
+}
+
+// Send forwards map entries on a channel in iteration order.
+func Send(m map[int]int, ch chan int) {
+	for _, v := range m { // want determinism "sends on a channel"
+		ch <- v
+	}
+}
+
+// Invert writes into another map: order-independent, no finding.
+func Invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Sum accumulates a commutative reduction: no finding.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Suppressed documents a deliberate wall-clock read.
+func Suppressed() int64 {
+	//lint:ignore determinism build telemetry, never compared bit-for-bit
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,65 @@
+// Package badhot is the hotalloc fixture: per-cycle kernels marked
+// //lint:hotpath that allocate in every way the analyzer must catch.
+package badhot
+
+// state is the arena a well-behaved kernel draws storage from.
+type state struct {
+	scratch []int
+	out     []int
+}
+
+// StepAllocs is the known-bad kernel.
+//
+//lint:hotpath
+func (s *state) StepAllocs(xs []int) []int {
+	buf := make([]int, len(xs)) // want hotalloc "allocates with make"
+	p := new(int)               // want hotalloc "allocates with new"
+	_ = p
+	cmp := func(a, b int) bool { return a < b } // want hotalloc "defines a closure"
+	_ = cmp
+	box := &state{} // want hotalloc "heap-allocates a composite literal"
+	_ = box
+	var grow []int
+	for _, x := range xs {
+		grow = append(grow, x) // want hotalloc "declared empty in this function"
+	}
+	copy(buf, grow)
+	return buf
+}
+
+//lint:hotpath
+func stepBare(s *state, xs []int) {
+	lit := []int{} // empty literal: the append below regrows it per call
+	for _, x := range xs {
+		lit = append(lit, x) // want hotalloc "declared empty in this function"
+	}
+	s.out = lit
+}
+
+// StepClean is the arena idiom: reslice owned storage, append into
+// fields and parameters only. No findings.
+//
+//lint:hotpath
+func (s *state) StepClean(xs []int) {
+	keep := s.scratch[:0]
+	for _, x := range xs {
+		keep = append(keep, x)
+		s.out = append(s.out, x)
+	}
+	s.scratch = keep
+}
+
+// Setup is unmarked: allocation is fine off the hot path.
+func Setup(n int) *state {
+	return &state{scratch: make([]int, 0, n), out: make([]int, 0, n)}
+}
+
+// StepExcused allocates once per run, not per cycle; the directive
+// records why.
+//
+//lint:hotpath
+func (s *state) StepExcused(n int) []int {
+	//lint:ignore hotalloc result escapes to the caller: one allocation per run
+	res := make([]int, n)
+	return res
+}

@@ -1,0 +1,68 @@
+// Package badlock is the lockdiscipline fixture: a registry whose maps
+// are annotated "guarded by mu", accessed with and without the lock.
+package badlock
+
+import "sync"
+
+// Table is the annotated concurrent structure.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+	// hist is also protected.
+	// guarded by mu
+	hist []int
+
+	orphan int // guarded by ghost // want lockdiscipline "no field ghost"
+}
+
+// New builds a Table; composite-literal initialization is exempt.
+func New() *Table {
+	return &Table{m: map[string]int{}}
+}
+
+// Get holds the read lock: no finding.
+func (t *Table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Put holds the write lock: no finding.
+func (t *Table) Put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+	t.hist = append(t.hist, v)
+}
+
+// Size forgets the lock entirely.
+func (t *Table) Size() int {
+	return len(t.m) // want lockdiscipline "without holding mu"
+}
+
+// Drain unlocks before the access; the lexical check still accepts it —
+// out of scope for a non-flow analysis — but a missing Lock call is
+// caught:
+func (t *Table) Drain() []int {
+	h := t.hist // want lockdiscipline "without holding mu"
+	return h
+}
+
+// sizeLocked is the house convention for lock-held callees: no finding.
+func (t *Table) sizeLocked() int {
+	return len(t.m)
+}
+
+// Snapshot calls the locked helper correctly and touches nothing
+// guarded itself.
+func (t *Table) Snapshot() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sizeLocked()
+}
+
+// Suppressed documents a single-threaded setup phase.
+func (t *Table) Suppressed() {
+	//lint:ignore lockdiscipline called before the table is shared
+	t.m["boot"] = 1
+}

@@ -1,0 +1,66 @@
+// Package badslab is the slabindex fixture: int→int32 narrowings with
+// and without a dominating overflow guard. Loaded under
+// repro/internal/badslab.
+package badslab
+
+import (
+	"fmt"
+	"math"
+)
+
+// BuildUnguarded narrows node and pair indices with no guard in sight.
+func BuildUnguarded(n int) []int32 {
+	slab := make([]int32, n*n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			slab[u*n+v] = int32(u*n + v) // want slabindex "no dominating overflow guard"
+		}
+	}
+	return slab
+}
+
+// BuildGuarded compares against math.MaxInt32 first: no finding.
+func BuildGuarded(n int) ([]int32, error) {
+	if n > 0 && n*n/n != n || int64(n)*int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("badslab: %d nodes overflow the int32 slab", n)
+	}
+	slab := make([]int32, n*n)
+	for u := 0; u < n; u++ {
+		slab[u] = int32(u * n)
+	}
+	return slab, nil
+}
+
+// guardSlabInt32 panics unless v fits an int32 slab entry.
+func guardSlabInt32(v int) {
+	if int64(v) > math.MaxInt32 {
+		panic("badslab: value exceeds int32 slab capacity")
+	}
+}
+
+// BuildHelperGuarded delegates the guard to the helper: no finding.
+func BuildHelperGuarded(n int) []int32 {
+	guardSlabInt32(n * n)
+	slab := make([]int32, n)
+	for u := 0; u < n; u++ {
+		slab[u] = int32(u)
+	}
+	return slab
+}
+
+// Constants narrows only constants, which the compiler range-checks.
+func Constants() int32 {
+	return int32(-1) + int32(1<<10)
+}
+
+// Widths converts to other widths; only int32 carries the slab
+// convention.
+func Widths(v int) (uint32, int64) {
+	return uint32(v), int64(v)
+}
+
+// Suppressed documents a structural bound.
+func Suppressed(deg int) int32 {
+	//lint:ignore slabindex deg is an out-degree, bounded by d ≤ 64
+	return int32(deg)
+}

@@ -13,15 +13,17 @@ func LineAbove() {
 	panic("wrong prefix")
 }
 
-// WrongAnalyzer names a different analyzer, so the panic still fires.
+// WrongAnalyzer names a different analyzer, so the panic still fires —
+// and the directive, suppressing nothing, is itself stale.
 func WrongAnalyzer() {
-	//lint:ignore errdrop this names the wrong analyzer
+	//lint:ignore errdrop this names the wrong analyzer // want unuseddirective "suppresses nothing"
 	panic("wrong prefix") // want panicstyle "constant-format string"
 }
 
-// TooFar is two lines above the offense, so the panic still fires.
+// TooFar is two lines above the offense, so the panic still fires and
+// the directive is reported as stale.
 func TooFar() {
-	//lint:ignore panicstyle this directive is too far away
+	//lint:ignore panicstyle this directive is too far away // want unuseddirective "suppresses nothing"
 
 	panic("wrong prefix") // want panicstyle "constant-format string"
 }

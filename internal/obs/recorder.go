@@ -196,7 +196,9 @@ func (r *Recorder) SizeArcs(m int) {
 	next := &arcSlabs{traversals: make([]int64, m), peakQueue: make([]int64, m)}
 	if cur != nil {
 		for i := range cur.traversals {
+			//lint:ignore atomicguard next is unpublished until the Store below; only this goroutine (under mu) can write it
 			next.traversals[i] = atomic.LoadInt64(&cur.traversals[i])
+			//lint:ignore atomicguard next is unpublished until the Store below; only this goroutine (under mu) can write it
 			next.peakQueue[i] = atomic.LoadInt64(&cur.peakQueue[i])
 		}
 	}
@@ -414,6 +416,7 @@ func (r *Recorder) ArcTraversals() []int64 {
 		return nil
 	}
 	if s := r.slabs.Load(); s != nil {
+		//lint:ignore atomicguard the slice header is immutable after publication; copyAtomicSlab reads the elements atomically
 		return copyAtomicSlab(s.traversals)
 	}
 	return nil
@@ -426,6 +429,7 @@ func (r *Recorder) ArcPeakQueue() []int64 {
 		return nil
 	}
 	if s := r.slabs.Load(); s != nil {
+		//lint:ignore atomicguard the slice header is immutable after publication; copyAtomicSlab reads the elements atomically
 		return copyAtomicSlab(s.peakQueue)
 	}
 	return nil

@@ -150,9 +150,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // through the handle. All methods are safe for concurrent use.
 type Registry struct {
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty metrics registry.

@@ -2,7 +2,6 @@ package simnet
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/digraph"
 	"repro/internal/obs"
@@ -95,10 +94,14 @@ func (dn *DeflectionNetwork) Observe(rec *obs.Recorder) {
 }
 
 // deflectionRun is the mutable state of one run, threaded through step.
+// next and taken are per-cycle scratch allocated once in Run and reused
+// every step; their append growth amortizes to zero in steady state.
 type deflectionRun struct {
 	pkts      []Packet
 	at        [][]int // packets currently held at each node (≤ d)
 	pendingAt [][]int // injected but not yet admitted
+	next      [][]int // next cycle's holdings; swapped with at each step
+	taken     []bool  // per-node output-assignment marks, d entries
 	remaining int
 	res       *DeflectionResult
 }
@@ -118,6 +121,8 @@ func (st *deflectionRun) deliver(i, cycle int, rec *obs.Recorder) {
 // step advances the simulation one cycle: absorb arrivals, inject where
 // capacity allows, then assign every held packet an output (deflecting
 // losers). Recording sites are rec != nil guarded.
+//
+//lint:hotpath
 func (dn *DeflectionNetwork) step(cycle int, st *deflectionRun, rec *obs.Recorder) {
 	n := dn.g.N()
 	pkts := st.pkts
@@ -148,19 +153,21 @@ func (dn *DeflectionNetwork) step(cycle int, st *deflectionRun, rec *obs.Recorde
 	}
 	// Assign outputs: oldest packet first (deadline monotone keeps
 	// worst-case latency bounded), each takes its best free output.
-	next := make([][]int, n)
+	next := st.next
+	for u := range next {
+		next[u] = next[u][:0]
+	}
 	for u := 0; u < n; u++ {
 		if len(st.at[u]) == 0 {
 			continue
 		}
 		group := st.at[u]
-		sort.Slice(group, func(a, b int) bool {
-			return pkts[group[a]].Release < pkts[group[b]].Release ||
-				(pkts[group[a]].Release == pkts[group[b]].Release &&
-					pkts[group[a]].ID < pkts[group[b]].ID)
-		})
+		sortByReleaseID(group, pkts)
 		outs := dn.g.Out(u)
-		taken := make([]bool, len(outs))
+		taken := st.taken[:len(outs)]
+		for k := range taken {
+			taken[k] = false
+		}
 		for _, i := range group {
 			// Rank outputs by resulting distance to destination.
 			best, bestDist := -1, 0
@@ -188,7 +195,23 @@ func (dn *DeflectionNetwork) step(cycle int, st *deflectionRun, rec *obs.Recorde
 			next[v] = append(next[v], i)
 		}
 	}
-	st.at = next
+	st.at, st.next = next, st.at
+}
+
+// sortByReleaseID insertion-sorts packet indices by (Release, ID). A
+// group holds at most d packets, and unlike sort.Slice this defines no
+// closure, so the per-node assignment loop stays allocation-free.
+func sortByReleaseID(group []int, pkts []Packet) {
+	for i := 1; i < len(group); i++ {
+		for j := i; j > 0; j-- {
+			a, b := group[j-1], group[j]
+			if pkts[a].Release < pkts[b].Release ||
+				(pkts[a].Release == pkts[b].Release && pkts[a].ID <= pkts[b].ID) {
+				break
+			}
+			group[j-1], group[j] = b, a
+		}
+	}
 }
 
 // Run simulates until all packets are delivered or the cycle limit hits.
@@ -206,6 +229,8 @@ func (dn *DeflectionNetwork) Run(packets []Packet) DeflectionResult {
 		pkts:      pkts,
 		at:        make([][]int, n),
 		pendingAt: make([][]int, n),
+		next:      make([][]int, n),
+		taken:     make([]bool, dn.d),
 		res:       &res,
 	}
 	for i := range pkts {

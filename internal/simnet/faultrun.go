@@ -157,6 +157,7 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	router := newFaultAwareRouterShared(nw.g, nw.router, state, nw.distSlab())
 
 	n := nw.g.N()
+	guardIndexInt32(len(packets), "packets")
 	cfg = cfg.withDefaults(n, nw.diameter())
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {

@@ -199,6 +199,7 @@ func (s *SelfHealing) Quarantined() []Arc {
 func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 	nw, cfg, h := s.nw, s.cfg, s.heal
 	n := nw.g.N()
+	guardIndexInt32(len(packets), "packets")
 	start := s.clock
 	mon := cfg.Monitor
 	rec := nw.rec

@@ -28,6 +28,8 @@ func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, erro
 	if r == nil || r.n != n {
 		return nil, fmt.Errorf("simnet: Repair: router built for %d nodes, digraph has %d", routerN(r), n)
 	}
+	guardIndexInt32(n, "nodes")
+	guardIndexInt32(g.M(), "arcs")
 
 	fwdBase := make([]int32, n+1)
 	for u := 0; u < n; u++ {
@@ -89,6 +91,19 @@ func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, erro
 
 	seen := make([]int32, n)
 	queue := make([]int32, 0, n)
+	repatchArcs(arcs, n, affected, deadMask, revBase, revTail, revArc, revFlat, seen, queue)
+	return &TableRouter{n: n, arcs: arcs}, nil
+}
+
+// repatchArcs re-runs the builder's reverse BFS for every affected
+// destination over the dead-arc-masked reverse CSR, rewriting those
+// destinations' columns of arcs in place. This is the per-event inner
+// loop of the healing layer's table repair, so it must not allocate:
+// every slab, including the BFS queue (cap ≥ n), arrives preallocated.
+//
+//lint:hotpath
+func repatchArcs(arcs []int32, n int, affected, deadMask []bool, revBase, revTail, revArc, revFlat, seen, queue []int32) {
+	guardIndexInt32(n, "nodes")
 	for dst := 0; dst < n; dst++ {
 		if !affected[dst] {
 			continue
@@ -115,7 +130,6 @@ func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, erro
 			}
 		}
 	}
-	return &TableRouter{n: n, arcs: arcs}, nil
 }
 
 func routerN(r *TableRouter) int {

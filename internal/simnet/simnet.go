@@ -15,6 +15,7 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -49,15 +50,28 @@ type TableRouter struct {
 // rec (router_build_ns / router_slab_bytes gauges). A nil rec degrades
 // to the plain constructor.
 func NewTableRouterObserved(g *digraph.Digraph, rec *obs.Recorder) *TableRouter {
+	//lint:ignore determinism router build time is telemetry, excluded from reproducibility comparisons
 	start := time.Now()
 	r := NewTableRouter(g)
+	//lint:ignore determinism router build time is telemetry, excluded from reproducibility comparisons
 	rec.RouterBuild(time.Since(start).Nanoseconds(), int64(r.Footprint()))
 	return r
+}
+
+// guardIndexInt32 panics unless count distinct ids fit the int32 slab,
+// queue and pipeline entries the run loops narrow into. One call at
+// function entry dominates every narrowing in that function.
+func guardIndexInt32(count int, what string) {
+	if int64(count) > math.MaxInt32 {
+		panic(fmt.Sprintf("simnet: %d %s exceed the int32 index range", count, what))
+	}
 }
 
 // NewTableRouter builds the shortest-path arc slab for g.
 func NewTableRouter(g *digraph.Digraph) *TableRouter {
 	n := g.N()
+	guardIndexInt32(n, "nodes")
+	guardIndexInt32(g.M(), "arcs")
 	// CSR of the reverse digraph with the forward arc index carried
 	// alongside each reversed arc: entry (u, k) at head v means arc k of
 	// u points to v. Discovering u from v in a reverse BFS rooted at dst
@@ -261,6 +275,7 @@ func New(g *digraph.Digraph, router Router, cfg Config) (*Network, error) {
 // shadow network of TracedRun reuses it without re-threading the error).
 func newNetwork(g *digraph.Digraph, router Router, cfg Config) *Network {
 	n := g.N()
+	guardIndexInt32(g.M(), "arcs")
 	arcBase := make([]int32, n+1)
 	maxDeg := 0
 	for u := 0; u < n; u++ {
@@ -301,11 +316,55 @@ func (nw *Network) Run(packets []Packet) Result {
 	return nw.run(packets, 0, nw.rec)
 }
 
+// runState threads run's per-call state through enqueue. A method on a
+// stack value replaces the closure run used to define: the run loop is a
+// hot path and closures allocate.
+type runState struct {
+	nw     *Network
+	pkts   []Packet
+	queues []fifo
+	res    *Result
+	rec    *obs.Recorder
+}
+
+// enqueue routes pkt out of node at, pushing it onto the chosen arc's
+// queue; it reports false (and accounts the drop) when no route exists.
+//
+//lint:hotpath
+func (rs *runState) enqueue(at, pkt int) bool {
+	arc := rs.nw.router.NextArc(at, rs.pkts[pkt].Dst)
+	if arc < 0 {
+		rs.res.Dropped++
+		if rs.rec != nil {
+			rs.rec.Drop(obs.DropNoRoute)
+		}
+		return false
+	}
+	//lint:ignore slabindex arc < maxDeg ≤ M, dominated by newNetwork's guardIndexInt32
+	flat := rs.nw.arcBase[at] + int32(arc)
+	q := &rs.queues[flat]
+	//lint:ignore slabindex pkt < len(pkts), dominated by run's guardIndexInt32
+	q.push(int32(pkt))
+	depth := q.depth()
+	if depth > rs.res.MaxQueue {
+		rs.res.MaxQueue = depth
+		rs.res.HotNode = at
+	}
+	if rs.rec != nil {
+		rs.rec.QueueDepth(int(flat), depth)
+	}
+	return true
+}
+
 // run is Run with an explicit cycle budget (0 selects cfg.MaxCycles or
 // the default bound) and recorder; sweeps use it to retune the budget
 // per point while reusing one Network. All recording sites are
 // rec != nil guarded so the uninstrumented path stays allocation-free.
+//
+//lint:hotpath
 func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
+	guardIndexInt32(len(packets), "packets")
+	//lint:ignore hotalloc pkts escapes into Result.Packets: one allocation per run, not per cycle
 	pkts := make([]Packet, len(packets))
 	copy(pkts, packets)
 	for i := range pkts {
@@ -355,35 +414,14 @@ func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 	ar.order = order
 	cursor := 0
 
-	enqueue := func(at, pkt int) bool {
-		arc := nw.router.NextArc(at, pkts[pkt].Dst)
-		if arc < 0 {
-			res.Dropped++
-			if rec != nil {
-				rec.Drop(obs.DropNoRoute)
-			}
-			return false
-		}
-		flat := nw.arcBase[at] + int32(arc)
-		q := &queues[flat]
-		q.push(int32(pkt))
-		depth := q.depth()
-		if depth > res.MaxQueue {
-			res.MaxQueue = depth
-			res.HotNode = at
-		}
-		if rec != nil {
-			rec.QueueDepth(int(flat), depth)
-		}
-		return true
-	}
+	rs := runState{nw: nw, pkts: pkts, queues: queues, res: &res, rec: rec}
 
 	for cycle := 0; remaining > 0 && cycle <= maxCycles; cycle++ {
 		// Inject.
 		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
 			i := int(order[cursor])
 			cursor++
-			if !enqueue(pkts[i].Src, i) {
+			if !rs.enqueue(pkts[i].Src, i) {
 				remaining--
 			}
 		}
@@ -418,7 +456,7 @@ func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 						}
 						continue
 					}
-					if !enqueue(v, fl.pkt) {
+					if !rs.enqueue(v, fl.pkt) {
 						remaining--
 					}
 				}

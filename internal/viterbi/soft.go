@@ -90,7 +90,7 @@ func (c Code) DecodeSoft(received []float64) ([]byte, error) {
 				}
 				if gain > nextMetric[next] {
 					nextMetric[next] = gain
-					pr[next] = int32(pre)
+					pr[next] = int32(pre) //lint:ignore slabindex pre < States() = 2^(K-1) ≤ 2^19, bounded by Validate's K ≤ 20
 				}
 			}
 		}

@@ -194,7 +194,7 @@ func (c Code) Decode(received []byte) ([]byte, error) {
 				cost := metric[pre] + hamming(branch[pre*2+b], obs)
 				if cost < nextMetric[next] {
 					nextMetric[next] = cost
-					pr[next] = int32(pre)
+					pr[next] = int32(pre) //lint:ignore slabindex pre < States() = 2^(K-1) ≤ 2^19, bounded by Validate's K ≤ 20
 				}
 			}
 		}

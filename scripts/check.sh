@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the repository's development gate. Runs formatting, vet,
-# build, the repo-specific static-analysis suite (reprolint), and the
-# race detector over the parallel BFS / Table 1 search kernels.
+# build, the repo-specific static-analysis suite (reprolint) plus its
+# fixture self-check, the race detector over every internal package, and
+# the seeded determinism double-run.
 #
 # Usage: sh scripts/check.sh
 # POSIX sh only; no bashisms.
@@ -27,9 +28,14 @@ go build ./...
 echo "== reprolint =="
 go run ./cmd/reprolint ./...
 
-echo "== go test -race (parallel kernels + fault/heal engines + metrics) =="
-go test -race ./internal/digraph/... ./internal/otis/... ./internal/simnet/... \
-    ./internal/obs/... ./internal/gossip/... ./internal/machine/...
+echo "== reprolint self-check (analyzer fixtures) =="
+go test ./internal/lint -count=1
+
+echo "== go test -race (every internal package) =="
+go test -race ./internal/...
+
+echo "== determinism double-run (byte-identical trace + OBS_run/v1) =="
+go test ./internal/simnet -run SeededRunIsByteIdentical -count=2
 
 echo "== chaos smoke (seeded random fault plans) =="
 go test ./internal/simnet -run Chaos -count=1
