@@ -339,6 +339,67 @@ func buildSpecs(smoke bool) ([]spec, error) {
 		},
 	})
 
+	// Saturation under overload protection: fixed-rate uniform traffic
+	// at 1x/2x/4x the topology's saturation throughput with bounded
+	// queues. The per-multiple metrics record how delivery degrades and
+	// that the buffer footprint (peak queue depth, resident packets)
+	// stays pinned at the topology bound however hard the sources push.
+	satD, satDiam := 3, 6
+	satPackets := 5000
+	satQcap := 4
+	if smoke {
+		satD, satDiam = 2, 4
+		satPackets = 200
+	}
+	sg := debruijn.DeBruijn(satD, satDiam)
+	snw, err := simnet.New(sg, simnet.NewTableRouter(sg), simnet.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	satRate, ok := simnet.SaturationRate(sg)
+	if !ok {
+		return nil, fmt.Errorf("B(%d,%d): no saturation rate", satD, satDiam)
+	}
+	for _, mult := range []float64{1, 2, 4} {
+		mult := mult
+		load := simnet.RatedLoad(satPackets, mult*satRate)
+		opts := []simnet.RunOption{simnet.WithSeed(7), simnet.WithQueueCapacity(satQcap)}
+		probe, err := snw.RunOpts(load, opts...)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec{
+			name:      fmt.Sprintf("saturation/B(%d,%d)/%gx", satD, satDiam, mult),
+			nodes:     sg.N(),
+			delivered: probe.Delivered,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := snw.RunOpts(load, opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			metrics: func() (map[string]int64, error) {
+				rec := obs.NewRecorder(nil)
+				rep, err := snw.RunOpts(load, append(opts, simnet.WithRecorder(rec))...)
+				if err != nil {
+					return nil, err
+				}
+				snap := rec.Snapshot()
+				return map[string]int64{
+					obs.MetricDelivered: snap.Counters[obs.MetricDelivered],
+					obs.MetricDropped:   snap.Counters[obs.MetricDropped],
+					obs.MetricHolds:     snap.Counters[obs.MetricHolds],
+					obs.MetricMaxQueue:  snap.Gauges[obs.MetricMaxQueue],
+					"sim_peak_resident": int64(rep.PeakResident),
+					"delivered_permille": int64(1000 * float64(rep.Delivered) /
+						float64(satPackets)),
+				}, nil
+			},
+		})
+	}
+
 	return specs, nil
 }
 

@@ -8,6 +8,13 @@
 //	simulate -topo otis -d 2 -diam 10 -workload permutation
 //	simulate -topo kautz -d 2 -diam 8 -workload broadcast
 //	simulate -topo debruijn -d 3 -diam 3 -faults
+//
+// Overload protection (bounded queues, backpressure, admission):
+//
+//	simulate -d 3 -diam 6 -saturation 1,2,4 -qcap 4            # saturation sweep
+//	simulate -d 3 -diam 6 -saturation 1,2,4 -qcap 4 -admit 50  # + source regulator
+//	simulate -d 2 -diam 8 -packets 5000 -qcap 8                # bounded single run
+//
 //	simulate -d 3 -diam 4 -faultlens 2
 //	simulate -d 3 -diam 4 -selfheal                          # single-arc fault, no-oracle repair
 //	simulate -d 3 -diam 4 -faultlens 2 -selfheal -quarantine # lens fault + circuit breaker
@@ -58,6 +65,13 @@ func main() {
 		"run the fault through the self-healing engine (no-oracle detection, gossip, slab repair) and report convergence")
 	quarantine := flag.Bool("quarantine", false,
 		"with -selfheal: wire the per-lens circuit breaker in and report its transitions")
+	saturation := flag.String("saturation", "",
+		"comma-separated load multiples of the saturation rate (e.g. 1,2,4): run a saturation sweep")
+	qcap := flag.Int("qcap", 0, "bound every output queue at this many packets (0: unbounded)")
+	holdBudget := flag.Int("holdbudget", 0,
+		"hold-in-place cycles a packet may spend against full queues (0: default 4*qcap+16)")
+	admit := flag.Float64("admit", 0,
+		"admission-control rate in packets/cycle; packets beyond it wait or are shed (0: off)")
 	metricsOut := flag.String("metrics", "", "write an OBS_run/v1 metrics document to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	validate := flag.String("validate-metrics", "", "validate an OBS_run/v1 metrics file and exit")
@@ -97,6 +111,11 @@ func main() {
 		return
 	}
 
+	if *saturation != "" {
+		runSaturation(*topo, *d, *diam, *saturation, *packets, *seed,
+			*qcap, *holdBudget, *admit, rec, *metricsOut)
+		return
+	}
 	if *sweep {
 		g, router, name := buildTopology(*topo, *d, *diam, rec)
 		fmt.Printf("topology: %s — %d nodes\n", name, g.N())
@@ -129,7 +148,19 @@ func main() {
 		os.Exit(1)
 	}
 	nw.Observe(rec)
-	res := nw.Run(pkts)
+	var res simnet.Result
+	if opts := overloadOpts(*qcap, *holdBudget, *admit); len(opts) > 0 {
+		rep, err := nw.RunOpts(simnet.Fixed(pkts), opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		res = rep.Result
+		fmt.Printf("overload: shed=%d dropQueueFull=%d holds=%d peakResident=%d\n",
+			res.Shed, res.DroppedQueueFull, res.Holds, res.PeakResident)
+	} else {
+		res = nw.Run(pkts)
+	}
 	fmt.Printf("result:   %v\n", res)
 	if mean, ok := g.MeanDistance(); ok {
 		fmt.Printf("graph:    mean distance %.3f, diameter %d (hop-count bounds)\n",
@@ -197,6 +228,59 @@ func runDegradation(topo string, d, diam int, rateList string, packets int, seed
 	}
 	nw.Observe(rec)
 	points, err := nw.DegradationSweep(rates, packets, seed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	for _, p := range points {
+		fmt.Println(" ", p)
+	}
+	writeMetrics(metricsOut, rec.Snapshot())
+}
+
+// overloadOpts translates the -qcap/-holdbudget/-admit flags into run
+// options (empty when all are off).
+func overloadOpts(qcap, holdBudget int, admit float64) []simnet.RunOption {
+	var opts []simnet.RunOption
+	if qcap > 0 {
+		opts = append(opts, simnet.WithQueueCapacity(qcap))
+	}
+	if holdBudget > 0 {
+		opts = append(opts, simnet.WithHoldBudget(holdBudget))
+	}
+	if admit > 0 {
+		opts = append(opts, simnet.WithAdmission(simnet.AdmissionConfig{Rate: admit}))
+	}
+	return opts
+}
+
+// runSaturation offers fixed-rate uniform traffic at each multiple of
+// the topology's saturation throughput and prints how delivery degrades
+// — with -qcap the buffer footprint stays at the topology bound however
+// hard the sources push.
+func runSaturation(topo string, d, diam int, multiples string, packets int, seed int64,
+	qcap, holdBudget int, admit float64, rec *obs.Recorder, metricsOut string) {
+	g, router, name := buildTopology(topo, d, diam, rec)
+	ms, err := parseRates(multiples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(2)
+	}
+	nw, err := simnet.New(g, router, simnet.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+	nw.Observe(rec)
+	sat, ok := simnet.SaturationRate(g)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "simulate: topology has no saturation rate (not strongly connected)")
+		os.Exit(2)
+	}
+	fmt.Printf("topology: %s — %d nodes, %d arcs\n", name, g.N(), g.M())
+	fmt.Printf("saturation rate: %.2f packets/cycle (M / mean distance)\n", sat)
+	fmt.Printf("sweep: %d packets/point, seed %d, qcap %d, admit %.1f\n\n", packets, seed, qcap, admit)
+	points, err := nw.SaturationSweep(ms, packets, seed, overloadOpts(qcap, holdBudget, admit)...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)

@@ -25,7 +25,7 @@ func TestRegistryCoverage(t *testing.T) {
 		"X-GOSSIP", "X-CONJ", "X-CONN", "X-KWIT", "X-2D", "X-FAMILY",
 		"X-ZANE", "X-POPS", "X-TREE", "X-AUT", "X-WALK", "X-NECKLACE",
 		"X-MACHINE", "X-DEFLECT", "X-TOL", "X-TDM", "X-LINE", "X-CLASS",
-		"X-FAULT", "X-HEAL",
+		"X-FAULT", "X-HEAL", "X-OVERLOAD",
 	}
 	for _, id := range wanted {
 		if _, ok := Lookup(id); !ok {

@@ -77,14 +77,59 @@ func (m *Machine) LensUtilization(rec *obs.Recorder) ([]obs.LensUtilization, err
 	return out, nil
 }
 
+// LensCongestion rolls the recorder's per-arc peak queue depths up into
+// per-lens congestion: for each lens, the deepest any queue in its arc
+// group got. Under bounded queues (WithQueueCapacity) no entry exceeds
+// the capacity, and a lens pinned at it is the aperture backpressure
+// propagates from — the congestion analogue of LensUtilization. The
+// recorder must have been sized by an Observe on this machine before
+// the runs being rolled up.
+func (m *Machine) LensCongestion(rec *obs.Recorder) ([]obs.LensCongestion, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("machine: LensCongestion needs a recorder")
+	}
+	peaks := rec.ArcPeakQueue()
+	wantArcs := m.Nodes() * m.Degree
+	if len(peaks) != wantArcs {
+		return nil, fmt.Errorf("machine: recorder sized for %d arcs, machine has %d", len(peaks), wantArcs)
+	}
+	p := m.Layout.P()
+	lenses := m.Lenses()
+	out := make([]obs.LensCongestion, 0, lenses)
+	for lens := 0; lens < lenses; lens++ {
+		arcs, err := m.Layout.LensArcs(lens)
+		if err != nil {
+			return nil, fmt.Errorf("machine: lens %d: %w", lens, err)
+		}
+		var peak int64
+		for _, a := range arcs {
+			if d := peaks[m.net.ArcIndex(a[0], a[1])]; d > peak {
+				peak = d
+			}
+		}
+		c := obs.LensCongestion{Lens: lens, Side: "tx", Arcs: len(arcs), PeakQueue: peak}
+		if lens >= p {
+			c.Side = "rx"
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 // RunMetrics snapshots the recorder and attaches the machine's per-lens
-// utilization roll-up, yielding a complete OBS_run/v1 document.
+// utilization and congestion roll-ups, yielding a complete OBS_run/v1
+// document.
 func (m *Machine) RunMetrics(rec *obs.Recorder) (obs.RunMetrics, error) {
 	lenses, err := m.LensUtilization(rec)
 	if err != nil {
 		return obs.RunMetrics{}, err
 	}
+	congestion, err := m.LensCongestion(rec)
+	if err != nil {
+		return obs.RunMetrics{}, err
+	}
 	snap := rec.Snapshot()
 	snap.Lenses = lenses
+	snap.Congestion = congestion
 	return snap, nil
 }

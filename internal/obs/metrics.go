@@ -49,10 +49,27 @@ type LensUtilization struct {
 	Share float64 `json:"share"`
 }
 
+// LensCongestion is one lens of an OTIS layout with the worst queueing
+// its arc group suffered: the peak output-queue depth over the group's
+// arcs. Under bounded queues the peak never exceeds the configured
+// QueueCapacity, so a lens pinned at capacity is the congestion hot spot
+// backpressure is propagating from.
+type LensCongestion struct {
+	// Lens is the lens number (0..P-1 transmitter side, P..P+Q-1
+	// receiver side).
+	Lens int `json:"lens"`
+	// Side is "tx" or "rx".
+	Side string `json:"side"`
+	// Arcs is the size of the lens's arc group.
+	Arcs int `json:"arcs"`
+	// PeakQueue is the deepest any queue in the group got.
+	PeakQueue int64 `json:"peak_queue"`
+}
+
 // RunMetrics is the OBS_run/v1 document: one simulation run's (or
 // accumulated sweep's) observability snapshot. Counters, gauges and
-// histograms come from the Registry; Arcs and Lenses are attached by
-// Recorder.Snapshot and machine.RunMetrics respectively.
+// histograms come from the Registry; Arcs, Lenses and Congestion are
+// attached by Recorder.Snapshot and machine.RunMetrics respectively.
 type RunMetrics struct {
 	Schema     string                       `json:"schema"`
 	Counters   map[string]int64             `json:"counters"`
@@ -60,6 +77,7 @@ type RunMetrics struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Arcs       *ArcMetrics                  `json:"arcs,omitempty"`
 	Lenses     []LensUtilization            `json:"lenses,omitempty"`
+	Congestion []LensCongestion             `json:"lens_congestion,omitempty"`
 }
 
 // MarshalIndent renders the document as stable, human-diffable JSON
@@ -136,6 +154,14 @@ func ValidateRunMetrics(data []byte) error {
 	for side, s := range shares {
 		if s > 1+1e-9 {
 			return fmt.Errorf("obs: %s lens shares sum to %v > 1", side, s)
+		}
+	}
+	for _, c := range m.Congestion {
+		if c.Side != "tx" && c.Side != "rx" {
+			return fmt.Errorf("obs: congestion lens %d has side %q, want tx or rx", c.Lens, c.Side)
+		}
+		if c.PeakQueue < 0 || c.Arcs < 0 {
+			return fmt.Errorf("obs: congestion lens %d has negative fields", c.Lens)
 		}
 	}
 	return nil

@@ -24,6 +24,9 @@ const (
 	// DropStuck: stranded in a queue or on a link when the cycle budget
 	// ran out.
 	DropStuck
+	// DropQueueFull: the downstream queue stayed full until the packet's
+	// hold-in-place budget ran out (bounded-queue backpressure).
+	DropQueueFull
 	numDropCauses
 )
 
@@ -40,6 +43,8 @@ func (c DropCause) String() string {
 		return "horizon"
 	case DropStuck:
 		return "stuck"
+	case DropQueueFull:
+		return "queuefull"
 	}
 	return "unknown"
 }
@@ -62,6 +67,11 @@ const (
 	MetricHistHops     = "hops"
 	MetricMaxQueue     = "max_queue"
 	MetricArcTraversed = "arc_traversals_total"
+
+	// Overload protection (bounded queues, backpressure, admission).
+	MetricShed          = "sim_shed"
+	MetricHolds         = "sim_holds"
+	MetricHistQueueFull = "queue_full_depth"
 
 	// Self-healing control plane (simnet heal engine).
 	MetricHealNacks      = "heal_nacks"
@@ -103,6 +113,8 @@ type Recorder struct {
 	arenaReused *Counter
 	arenaAlloc  *Counter
 	arcTotal    *Counter
+	shed        *Counter
+	holds       *Counter
 
 	healNacks   *Counter
 	healDetects *Counter
@@ -118,9 +130,10 @@ type Recorder struct {
 	maxQueue     *Gauge
 	healConverge *Gauge
 
-	latency *Histogram
-	queue   *Histogram
-	hops    *Histogram
+	latency   *Histogram
+	queue     *Histogram
+	hops      *Histogram
+	queueFull *Histogram
 }
 
 // NewRecorder returns a Recorder reporting into reg (a fresh registry
@@ -139,6 +152,8 @@ func NewRecorder(reg *Registry) *Recorder {
 		arenaReused: reg.Counter(MetricArenaReused),
 		arenaAlloc:  reg.Counter(MetricArenaAlloc),
 		arcTotal:    reg.Counter(MetricArcTraversed),
+		shed:        reg.Counter(MetricShed),
+		holds:       reg.Counter(MetricHolds),
 		healNacks:   reg.Counter(MetricHealNacks),
 		healDetects: reg.Counter(MetricHealDetections),
 		healEvents:  reg.Counter(MetricHealEvents),
@@ -155,6 +170,7 @@ func NewRecorder(reg *Registry) *Recorder {
 		latency:      reg.Histogram(MetricHistLatency),
 		queue:        reg.Histogram(MetricHistQueue),
 		hops:         reg.Histogram(MetricHistHops),
+		queueFull:    reg.Histogram(MetricHistQueueFull),
 	}
 	for c := DropCause(0); c < numDropCauses; c++ {
 		r.drops[c] = reg.Counter(MetricDropPrefix + c.String())
@@ -280,6 +296,26 @@ func (r *Recorder) Drop(cause DropCause) {
 	if cause >= 0 && cause < numDropCauses {
 		r.drops[cause].Inc()
 	}
+}
+
+// Shed records a packet refused by admission control (never injected;
+// accounted outside both Delivered and Dropped).
+func (r *Recorder) Shed() {
+	if r == nil {
+		return
+	}
+	r.shed.Inc()
+}
+
+// Hold records one hold-in-place backpressure event: a packet found its
+// downstream queue full and stayed upstream. depth is the depth of the
+// refusing queue, observed into the queue_full_depth histogram.
+func (r *Recorder) Hold(depth int) {
+	if r == nil {
+		return
+	}
+	r.holds.Inc()
+	r.queueFull.Observe(int64(depth))
 }
 
 // Reroute records a forward on an arc other than the primary router's

@@ -43,7 +43,8 @@ type arena struct {
 	pipes   [][]inflight // per-arc link pipelines, flat by Network.arcBase
 	waiting [][]int32    // per-node hold queues (fault runs)
 	order   []int32      // packet indices sorted by (Release, index)
-	meta    []pktMeta    // per-packet fault-run bookkeeping
+	holdq   []int32      // source-held packets (bounded-queue backpressure)
+	meta    []pktMeta    // per-packet bookkeeping (retries, holds)
 
 	// busy marks out-arcs already used this (node, cycle): busy[k] equals
 	// the current busyToken. Bumping the token invalidates every mark in
@@ -77,6 +78,7 @@ func (nw *Network) getArena() (*arena, bool) {
 	for i := range ar.waiting {
 		ar.waiting[i] = ar.waiting[i][:0]
 	}
+	ar.holdq = ar.holdq[:0]
 	// order and meta are resized by the run; busy stays valid because the
 	// token only ever grows.
 	return ar, true

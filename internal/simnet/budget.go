@@ -1,0 +1,71 @@
+package simnet
+
+// Retry budgets. The fault and heal engines historically each carried a
+// private copy of the same backoff ladder (attempt-doubled delay clamped
+// to a cap); this file is the one shared policy both now consult, plus
+// the deterministic jitter the literature recommends for decorrelating
+// synchronized retries. Everything is pure arithmetic on the run's own
+// state — no clocks, no global randomness — so seeded runs stay
+// byte-identical.
+
+// retryPolicy is the shared retry/backoff budget of a run: how many
+// times a packet with no live useful out-arc may be requeued, and how
+// long each requeue waits. The zero jitterSeed reproduces the exact
+// historical ladder base<<(attempt-1) clamped to cap; a non-zero seed
+// spreads each delay deterministically over [delay/2, delay] per
+// (packet, attempt), so packets backing off together do not retry in
+// lockstep.
+type retryPolicy struct {
+	max        int
+	base       int
+	cap        int
+	jitterSeed uint64
+}
+
+// newRetryPolicy derives the policy from an already-defaulted
+// FaultConfig.
+func newRetryPolicy(cfg FaultConfig) retryPolicy {
+	return retryPolicy{
+		max:        cfg.MaxRetries,
+		base:       cfg.BackoffBase,
+		cap:        cfg.BackoffCap,
+		jitterSeed: uint64(cfg.BackoffJitterSeed),
+	}
+}
+
+// backoff returns the delay in cycles before retry attempt (1-based) of
+// packet pktID.
+func (p retryPolicy) backoff(attempt, pktID int) int {
+	b := p.base << uint(attempt-1)
+	if b > p.cap || b <= 0 {
+		b = p.cap
+	}
+	if p.jitterSeed != 0 && b > 1 {
+		span := uint64(b-b/2) + 1 // delays drawn from [b/2, b]
+		h := splitmix64(p.jitterSeed ^ uint64(pktID)*0x9e3779b97f4a7c15 ^ uint64(attempt)<<32)
+		b = b/2 + int(h%span)
+	}
+	return b
+}
+
+// charge spends one retry of m's budget at the given cycle: on success
+// m.readyAt is advanced by the attempt's backoff and charge reports
+// true; once the budget is exhausted it reports false and the caller
+// drops the packet.
+func (p retryPolicy) charge(m *pktMeta, cycle, pktID int) bool {
+	m.retries++
+	if m.retries > p.max {
+		return false
+	}
+	m.readyAt = cycle + p.backoff(m.retries, pktID)
+	return true
+}
+
+// splitmix64 is the SplitMix64 finalizer: a statistically strong,
+// allocation-free 64-bit mix used for the deterministic retry jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

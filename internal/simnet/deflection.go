@@ -28,20 +28,25 @@ import (
 type DeflectionResult struct {
 	Offered     int
 	Delivered   int
-	Dropped     int // Stuck + DroppedHorizon
+	Dropped     int // Stuck + DroppedHorizon + DroppedQueueFull
 	Cycles      int
 	TotalHops   int
 	MaxHops     int
 	Deflections int // hops not on a shortest path
 	MeanLatency float64
 	MeanHops    float64
-	// Stuck counts packets in flight or awaiting injection capacity when
-	// the cycle limit ran out (0 on any completed run).
+	// Stuck counts packets in flight when the cycle limit ran out (0 on
+	// any completed run).
 	Stuck int
 	// DroppedHorizon counts packets whose Release lay beyond the cycle
 	// limit: never injected, dropped at their source when the run ends.
 	DroppedHorizon int
-	Packets        []Packet
+	// DroppedQueueFull counts release-eligible packets still waiting for
+	// injection capacity when the cycle limit ran out: refused entry by
+	// the full node, never in flight — a distinct cause from Stuck so the
+	// per-cause buckets stay disjoint.
+	DroppedQueueFull int
+	Packets          []Packet
 }
 
 // String renders the headline numbers.
@@ -251,9 +256,10 @@ func (dn *DeflectionNetwork) Run(packets []Packet) DeflectionResult {
 	}
 
 	// Exit drain: the cycle limit hit with work outstanding. In-flight
-	// packets and release-eligible pending packets are Stuck; pending
-	// packets whose release lay beyond the limit were never injectable
-	// and drop under the horizon bucket.
+	// packets are Stuck; pending packets split by cause — a release
+	// beyond the limit was never injectable (horizon), while a
+	// release-eligible packet was refused entry by its full node for the
+	// whole run (queue full). The three buckets stay disjoint.
 	if st.remaining > 0 {
 		drop := func(i int, bucket *int, cause obs.DropCause) {
 			*bucket++
@@ -273,7 +279,7 @@ func (dn *DeflectionNetwork) Run(packets []Packet) DeflectionResult {
 				if pkts[i].Release >= cycle {
 					drop(i, &res.DroppedHorizon, obs.DropHorizon)
 				} else {
-					drop(i, &res.Stuck, obs.DropStuck)
+					drop(i, &res.DroppedQueueFull, obs.DropQueueFull)
 				}
 			}
 			st.pendingAt[u] = nil

@@ -46,9 +46,10 @@ func TestDeflectionDrainInvariant(t *testing.T) {
 		t.Errorf("horizon packet marked delivered")
 	}
 
-	// Stuck drop: flood one source with far more packets than the cycle
-	// limit admits (one injection per free output per cycle), so pending
-	// release-eligible packets survive to the exit drain.
+	// Flood one source with far more packets than the cycle limit admits
+	// (one injection per free output per cycle). Release-eligible packets
+	// still pending at the drain were refused entry by their full node —
+	// DroppedQueueFull, a distinct cause from the in-flight Stuck bucket.
 	flood := make([]Packet, 40*dn.limit)
 	for i := range flood {
 		flood[i] = Packet{ID: i, Src: 0, Dst: g.N() - 1}
@@ -57,8 +58,14 @@ func TestDeflectionDrainInvariant(t *testing.T) {
 	if res.Delivered+res.Dropped != res.Offered {
 		t.Fatalf("flood drain invariant broken: %+v", res)
 	}
-	if res.Stuck == 0 {
-		t.Errorf("flood run reports no stuck packets: %+v", res)
+	if res.DroppedQueueFull == 0 {
+		t.Errorf("flood run reports no injection-capacity drops: %+v", res)
+	}
+	if res.DroppedHorizon != 0 {
+		t.Errorf("flood run misbucketed eligible packets as horizon: %+v", res)
+	}
+	if res.Stuck+res.DroppedHorizon+res.DroppedQueueFull != res.Dropped {
+		t.Errorf("flood drop buckets don't sum: %+v", res)
 	}
 	if got := res.DeliveredFraction(); got <= 0 || got >= 1 {
 		t.Errorf("flood DeliveredFraction = %v, want in (0,1)", got)

@@ -42,6 +42,19 @@ type FaultConfig struct {
 	// retries double it up to BackoffCap (0: 64).
 	BackoffBase int
 	BackoffCap  int
+	// BackoffJitterSeed decorrelates the retry ladder with deterministic
+	// per-(packet, attempt) jitter over [delay/2, delay] (0: no jitter —
+	// the exact historical ladder).
+	BackoffJitterSeed int64
+	// QueueCapacity bounds each node's hold queue at QueueCapacity
+	// packets per out-arc (0: unbounded). A full downstream node is not
+	// forwarded to: the packet holds in place upstream (credit-based
+	// backpressure) until space opens or its hold budget runs out.
+	QueueCapacity int
+	// HoldBudget is the lifetime number of hold-in-place cycles a packet
+	// may spend against full downstream nodes before dropping as
+	// DroppedQueueFull (0: 4·QueueCapacity+16).
+	HoldBudget int
 }
 
 // DefaultFaultConfig returns the default fault-run tuning.
@@ -67,12 +80,19 @@ func (c FaultConfig) withDefaults(n, diameter int) FaultConfig {
 	if c.BackoffCap < 1 {
 		c.BackoffCap = 64
 	}
+	if c.QueueCapacity < 0 {
+		c.QueueCapacity = 0
+	}
+	if c.QueueCapacity > 0 && c.HoldBudget < 1 {
+		c.HoldBudget = 4*c.QueueCapacity + 16
+	}
 	return c
 }
 
 // FaultResult extends Result with the fault-path accounting. Dropped is
-// the sum of every Dropped* bucket plus Stuck, and Delivered + Dropped
-// equals the offered packet count on every run, even one cut short by
+// the sum of every Dropped* bucket (including the embedded Result's
+// DroppedQueueFull) plus Stuck, and Delivered + Dropped + Shed equals
+// the offered packet count on every run, even one cut short by
 // MaxCycles.
 type FaultResult struct {
 	Result
@@ -100,25 +120,27 @@ type FaultResult struct {
 
 // String renders the headline numbers; safe when nothing was delivered.
 func (r FaultResult) String() string {
-	return fmt.Sprintf("%v reroutes=%d retries=%d dropTTL=%d dropNoRoute=%d dropFault=%d dropHorizon=%d stuck=%d",
-		r.Result, r.Reroutes, r.Retries, r.DroppedTTL, r.DroppedNoRoute, r.DroppedFault, r.DroppedHorizon, r.Stuck)
+	return fmt.Sprintf("%v reroutes=%d retries=%d dropTTL=%d dropNoRoute=%d dropFault=%d dropHorizon=%d dropQueueFull=%d shed=%d stuck=%d",
+		r.Result, r.Reroutes, r.Retries, r.DroppedTTL, r.DroppedNoRoute, r.DroppedFault, r.DroppedHorizon, r.DroppedQueueFull, r.Shed, r.Stuck)
 }
 
 // DeliveredFraction returns Delivered over the offered packet count, 0
 // when nothing was offered (never NaN). Since every packet is either
-// delivered or dropped, the offered count is their sum.
+// delivered, dropped or shed, the offered count is their sum.
 func (r FaultResult) DeliveredFraction() float64 {
-	offered := r.Delivered + r.Dropped
+	offered := r.Delivered + r.Dropped + r.Shed
 	if offered == 0 {
 		return 0
 	}
 	return float64(r.Delivered) / float64(offered)
 }
 
-// pktMeta is the per-packet fault-run bookkeeping.
+// pktMeta is the per-packet run bookkeeping: the retry budget state and
+// the hold-in-place budget spent against full bounded queues.
 type pktMeta struct {
 	retries int
 	readyAt int
+	holds   int
 }
 
 // RunWithFaults simulates the workload under the fault plan. The
@@ -130,7 +152,7 @@ type pktMeta struct {
 // points behind functional options. RunWithFaults remains a thin
 // wrapper and is not going away.
 func (nw *Network) RunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig) (FaultResult, error) {
-	res, _, err := nw.runWithFaults(packets, plan, cfg, false, nw.rec)
+	res, _, err := nw.runWithFaults(packets, plan, cfg, false, nil, nw.rec)
 	return res, err
 }
 
@@ -143,11 +165,11 @@ func (nw *Network) RunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 // Deprecated: use RunOpts with WithFaults and WithTrace. The method
 // remains a thin wrapper and is not going away.
 func (nw *Network) TracedRunWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig) (FaultResult, []Event, error) {
-	res, events, err := nw.runWithFaults(packets, plan, cfg, true, nw.rec)
+	res, events, err := nw.runWithFaults(packets, plan, cfg, true, nil, nw.rec)
 	return res, events, err
 }
 
-func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig, traced bool, rec *obs.Recorder) (FaultResult, []Event, error) {
+func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultConfig, traced bool, admit *admitState, rec *obs.Recorder) (FaultResult, []Event, error) {
 	state, err := plan.Compile(nw.g)
 	if err != nil {
 		return FaultResult{}, nil, err
@@ -159,11 +181,16 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	n := nw.g.N()
 	guardIndexInt32(len(packets), "packets")
 	cfg = cfg.withDefaults(n, nw.diameter())
+	policy := newRetryPolicy(cfg)
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = nw.defaultBudget(len(packets), cfg.HopLatency)
 		// Room for every retry of the backoff ladder to play out.
 		maxCycles += cfg.MaxRetries * cfg.BackoffCap
+		if admit != nil {
+			// Room for the regulator to trickle the whole workload in.
+			maxCycles += int(float64(len(packets))/admit.rate) + admit.maxDelay
+		}
 	}
 
 	pkts := make([]Packet, len(packets))
@@ -214,16 +241,98 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	ar.order = order
 	cursor := 0
 
+	// Overload protection: nodeFull bounds each node's hold queue at
+	// QueueCapacity packets per out-arc; hold charges one hold-in-place
+	// cycle to a packet's lifetime budget (false: exhausted, caller
+	// drops); enter/resident track the peak in-network buffer occupancy.
+	qcap := cfg.QueueCapacity
+	nodeFull := func(v int) bool {
+		return qcap > 0 && len(waiting[v]) >= qcap*int(nw.arcBase[v+1]-nw.arcBase[v])
+	}
+	hold := func(i, depth int) bool {
+		meta[i].holds++
+		if meta[i].holds > cfg.HoldBudget {
+			return false
+		}
+		res.Holds++
+		if rec != nil {
+			rec.Hold(depth)
+		}
+		return true
+	}
+	resident := 0
+	enter := func() {
+		resident++
+		if resident > res.PeakResident {
+			res.PeakResident = resident
+		}
+	}
+	holdq := ar.holdq[:0]
+	heldLast := false // congestion signal: a hold happened last cycle
+
 	var cycle int
 	for cycle = 0; remaining > 0 && cycle <= maxCycles; cycle++ {
 		state.Advance(cycle)
+		holdsBefore := res.Holds
+		if admit != nil {
+			admit.refill(heldLast)
+		}
 
-		// Inject.
+		// Inject: source-held packets (admitted earlier, source full)
+		// retry first, then the release cursor drains through the
+		// admission regulator. A full source holds the packet outside
+		// the network against its hold budget.
+		if len(holdq) > 0 {
+			nh := holdq[:0]
+			for _, i32 := range holdq {
+				i := int(i32)
+				src := pkts[i].Src
+				if nodeFull(src) {
+					if !hold(i, len(waiting[src])) {
+						drop(i, cycle, src, &res.DroppedQueueFull, obs.DropQueueFull)
+						remaining--
+						continue
+					}
+					nh = append(nh, i32)
+					continue
+				}
+				waiting[src] = append(waiting[src], i32)
+				enter()
+				emit(Event{Cycle: cycle, Kind: EventInject, Packet: pkts[i].ID, Node: src, Peer: -1})
+			}
+			holdq = nh
+		}
 		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
 			i := int(order[cursor])
+			if admit != nil {
+				if cycle-pkts[i].Release > admit.maxDelay {
+					cursor++
+					res.Shed++
+					if rec != nil {
+						rec.Shed()
+					}
+					emit(Event{Cycle: cycle, Kind: EventDrop, Packet: pkts[i].ID, Node: pkts[i].Src, Peer: -1})
+					remaining--
+					continue
+				}
+				if !admit.take() {
+					break // out of tokens: the head waits in release order
+				}
+			}
 			cursor++
-			waiting[pkts[i].Src] = append(waiting[pkts[i].Src], int32(i))
-			emit(Event{Cycle: cycle, Kind: EventInject, Packet: pkts[i].ID, Node: pkts[i].Src, Peer: -1})
+			src := pkts[i].Src
+			if nodeFull(src) {
+				if !hold(i, len(waiting[src])) {
+					drop(i, cycle, src, &res.DroppedQueueFull, obs.DropQueueFull)
+					remaining--
+					continue
+				}
+				holdq = append(holdq, int32(i))
+				continue
+			}
+			waiting[src] = append(waiting[src], int32(i))
+			enter()
+			emit(Event{Cycle: cycle, Kind: EventInject, Packet: pkts[i].ID, Node: src, Peer: -1})
 		}
 
 		// Arrivals: wire time completes; a downed node loses the packet.
@@ -248,12 +357,14 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 						emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
 						drop(fl.pkt, cycle, v, &res.DroppedFault, obs.DropFault)
 						remaining--
+						resident--
 						continue
 					}
 					if v == p.Dst {
 						p.Delivered = cycle
 						res.Delivered++
 						remaining--
+						resident--
 						if cycle > res.Cycles {
 							res.Cycles = cycle
 						}
@@ -300,30 +411,39 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 				if p.Hops >= cfg.TTL {
 					drop(i, cycle, u, &res.DroppedTTL, obs.DropTTL)
 					remaining--
+					resident--
 					continue
 				}
 				arc := router.NextArc(u, p.Dst)
 				if arc < 0 {
-					meta[i].retries++
-					if meta[i].retries > cfg.MaxRetries {
+					if !policy.charge(&meta[i], cycle, p.ID) {
 						drop(i, cycle, u, &res.DroppedNoRoute, obs.DropNoRoute)
 						remaining--
+						resident--
 						continue
 					}
 					res.Retries++
 					if rec != nil {
 						rec.Retry()
 					}
-					backoff := cfg.BackoffBase << uint(meta[i].retries-1)
-					if backoff > cfg.BackoffCap || backoff <= 0 {
-						backoff = cfg.BackoffCap
-					}
-					meta[i].readyAt = cycle + backoff
 					keep = append(keep, i32)
 					continue
 				}
 				if busy[arc] == token {
 					keep = append(keep, i32) // link occupied this cycle: queue
+					continue
+				}
+				if next := nw.g.Out(u)[arc]; next != p.Dst && nodeFull(next) {
+					// Credit-based backpressure: the downstream node is
+					// full (delivery always absorbs), so the packet holds
+					// in place instead of deepening next's queue.
+					if !hold(i, len(waiting[next])) {
+						drop(i, cycle, u, &res.DroppedQueueFull, obs.DropQueueFull)
+						remaining--
+						resident--
+						continue
+					}
+					keep = append(keep, i32)
 					continue
 				}
 				busy[arc] = token
@@ -339,6 +459,8 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 			}
 			waiting[u] = keep
 		}
+
+		heldLast = res.Holds > holdsBefore
 	}
 
 	// Exit drain: the cycle budget ran out with work outstanding. Every
@@ -363,6 +485,14 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 				pipes[a] = pipes[a][:0]
 			}
 		}
+		// Source-held packets (admitted but never accepted by their full
+		// source) drain under the queue-full bucket, distinct from Stuck.
+		for _, i32 := range holdq {
+			i := int(i32)
+			drop(i, cycle, pkts[i].Src, &res.DroppedQueueFull, obs.DropQueueFull)
+			remaining--
+		}
+		holdq = holdq[:0]
 		// Packets whose Release exceeded the horizon were never injected:
 		// drop them at their source under their own bucket.
 		for ; cursor < len(order); cursor++ {
@@ -372,6 +502,7 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 		}
 		_ = remaining // zero by construction: every outstanding packet was drained
 	}
+	ar.holdq = holdq
 
 	// Aggregate, guarding every ratio against the nothing-delivered case.
 	latencySum := 0

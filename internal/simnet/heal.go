@@ -248,6 +248,35 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 	ar.order = order
 	cursor := 0
 
+	// Overload protection, as in the fault engine: nodeFull bounds each
+	// node's hold queue at QueueCapacity packets per out-arc, hold
+	// charges a packet's lifetime hold budget, enter/resident track peak
+	// in-network buffer occupancy. The retry ladder is the shared policy.
+	policy := newRetryPolicy(cfg.FaultConfig)
+	qcap := cfg.QueueCapacity
+	nodeFull := func(v int) bool {
+		return qcap > 0 && len(waiting[v]) >= qcap*int(nw.arcBase[v+1]-nw.arcBase[v])
+	}
+	hold := func(i, depth int) bool {
+		meta[i].holds++
+		if meta[i].holds > cfg.HoldBudget {
+			return false
+		}
+		res.Holds++
+		if rec != nil {
+			rec.Hold(depth)
+		}
+		return true
+	}
+	resident := 0
+	enter := func() {
+		resident++
+		if resident > res.PeakResident {
+			res.PeakResident = resident
+		}
+	}
+	holdq := ar.holdq[:0]
+
 	// gossipLive reports physical arc liveness for flood steps: link-
 	// state updates travel only over arcs that actually work.
 	gossipLive := func(tail, index int) bool { return !s.state.ArcDown(tail, index) }
@@ -298,11 +327,43 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 		// Gossip: every in-flight link-state flood advances one round.
 		h.stepFloods(abs, gossipLive)
 
-		// Inject.
+		// Inject: source-held packets (source full) retry first, then
+		// the release cursor; a full source holds the packet outside the
+		// network against its hold budget.
+		if len(holdq) > 0 {
+			nh := holdq[:0]
+			for _, i32 := range holdq {
+				i := int(i32)
+				src := pkts[i].Src
+				if nodeFull(src) {
+					if !hold(i, len(waiting[src])) {
+						drop(&res.DroppedQueueFull, obs.DropQueueFull)
+						remaining--
+						continue
+					}
+					nh = append(nh, i32)
+					continue
+				}
+				waiting[src] = append(waiting[src], i32)
+				enter()
+			}
+			holdq = nh
+		}
 		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
 			i := int(order[cursor])
 			cursor++
-			waiting[pkts[i].Src] = append(waiting[pkts[i].Src], int32(i))
+			src := pkts[i].Src
+			if nodeFull(src) {
+				if !hold(i, len(waiting[src])) {
+					drop(&res.DroppedQueueFull, obs.DropQueueFull)
+					remaining--
+					continue
+				}
+				holdq = append(holdq, int32(i))
+				continue
+			}
+			waiting[src] = append(waiting[src], int32(i))
+			enter()
 		}
 
 		// Arrivals: wire time completes; a downed node loses the packet.
@@ -326,12 +387,14 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 					if s.state.NodeDown(v) {
 						drop(&res.DroppedFault, obs.DropFault)
 						remaining--
+						resident--
 						continue
 					}
 					if v == p.Dst {
 						p.Delivered = cycle
 						res.Delivered++
 						remaining--
+						resident--
 						if cycle > res.Cycles {
 							res.Cycles = cycle
 						}
@@ -377,30 +440,39 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 				if p.Hops >= cfg.TTL {
 					drop(&res.DroppedTTL, obs.DropTTL)
 					remaining--
+					resident--
 					continue
 				}
 				arc := s.routeArc(u, p.Dst, rec)
 				if arc < 0 {
-					meta[i].retries++
-					if meta[i].retries > cfg.MaxRetries {
+					if !policy.charge(&meta[i], cycle, p.ID) {
 						drop(&res.DroppedNoRoute, obs.DropNoRoute)
 						remaining--
+						resident--
 						continue
 					}
 					res.Retries++
 					if rec != nil {
 						rec.Retry()
 					}
-					backoff := cfg.BackoffBase << uint(meta[i].retries-1)
-					if backoff > cfg.BackoffCap || backoff <= 0 {
-						backoff = cfg.BackoffCap
-					}
-					meta[i].readyAt = cycle + backoff
 					keep = append(keep, i32)
 					continue
 				}
 				if busy[arc] == token {
 					keep = append(keep, i32) // link occupied this cycle: queue
+					continue
+				}
+				if next := nw.g.Out(u)[arc]; next != p.Dst && nodeFull(next) {
+					// Credit-based backpressure: hold in place instead of
+					// deepening a full downstream node's queue (delivery
+					// always absorbs).
+					if !hold(i, len(waiting[next])) {
+						drop(&res.DroppedQueueFull, obs.DropQueueFull)
+						remaining--
+						resident--
+						continue
+					}
+					keep = append(keep, i32)
 					continue
 				}
 				busy[arc] = token
@@ -469,12 +541,18 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 				pipes[a] = pipes[a][:0]
 			}
 		}
+		for range holdq {
+			drop(&res.DroppedQueueFull, obs.DropQueueFull)
+			remaining--
+		}
+		holdq = holdq[:0]
 		for ; cursor < len(order); cursor++ {
 			drop(&res.DroppedHorizon, obs.DropHorizon)
 			remaining--
 		}
 		_ = remaining // zero by construction
 	}
+	ar.holdq = holdq
 
 	// Aggregate.
 	latencySum := 0

@@ -99,15 +99,18 @@ func TestFaultRunRecorderMatchesResult(t *testing.T) {
 	}
 	snap := rec.Snapshot()
 	checks := map[string]int{
-		obs.MetricDelivered:                             res.Delivered,
-		obs.MetricDropped:                               res.Dropped,
-		obs.MetricDropPrefix + obs.DropTTL.String():     res.DroppedTTL,
-		obs.MetricDropPrefix + obs.DropNoRoute.String(): res.DroppedNoRoute,
-		obs.MetricDropPrefix + obs.DropFault.String():   res.DroppedFault,
-		obs.MetricDropPrefix + obs.DropHorizon.String(): res.DroppedHorizon,
-		obs.MetricDropPrefix + obs.DropStuck.String():   res.Stuck,
-		obs.MetricReroutes:                              res.Reroutes,
-		obs.MetricRetries:                               res.Retries,
+		obs.MetricDelivered:                               res.Delivered,
+		obs.MetricDropped:                                 res.Dropped,
+		obs.MetricDropPrefix + obs.DropTTL.String():       res.DroppedTTL,
+		obs.MetricDropPrefix + obs.DropNoRoute.String():   res.DroppedNoRoute,
+		obs.MetricDropPrefix + obs.DropFault.String():     res.DroppedFault,
+		obs.MetricDropPrefix + obs.DropHorizon.String():   res.DroppedHorizon,
+		obs.MetricDropPrefix + obs.DropStuck.String():     res.Stuck,
+		obs.MetricDropPrefix + obs.DropQueueFull.String(): res.DroppedQueueFull,
+		obs.MetricShed:     res.Shed,
+		obs.MetricHolds:    res.Holds,
+		obs.MetricReroutes: res.Reroutes,
+		obs.MetricRetries:  res.Retries,
 	}
 	for name, want := range checks {
 		if got := snap.Counters[name]; got != int64(want) {

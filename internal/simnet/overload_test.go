@@ -1,0 +1,417 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/debruijn"
+)
+
+// Tests for the overload-hardened data plane: bounded queues with
+// credit-based backpressure, admission control, unified retry budgets,
+// and the saturation instrumentation tying them together. The headline
+// is claim X-OVERLOAD: at 4x saturation on B(3,5), bounded-queue runs
+// keep their buffer footprint at the topology bound (independent of
+// offered load), degrade monotonically, terminate with exact
+// Delivered + Dropped + Shed == Offered accounting, and reproduce
+// byte-identically under the same seed.
+
+// TestClaimXOverload drives B(3,5) at 1x, 2x and 4x its saturation rate
+// under bounded queues and checks every leg of the claim.
+func TestClaimXOverload(t *testing.T) {
+	g := debruijn.DeBruijn(3, 5)
+	nw, err := New(g, NewTableRouter(g), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		qcap    = 2
+		packets = 20000
+		seed    = 11
+	)
+	multiples := []float64{1, 2, 4}
+	points, err := nw.SaturationSweep(multiples, packets, seed, WithQueueCapacity(qcap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(multiples) {
+		t.Fatalf("sweep returned %d points, want %d", len(points), len(multiples))
+	}
+
+	// Topology bound on resident packets: per arc, at most qcap queued
+	// plus a full link window of qcap + HopLatency in flight or held.
+	bound := g.M() * (2*qcap + 1)
+	for _, pt := range points {
+		// No deadlock: the plain engine does not drain survivors at the
+		// cycle budget, so exact accounting proves natural termination.
+		if pt.Delivered+pt.Dropped+pt.Shed != pt.Offered {
+			t.Fatalf("%gx: accounting broken (run truncated?): %v", pt.Multiple, pt)
+		}
+		if pt.PeakResident > bound {
+			t.Errorf("%gx: PeakResident %d exceeds topology bound %d", pt.Multiple, pt.PeakResident, bound)
+		}
+		if pt.MaxQueue > qcap {
+			t.Errorf("%gx: MaxQueue %d exceeds capacity %d", pt.Multiple, pt.MaxQueue, qcap)
+		}
+		if pt.Delivered == 0 {
+			t.Errorf("%gx: nothing delivered: %v", pt.Multiple, pt)
+		}
+	}
+
+	// Delivered fraction is monotone non-increasing in offered load.
+	for i := 1; i < len(points); i++ {
+		if points[i].DeliveredFraction > points[i-1].DeliveredFraction {
+			t.Errorf("delivered fraction rose with load: %gx %.4f -> %gx %.4f",
+				points[i-1].Multiple, points[i-1].DeliveredFraction,
+				points[i].Multiple, points[i].DeliveredFraction)
+		}
+	}
+
+	// Memory-flat means the bound is load-independent; the same 4x load
+	// without queue bounds buffers far beyond it.
+	sat, ok := SaturationRate(g)
+	if !ok {
+		t.Fatal("B(3,5) not strongly connected?")
+	}
+	rep, err := nw.RunOpts(RatedLoad(packets, 4*sat), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakResident <= bound {
+		t.Errorf("unbounded 4x run resident %d within bound %d — contrast lost", rep.PeakResident, bound)
+	}
+	if points[2].PeakResident >= rep.PeakResident {
+		t.Errorf("bounded 4x resident %d not below unbounded %d", points[2].PeakResident, rep.PeakResident)
+	}
+
+	// Same seed, same sweep, byte-identical points.
+	again, err := nw.SaturationSweep(multiples, packets, seed, WithQueueCapacity(qcap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(points, again) {
+		t.Errorf("same-seed sweep diverged:\n%v\n%v", points, again)
+	}
+}
+
+// TestSaturationCatalogAccounting: on every catalog topology, a 2x
+// overload with bounded queues and admission control keeps the exact
+// Delivered + Dropped + Shed == Offered invariant, produces a trace
+// VerifyTrace accepts, and is byte-identical across same-seed runs —
+// including the event log.
+func TestSaturationCatalogAccounting(t *testing.T) {
+	for name, g := range catalogGraphs(t) {
+		sat, ok := SaturationRate(g)
+		if !ok {
+			t.Fatalf("%s: no saturation rate", name)
+		}
+		nw, err := New(g, NewTableRouter(g), DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		const offered = 600
+		run := func() RunReport {
+			rep, err := nw.RunOpts(RatedLoad(offered, 2*sat),
+				WithSeed(23),
+				WithQueueCapacity(2),
+				WithAdmission(AdmissionConfig{Rate: sat}),
+				WithTrace())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return rep
+		}
+		rep := run()
+		if rep.Delivered+rep.Dropped+rep.Shed != offered {
+			t.Errorf("%s: accounting broken: %v", name, rep.FaultResult)
+		}
+		if rep.Shed == 0 && rep.Holds == 0 && rep.Dropped == 0 {
+			t.Logf("%s: overload produced no pressure (delivered all %d)", name, rep.Delivered)
+		}
+		if err := VerifyTrace(g, rep.Packets, rep.Events); err != nil {
+			t.Errorf("%s: trace invalid under backpressure: %v", name, err)
+		}
+		again := run()
+		if !reflect.DeepEqual(rep.FaultResult, again.FaultResult) {
+			t.Errorf("%s: same-seed results diverged:\n%v\n%v", name, rep.FaultResult, again.FaultResult)
+		}
+		if !reflect.DeepEqual(rep.Events, again.Events) {
+			t.Errorf("%s: same-seed traces diverged (%d vs %d events)", name, len(rep.Events), len(again.Events))
+		}
+	}
+}
+
+// TestChaosOverload: random fault plans at 4x saturation through the
+// fault engine with bounded queues and admission — the accounting
+// invariant must hold unconditionally, whatever the plan does.
+func TestChaosOverload(t *testing.T) {
+	g := debruijn.DeBruijn(2, 4)
+	sat, ok := SaturationRate(g)
+	if !ok {
+		t.Fatal("B(2,4) not strongly connected?")
+	}
+	nw, err := New(g, NewTableRouter(g), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		plan := randomChaosPlan(rng, g)
+		offered := 200 + rng.Intn(200)
+		rep, err := nw.RunOpts(RatedLoad(offered, 4*sat),
+			WithSeed(seed),
+			WithFaults(plan),
+			WithQueueCapacity(1+rng.Intn(3)),
+			WithAdmission(AdmissionConfig{Rate: 2 * sat}),
+			WithTrace())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Delivered+rep.Dropped+rep.Shed != offered {
+			t.Fatalf("seed %d: accounting broken: %v", seed, rep.FaultResult)
+		}
+		drops := rep.DroppedTTL + rep.DroppedNoRoute + rep.DroppedFault +
+			rep.DroppedHorizon + rep.DroppedQueueFull + rep.Stuck
+		if drops != rep.Dropped {
+			t.Fatalf("seed %d: drop buckets %d don't sum to Dropped %d: %v",
+				seed, drops, rep.Dropped, rep.FaultResult)
+		}
+		if err := VerifyTrace(g, rep.Packets, rep.Events); err != nil {
+			t.Fatalf("seed %d: trace invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestHealOverload: the self-healing engine under the same bounded
+// queues — accounting exact, queue bound respected, deterministic.
+func TestHealOverload(t *testing.T) {
+	g := debruijn.DeBruijn(2, 4)
+	nw, err := New(g, NewTableRouter(g), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkPlan := func() *FaultPlan {
+		plan := NewFaultPlan()
+		plan.LinkDown(5, 40, 0, 0)
+		plan.NodeDown(10, 30, 3)
+		return plan
+	}
+	cfg := HealConfig{FaultConfig: FaultConfig{QueueCapacity: 2}}
+	run := func() HealResult {
+		session, err := nw.SelfHeal(mkPlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := session.Run(UniformRandom(g.N(), 800, 17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Delivered+res.Dropped != 800 {
+		t.Fatalf("accounting broken: %+v", res.FaultResult)
+	}
+	// The heal engine bounds each node's hold queue at qcap per out-arc,
+	// checked when upstreams depart — in-flight packets from different
+	// upstreams may all land in one cycle, overshooting by at most the
+	// in-degree.
+	if bound := 2*2 + 2; res.MaxQueue > bound {
+		t.Errorf("MaxQueue %d exceeds node bound %d", res.MaxQueue, bound)
+	}
+	again := run()
+	if !reflect.DeepEqual(res.FaultResult, again.FaultResult) {
+		t.Errorf("same-seed healing runs diverged:\n%v\n%v", res.FaultResult, again.FaultResult)
+	}
+}
+
+// TestRunOptsValidation: invalid options and workloads fail eagerly
+// with *OptionError, before any simulation work.
+func TestRunOptsValidation(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	nw, err := New(g, NewTableRouter(g), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := UniformLoad(10)
+	cases := []struct {
+		name   string
+		w      Workload
+		opts   []RunOption
+		option string // expected OptionError.Option
+	}{
+		{"queue capacity zero", ok, []RunOption{WithQueueCapacity(0)}, "WithQueueCapacity"},
+		{"queue capacity negative", ok, []RunOption{WithQueueCapacity(-3)}, "WithQueueCapacity"},
+		{"hold budget zero", ok, []RunOption{WithHoldBudget(0)}, "WithHoldBudget"},
+		{"admission rate zero", ok, []RunOption{WithAdmission(AdmissionConfig{})}, "WithAdmission"},
+		{"admission burst negative", ok, []RunOption{WithAdmission(AdmissionConfig{Rate: 1, Burst: -1})}, "WithAdmission"},
+		{"admission delay negative", ok, []RunOption{WithAdmission(AdmissionConfig{Rate: 1, MaxDelay: -1})}, "WithAdmission"},
+		{"duplicate admission", ok, []RunOption{
+			WithAdmission(AdmissionConfig{Rate: 1}), WithAdmission(AdmissionConfig{Rate: 2})}, "WithAdmission"},
+		{"duplicate fault plans", ok, []RunOption{WithFaults(nil), WithFaults(nil)}, "WithFaults"},
+		{"duplicate fault configs", ok, []RunOption{
+			WithFaultConfig(FaultConfig{}), WithFaultConfig(FaultConfig{})}, "WithFaultConfig"},
+		{"duplicate recorders", ok, []RunOption{WithRecorder(nil), WithRecorder(nil)}, "WithRecorder"},
+		{"negative TTL", ok, []RunOption{WithFaultConfig(FaultConfig{TTL: -1})}, "WithFaultConfig"},
+		{"negative retries", ok, []RunOption{WithFaultConfig(FaultConfig{MaxRetries: -1})}, "WithFaultConfig"},
+		{"negative backoff", ok, []RunOption{WithFaultConfig(FaultConfig{BackoffBase: -1})}, "WithFaultConfig"},
+		{"negative queue capacity in config", ok, []RunOption{WithFaultConfig(FaultConfig{QueueCapacity: -1})}, "WithFaultConfig"},
+		{"negative hold budget in config", ok, []RunOption{WithFaultConfig(FaultConfig{HoldBudget: -1})}, "WithFaultConfig"},
+		{"poisson rate zero", PoissonLoad(10, 0), nil, "PoissonLoad"},
+		{"poisson rate above one", PoissonLoad(10, 1.5), nil, "PoissonLoad"},
+		{"poisson negative count", PoissonLoad(-1, 0.5), nil, "PoissonLoad"},
+		{"rated rate zero", RatedLoad(10, 0), nil, "RatedLoad"},
+		{"rated negative count", RatedLoad(-1, 2), nil, "RatedLoad"},
+	}
+	for _, tc := range cases {
+		_, err := nw.RunOpts(tc.w, tc.opts...)
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %v, want *OptionError", tc.name, err)
+			continue
+		}
+		if oe.Option != tc.option {
+			t.Errorf("%s: blamed option %q, want %q (%v)", tc.name, oe.Option, tc.option, oe)
+		}
+	}
+
+	// Zero TTL stays legal: it selects the documented default.
+	if _, err := nw.RunOpts(ok, WithFaultConfig(FaultConfig{TTL: 0})); err != nil {
+		t.Errorf("zero-value FaultConfig rejected: %v", err)
+	}
+	// And valid overload options run.
+	if _, err := nw.RunOpts(ok, WithQueueCapacity(2), WithHoldBudget(8),
+		WithAdmission(AdmissionConfig{Rate: 0.5})); err != nil {
+		t.Errorf("valid overload options rejected: %v", err)
+	}
+}
+
+// TestRetryPolicy: the unified budget reproduces the historical ladder
+// exactly at jitter seed zero, and spreads delays over [b/2, b]
+// deterministically otherwise.
+func TestRetryPolicy(t *testing.T) {
+	legacy := newRetryPolicy(FaultConfig{MaxRetries: 8, BackoffBase: 1, BackoffCap: 64}.withDefaults(16, 4))
+	want := []int{1, 2, 4, 8, 16, 32, 64, 64, 64}
+	for i, w := range want {
+		if got := legacy.backoff(i+1, 7); got != w {
+			t.Errorf("legacy backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+
+	jit := legacy
+	jit.jitterSeed = 42
+	seen := map[int]bool{}
+	for pkt := 0; pkt < 200; pkt++ {
+		for attempt := 1; attempt <= 8; attempt++ {
+			b := 1 << uint(attempt-1)
+			if b > 64 {
+				b = 64
+			}
+			got := jit.backoff(attempt, pkt)
+			lo := b / 2
+			if b == 1 {
+				lo = 1 // delays of one cycle are never jittered
+			}
+			if got < lo || got > b {
+				t.Fatalf("jittered backoff(%d, pkt %d) = %d outside [%d, %d]", attempt, pkt, got, lo, b)
+			}
+			if again := jit.backoff(attempt, pkt); again != got {
+				t.Fatalf("jitter not deterministic: %d then %d", got, again)
+			}
+			seen[jit.backoff(6, pkt)] = true
+		}
+	}
+	if len(seen) < 4 {
+		t.Errorf("jitter produced only %d distinct attempt-6 delays across 200 packets", len(seen))
+	}
+
+	// charge spends the budget and reports exhaustion.
+	var m pktMeta
+	for i := 1; i <= 8; i++ {
+		if !legacy.charge(&m, 100, 3) {
+			t.Fatalf("charge exhausted early at retry %d", i)
+		}
+		if m.readyAt <= 100 {
+			t.Fatalf("charge did not advance readyAt: %d", m.readyAt)
+		}
+	}
+	if legacy.charge(&m, 100, 3) {
+		t.Error("charge allowed a 9th retry with MaxRetries 8")
+	}
+}
+
+// TestAdmitState: token-bucket arithmetic — defaults, fractional rates,
+// burst clamping, and the congestion pause.
+func TestAdmitState(t *testing.T) {
+	// Defaults: burst max(1, Rate), MaxDelay 4*diameter+16.
+	a := newAdmitState(AdmissionConfig{Rate: 0.5}, 5)
+	if a.burst != 1 || a.maxDelay != 36 {
+		t.Fatalf("defaults: burst %v maxDelay %d, want 1 and 36", a.burst, a.maxDelay)
+	}
+	// Bucket starts full: one admission, then the fractional rate needs
+	// two refills per token.
+	if !a.take() || a.take() {
+		t.Fatal("full bucket should admit exactly one packet")
+	}
+	a.refill(false)
+	if a.take() {
+		t.Error("half a token admitted a packet")
+	}
+	a.refill(false)
+	if !a.take() {
+		t.Error("two refills at rate 0.5 should yield one token")
+	}
+	// Congestion pauses refill entirely.
+	a.refill(true)
+	if a.take() {
+		t.Error("congested refill added tokens")
+	}
+	// Refill clamps at the burst depth.
+	b := newAdmitState(AdmissionConfig{Rate: 3, Burst: 4, MaxDelay: 10}, -1)
+	for i := 0; i < 10; i++ {
+		b.refill(false)
+	}
+	admitted := 0
+	for b.take() {
+		admitted++
+	}
+	if admitted != 4 {
+		t.Errorf("burst 4 admitted %d packets after long idle", admitted)
+	}
+}
+
+// TestSaturationRate: M / meanDistance on a known graph, and failure on
+// a disconnected one.
+func TestSaturationRate(t *testing.T) {
+	g := debruijn.DeBruijn(2, 4)
+	sat, ok := SaturationRate(g)
+	if !ok || sat <= 0 {
+		t.Fatalf("SaturationRate(B(2,4)) = %v, %v", sat, ok)
+	}
+	mean, _ := g.MeanDistance()
+	if want := float64(g.M()) / mean; sat != want {
+		t.Errorf("sat %v, want M/meanDistance = %v", sat, want)
+	}
+}
+
+// TestRatedUniform: the fixed-rate workload releases packets at the
+// requested aggregate rate, including rates above one per cycle.
+func TestRatedUniform(t *testing.T) {
+	pkts := RatedUniform(16, 100, 4, 9)
+	if len(pkts) != 100 {
+		t.Fatalf("generated %d packets, want 100", len(pkts))
+	}
+	for i, p := range pkts {
+		if want := int(float64(i) / 4); p.Release != want {
+			t.Fatalf("packet %d released at %d, want %d", i, p.Release, want)
+		}
+		if p.Src < 0 || p.Src >= 16 || p.Dst < 0 || p.Dst >= 16 {
+			t.Fatalf("packet %d endpoints out of range: %+v", i, p)
+		}
+	}
+	if !reflect.DeepEqual(pkts, RatedUniform(16, 100, 4, 9)) {
+		t.Error("same-seed RatedUniform diverged")
+	}
+}

@@ -58,20 +58,83 @@ func AllToAllLoad() Workload {
 }
 
 // PoissonLoad is the Poisson-arrival workload at the given rate
-// (packets per cycle per network).
+// (packets per cycle per network, 0 < rate ≤ 1). An out-of-range rate
+// is reported eagerly by RunOpts as an *OptionError.
 func PoissonLoad(packets int, rate float64) Workload {
+	if rate <= 0 || rate > 1 {
+		return errWorkload{&OptionError{Option: "PoissonLoad", Reason: fmt.Sprintf("rate must be in (0, 1], got %v", rate)}}
+	}
+	if packets < 0 {
+		return errWorkload{&OptionError{Option: "PoissonLoad", Reason: fmt.Sprintf("packet count must be >= 0, got %d", packets)}}
+	}
 	return WorkloadFunc(func(n int, seed int64) []Packet { return PoissonArrivals(n, packets, rate, seed) })
 }
+
+// RatedLoad is the fixed-rate uniform workload (RatedUniform): packets
+// with uniform random endpoints released at the given aggregate rate in
+// packets per cycle. Unlike PoissonLoad the rate may exceed 1 — this is
+// the workload saturation studies offer at multiples of the network's
+// saturation throughput. A non-positive rate is reported eagerly by
+// RunOpts as an *OptionError.
+func RatedLoad(packets int, rate float64) Workload {
+	if rate <= 0 {
+		return errWorkload{&OptionError{Option: "RatedLoad", Reason: fmt.Sprintf("rate must be > 0, got %v", rate)}}
+	}
+	if packets < 0 {
+		return errWorkload{&OptionError{Option: "RatedLoad", Reason: fmt.Sprintf("packet count must be >= 0, got %d", packets)}}
+	}
+	return WorkloadFunc(func(n int, seed int64) []Packet { return RatedUniform(n, packets, rate, seed) })
+}
+
+// OptionError reports an invalid RunOpts option or workload parameter,
+// detected eagerly when the option is applied (mirroring
+// NewFaultPlanFor's Err pattern) and returned by RunOpts before any
+// simulation work happens.
+type OptionError struct {
+	// Option names the offending option or workload constructor.
+	Option string
+	// Reason says what was wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("simnet: %s: %s", e.Option, e.Reason)
+}
+
+// errWorkload carries a workload-construction error that RunOpts
+// surfaces before generating any packets.
+type errWorkload struct{ err error }
+
+// Packets implements Workload; an errored workload generates nothing.
+func (w errWorkload) Packets(int, int64) []Packet { return nil }
+
+// Err reports the construction error.
+func (w errWorkload) Err() error { return w.err }
 
 // runConfig is the option state of one RunOpts call.
 type runConfig struct {
 	faults      bool
 	plan        *FaultPlan
+	planSet     bool
 	faultCfg    FaultConfig
+	faultCfgSet bool
 	traced      bool
 	rec         *obs.Recorder
 	recOverride bool
 	seed        int64
+	qcap        int
+	qcapSet     bool
+	hold        int
+	holdSet     bool
+	admission   AdmissionConfig
+	admit       bool
+	errs        []error
+}
+
+// fail records an eager option error, surfaced by RunOpts.
+func (c *runConfig) fail(option, format string, args ...any) {
+	c.errs = append(c.errs, &OptionError{Option: option, Reason: fmt.Sprintf(format, args...)})
 }
 
 // RunOption configures one RunOpts call.
@@ -80,19 +143,48 @@ type RunOption func(*runConfig)
 // WithFaults runs the workload through the fault-aware engine under the
 // given plan (nil: the fault engine with no scheduled faults — still
 // useful for its TTL/retry semantics and Delivered+Dropped accounting).
+// Two WithFaults options on one call conflict and fail eagerly.
 func WithFaults(plan *FaultPlan) RunOption {
 	return func(c *runConfig) {
+		if c.planSet {
+			c.fail("WithFaults", "conflicting duplicate option (two fault plans on one run)")
+			return
+		}
 		c.faults = true
 		c.plan = plan
+		c.planSet = true
 	}
 }
 
-// WithFaultConfig tunes the fault engine (TTL, retries, backoff) and
-// implies the fault-aware engine like WithFaults(nil).
+// WithFaultConfig tunes the fault engine (TTL, retries, backoff, queue
+// bounds) and implies the fault-aware engine like WithFaults(nil).
+// Negative fields fail eagerly; zero fields keep selecting their
+// documented defaults. Duplicate WithFaultConfig options conflict.
 func WithFaultConfig(cfg FaultConfig) RunOption {
 	return func(c *runConfig) {
+		if c.faultCfgSet {
+			c.fail("WithFaultConfig", "conflicting duplicate option (two fault configs on one run)")
+			return
+		}
+		switch {
+		case cfg.HopLatency < 0:
+			c.fail("WithFaultConfig", "HopLatency must be >= 0, got %d", cfg.HopLatency)
+		case cfg.MaxCycles < 0:
+			c.fail("WithFaultConfig", "MaxCycles must be >= 0, got %d", cfg.MaxCycles)
+		case cfg.TTL < 0:
+			c.fail("WithFaultConfig", "TTL must be >= 0 (0 selects the default), got %d", cfg.TTL)
+		case cfg.MaxRetries < 0:
+			c.fail("WithFaultConfig", "MaxRetries must be >= 0, got %d", cfg.MaxRetries)
+		case cfg.BackoffBase < 0 || cfg.BackoffCap < 0:
+			c.fail("WithFaultConfig", "backoff base/cap must be >= 0, got %d/%d", cfg.BackoffBase, cfg.BackoffCap)
+		case cfg.QueueCapacity < 0:
+			c.fail("WithFaultConfig", "QueueCapacity must be >= 0, got %d", cfg.QueueCapacity)
+		case cfg.HoldBudget < 0:
+			c.fail("WithFaultConfig", "HoldBudget must be >= 0, got %d", cfg.HoldBudget)
+		}
 		c.faults = true
 		c.faultCfg = cfg
+		c.faultCfgSet = true
 	}
 }
 
@@ -103,9 +195,14 @@ func WithTrace() RunOption {
 
 // WithRecorder records metrics into rec for this run only, overriding
 // (or, when the network has none, supplying) the recorder attached with
-// Observe. WithRecorder(nil) forces an uninstrumented run.
+// Observe. WithRecorder(nil) forces an uninstrumented run. Duplicate
+// WithRecorder options conflict and fail eagerly.
 func WithRecorder(rec *obs.Recorder) RunOption {
 	return func(c *runConfig) {
+		if c.recOverride {
+			c.fail("WithRecorder", "conflicting duplicate option (two recorders on one run)")
+			return
+		}
 		c.rec = rec
 		c.recOverride = true
 	}
@@ -114,6 +211,64 @@ func WithRecorder(rec *obs.Recorder) RunOption {
 // WithSeed seeds the workload generator (default 1).
 func WithSeed(seed int64) RunOption {
 	return func(c *runConfig) { c.seed = seed }
+}
+
+// WithQueueCapacity bounds every output queue of this run at cap
+// packets per arc (fault and heal engines bound each node's hold queue
+// at cap packets per out-arc), overriding the Network Config. A full
+// downstream queue holds the packet upstream — credit-based
+// backpressure — until its hold budget (WithHoldBudget) runs out. cap
+// must be at least 1; zero or negative capacities fail eagerly.
+func WithQueueCapacity(cap int) RunOption {
+	return func(c *runConfig) {
+		if cap < 1 {
+			c.fail("WithQueueCapacity", "capacity must be >= 1, got %d", cap)
+			return
+		}
+		c.qcap = cap
+		c.qcapSet = true
+	}
+}
+
+// WithHoldBudget sets the lifetime number of hold-in-place cycles a
+// packet may spend against full queues before dropping as
+// DroppedQueueFull (default 4·QueueCapacity+16). Only meaningful with a
+// queue bound; budget must be at least 1.
+func WithHoldBudget(budget int) RunOption {
+	return func(c *runConfig) {
+		if budget < 1 {
+			c.fail("WithHoldBudget", "budget must be >= 1, got %d", budget)
+			return
+		}
+		c.hold = budget
+		c.holdSet = true
+	}
+}
+
+// WithAdmission regulates injection with a token-bucket source
+// regulator: at most cfg.Rate packets per cycle are admitted (bursts up
+// to cfg.Burst), refill pauses while the network signals congestion,
+// and packets waiting longer than cfg.MaxDelay past their release are
+// shed into the Shed bucket — Delivered+Dropped+Shed == Offered stays
+// exact. Invalid configurations and duplicate WithAdmission options
+// fail eagerly.
+func WithAdmission(cfg AdmissionConfig) RunOption {
+	return func(c *runConfig) {
+		if c.admit {
+			c.fail("WithAdmission", "conflicting duplicate option (two admission configs on one run)")
+			return
+		}
+		switch {
+		case cfg.Rate <= 0:
+			c.fail("WithAdmission", "Rate must be > 0, got %v", cfg.Rate)
+		case cfg.Burst < 0:
+			c.fail("WithAdmission", "Burst must be >= 0, got %d", cfg.Burst)
+		case cfg.MaxDelay < 0:
+			c.fail("WithAdmission", "MaxDelay must be >= 0, got %d", cfg.MaxDelay)
+		}
+		c.admission = cfg
+		c.admit = true
+	}
 }
 
 // RunReport is the unified result of RunOpts. The embedded FaultResult
@@ -128,6 +283,8 @@ type RunReport struct {
 // subsuming Run (no options), RunWithFaults (WithFaults) and
 // TracedRunWithFaults (WithFaults + WithTrace). Plain runs take the
 // allocation-free fast path; fault and traced runs use their engines.
+// Invalid options and workloads fail eagerly, before any simulation
+// work, with *OptionError values.
 func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
 	if w == nil {
 		return RunReport{}, fmt.Errorf("simnet: RunOpts needs a workload")
@@ -136,23 +293,51 @@ func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if len(cfg.errs) > 0 {
+		return RunReport{}, cfg.errs[0]
+	}
+	if ew, ok := w.(interface{ Err() error }); ok {
+		if err := ew.Err(); err != nil {
+			return RunReport{}, err
+		}
+	}
 	rec := nw.rec
 	if cfg.recOverride {
 		rec = cfg.rec
 		rec.SizeArcs(int(nw.arcBase[nw.g.N()]))
 	}
+	var admit *admitState
+	if cfg.admit {
+		admit = newAdmitState(cfg.admission, nw.diameter())
+	}
 	pkts := w.Packets(nw.g.N(), cfg.seed)
 
 	if cfg.faults {
-		res, events, err := nw.runWithFaults(pkts, cfg.plan, cfg.faultCfg, cfg.traced, rec)
+		fcfg := cfg.faultCfg
+		if cfg.qcapSet {
+			fcfg.QueueCapacity = cfg.qcap
+		}
+		if cfg.holdSet {
+			fcfg.HoldBudget = cfg.hold
+		}
+		res, events, err := nw.runWithFaults(pkts, cfg.plan, fcfg, cfg.traced, admit, rec)
 		if err != nil {
 			return RunReport{}, err
 		}
 		return RunReport{FaultResult: res, Events: events}, nil
 	}
+	tun := nw.baseTuning(0)
+	if cfg.qcapSet {
+		tun.qcap = cfg.qcap
+	}
+	if cfg.holdSet {
+		tun.hold = cfg.hold
+	}
+	tun = tun.withDefaults()
+	tun.admit = admit
 	if cfg.traced {
-		res, events := nw.tracedRun(pkts, rec)
+		res, events := nw.tracedRun(pkts, tun, rec)
 		return RunReport{FaultResult: FaultResult{Result: res}, Events: events}, nil
 	}
-	return RunReport{FaultResult: FaultResult{Result: nw.run(pkts, 0, rec)}}, nil
+	return RunReport{FaultResult: FaultResult{Result: nw.run(pkts, tun, rec)}}, nil
 }

@@ -178,6 +178,16 @@ type Config struct {
 	// MaxCycles aborts the run (0 means 64·n·HopLatency + total packets,
 	// a generous bound).
 	MaxCycles int
+	// QueueCapacity bounds every per-arc output queue (0: unbounded,
+	// the historical behaviour). With a bound, a packet whose next queue
+	// is full is not dropped silently — it holds in place upstream
+	// (credit-based backpressure) until space opens or its hold budget
+	// runs out, at which point it drops as DroppedQueueFull.
+	QueueCapacity int
+	// HoldBudget is the lifetime number of hold-in-place cycles a packet
+	// may spend against full queues before it is dropped
+	// (0: 4·QueueCapacity+16; meaningful only with QueueCapacity > 0).
+	HoldBudget int
 }
 
 // DefaultConfig returns unit hop latency.
@@ -198,7 +208,22 @@ type Result struct {
 	MaxQueue int
 	// HotNode is a vertex owning a queue that reached MaxQueue.
 	HotNode int
-	Packets []Packet
+	// Shed counts packets refused by admission control (WithAdmission)
+	// before ever entering the network. Shed is disjoint from Dropped:
+	// Delivered + Dropped + Shed == Offered on every completed run.
+	Shed int
+	// DroppedQueueFull counts packets that exhausted their hold budget
+	// against full bounded queues (included in Dropped).
+	DroppedQueueFull int
+	// Holds counts hold-in-place backpressure events: a packet kept
+	// upstream for one cycle because its next queue was full.
+	Holds int
+	// PeakResident is the most packets simultaneously buffered in the
+	// network (arc queues plus link pipelines) — the aggregate buffer
+	// memory a hardware realization needs. With QueueCapacity set it is
+	// bounded by topology alone, independent of offered load.
+	PeakResident int
+	Packets      []Packet
 }
 
 // String renders the headline numbers.
@@ -268,6 +293,12 @@ func New(g *digraph.Digraph, router Router, cfg Config) (*Network, error) {
 	if cfg.HopLatency < 1 {
 		return nil, fmt.Errorf("simnet: HopLatency must be >= 1, got %d", cfg.HopLatency)
 	}
+	if cfg.QueueCapacity < 0 {
+		return nil, fmt.Errorf("simnet: QueueCapacity must be >= 0, got %d", cfg.QueueCapacity)
+	}
+	if cfg.HoldBudget < 0 {
+		return nil, fmt.Errorf("simnet: HoldBudget must be >= 0, got %d", cfg.HoldBudget)
+	}
 	return newNetwork(g, router, cfg), nil
 }
 
@@ -313,36 +344,88 @@ func (nw *Network) defaultBudget(pkts, hopLatency int) int {
 // functional options (Run(pkts) is RunOpts(Fixed(pkts))). Run remains a
 // thin wrapper and is not going away.
 func (nw *Network) Run(packets []Packet) Result {
-	return nw.run(packets, 0, nw.rec)
+	return nw.run(packets, nw.baseTuning(0), nw.rec)
 }
+
+// runTuning is the per-run overload-protection tuning threaded through
+// run: the cycle budget, the per-arc queue bound, the lifetime
+// per-packet hold budget and the admission regulator. The zero value
+// reproduces the historical unbounded behaviour.
+type runTuning struct {
+	budget int
+	qcap   int         // per-arc queue bound (0: unbounded)
+	hold   int         // per-packet hold budget (0: default when qcap > 0)
+	admit  *admitState // nil: no admission control
+}
+
+// withDefaults resolves the hold budget a queue bound implies.
+func (t runTuning) withDefaults() runTuning {
+	if t.qcap > 0 && t.hold < 1 {
+		t.hold = 4*t.qcap + 16
+	}
+	return t
+}
+
+// baseTuning derives the tuning the Network's own Config implies.
+func (nw *Network) baseTuning(budget int) runTuning {
+	t := runTuning{budget: budget, qcap: nw.cfg.QueueCapacity, hold: nw.cfg.HoldBudget}
+	return t.withDefaults()
+}
+
+// enqStatus reports the outcome of a routing-and-enqueue attempt.
+type enqStatus int8
+
+const (
+	enqOK      enqStatus = iota // queued on the chosen arc
+	enqNoRoute                  // no route: dropped, accounted by enqueue
+	enqFull                     // bounded queue full: caller holds the packet upstream
+)
 
 // runState threads run's per-call state through enqueue. A method on a
 // stack value replaces the closure run used to define: the run loop is a
 // hot path and closures allocate.
 type runState struct {
-	nw     *Network
-	pkts   []Packet
-	queues []fifo
-	res    *Result
-	rec    *obs.Recorder
+	nw       *Network
+	pkts     []Packet
+	queues   []fifo
+	res      *Result
+	rec      *obs.Recorder
+	qcap     int // per-arc queue bound (0: unbounded)
+	resident int // packets currently buffered in queues + pipelines
 }
 
+// enter records one packet entering the network's buffers.
+func (rs *runState) enter() {
+	rs.resident++
+	if rs.resident > rs.res.PeakResident {
+		rs.res.PeakResident = rs.resident
+	}
+}
+
+// leave records one packet leaving the network's buffers (delivered or
+// dropped mid-flight).
+func (rs *runState) leave() { rs.resident-- }
+
 // enqueue routes pkt out of node at, pushing it onto the chosen arc's
-// queue; it reports false (and accounts the drop) when no route exists.
+// queue. enqNoRoute is accounted (drop counters) here; enqFull leaves
+// all accounting to the caller, which holds the packet upstream.
 //
 //lint:hotpath
-func (rs *runState) enqueue(at, pkt int) bool {
+func (rs *runState) enqueue(at, pkt int) enqStatus {
 	arc := rs.nw.router.NextArc(at, rs.pkts[pkt].Dst)
 	if arc < 0 {
 		rs.res.Dropped++
 		if rs.rec != nil {
 			rs.rec.Drop(obs.DropNoRoute)
 		}
-		return false
+		return enqNoRoute
 	}
 	//lint:ignore slabindex arc < maxDeg ≤ M, dominated by newNetwork's guardIndexInt32
 	flat := rs.nw.arcBase[at] + int32(arc)
 	q := &rs.queues[flat]
+	if rs.qcap > 0 && q.depth() >= rs.qcap {
+		return enqFull
+	}
 	//lint:ignore slabindex pkt < len(pkts), dominated by run's guardIndexInt32
 	q.push(int32(pkt))
 	depth := q.depth()
@@ -353,16 +436,39 @@ func (rs *runState) enqueue(at, pkt int) bool {
 	if rs.rec != nil {
 		rs.rec.QueueDepth(int(flat), depth)
 	}
+	return enqOK
+}
+
+// holdOrDrop charges one hold-in-place cycle to pkt's budget. It
+// reports true when the packet may keep waiting (hold accounted) and
+// false when the budget is exhausted — the packet has been dropped as
+// DroppedQueueFull and the caller must remove it.
+//
+//lint:hotpath
+func (rs *runState) holdOrDrop(meta []pktMeta, pkt, budget int) bool {
+	meta[pkt].holds++
+	if meta[pkt].holds > budget {
+		rs.res.Dropped++
+		rs.res.DroppedQueueFull++
+		if rs.rec != nil {
+			rs.rec.Drop(obs.DropQueueFull)
+		}
+		return false
+	}
+	rs.res.Holds++
+	if rs.rec != nil {
+		rs.rec.Hold(rs.qcap)
+	}
 	return true
 }
 
-// run is Run with an explicit cycle budget (0 selects cfg.MaxCycles or
-// the default bound) and recorder; sweeps use it to retune the budget
-// per point while reusing one Network. All recording sites are
-// rec != nil guarded so the uninstrumented path stays allocation-free.
+// run is Run with explicit tuning (budget, queue bound, hold budget,
+// admission) and recorder; sweeps use it to retune the budget per point
+// while reusing one Network. All recording sites are rec != nil guarded
+// so the uninstrumented path stays allocation-free.
 //
 //lint:hotpath
-func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
+func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Result {
 	guardIndexInt32(len(packets), "packets")
 	//lint:ignore hotalloc pkts escapes into Result.Packets: one allocation per run, not per cycle
 	pkts := make([]Packet, len(packets))
@@ -381,12 +487,30 @@ func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 	queues := ar.queues // per-arc FIFO queues, flat by arcBase
 	pipes := ar.pipes   // per-arc link pipelines, flat by arcBase
 
-	maxCycles := budget
+	maxCycles := tun.budget
 	if maxCycles == 0 {
 		maxCycles = nw.cfg.MaxCycles
 	}
 	if maxCycles == 0 {
 		maxCycles = nw.defaultBudget(len(pkts), nw.cfg.HopLatency)
+		if tun.admit != nil {
+			// Room for the regulator to trickle the whole workload in.
+			maxCycles += int(float64(len(pkts))/tun.admit.rate) + tun.admit.maxDelay
+		}
+	}
+
+	// Per-packet hold bookkeeping exists only under bounded queues; the
+	// unbounded fast path never touches meta.
+	var meta []pktMeta
+	if tun.qcap > 0 {
+		meta = ar.metaFor(len(pkts))
+	}
+	holdq := ar.holdq[:0]
+	// A full link window (in-flight wire slots plus held packets) stops
+	// accepting departures — the credit that propagates backpressure.
+	credits := 0
+	if tun.qcap > 0 {
+		credits = tun.qcap + nw.cfg.HopLatency
 	}
 
 	res := Result{}
@@ -414,19 +538,75 @@ func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 	ar.order = order
 	cursor := 0
 
-	rs := runState{nw: nw, pkts: pkts, queues: queues, res: &res, rec: rec}
+	rs := runState{nw: nw, pkts: pkts, queues: queues, res: &res, rec: rec, qcap: tun.qcap}
+	admit := tun.admit
+	heldLast := false // congestion signal: a hold happened last cycle
 
 	for cycle := 0; remaining > 0 && cycle <= maxCycles; cycle++ {
-		// Inject.
+		holdsBefore := res.Holds
+		if admit != nil {
+			admit.refill(heldLast)
+		}
+
+		// Inject: source-held packets (admitted earlier, source queue
+		// full) retry first, then the release cursor drains through the
+		// admission regulator.
+		if len(holdq) > 0 {
+			nh := holdq[:0]
+			for _, i32 := range holdq {
+				i := int(i32)
+				switch rs.enqueue(pkts[i].Src, i) {
+				case enqOK:
+					rs.enter()
+				case enqNoRoute:
+					remaining--
+				case enqFull:
+					if !rs.holdOrDrop(meta, i, tun.hold) {
+						remaining--
+						continue
+					}
+					nh = append(nh, i32)
+				}
+			}
+			holdq = nh
+		}
 		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
 			i := int(order[cursor])
+			if admit != nil {
+				if cycle-pkts[i].Release > admit.maxDelay {
+					cursor++
+					res.Shed++
+					if rec != nil {
+						rec.Shed()
+					}
+					remaining--
+					continue
+				}
+				if !admit.take() {
+					break // out of tokens: the head waits in release order
+				}
+			}
 			cursor++
-			if !rs.enqueue(pkts[i].Src, i) {
+			switch rs.enqueue(pkts[i].Src, i) {
+			case enqOK:
+				rs.enter()
+			case enqNoRoute:
 				remaining--
+			case enqFull:
+				// Admitted but the source queue is full: hold at the
+				// source and retry ahead of the cursor next cycle.
+				if !rs.holdOrDrop(meta, i, tun.hold) {
+					remaining--
+					continue
+				}
+				holdq = append(holdq, int32(i))
 			}
 		}
 
-		// Arrivals: packets whose wire time completes this cycle.
+		// Arrivals: packets whose wire time completes this cycle. The
+		// hop is counted when the next queue accepts the packet; a full
+		// queue keeps it on the upstream link (credit-based
+		// backpressure) to retry next cycle.
 		for u := 0; u < n; u++ {
 			out := nw.g.Out(u)
 			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
@@ -440,14 +620,15 @@ func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 					}
 					v := out[a-lo]
 					p := &pkts[fl.pkt]
-					p.Hops++
-					if rec != nil {
-						rec.ArcTraverse(int(a))
-					}
 					if v == p.Dst {
+						p.Hops++
+						if rec != nil {
+							rec.ArcTraverse(int(a))
+						}
 						p.Delivered = cycle
 						res.Delivered++
 						remaining--
+						rs.leave()
 						if cycle > res.Cycles {
 							res.Cycles = cycle
 						}
@@ -456,18 +637,41 @@ func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 						}
 						continue
 					}
-					if !rs.enqueue(v, fl.pkt) {
+					switch rs.enqueue(v, fl.pkt) {
+					case enqOK:
+						p.Hops++
+						if rec != nil {
+							rec.ArcTraverse(int(a))
+						}
+					case enqNoRoute:
+						p.Hops++
+						if rec != nil {
+							rec.ArcTraverse(int(a))
+						}
 						remaining--
+						rs.leave()
+					case enqFull:
+						if !rs.holdOrDrop(meta, fl.pkt, tun.hold) {
+							remaining--
+							rs.leave()
+							continue
+						}
+						keep = append(keep, inflight{pkt: fl.pkt, ready: cycle + 1})
 					}
 				}
 				pipes[a] = keep
 			}
 		}
 
-		// Departures: each link accepts one queued packet per cycle.
+		// Departures: each link accepts one queued packet per cycle,
+		// and only while it has credit (its window of wire slots plus
+		// held packets is not full).
 		for a := range queues {
 			q := &queues[a]
 			if q.depth() == 0 {
+				continue
+			}
+			if credits > 0 && len(pipes[a]) >= credits {
 				continue
 			}
 			pipes[a] = append(pipes[a], inflight{
@@ -475,7 +679,10 @@ func (nw *Network) run(packets []Packet, budget int, rec *obs.Recorder) Result {
 				ready: cycle + nw.cfg.HopLatency,
 			})
 		}
+
+		heldLast = res.Holds > holdsBefore
 	}
+	ar.holdq = holdq
 
 	// Aggregate.
 	latencySum := 0

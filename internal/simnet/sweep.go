@@ -53,12 +53,12 @@ func LoadSweep(g *digraph.Digraph, router Router, rates []float64, packets int, 
 		// Budget: the ideal drain time plus ample slack; saturated loads
 		// blow through it and get flagged rather than running forever.
 		budget := int(float64(packets)/rate)*4 + 64*g.N()
-		res := nw.run(PoissonArrivals(g.N(), packets, rate, seed), budget, nw.rec)
+		res := nw.run(PoissonArrivals(g.N(), packets, rate, seed), nw.baseTuning(budget), nw.rec)
 		pt := SweepPoint{
 			Rate:      rate,
 			Delivered: res.Delivered,
 			Dropped:   res.Dropped,
-			Saturated: res.Delivered+res.Dropped < packets,
+			Saturated: res.Delivered+res.Dropped+res.Shed < packets,
 		}
 		if res.Delivered > 0 {
 			pt.MeanLatency = res.MeanLatency

@@ -79,15 +79,16 @@ func (e Event) String() string {
 // tracing re-runs the workload with a shadow network whose router
 // decisions are recorded.
 func (nw *Network) TracedRun(packets []Packet) (Result, []Event) {
-	return nw.tracedRun(packets, nw.rec)
+	return nw.tracedRun(packets, nw.baseTuning(0), nw.rec)
 }
 
-// tracedRun is TracedRun with an explicit metrics recorder for the
-// shadow run (RunOpts threads its per-run recorder through here).
-func (nw *Network) tracedRun(packets []Packet, mrec *obs.Recorder) (Result, []Event) {
+// tracedRun is TracedRun with explicit run tuning and metrics recorder
+// for the shadow run (RunOpts threads its per-run overload knobs and
+// recorder through here).
+func (nw *Network) tracedRun(packets []Packet, tun runTuning, mrec *obs.Recorder) (Result, []Event) {
 	rec := &recordingRouter{inner: nw.router}
 	shadow := newNetwork(nw.g, rec, nw.cfg)
-	res := shadow.run(packets, 0, mrec)
+	res := shadow.run(packets, tun, mrec)
 
 	// Reconstruct per-packet paths by walking the recorded decisions.
 	var events []Event
@@ -176,10 +177,11 @@ func VerifyTrace(g *digraph.Digraph, packets []Packet, events []Event) error {
 					return fmt.Errorf("simnet: packet %d delivered at %d (at=%d), dst %d", p.ID, e.Node, at, p.Dst)
 				}
 			case EventDrop:
-				// at == -1 with a drop at the source is a horizon drop:
-				// the packet's release lay beyond the cycle budget, so it
-				// was never injected and is dropped where it would have
-				// entered.
+				// at == -1 with a drop at the source is a source-side
+				// loss: a horizon drop (release beyond the cycle
+				// budget), an admission shed, or a queue-full drop of a
+				// packet that never won injection capacity. All three
+				// leave the packet where it would have entered.
 				if e.Node != at && !(at == -1 && e.Node == p.Src) {
 					return fmt.Errorf("simnet: packet %d dropped at %d but is at %d", p.ID, e.Node, at)
 				}

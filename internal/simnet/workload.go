@@ -49,6 +49,26 @@ func PoissonArrivals(n, count int, rate float64, seed int64) []Packet {
 	return pkts
 }
 
+// RatedUniform returns count packets with uniform random endpoints
+// released at a fixed aggregate rate in packets per cycle: packet i
+// releases at cycle ⌊i/rate⌋. Unlike PoissonArrivals the rate may
+// exceed one packet per cycle (geometric gaps cannot express that), so
+// this is the workload for saturation studies offering multiples of a
+// network's saturation throughput.
+func RatedUniform(n, count int, rate float64, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]Packet, count)
+	for i := range pkts {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		pkts[i] = Packet{ID: i, Src: src, Dst: dst, Release: int(float64(i) / rate)}
+	}
+	return pkts
+}
+
 // Permutation returns n packets realizing a random permutation traffic
 // pattern: node i sends to π(i) (fixed points excluded by re-drawing
 // destinations via cycle rotation).

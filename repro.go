@@ -454,6 +454,9 @@ var (
 	AllToAllLoad = simnet.AllToAllLoad
 	// PoissonLoad injects Poisson arrivals at a given rate.
 	PoissonLoad = simnet.PoissonLoad
+	// RatedLoad sends uniform traffic at a fixed aggregate rate, which
+	// may exceed one packet per cycle — the overload workload.
+	RatedLoad = simnet.RatedLoad
 )
 
 // Run options for Network.RunOpts (and OpticalMachine.RunOpts).
@@ -469,6 +472,32 @@ var (
 	// WithRecorder records this run into the given Recorder, overriding
 	// (for this run only) any recorder attached with Network.Observe.
 	WithRecorder = simnet.WithRecorder
+	// WithQueueCapacity bounds every output queue, turning full
+	// downstream queues into credit-based backpressure.
+	WithQueueCapacity = simnet.WithQueueCapacity
+	// WithHoldBudget caps the hold-in-place cycles a packet may spend
+	// against full queues before dropping as queue-full.
+	WithHoldBudget = simnet.WithHoldBudget
+	// WithAdmission regulates injection with a token-bucket source
+	// regulator; refused packets land in the disjoint Shed bucket.
+	WithAdmission = simnet.WithAdmission
+)
+
+// Overload protection and saturation studies.
+var (
+	// SaturationRate returns a digraph's uniform-traffic saturation
+	// throughput in packets per cycle (M / mean distance).
+	SaturationRate = simnet.SaturationRate
+)
+
+type (
+	// AdmissionConfig tunes the WithAdmission token bucket.
+	AdmissionConfig = simnet.AdmissionConfig
+	// SaturationPoint is one load multiple of Network.SaturationSweep.
+	SaturationPoint = simnet.SaturationPoint
+	// OptionError reports an invalid RunOpts option or workload
+	// parameter, detected eagerly before any simulation work.
+	OptionError = simnet.OptionError
 )
 
 // Deprecated: the raw packet-slice generators below predate the Workload
@@ -486,6 +515,9 @@ var (
 	AllToAllWorkload = simnet.AllToAll
 	// PoissonWorkload generates Poisson arrivals.
 	PoissonWorkload = simnet.PoissonArrivals
+	// RatedWorkload generates fixed-rate uniform traffic (rates may
+	// exceed one packet per cycle).
+	RatedWorkload = simnet.RatedUniform
 )
 
 // Load–latency characterization.
@@ -641,8 +673,10 @@ type (
 	HistogramSnapshot = obs.HistogramSnapshot
 	// LensUtilization is one per-lens traffic roll-up row.
 	LensUtilization = obs.LensUtilization
+	// LensCongestion is one per-lens peak-queue-depth roll-up row.
+	LensCongestion = obs.LensCongestion
 	// DropCause classifies packet drops (noroute, ttl, fault, horizon,
-	// stuck).
+	// stuck, queuefull).
 	DropCause = obs.DropCause
 )
 
@@ -676,6 +710,8 @@ const (
 	MetricRouterNS     = obs.MetricRouterNS
 	MetricRouterBytes  = obs.MetricRouterBytes
 	MetricMaxQueue     = obs.MetricMaxQueue
+	MetricShed         = obs.MetricShed
+	MetricHolds        = obs.MetricHolds
 	MetricHistLatency  = obs.MetricHistLatency
 	MetricHistQueue    = obs.MetricHistQueue
 	MetricHistHops     = obs.MetricHistHops
@@ -693,11 +729,12 @@ const (
 
 // Drop causes recorded under MetricDropPrefix + cause.String().
 const (
-	DropNoRoute = obs.DropNoRoute
-	DropTTL     = obs.DropTTL
-	DropFault   = obs.DropFault
-	DropHorizon = obs.DropHorizon
-	DropStuck   = obs.DropStuck
+	DropNoRoute   = obs.DropNoRoute
+	DropTTL       = obs.DropTTL
+	DropFault     = obs.DropFault
+	DropHorizon   = obs.DropHorizon
+	DropStuck     = obs.DropStuck
+	DropQueueFull = obs.DropQueueFull
 )
 
 // ---------------------------------------------------------------------------

@@ -40,6 +40,10 @@ go test ./internal/simnet -run SeededRunIsByteIdentical -count=2
 echo "== chaos smoke (seeded random fault plans) =="
 go test ./internal/simnet -run Chaos -count=1
 
+echo "== overload smoke (bounded queues + chaos at 4x saturation, -race) =="
+go test -race ./internal/simnet -run 'ClaimXOverload|ChaosOverload' -count=1
+go run ./cmd/simulate -d 3 -diam 5 -saturation 4 -qcap 2 -packets 2000 > /dev/null
+
 echo "== fault-sweep smoke run =="
 go run ./cmd/simulate -topo debruijn -d 3 -diam 3 -faults -packets 200 \
     -faultrates 0,0.5,1 > /dev/null
