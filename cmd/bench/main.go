@@ -13,6 +13,12 @@
 //	bench -smoke            # tiny sizes for the CI gate (same schema)
 //	bench -out FILE         # write somewhere else
 //	bench -validate FILE    # parse and sanity-check an emitted file
+//	bench -compare FILE     # exit 2 if permutation/* throughput
+//	                        # regresses >20% against FILE's entries
+//
+// -compare keeps the permutation entries at their canonical sizes even
+// under -smoke, so the names line up with a committed canonical
+// baseline.
 //
 // Every entry reports ns/op, B/op and allocs/op as measured by
 // testing.Benchmark, plus delivered-packets/sec for the entries that
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -48,8 +55,10 @@ type benchEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// DeliveredPacketsPerSec is delivered-work throughput for entries
-	// that run traffic (0 for pure construction benchmarks).
-	DeliveredPacketsPerSec float64 `json:"delivered_packets_per_sec"`
+	// that run traffic; omitted for entries that deliver nothing (pure
+	// construction benchmarks), where a literal 0 would read as a
+	// measured throughput of zero.
+	DeliveredPacketsPerSec float64 `json:"delivered_packets_per_sec,omitempty"`
 	// Metrics holds selected obs-registry readings from one instrumented
 	// op of the same workload (the timed loop itself runs with a nil
 	// recorder, so the numbers above are uninstrumented).
@@ -82,6 +91,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "run tiny sizes (CI smoke gate)")
 	out := flag.String("out", "BENCH_simnet.json", "output path")
 	validate := flag.String("validate", "", "validate an emitted JSON file and exit")
+	compare := flag.String("compare", "", "baseline BENCH_simnet.json: exit 2 if permutation/* delivered-packets/sec regresses >20%")
 	flag.Parse()
 
 	if *validate != "" {
@@ -102,7 +112,7 @@ func main() {
 		}
 	}
 
-	specs, err := buildSpecs(*smoke)
+	specs, err := buildSpecs(*smoke, *compare != "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -151,11 +161,54 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("bench: wrote %d results to %s\n", len(doc.Results), *out)
+
+	if *compare != "" {
+		if err := compareBaseline(*compare, doc.Results); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: regression:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("bench: no permutation/* throughput regression against %s\n", *compare)
+	}
+}
+
+// compareBaseline is the CI perf gate: every permutation/* entry of the
+// baseline document must be matched by a current entry delivering at
+// least 80% of the baseline's packets/sec. Entries the baseline lacks
+// pass trivially (new sizes are not regressions).
+func compareBaseline(path string, current []benchEntry) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	got := make(map[string]float64, len(current))
+	for _, e := range current {
+		got[e.Name] = e.DeliveredPacketsPerSec
+	}
+	for _, b := range base.Results {
+		if !strings.HasPrefix(b.Name, "permutation/") || b.DeliveredPacketsPerSec <= 0 {
+			continue
+		}
+		cur, ok := got[b.Name]
+		if !ok {
+			return fmt.Errorf("%s: baseline entry %q missing from this run", path, b.Name)
+		}
+		if cur < 0.8*b.DeliveredPacketsPerSec {
+			return fmt.Errorf("%s: %.0f pkts/s is %.0f%% of the %.0f pkts/s baseline (floor 80%%)",
+				b.Name, cur, 100*cur/b.DeliveredPacketsPerSec, b.DeliveredPacketsPerSec)
+		}
+	}
+	return nil
 }
 
 // buildSpecs assembles the canonical benchmark set. Seeds are fixed so
-// runs are comparable across commits; sizes shrink under -smoke.
-func buildSpecs(smoke bool) ([]spec, error) {
+// runs are comparable across commits; sizes shrink under -smoke —
+// except the permutation entries when comparing, which stay canonical
+// so their names match the committed baseline's.
+func buildSpecs(smoke, comparing bool) ([]spec, error) {
 	type size struct{ d, D int }
 	routerSizes := []size{{3, 6}, {3, 7}}
 	permSizes := []size{{3, 6}, {3, 7}}
@@ -168,7 +221,9 @@ func buildSpecs(smoke bool) ([]spec, error) {
 	repairSizes := size{3, 6}
 	if smoke {
 		routerSizes = []size{{2, 5}}
-		permSizes = []size{{2, 5}}
+		if !comparing {
+			permSizes = []size{{2, 5}}
+		}
 		machineD, machineDiam = 2, 4
 		sweepRates = []float64{0.2, 0.5}
 		sweepPackets = 300

@@ -1,6 +1,9 @@
 package simnet
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Per-run scratch storage. A simulation run needs O(M) queue and
 // pipeline state plus O(packets) metadata; sweeps run hundreds of points
@@ -40,11 +43,50 @@ func (f *fifo) reset() {
 // pools arenas; concurrent runs each check out their own.
 type arena struct {
 	queues  []fifo       // per-arc output queues, flat by Network.arcBase (Run)
-	pipes   [][]inflight // per-arc link pipelines, flat by Network.arcBase
+	pipes   [][]inflight // per-arc link pipelines, flat by arcBase (fault/heal runs)
 	waiting [][]int32    // per-node hold queues (fault runs)
 	order   []int32      // packet indices sorted by (Release, index)
 	holdq   []int32      // source-held packets (bounded-queue backpressure)
 	meta    []pktMeta    // per-packet bookkeeping (retries, holds)
+
+	// SoA packet slabs of the arc-major run engine, parallel by packet
+	// index: destination, release cycle (clamped to the horizon), delivery
+	// cycle (-1 while in flight), hop count and holds spent. The run loop
+	// touches these int32 slabs instead of 48-byte Packet structs, so the
+	// per-cycle sweeps stay dense in cache.
+	pDst, pRel, pDel, pHops, pHolds []int32
+
+	// SoA link pipelines of the arc-major run engine: fixed-capacity
+	// segments of pipeCap entries per arc in two flat slabs (packet index
+	// and ready cycle), replacing the pointer-chased [][]inflight on the
+	// plain run path. Segment capacity is safe because a pipe holds at
+	// most HopLatency in-flight packets when queues are unbounded (one
+	// departure per cycle, each resident exactly HopLatency cycles) and
+	// at most qcap+HopLatency — the credit window — when bounded.
+	pipePkt, pipeReady []int32
+	pipeLen            []int32
+	pipeCap            int
+
+	// Gather buffers of the lean arrival path: arrived packets, their
+	// arrival nodes and their routed arcs, refilled every cycle so the
+	// router-slab gather runs as one dense pass of independent loads.
+	arrPkt, arrNode, arrArc []int32
+
+	// Intrusive linked queues of the lean path: per-arc head/tail/length
+	// slabs plus a per-packet next pointer, replacing the []fifo
+	// header+buffer double indirection with flat int32 slabs (a push or
+	// pop touches at most two slab lines). A packet sits in one queue at
+	// a time, so one next entry per packet suffices.
+	qHead, qTail, qLen []int32
+	pNext              []int32
+
+	// Activity bitmaps: qBits bit a set ⇔ arc a has queued packets,
+	// aBits bit a set ⇔ arc a has in-flight (or held) pipe entries, and
+	// nodeBits bit u set ⇔ node u has waiting packets (fault and heal
+	// engines). The per-cycle sweeps walk set bits in ascending order
+	// instead of scanning all M arcs (or N nodes), which is what makes
+	// ns/packet flat in network size.
+	qBits, aBits, nodeBits []uint64
 
 	// busy marks out-arcs already used this (node, cycle): busy[k] equals
 	// the current busyToken. Bumping the token invalidates every mark in
@@ -58,14 +100,19 @@ type arena struct {
 // storage was reused (false: a fresh allocation), which instrumented
 // runs count into the arena_reused/arena_allocated metrics.
 func (nw *Network) getArena() (*arena, bool) {
+	n := nw.g.N()
+	m := int(nw.arcBase[n])
 	ar, ok := nw.scratch.Get().(*arena)
 	if !ok {
-		m := int(nw.arcBase[nw.g.N()])
 		ar = &arena{
-			queues:  make([]fifo, m),
-			pipes:   make([][]inflight, m),
-			waiting: make([][]int32, nw.g.N()),
-			busy:    make([]int64, nw.maxDeg),
+			queues:   make([]fifo, m),
+			pipes:    make([][]inflight, m),
+			waiting:  make([][]int32, n),
+			pipeLen:  make([]int32, m),
+			qBits:    make([]uint64, (m+63)/64),
+			aBits:    make([]uint64, (m+63)/64),
+			nodeBits: make([]uint64, (n+63)/64),
+			busy:     make([]int64, nw.maxDeg),
 		}
 		return ar, false
 	}
@@ -78,10 +125,102 @@ func (nw *Network) getArena() (*arena, bool) {
 	for i := range ar.waiting {
 		ar.waiting[i] = ar.waiting[i][:0]
 	}
+	for i := range ar.pipeLen {
+		ar.pipeLen[i] = 0
+	}
+	clearBits(ar.qBits)
+	clearBits(ar.aBits)
+	clearBits(ar.nodeBits)
 	ar.holdq = ar.holdq[:0]
 	// order and meta are resized by the run; busy stays valid because the
 	// token only ever grows.
 	return ar, true
+}
+
+// clearBits zeroes a bitmap in place.
+func clearBits(b []uint64) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// trailingZeros64 is bits.TrailingZeros64, aliased so the bitmap sweeps
+// read as one local vocabulary with the set/clear sites.
+//
+//lint:hotpath
+func trailingZeros64(x uint64) int { return bits.TrailingZeros64(x) }
+
+// packetSlabs returns the five per-packet SoA slabs resized to p
+// entries, reusing the arena's backing storage when large enough. The
+// run initializes every entry, so no zeroing happens here.
+func (ar *arena) packetSlabs(p int) (dst, rel, del, hops, holds []int32) {
+	if cap(ar.pDst) < p {
+		ar.pDst = make([]int32, p)
+		ar.pRel = make([]int32, p)
+		ar.pDel = make([]int32, p)
+		ar.pHops = make([]int32, p)
+		ar.pHolds = make([]int32, p)
+	}
+	ar.pDst = ar.pDst[:p]
+	ar.pRel = ar.pRel[:p]
+	ar.pDel = ar.pDel[:p]
+	ar.pHops = ar.pHops[:p]
+	ar.pHolds = ar.pHolds[:p]
+	return ar.pDst, ar.pRel, ar.pDel, ar.pHops, ar.pHolds
+}
+
+// arrivalBatch returns the three gather buffers of the lean arrival
+// path (packet index, arrival node, routed arc), each with room for p
+// entries — at most every offered packet can arrive in one cycle.
+func (ar *arena) arrivalBatch(p int) (pkt, node, arc []int32) {
+	if cap(ar.arrPkt) < p {
+		ar.arrPkt = make([]int32, p)
+		ar.arrNode = make([]int32, p)
+		ar.arrArc = make([]int32, p)
+	}
+	return ar.arrPkt[:p], ar.arrNode[:p], ar.arrArc[:p]
+}
+
+// queueLinks returns the lean path's intrusive queue slabs: per-arc
+// head, tail and length (length zeroed here — a truncated previous run
+// may have left packets queued) and the per-packet next slab. Head and
+// tail need no reset: a queue with qLen == 0 rewrites both on its first
+// push.
+func (ar *arena) queueLinks(m, p int) (qHead, qTail, qLen, pNext []int32) {
+	if cap(ar.qHead) < m {
+		ar.qHead = make([]int32, m)
+		ar.qTail = make([]int32, m)
+		ar.qLen = make([]int32, m)
+	}
+	ar.qHead = ar.qHead[:m]
+	ar.qTail = ar.qTail[:m]
+	ar.qLen = ar.qLen[:m]
+	clearInt32(ar.qLen)
+	if cap(ar.pNext) < p {
+		ar.pNext = make([]int32, p)
+	}
+	return ar.qHead, ar.qTail, ar.qLen, ar.pNext[:p]
+}
+
+// clearInt32 zeroes an int32 slab in place.
+func clearInt32(s []int32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// pipeSegments returns the flat SoA pipe slabs with room for segCap
+// entries on each of the m arcs. pipeLen was zeroed at checkout.
+func (ar *arena) pipeSegments(m, segCap int) (pkt, ready []int32, length []int32) {
+	need := m * segCap
+	if cap(ar.pipePkt) < need {
+		ar.pipePkt = make([]int32, need)
+		ar.pipeReady = make([]int32, need)
+	}
+	ar.pipePkt = ar.pipePkt[:need]
+	ar.pipeReady = ar.pipeReady[:need]
+	ar.pipeCap = segCap
+	return ar.pipePkt, ar.pipeReady, ar.pipeLen
 }
 
 // putArena returns a run's scratch to the pool.

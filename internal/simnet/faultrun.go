@@ -203,9 +203,13 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 	}
 	meta := ar.metaFor(len(pkts))
 	// waiting[u] is the FIFO of packet indices held at node u; pipes are
-	// the per-arc link pipelines (flat by arcBase) as in Run.
+	// the per-arc link pipelines (flat by arcBase) as in Run. nodeBits
+	// (bit u ⇔ waiting[u] non-empty) and aBits (bit a ⇔ pipes[a]
+	// non-empty) let the per-cycle sweeps walk only active nodes and
+	// arcs, in the same ascending order as the historical full scans.
 	waiting := ar.waiting
 	pipes := ar.pipes
+	nodeBits, aBits := ar.nodeBits, ar.aBits
 
 	var events []Event
 	emit := func(e Event) {
@@ -297,6 +301,7 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 					continue
 				}
 				waiting[src] = append(waiting[src], i32)
+				nodeBits[src>>6] |= 1 << (uint(src) & 63)
 				enter()
 				emit(Event{Cycle: cycle, Kind: EventInject, Packet: pkts[i].ID, Node: src, Peer: -1})
 			}
@@ -331,23 +336,28 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 				continue
 			}
 			waiting[src] = append(waiting[src], int32(i))
+			nodeBits[src>>6] |= 1 << (uint(src) & 63)
 			enter()
 			emit(Event{Cycle: cycle, Kind: EventInject, Packet: pkts[i].ID, Node: src, Peer: -1})
 		}
 
 		// Arrivals: wire time completes; a downed node loses the packet.
-		for u := 0; u < n; u++ {
-			out := nw.g.Out(u)
-			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
-			for a := lo; a < hi; a++ {
+		// Swept over the in-flight bitmap in ascending flat-arc order —
+		// identical to the historical nested (node, arc) scan.
+		for w := range aBits {
+			bits := aBits[w]
+			for bits != 0 {
+				a := int32(w<<6 + trailingZeros64(bits))
+				bits &= bits - 1
 				pipe := pipes[a]
 				keep := pipe[:0]
+				u := int(nw.arcTail[a])
+				v := int(nw.arcHead[a])
 				for _, fl := range pipe {
 					if fl.ready > cycle {
 						keep = append(keep, fl)
 						continue
 					}
-					v := out[a-lo]
 					p := &pkts[fl.pkt]
 					p.Hops++
 					if rec != nil {
@@ -377,87 +387,100 @@ func (nw *Network) runWithFaults(packets []Packet, plan *FaultPlan, cfg FaultCon
 					}
 					emit(Event{Cycle: cycle, Kind: EventArrive, Packet: p.ID, Node: v, Peer: u})
 					waiting[v] = append(waiting[v], int32(fl.pkt))
+					nodeBits[v>>6] |= 1 << (uint(v) & 63)
 				}
 				pipes[a] = keep
+				if len(keep) == 0 {
+					aBits[w] &^= 1 << (uint(a) & 63)
+				}
 			}
 		}
 
 		// Departures: each node forwards its waiting packets in FIFO
 		// order; each live arc accepts one packet per cycle. busy marks
 		// are invalidated per node by bumping the arena's stamp token.
-		for u := 0; u < n; u++ {
-			if len(waiting[u]) == 0 {
-				continue
-			}
-			depth := len(waiting[u])
-			if depth > res.MaxQueue {
-				res.MaxQueue = depth
-				res.HotNode = u
-			}
-			if rec != nil {
-				rec.NodeQueueDepth(depth)
-			}
-			ar.busyToken++
-			token := ar.busyToken
-			busy := ar.busy
-			keep := waiting[u][:0]
-			for _, i32 := range waiting[u] {
-				i := int(i32)
-				p := &pkts[i]
-				if meta[i].readyAt > cycle {
-					keep = append(keep, i32)
-					continue
+		// Swept over the waiting-node bitmap in ascending node order —
+		// identical to the historical 0..n-1 scan over all nodes.
+		for w := range nodeBits {
+			wbits := nodeBits[w]
+			for wbits != 0 {
+				u := w<<6 + trailingZeros64(wbits)
+				wbits &= wbits - 1
+				depth := len(waiting[u])
+				if depth > res.MaxQueue {
+					res.MaxQueue = depth
+					res.HotNode = u
 				}
-				if p.Hops >= cfg.TTL {
-					drop(i, cycle, u, &res.DroppedTTL, obs.DropTTL)
-					remaining--
-					resident--
-					continue
+				if rec != nil {
+					rec.NodeQueueDepth(depth)
 				}
-				arc := router.NextArc(u, p.Dst)
-				if arc < 0 {
-					if !policy.charge(&meta[i], cycle, p.ID) {
-						drop(i, cycle, u, &res.DroppedNoRoute, obs.DropNoRoute)
+				ar.busyToken++
+				token := ar.busyToken
+				busy := ar.busy
+				keep := waiting[u][:0]
+				for _, i32 := range waiting[u] {
+					i := int(i32)
+					p := &pkts[i]
+					if meta[i].readyAt > cycle {
+						keep = append(keep, i32)
+						continue
+					}
+					if p.Hops >= cfg.TTL {
+						drop(i, cycle, u, &res.DroppedTTL, obs.DropTTL)
 						remaining--
 						resident--
 						continue
 					}
-					res.Retries++
-					if rec != nil {
-						rec.Retry()
-					}
-					keep = append(keep, i32)
-					continue
-				}
-				if busy[arc] == token {
-					keep = append(keep, i32) // link occupied this cycle: queue
-					continue
-				}
-				if next := nw.g.Out(u)[arc]; next != p.Dst && nodeFull(next) {
-					// Credit-based backpressure: the downstream node is
-					// full (delivery always absorbs), so the packet holds
-					// in place instead of deepening next's queue.
-					if !hold(i, len(waiting[next])) {
-						drop(i, cycle, u, &res.DroppedQueueFull, obs.DropQueueFull)
-						remaining--
-						resident--
+					arc := router.NextArc(u, p.Dst)
+					if arc < 0 {
+						if !policy.charge(&meta[i], cycle, p.ID) {
+							drop(i, cycle, u, &res.DroppedNoRoute, obs.DropNoRoute)
+							remaining--
+							resident--
+							continue
+						}
+						res.Retries++
+						if rec != nil {
+							rec.Retry()
+						}
+						keep = append(keep, i32)
 						continue
 					}
-					keep = append(keep, i32)
-					continue
-				}
-				busy[arc] = token
-				if router.Primary(u, p.Dst) != arc {
-					res.Reroutes++
-					if rec != nil {
-						rec.Reroute()
+					if busy[arc] == token {
+						keep = append(keep, i32) // link occupied this cycle: queue
+						continue
 					}
-					emit(Event{Cycle: cycle, Kind: EventReroute, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
+					if next := nw.g.Out(u)[arc]; next != p.Dst && nodeFull(next) {
+						// Credit-based backpressure: the downstream node is
+						// full (delivery always absorbs), so the packet holds
+						// in place instead of deepening next's queue.
+						if !hold(i, len(waiting[next])) {
+							drop(i, cycle, u, &res.DroppedQueueFull, obs.DropQueueFull)
+							remaining--
+							resident--
+							continue
+						}
+						keep = append(keep, i32)
+						continue
+					}
+					busy[arc] = token
+					if router.Primary(u, p.Dst) != arc {
+						res.Reroutes++
+						if rec != nil {
+							rec.Reroute()
+						}
+						emit(Event{Cycle: cycle, Kind: EventReroute, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
+					}
+					emit(Event{Cycle: cycle, Kind: EventDepart, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
+					flat := nw.arcBase[u] + int32(arc)
+					pipes[flat] = append(pipes[flat], inflight{pkt: i, ready: cycle + cfg.HopLatency})
+					aBits[flat>>6] |= 1 << (uint32(flat) & 63)
 				}
-				emit(Event{Cycle: cycle, Kind: EventDepart, Packet: p.ID, Node: u, Peer: nw.g.Out(u)[arc]})
-				pipes[nw.arcBase[u]+int32(arc)] = append(pipes[nw.arcBase[u]+int32(arc)], inflight{pkt: i, ready: cycle + cfg.HopLatency})
+				waiting[u] = keep
+				if len(keep) == 0 {
+					nodeBits[w] &^= 1 << (uint(u) & 63)
+				}
 			}
-			waiting[u] = keep
 		}
 
 		heldLast = res.Holds > holdsBefore

@@ -219,8 +219,12 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 		rec.Arena(reused)
 	}
 	meta := ar.metaFor(len(pkts))
+	// As in the fault engine: nodeBits (bit u ⇔ waiting[u] non-empty)
+	// and aBits (bit a ⇔ pipes[a] non-empty) confine the per-cycle
+	// sweeps to active nodes and arcs, in the historical scan order.
 	waiting := ar.waiting
 	pipes := ar.pipes
+	nodeBits, aBits := ar.nodeBits, ar.aBits
 
 	res := HealResult{}
 	drop := func(bucket *int, cause obs.DropCause) {
@@ -345,6 +349,7 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 					continue
 				}
 				waiting[src] = append(waiting[src], i32)
+				nodeBits[src>>6] |= 1 << (uint(src) & 63)
 				enter()
 			}
 			holdq = nh
@@ -363,22 +368,26 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 				continue
 			}
 			waiting[src] = append(waiting[src], int32(i))
+			nodeBits[src>>6] |= 1 << (uint(src) & 63)
 			enter()
 		}
 
 		// Arrivals: wire time completes; a downed node loses the packet.
-		for u := 0; u < n; u++ {
-			out := nw.g.Out(u)
-			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
-			for a := lo; a < hi; a++ {
+		// Swept over the in-flight bitmap in ascending flat-arc order —
+		// identical to the historical nested (node, arc) scan.
+		for w := range aBits {
+			bits := aBits[w]
+			for bits != 0 {
+				a := int32(w<<6 + trailingZeros64(bits))
+				bits &= bits - 1
 				pipe := pipes[a]
 				keep := pipe[:0]
+				v := int(nw.arcHead[a])
 				for _, fl := range pipe {
 					if fl.ready > cycle {
 						keep = append(keep, fl)
 						continue
 					}
-					v := out[a-lo]
 					p := &pkts[fl.pkt]
 					p.Hops++
 					if rec != nil {
@@ -404,8 +413,12 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 						continue
 					}
 					waiting[v] = append(waiting[v], int32(fl.pkt))
+					nodeBits[v>>6] |= 1 << (uint(v) & 63)
 				}
 				pipes[a] = keep
+				if len(keep) == 0 {
+					aBits[w] &^= 1 << (uint(a) & 63)
+				}
 			}
 		}
 
@@ -414,108 +427,115 @@ func (s *SelfHealing) Run(packets []Packet) (HealResult, error) {
 		// stays queued for DetectLatency cycles and the tail's suspicion
 		// of the arc grows — this is the only way the control plane ever
 		// learns of a fault.
-		for u := 0; u < n; u++ {
-			if len(waiting[u]) == 0 {
-				continue
-			}
-			depth := len(waiting[u])
-			if depth > res.MaxQueue {
-				res.MaxQueue = depth
-				res.HotNode = u
-			}
-			if rec != nil {
-				rec.NodeQueueDepth(depth)
-			}
-			ar.busyToken++
-			token := ar.busyToken
-			busy := ar.busy
-			keep := waiting[u][:0]
-			for _, i32 := range waiting[u] {
-				i := int(i32)
-				p := &pkts[i]
-				if meta[i].readyAt > cycle {
-					keep = append(keep, i32)
-					continue
+		for w := range nodeBits {
+			wbits := nodeBits[w]
+			for wbits != 0 {
+				u := w<<6 + trailingZeros64(wbits)
+				wbits &= wbits - 1
+				depth := len(waiting[u])
+				if depth > res.MaxQueue {
+					res.MaxQueue = depth
+					res.HotNode = u
 				}
-				if p.Hops >= cfg.TTL {
-					drop(&res.DroppedTTL, obs.DropTTL)
-					remaining--
-					resident--
-					continue
+				if rec != nil {
+					rec.NodeQueueDepth(depth)
 				}
-				arc := s.routeArc(u, p.Dst, rec)
-				if arc < 0 {
-					if !policy.charge(&meta[i], cycle, p.ID) {
-						drop(&res.DroppedNoRoute, obs.DropNoRoute)
+				ar.busyToken++
+				token := ar.busyToken
+				busy := ar.busy
+				keep := waiting[u][:0]
+				for _, i32 := range waiting[u] {
+					i := int(i32)
+					p := &pkts[i]
+					if meta[i].readyAt > cycle {
+						keep = append(keep, i32)
+						continue
+					}
+					if p.Hops >= cfg.TTL {
+						drop(&res.DroppedTTL, obs.DropTTL)
 						remaining--
 						resident--
 						continue
 					}
-					res.Retries++
-					if rec != nil {
-						rec.Retry()
-					}
-					keep = append(keep, i32)
-					continue
-				}
-				if busy[arc] == token {
-					keep = append(keep, i32) // link occupied this cycle: queue
-					continue
-				}
-				if next := nw.g.Out(u)[arc]; next != p.Dst && nodeFull(next) {
-					// Credit-based backpressure: hold in place instead of
-					// deepening a full downstream node's queue (delivery
-					// always absorbs).
-					if !hold(i, len(waiting[next])) {
-						drop(&res.DroppedQueueFull, obs.DropQueueFull)
-						remaining--
-						resident--
-						continue
-					}
-					keep = append(keep, i32)
-					continue
-				}
-				busy[arc] = token
-				a := Arc{Tail: u, Index: arc}
-				if s.state.ArcDown(u, arc) {
-					// NACK: the attempt consumed the link slot and failed.
-					res.Nacks++
-					if rec != nil {
-						rec.Nack()
-					}
-					if mon != nil {
-						mon.ArcFailed(start+cycle, a)
-					}
-					h.suspicion[a]++
-					meta[i].readyAt = cycle + cfg.DetectLatency
-					keep = append(keep, i32)
-					if h.suspicion[a] >= cfg.SuspectThreshold && !h.activeDown(a) {
-						if err := h.commit(a, false, start+cycle); err != nil {
-							return res, err
+					arc := s.routeArc(u, p.Dst, rec)
+					if arc < 0 {
+						if !policy.charge(&meta[i], cycle, p.ID) {
+							drop(&res.DroppedNoRoute, obs.DropNoRoute)
+							remaining--
+							resident--
+							continue
 						}
-						delete(h.suspicion, a)
-						res.Detections++
-						res.EventsCommitted++
+						res.Retries++
 						if rec != nil {
-							rec.Detect()
-							rec.HealEvent()
+							rec.Retry()
+						}
+						keep = append(keep, i32)
+						continue
+					}
+					if busy[arc] == token {
+						keep = append(keep, i32) // link occupied this cycle: queue
+						continue
+					}
+					if next := nw.g.Out(u)[arc]; next != p.Dst && nodeFull(next) {
+						// Credit-based backpressure: hold in place instead of
+						// deepening a full downstream node's queue (delivery
+						// always absorbs).
+						if !hold(i, len(waiting[next])) {
+							drop(&res.DroppedQueueFull, obs.DropQueueFull)
+							remaining--
+							resident--
+							continue
+						}
+						keep = append(keep, i32)
+						continue
+					}
+					busy[arc] = token
+					a := Arc{Tail: u, Index: arc}
+					if s.state.ArcDown(u, arc) {
+						// NACK: the attempt consumed the link slot and failed.
+						res.Nacks++
+						if rec != nil {
+							rec.Nack()
+						}
+						if mon != nil {
+							mon.ArcFailed(start+cycle, a)
+						}
+						h.suspicion[a]++
+						meta[i].readyAt = cycle + cfg.DetectLatency
+						keep = append(keep, i32)
+						if h.suspicion[a] >= cfg.SuspectThreshold && !h.activeDown(a) {
+							if err := h.commit(a, false, start+cycle); err != nil {
+								return res, err
+							}
+							delete(h.suspicion, a)
+							res.Detections++
+							res.EventsCommitted++
+							if rec != nil {
+								rec.Detect()
+								rec.HealEvent()
+							}
+						}
+						continue
+					}
+					delete(h.suspicion, a)
+					if mon != nil {
+						mon.ArcOK(start+cycle, a)
+					}
+					if s.nw.router.NextArc(u, p.Dst) != arc {
+						res.Reroutes++
+						if rec != nil {
+							rec.Reroute()
 						}
 					}
-					continue
+					flat := nw.arcBase[u] + int32(arc)
+					pipes[flat] = append(pipes[flat], inflight{pkt: i, ready: cycle + cfg.HopLatency})
+					aBits[flat>>6] |= 1 << (uint32(flat) & 63)
 				}
-				delete(h.suspicion, a)
-				if mon != nil {
-					mon.ArcOK(start+cycle, a)
+				waiting[u] = keep
+				if len(keep) == 0 {
+					nodeBits[w] &^= 1 << (uint(u) & 63)
 				}
-				if s.nw.router.NextArc(u, p.Dst) != arc {
-					res.Reroutes++
-					if rec != nil {
-						rec.Reroute()
-					}
-				}
-				pipes[nw.arcBase[u]+int32(arc)] = append(pipes[nw.arcBase[u]+int32(arc)], inflight{pkt: i, ready: cycle + cfg.HopLatency})
 			}
-			waiting[u] = keep
 		}
 	}
 	s.clock = start + cycle

@@ -43,8 +43,19 @@ func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, erro
 		deadMask[fwdBase[a.Tail]+int32(a.Index)] = true
 	}
 
-	arcs := make([]int32, len(r.arcs))
-	copy(arcs, r.arcs)
+	// The slab is int8 on every graph whose out-degrees fit (the narrow
+	// layout the run loop gathers from); patch whichever layout the base
+	// router carries.
+	narrow := r.arcs != nil
+	var arcs8 []int8
+	var arcs32 []int32
+	if narrow {
+		arcs8 = make([]int8, len(r.arcs))
+		copy(arcs8, r.arcs)
+	} else {
+		arcs32 = make([]int32, len(r.wide))
+		copy(arcs32, r.wide)
+	}
 
 	affected := make([]bool, n)
 	count := 0
@@ -52,16 +63,14 @@ func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, erro
 		if g.Out(a.Tail)[a.Index] == a.Tail {
 			continue // loops never carry shortest paths
 		}
-		row := r.arcs[a.Tail*n : (a.Tail+1)*n]
-		for dst, arc := range row {
-			if arc == int32(a.Index) && !affected[dst] {
-				affected[dst] = true
-				count++
-			}
+		if narrow {
+			count += markAffected(r.arcs[a.Tail*n:(a.Tail+1)*n], int8(a.Index), affected)
+		} else {
+			count += markAffected(r.wide[a.Tail*n:(a.Tail+1)*n], int32(a.Index), affected)
 		}
 	}
 	if count == 0 {
-		return &TableRouter{n: n, arcs: arcs}, nil
+		return &TableRouter{n: n, arcs: arcs8, wide: arcs32}, nil
 	}
 
 	// Reverse CSR in NewTableRouter's order, with the forward arc index
@@ -91,8 +100,25 @@ func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, erro
 
 	seen := make([]int32, n)
 	queue := make([]int32, 0, n)
-	repatchArcs(arcs, n, affected, deadMask, revBase, revTail, revArc, revFlat, seen, queue)
-	return &TableRouter{n: n, arcs: arcs}, nil
+	if narrow {
+		repatchArcs(arcs8, n, affected, deadMask, revBase, revTail, revArc, revFlat, seen, queue)
+	} else {
+		repatchArcs(arcs32, n, affected, deadMask, revBase, revTail, revArc, revFlat, seen, queue)
+	}
+	return &TableRouter{n: n, arcs: arcs8, wide: arcs32}, nil
+}
+
+// markAffected marks every destination whose routing row forwards over
+// dead arc index idx, returning how many were newly marked.
+func markAffected[T int8 | int32](row []T, idx T, affected []bool) int {
+	count := 0
+	for dst, arc := range row {
+		if arc == idx && !affected[dst] {
+			affected[dst] = true
+			count++
+		}
+	}
+	return count
 }
 
 // repatchArcs re-runs the builder's reverse BFS for every affected
@@ -102,7 +128,7 @@ func (r *TableRouter) Repair(g *digraph.Digraph, dead []Arc) (*TableRouter, erro
 // every slab, including the BFS queue (cap ≥ n), arrives preallocated.
 //
 //lint:hotpath
-func repatchArcs(arcs []int32, n int, affected, deadMask []bool, revBase, revTail, revArc, revFlat, seen, queue []int32) {
+func repatchArcs[T int8 | int32](arcs []T, n int, affected, deadMask []bool, revBase, revTail, revArc, revFlat, seen, queue []int32) {
 	guardIndexInt32(n, "nodes")
 	for dst := 0; dst < n; dst++ {
 		if !affected[dst] {
@@ -125,7 +151,7 @@ func repatchArcs(arcs []int32, n int, affected, deadMask []bool, revBase, revTai
 					continue
 				}
 				seen[u] = epoch
-				arcs[int(u)*n+dst] = revArc[idx]
+				arcs[int(u)*n+dst] = T(revArc[idx])
 				queue = append(queue, u)
 			}
 		}

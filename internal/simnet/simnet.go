@@ -19,7 +19,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/debruijn"
 	"repro/internal/digraph"
 	"repro/internal/obs"
 	"repro/internal/word"
@@ -33,8 +32,12 @@ type Router interface {
 }
 
 // TableRouter routes by precomputed shortest-path next hops held in one
-// flat []int32 arc-index slab: arcs[at*n+dst] is the out-arc to forward
-// on, -1 when dst is unreachable or at = dst. One 4-byte entry per
+// flat arc-index slab: arcs[at*n+dst] is the out-arc to forward
+// on, -1 when dst is unreachable or at = dst. Arc indices are bounded by
+// the out-degree, so the slab stores one int8 per ordered pair whenever
+// every degree fits (wide stores int32 otherwise — degenerate graphs
+// only): 4× less memory traffic on the run loop's random probes than the
+// int32 slab this layout replaced. One small entry per
 // ordered pair replaces the two ragged n×n []int tables the router
 // historically kept (next-hop vertices plus a memoized arc index —
 // ≈2·n²·8 bytes), and the arc index is derived directly during the
@@ -42,7 +45,8 @@ type Router interface {
 // is immutable after construction and safe to share across goroutines.
 type TableRouter struct {
 	n    int
-	arcs []int32
+	arcs []int8  // nil ⇔ some out-degree exceeds math.MaxInt8
+	wide []int32 // fallback slab for out-degrees beyond int8
 }
 
 // NewTableRouterObserved is NewTableRouter with build telemetry: the
@@ -97,9 +101,25 @@ func NewTableRouter(g *digraph.Digraph) *TableRouter {
 		}
 	}
 
-	arcs := make([]int32, n*n)
-	for i := range arcs {
-		arcs[i] = -1
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if deg := g.OutDegree(u); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	narrow := maxDeg <= math.MaxInt8
+	var arcs []int8
+	var wide []int32
+	if narrow {
+		arcs = make([]int8, n*n)
+		for i := range arcs {
+			arcs[i] = -1
+		}
+	} else {
+		wide = make([]int32, n*n)
+		for i := range wide {
+			wide[i] = -1
+		}
 	}
 	seen := make([]int32, n) // epoch marks: seen[u] == dst+1 ⇔ visited this pass
 	queue := make([]int32, 0, n)
@@ -115,51 +135,73 @@ func NewTableRouter(g *digraph.Digraph) *TableRouter {
 					continue
 				}
 				seen[u] = epoch
-				arcs[int(u)*n+dst] = revArc[idx]
+				if narrow {
+					arcs[int(u)*n+dst] = int8(revArc[idx])
+				} else {
+					wide[int(u)*n+dst] = revArc[idx]
+				}
 				queue = append(queue, u)
 			}
 		}
 	}
-	return &TableRouter{n: n, arcs: arcs}
+	return &TableRouter{n: n, arcs: arcs, wide: wide}
 }
 
 // NextArc implements Router.
-func (r *TableRouter) NextArc(at, dst int) int { return int(r.arcs[at*r.n+dst]) }
+func (r *TableRouter) NextArc(at, dst int) int {
+	if r.arcs != nil {
+		return int(r.arcs[at*r.n+dst])
+	}
+	return int(r.wide[at*r.n+dst])
+}
 
-// Footprint returns the bytes held by the router's table storage — 4·n²,
-// the single surviving table (asserted by tests against the historical
+// Footprint returns the bytes held by the router's table storage — n²
+// (one int8 per pair) on every graph whose out-degrees fit int8, the
+// single surviving table (asserted by tests against the historical
 // double-table layout).
-func (r *TableRouter) Footprint() int { return 4 * len(r.arcs) }
+func (r *TableRouter) Footprint() int { return len(r.arcs) + 4*len(r.wide) }
 
 // DeBruijnRouter routes natively on B(d, D) congruence labels using the
 // left-shift rule — no tables, O(D) work per decision, exactly the
 // self-routing the de Bruijn literature advertises.
 type DeBruijnRouter struct {
 	d, D int
-	n    int // d^D, precomputed with an overflow-guarded power
+	n    int   // d^D, precomputed with an overflow-guarded power
+	pow  []int // pow[i] = d^i for i in [0, D]
 }
 
 // NewDeBruijnRouter returns the native router for B(d, D).
 func NewDeBruijnRouter(d, D int) *DeBruijnRouter {
-	return &DeBruijnRouter{d: d, D: D, n: word.Pow(d, D)}
+	n := word.Pow(d, D) // overflow-guarded, so the partial powers are safe
+	pow := make([]int, D+1)
+	pow[0] = 1
+	for i := 1; i <= D; i++ {
+		pow[i] = pow[i-1] * d
+	}
+	return &DeBruijnRouter{d: d, D: D, n: n, pow: pow}
 }
 
 // NextArc implements Router. In congruence form the successor via letter α
 // is (d·u + α) mod d^D, which is adjacency position α; the canonical
-// shortest path feeds in the destination's remaining letters.
+// shortest path shifts in the destination's remaining letters. The first
+// such letter falls out of pure division arithmetic: with k the largest
+// overlap below D — at ≡ ⌊dst/d^(D−k)⌋ (mod d^k), i.e. at's low-order k
+// digits equal dst's high-order k digits — the letter to shift in next is
+// dst's digit at position D−k−1. O(D) integer ops, no allocation.
+//
+//lint:hotpath
 func (r *DeBruijnRouter) NextArc(at, dst int) int {
 	if at == dst {
 		return -1
 	}
-	path := debruijn.RouteInts(r.d, r.D, at, dst)
-	next := path[1]
-	// Recover α from next = (d·at + α) mod n.
-	n := r.n
-	alpha := (next - r.d*at) % n
-	if alpha < 0 {
-		alpha += n
+	pow := r.pow
+	k := r.D - 1
+	for ; k > 0; k-- {
+		if at%pow[k] == dst/pow[r.D-k] {
+			break
+		}
 	}
-	return alpha % r.d
+	return (dst / pow[r.D-k-1]) % r.d
 }
 
 // Packet is one simulated datagram.
@@ -251,7 +293,12 @@ type Network struct {
 
 	// arcBase[u] is the flat index of node u's first out-arc: queues and
 	// pipelines live in M-length slabs addressed by arcBase[u]+k.
+	// arcHead[a] and arcTail[a] are the head and tail vertex of flat arc
+	// a — the CSR adjacency flattened once, so the arc-major sweeps read
+	// a contiguous int32 slab instead of chasing g.Out(u) slice headers.
 	arcBase []int32
+	arcHead []int32
+	arcTail []int32
 	maxDeg  int
 
 	// dist is the fault-free all-pairs distance slab, built on first use
@@ -306,6 +353,7 @@ func New(g *digraph.Digraph, router Router, cfg Config) (*Network, error) {
 // shadow network of TracedRun reuses it without re-threading the error).
 func newNetwork(g *digraph.Digraph, router Router, cfg Config) *Network {
 	n := g.N()
+	guardIndexInt32(n, "nodes")
 	guardIndexInt32(g.M(), "arcs")
 	arcBase := make([]int32, n+1)
 	maxDeg := 0
@@ -316,7 +364,16 @@ func newNetwork(g *digraph.Digraph, router Router, cfg Config) *Network {
 			maxDeg = deg
 		}
 	}
-	return &Network{g: g, router: router, cfg: cfg, arcBase: arcBase, maxDeg: maxDeg}
+	arcHead := make([]int32, g.M())
+	arcTail := make([]int32, g.M())
+	for u := 0; u < n; u++ {
+		base := arcBase[u]
+		for k, v := range g.Out(u) {
+			arcHead[base+int32(k)] = int32(v)
+			arcTail[base+int32(k)] = int32(u)
+		}
+	}
+	return &Network{g: g, router: router, cfg: cfg, arcBase: arcBase, arcHead: arcHead, arcTail: arcTail, maxDeg: maxDeg}
 }
 
 // distSlab returns the fault-free all-pairs distance slab, building it
@@ -385,11 +442,18 @@ const (
 // stack value replaces the closure run used to define: the run loop is a
 // hot path and closures allocate.
 type runState struct {
-	nw       *Network
-	pkts     []Packet
-	queues   []fifo
-	res      *Result
-	rec      *obs.Recorder
+	nw     *Network
+	dst    []int32 // SoA packet destination slab
+	holds  []int32 // SoA per-packet holds-spent slab
+	queues []fifo
+	qBits  []uint64 // active-arc bitmap: bit a set ⇔ queues[a] non-empty
+	res    *Result
+	rec    *obs.Recorder
+	// tArcs/tN devirtualize TableRouter: the run loop gathers next hops
+	// straight from the router slab instead of through the interface
+	// (nil: dynamic dispatch, e.g. DeBruijnRouter or a recordingRouter).
+	tArcs    []int8
+	tN       int
 	qcap     int // per-arc queue bound (0: unbounded)
 	resident int // packets currently buffered in queues + pipelines
 }
@@ -412,7 +476,12 @@ func (rs *runState) leave() { rs.resident-- }
 //
 //lint:hotpath
 func (rs *runState) enqueue(at, pkt int) enqStatus {
-	arc := rs.nw.router.NextArc(at, rs.pkts[pkt].Dst)
+	var arc int
+	if rs.tArcs != nil {
+		arc = int(rs.tArcs[at*rs.tN+int(rs.dst[pkt])])
+	} else {
+		arc = rs.nw.router.NextArc(at, int(rs.dst[pkt]))
+	}
 	if arc < 0 {
 		rs.res.Dropped++
 		if rs.rec != nil {
@@ -428,6 +497,7 @@ func (rs *runState) enqueue(at, pkt int) enqStatus {
 	}
 	//lint:ignore slabindex pkt < len(pkts), dominated by run's guardIndexInt32
 	q.push(int32(pkt))
+	rs.qBits[flat>>6] |= 1 << (uint32(flat) & 63)
 	depth := q.depth()
 	if depth > rs.res.MaxQueue {
 		rs.res.MaxQueue = depth
@@ -442,12 +512,15 @@ func (rs *runState) enqueue(at, pkt int) enqStatus {
 // holdOrDrop charges one hold-in-place cycle to pkt's budget. It
 // reports true when the packet may keep waiting (hold accounted) and
 // false when the budget is exhausted — the packet has been dropped as
-// DroppedQueueFull and the caller must remove it.
+// DroppedQueueFull and the caller must remove it. The hold is recorded
+// at the refusing queue's observed depth, which under the plain engine
+// is always exactly qcap: enqueue refuses only at depth ≥ qcap and a
+// bounded queue never exceeds its bound.
 //
 //lint:hotpath
-func (rs *runState) holdOrDrop(meta []pktMeta, pkt, budget int) bool {
-	meta[pkt].holds++
-	if meta[pkt].holds > budget {
+func (rs *runState) holdOrDrop(pkt, budget int) bool {
+	rs.holds[pkt]++
+	if int(rs.holds[pkt]) > budget {
 		rs.res.Dropped++
 		rs.res.DroppedQueueFull++
 		if rs.rec != nil {
@@ -467,25 +540,32 @@ func (rs *runState) holdOrDrop(meta []pktMeta, pkt, budget int) bool {
 // while reusing one Network. All recording sites are rec != nil guarded
 // so the uninstrumented path stays allocation-free.
 //
+// This is the batched arc-major kernel: per-cycle work is a pair of
+// linear sweeps over the arc axis (arrivals over the in-flight bitmap,
+// departures over the queued bitmap) against flat SoA slabs — int32
+// packet arrays instead of []Packet field access, fixed-capacity pipe
+// segments instead of per-arc slices, and the TableRouter slab gathered
+// directly. Empty arcs cost one skipped bit, not a slice-header probe,
+// so a cycle costs O(active arcs + set-bitmap words) rather than O(M).
+// Phase structure, iteration order and every accounting/recording site
+// are identical to the packet-at-a-time engine it replaced — pinned by
+// TestArcMajorKernelMatchesReference and the engine behaviour goldens.
+//
 //lint:hotpath
 func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Result {
 	guardIndexInt32(len(packets), "packets")
 	//lint:ignore hotalloc pkts escapes into Result.Packets: one allocation per run, not per cycle
 	pkts := make([]Packet, len(packets))
 	copy(pkts, packets)
-	for i := range pkts {
-		pkts[i].Delivered = -1
-		pkts[i].Hops = 0
-	}
 
 	n := nw.g.N()
+	m := int(nw.arcBase[n])
 	ar, reused := nw.getArena()
 	defer nw.putArena(ar)
 	if rec != nil {
 		rec.Arena(reused)
 	}
 	queues := ar.queues // per-arc FIFO queues, flat by arcBase
-	pipes := ar.pipes   // per-arc link pipelines, flat by arcBase
 
 	maxCycles := tun.budget
 	if maxCycles == 0 {
@@ -498,33 +578,69 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 			maxCycles += int(float64(len(pkts))/tun.admit.rate) + tun.admit.maxDelay
 		}
 	}
+	// Cycle stamps (releases, pipe ready cycles) are narrowed into int32
+	// slabs; one guard at entry dominates every stamp below.
+	guardIndexInt32(maxCycles+nw.cfg.HopLatency+2, "cycles")
 
-	// Per-packet hold bookkeeping exists only under bounded queues; the
-	// unbounded fast path never touches meta.
-	var meta []pktMeta
-	if tun.qcap > 0 {
-		meta = ar.metaFor(len(pkts))
-	}
-	holdq := ar.holdq[:0]
 	// A full link window (in-flight wire slots plus held packets) stops
 	// accepting departures — the credit that propagates backpressure.
+	// The credit bound is also the pipe segment capacity: an unbounded
+	// run keeps at most HopLatency packets per link (one departure per
+	// cycle, each in flight exactly HopLatency cycles), a bounded one at
+	// most qcap+HopLatency (departures stop at the window, holds re-slot
+	// in place).
 	credits := 0
+	segCap := nw.cfg.HopLatency
 	if tun.qcap > 0 {
 		credits = tun.qcap + nw.cfg.HopLatency
+		segCap = credits
+	}
+	pipePkt, pipeReady, pipeLen := ar.pipeSegments(m, segCap)
+	qBits, aBits := ar.qBits, ar.aBits
+	dst, rel, del, hops, holds := ar.packetSlabs(len(pkts))
+	holdq := ar.holdq[:0]
+
+	// Devirtualize the table router: the hot loop gathers next hops from
+	// the slab without the interface call (recorded or native routers
+	// keep dynamic dispatch).
+	var tArcs []int8
+	tN := 0
+	if tr, ok := nw.router.(*TableRouter); ok {
+		tArcs, tN = tr.arcs, tr.n // nil (interface dispatch) on a wide table
 	}
 
 	res := Result{}
 	remaining := 0
+	horizon := int32(maxCycles) + 1
 	// Route-or-drop at injection time; survivors are injected in sorted
 	// (Release, index) order via a cursor — no per-cycle map lookups.
 	order := ar.order[:0]
 	for i := range pkts {
+		pkts[i].Delivered = -1
+		pkts[i].Hops = 0
+		dst[i] = int32(pkts[i].Dst)
+		del[i] = -1
+		hops[i] = 0
+		holds[i] = 0
+		if r := pkts[i].Release; r > maxCycles {
+			// Beyond the horizon: never injected. Clamping keeps the slab
+			// in int32 range without reordering the injection schedule.
+			rel[i] = horizon
+		} else {
+			rel[i] = int32(r)
+		}
 		if pkts[i].Src == pkts[i].Dst {
 			pkts[i].Delivered = pkts[i].Release
 			res.Delivered++
 			continue
 		}
-		if nw.router.NextArc(pkts[i].Src, pkts[i].Dst) < 0 {
+		var arc int
+		if tArcs != nil {
+			arc = int(tArcs[pkts[i].Src*tN+pkts[i].Dst])
+		} else {
+			arc = nw.router.NextArc(pkts[i].Src, pkts[i].Dst)
+		}
+		if arc < 0 {
 			res.Dropped++
 			if rec != nil {
 				rec.Drop(obs.DropNoRoute)
@@ -538,11 +654,32 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 	ar.order = order
 	cursor := 0
 
-	rs := runState{nw: nw, pkts: pkts, queues: queues, res: &res, rec: rec, qcap: tun.qcap}
+	rs := runState{
+		nw: nw, dst: dst, holds: holds, queues: queues, qBits: qBits,
+		res: &res, rec: rec, tArcs: tArcs, tN: tN, qcap: tun.qcap,
+	}
 	admit := tun.admit
+	arcHead := nw.arcHead
+	hopLat := int32(nw.cfg.HopLatency)
 	heldLast := false // congestion signal: a hold happened last cycle
 
+	// The lean arrival path applies when the router slab is gathered
+	// directly, nothing records and queues are unbounded (the bench hot
+	// path): arrivals are batched so the routing gather — the run's
+	// cache-miss budget, one random probe into the 4n² slab per hop —
+	// runs as a dense pass of independent loads the CPU overlaps,
+	// instead of serializing behind each packet's queue push. Delivery,
+	// push order and all accounting stay identical to the general path.
+	lean := tArcs != nil && rec == nil && tun.qcap == 0 && tun.admit == nil
+	var arrPkt, arrNode, arrArc []int32
+	var qHead, qTail, qLen, pNext []int32
+	if lean {
+		arrPkt, arrNode, arrArc = ar.arrivalBatch(len(pkts))
+		qHead, qTail, qLen, pNext = ar.queueLinks(m, len(pkts))
+	}
+
 	for cycle := 0; remaining > 0 && cycle <= maxCycles; cycle++ {
+		cycle32 := int32(cycle)
 		holdsBefore := res.Holds
 		if admit != nil {
 			admit.refill(heldLast)
@@ -550,139 +687,302 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 
 		// Inject: source-held packets (admitted earlier, source queue
 		// full) retry first, then the release cursor drains through the
-		// admission regulator.
-		if len(holdq) > 0 {
-			nh := holdq[:0]
-			for _, i32 := range holdq {
-				i := int(i32)
+		// admission regulator. The lean path has no admission and no
+		// backpressure (holdq stays empty, every order entry was
+		// route-prechecked at setup), so its cursor drains through plain
+		// linked-queue pushes.
+		if lean {
+			for cursor < len(order) && rel[order[cursor]] <= cycle32 {
+				i := int(order[cursor])
+				cursor++
+				at := pkts[i].Src
+				flat := nw.arcBase[at] + int32(tArcs[at*tN+int(dst[i])])
+				if qLen[flat] == 0 {
+					qHead[flat] = int32(i)
+				} else {
+					pNext[qTail[flat]] = int32(i)
+				}
+				qTail[flat] = int32(i)
+				qLen[flat]++
+				qBits[flat>>6] |= 1 << (uint32(flat) & 63)
+				if depth := int(qLen[flat]); depth > res.MaxQueue {
+					res.MaxQueue = depth
+					res.HotNode = at
+				}
+				rs.enter()
+			}
+		} else {
+			if len(holdq) > 0 {
+				nh := holdq[:0]
+				for _, i32 := range holdq {
+					i := int(i32)
+					switch rs.enqueue(pkts[i].Src, i) {
+					case enqOK:
+						rs.enter()
+					case enqNoRoute:
+						remaining--
+					case enqFull:
+						if !rs.holdOrDrop(i, tun.hold) {
+							remaining--
+							continue
+						}
+						nh = append(nh, i32)
+					}
+				}
+				holdq = nh
+			}
+			for cursor < len(order) && rel[order[cursor]] <= cycle32 {
+				i := int(order[cursor])
+				if admit != nil {
+					if cycle-int(rel[i]) > admit.maxDelay {
+						cursor++
+						res.Shed++
+						if rec != nil {
+							rec.Shed()
+						}
+						remaining--
+						continue
+					}
+					if !admit.take() {
+						break // out of tokens: the head waits in release order
+					}
+				}
+				cursor++
 				switch rs.enqueue(pkts[i].Src, i) {
 				case enqOK:
 					rs.enter()
 				case enqNoRoute:
 					remaining--
 				case enqFull:
-					if !rs.holdOrDrop(meta, i, tun.hold) {
+					// Admitted but the source queue is full: hold at the
+					// source and retry ahead of the cursor next cycle.
+					if !rs.holdOrDrop(i, tun.hold) {
 						remaining--
 						continue
 					}
-					nh = append(nh, i32)
+					holdq = append(holdq, int32(i))
 				}
-			}
-			holdq = nh
-		}
-		for cursor < len(order) && pkts[order[cursor]].Release <= cycle {
-			i := int(order[cursor])
-			if admit != nil {
-				if cycle-pkts[i].Release > admit.maxDelay {
-					cursor++
-					res.Shed++
-					if rec != nil {
-						rec.Shed()
-					}
-					remaining--
-					continue
-				}
-				if !admit.take() {
-					break // out of tokens: the head waits in release order
-				}
-			}
-			cursor++
-			switch rs.enqueue(pkts[i].Src, i) {
-			case enqOK:
-				rs.enter()
-			case enqNoRoute:
-				remaining--
-			case enqFull:
-				// Admitted but the source queue is full: hold at the
-				// source and retry ahead of the cursor next cycle.
-				if !rs.holdOrDrop(meta, i, tun.hold) {
-					remaining--
-					continue
-				}
-				holdq = append(holdq, int32(i))
 			}
 		}
 
-		// Arrivals: packets whose wire time completes this cycle. The
-		// hop is counted when the next queue accepts the packet; a full
+		// Arrivals: packets whose wire time completes this cycle, swept
+		// arc-major over the in-flight bitmap in ascending arc order
+		// (identical to the historical nested (node, arc) scan). The hop
+		// is counted when the next queue accepts the packet; a full
 		// queue keeps it on the upstream link (credit-based
-		// backpressure) to retry next cycle.
-		for u := 0; u < n; u++ {
-			out := nw.g.Out(u)
-			lo, hi := nw.arcBase[u], nw.arcBase[u+1]
-			for a := lo; a < hi; a++ {
-				pipe := pipes[a]
-				keep := pipe[:0]
-				for _, fl := range pipe {
-					if fl.ready > cycle {
-						keep = append(keep, fl)
-						continue
-					}
-					v := out[a-lo]
-					p := &pkts[fl.pkt]
-					if v == p.Dst {
-						p.Hops++
-						if rec != nil {
-							rec.ArcTraverse(int(a))
-						}
-						p.Delivered = cycle
-						res.Delivered++
-						remaining--
-						rs.leave()
-						if cycle > res.Cycles {
-							res.Cycles = cycle
-						}
-						if rec != nil {
-							rec.Deliver(cycle-p.Release, p.Hops)
-						}
-						continue
-					}
-					switch rs.enqueue(v, fl.pkt) {
-					case enqOK:
-						p.Hops++
-						if rec != nil {
-							rec.ArcTraverse(int(a))
-						}
-					case enqNoRoute:
-						p.Hops++
-						if rec != nil {
-							rec.ArcTraverse(int(a))
-						}
-						remaining--
-						rs.leave()
-					case enqFull:
-						if !rs.holdOrDrop(meta, fl.pkt, tun.hold) {
-							remaining--
-							rs.leave()
+		// backpressure) to retry next cycle, compacted in place in its
+		// fixed-capacity segment.
+		if lean {
+			// Pass 1: sweep the in-flight bitmap, delivering in place
+			// and collecting forwarding packets with their nodes.
+			na := 0
+			for w := range aBits {
+				bits := aBits[w]
+				for bits != 0 {
+					a := w<<6 + trailingZeros64(bits)
+					bits &= bits - 1
+					base := a * segCap
+					cnt := int(pipeLen[a])
+					v := arcHead[a]
+					keep := 0
+					for j := 0; j < cnt; j++ {
+						pk := pipePkt[base+j]
+						rdy := pipeReady[base+j]
+						if rdy > cycle32 {
+							pipePkt[base+keep] = pk
+							pipeReady[base+keep] = rdy
+							keep++
 							continue
 						}
-						keep = append(keep, inflight{pkt: fl.pkt, ready: cycle + 1})
+						p := int(pk)
+						dv := dst[p]
+						if dv == v {
+							hops[p]++
+							del[p] = cycle32
+							res.Delivered++
+							remaining--
+							rs.leave()
+							if cycle > res.Cycles {
+								res.Cycles = cycle
+							}
+							continue
+						}
+						arrPkt[na] = pk
+						arrNode[na] = v
+						arrArc[na] = dv // destination, rewritten to the arc by pass 2
+						na++
+					}
+					pipeLen[a] = int32(keep)
+					if keep == 0 {
+						aBits[w] &^= 1 << (uint(a) & 63)
 					}
 				}
-				pipes[a] = keep
+			}
+			// Pass 2: route the whole batch — independent slab gathers
+			// (pass 1 left each packet's destination in arrArc, so every
+			// iteration is a single load with no dependent chain).
+			for k := 0; k < na; k++ {
+				arrArc[k] = int32(tArcs[int(arrNode[k])*tN+int(arrArc[k])])
+			}
+			// Pass 3: enqueue in the same ascending arc order the
+			// general path pushes in, so per-queue depth sequences (and
+			// MaxQueue/HotNode) match it exactly.
+			for k := 0; k < na; k++ {
+				p := int(arrPkt[k])
+				arc := arrArc[k]
+				hops[p]++
+				if arc < 0 {
+					res.Dropped++
+					remaining--
+					rs.leave()
+					continue
+				}
+				at := int(arrNode[k])
+				flat := nw.arcBase[at] + arc
+				pk := arrPkt[k]
+				if qLen[flat] == 0 {
+					qHead[flat] = pk
+				} else {
+					pNext[qTail[flat]] = pk
+				}
+				qTail[flat] = pk
+				qLen[flat]++
+				qBits[flat>>6] |= 1 << (uint32(flat) & 63)
+				if depth := int(qLen[flat]); depth > res.MaxQueue {
+					res.MaxQueue = depth
+					res.HotNode = at
+				}
+			}
+		} else {
+			for w := range aBits {
+				bits := aBits[w]
+				for bits != 0 {
+					a := w<<6 + trailingZeros64(bits)
+					bits &= bits - 1
+					base := a * segCap
+					cnt := int(pipeLen[a])
+					v := int(arcHead[a])
+					keep := 0
+					for j := 0; j < cnt; j++ {
+						pk := pipePkt[base+j]
+						rdy := pipeReady[base+j]
+						if rdy > cycle32 {
+							pipePkt[base+keep] = pk
+							pipeReady[base+keep] = rdy
+							keep++
+							continue
+						}
+						p := int(pk)
+						if dst[p] == int32(v) {
+							hops[p]++
+							if rec != nil {
+								rec.ArcTraverse(a)
+							}
+							del[p] = cycle32
+							res.Delivered++
+							remaining--
+							rs.leave()
+							if cycle > res.Cycles {
+								res.Cycles = cycle
+							}
+							if rec != nil {
+								rec.Deliver(cycle-int(rel[p]), int(hops[p]))
+							}
+							continue
+						}
+						switch rs.enqueue(v, p) {
+						case enqOK:
+							hops[p]++
+							if rec != nil {
+								rec.ArcTraverse(a)
+							}
+						case enqNoRoute:
+							hops[p]++
+							if rec != nil {
+								rec.ArcTraverse(a)
+							}
+							remaining--
+							rs.leave()
+						case enqFull:
+							if !rs.holdOrDrop(p, tun.hold) {
+								remaining--
+								rs.leave()
+								continue
+							}
+							pipePkt[base+keep] = pk
+							pipeReady[base+keep] = cycle32 + 1
+							keep++
+						}
+					}
+					pipeLen[a] = int32(keep)
+					if keep == 0 {
+						aBits[w] &^= 1 << (uint(a) & 63)
+					}
+				}
 			}
 		}
 
 		// Departures: each link accepts one queued packet per cycle,
 		// and only while it has credit (its window of wire slots plus
-		// held packets is not full).
-		for a := range queues {
-			q := &queues[a]
-			if q.depth() == 0 {
-				continue
+		// held packets is not full). Swept over the queued bitmap —
+		// bit a set ⇔ queue a non-empty, maintained by the pushes and
+		// the pops here. Lean queues are unbounded (credits == 0), so
+		// their sweep pops unconditionally.
+		if lean {
+			for w := range qBits {
+				bits := qBits[w]
+				for bits != 0 {
+					a := w<<6 + trailingZeros64(bits)
+					bits &= bits - 1
+					pk := qHead[a]
+					qLen[a]--
+					if qLen[a] == 0 {
+						qBits[w] &^= 1 << (uint(a) & 63)
+					} else {
+						qHead[a] = pNext[pk]
+					}
+					slot := a*segCap + int(pipeLen[a])
+					pipePkt[slot] = pk
+					pipeReady[slot] = cycle32 + hopLat
+					pipeLen[a]++
+					aBits[w] |= 1 << (uint(a) & 63)
+				}
 			}
-			if credits > 0 && len(pipes[a]) >= credits {
-				continue
+		} else {
+			for w := range qBits {
+				bits := qBits[w]
+				for bits != 0 {
+					a := w<<6 + trailingZeros64(bits)
+					bits &= bits - 1
+					if credits > 0 && int(pipeLen[a]) >= credits {
+						continue
+					}
+					q := &queues[a]
+					pk := q.pop()
+					if q.depth() == 0 {
+						qBits[w] &^= 1 << (uint(a) & 63)
+					}
+					slot := a*segCap + int(pipeLen[a])
+					pipePkt[slot] = pk
+					pipeReady[slot] = cycle32 + hopLat
+					pipeLen[a]++
+					aBits[w] |= 1 << (uint(a) & 63)
+				}
 			}
-			pipes[a] = append(pipes[a], inflight{
-				pkt:   int(q.pop()),
-				ready: cycle + nw.cfg.HopLatency,
-			})
 		}
 
 		heldLast = res.Holds > holdsBefore
 	}
 	ar.holdq = holdq
+
+	// Scatter the SoA slabs back into the packet table. Only routed
+	// packets live in order; self-deliveries and setup drops wrote their
+	// final state above.
+	for _, i32 := range order {
+		i := int(i32)
+		pkts[i].Delivered = int(del[i])
+		pkts[i].Hops = int(hops[i])
+	}
 
 	// Aggregate.
 	latencySum := 0

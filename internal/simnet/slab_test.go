@@ -86,14 +86,15 @@ func TestTableRouterDifferentialCatalog(t *testing.T) {
 }
 
 // TestTableRouterFootprint asserts satellite claim S1: exactly one n²
-// table survives, at 4 bytes per pair — an 8× reduction over the
-// historical pair of [][]int tables (2·n²·8 bytes plus row headers).
+// table survives, at 1 byte per pair on any graph whose out-degrees fit
+// int8 — a 32× reduction over the historical pair of [][]int tables
+// (2·n²·8 bytes plus row headers).
 func TestTableRouterFootprint(t *testing.T) {
 	g := debruijn.DeBruijn(3, 5)
 	n := g.N()
 	r := NewTableRouter(g)
-	if got, want := r.Footprint(), 4*n*n; got != want {
-		t.Fatalf("Footprint() = %d, want %d (one int32 per pair)", got, want)
+	if got, want := r.Footprint(), n*n; got != want {
+		t.Fatalf("Footprint() = %d, want %d (one int8 per pair)", got, want)
 	}
 	historical := 2 * n * n * 8
 	if r.Footprint()*2 > historical {

@@ -59,10 +59,15 @@ go run ./cmd/simulate -topo otis -d 3 -diam 4 -metrics "$metrics_out" > /dev/nul
 go run ./cmd/simulate -validate-metrics "$metrics_out"
 rm -f "$metrics_out"
 
-echo "== bench smoke (BENCH_simnet.json schema) =="
+echo "== bench smoke + perf regression gate (BENCH_simnet.json) =="
+# Build the binary so its exit code reaches us directly: the gate exits
+# 2 when any permutation/* entry regresses >20% against the committed
+# baseline, and go run would fold that into its own exit status.
+bench_bin=$(mktemp /tmp/bench.XXXXXX)
+go build -o "$bench_bin" ./cmd/bench
 bench_out=$(mktemp /tmp/BENCH_simnet.XXXXXX.json)
-go run ./cmd/bench -smoke -out "$bench_out"
-go run ./cmd/bench -validate "$bench_out"
-rm -f "$bench_out"
+"$bench_bin" -smoke -compare BENCH_simnet.json -out "$bench_out"
+"$bench_bin" -validate "$bench_out"
+rm -f "$bench_out" "$bench_bin"
 
 echo "check.sh: all checks passed"
