@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFacadeRemovesNoExportedNames is the API-compatibility gate: every
+// exported top-level name recorded in testdata/api_names.golden.txt must
+// still be declared by repro.go. New names may be added freely (the
+// golden is a floor, not an exact set); removing or renaming one is a
+// breaking change and fails here. After deliberately extending the
+// surface, regenerate the golden with
+//
+//	UPDATE_API_GOLDEN=1 go test -run TestFacadeRemovesNoExportedNames .
+func TestFacadeRemovesNoExportedNames(t *testing.T) {
+	current := exportedFacadeNames(t)
+	const golden = "testdata/api_names.golden.txt"
+
+	if os.Getenv("UPDATE_API_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(strings.Join(current, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d names to %s", len(current), golden)
+		return
+	}
+
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_API_GOLDEN=1 to create): %v", err)
+	}
+	have := make(map[string]bool, len(current))
+	for _, name := range current {
+		have[name] = true
+	}
+	var missing []string
+	for _, name := range strings.Fields(string(data)) {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("exported names removed from the facade (breaking change): %v", missing)
+	}
+}
+
+// exportedFacadeNames parses repro.go and returns its exported top-level
+// declarations, sorted.
+func exportedFacadeNames(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "repro.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	add := func(id *ast.Ident) {
+		if id != nil && id.IsExported() {
+			names = append(names, id.Name)
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil {
+				add(d.Name)
+			}
+		case *ast.GenDecl:
+			for _, sp := range d.Specs {
+				switch s := sp.(type) {
+				case *ast.TypeSpec:
+					add(s.Name)
+				case *ast.ValueSpec:
+					for _, id := range s.Names {
+						add(id)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -13,12 +13,12 @@
 //	bench -smoke            # tiny sizes for the CI gate (same schema)
 //	bench -out FILE         # write somewhere else
 //	bench -validate FILE    # parse and sanity-check an emitted file
-//	bench -compare FILE     # exit 2 if permutation/* throughput
+//	bench -compare FILE     # exit 2 if permutation/*, table_route/*,
+//	                        # shift_route/* or shard_run/* throughput
 //	                        # regresses >20% against FILE's entries
 //
-// -compare keeps the permutation entries at their canonical sizes even
-// under -smoke, so the names line up with a committed canonical
-// baseline.
+// -compare keeps the gated entries at their canonical sizes even under
+// -smoke, so the names line up with a committed canonical baseline.
 //
 // Every entry reports ns/op, B/op and allocs/op as measured by
 // testing.Benchmark, plus delivered-packets/sec for the entries that
@@ -91,7 +91,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "run tiny sizes (CI smoke gate)")
 	out := flag.String("out", "BENCH_simnet.json", "output path")
 	validate := flag.String("validate", "", "validate an emitted JSON file and exit")
-	compare := flag.String("compare", "", "baseline BENCH_simnet.json: exit 2 if permutation/* delivered-packets/sec regresses >20%")
+	compare := flag.String("compare", "", "baseline BENCH_simnet.json: exit 2 if gated-family delivered-packets/sec regresses >20%")
 	flag.Parse()
 
 	if *validate != "" {
@@ -167,11 +167,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench: regression:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("bench: no permutation/* throughput regression against %s\n", *compare)
+		fmt.Printf("bench: no gated-family throughput regression against %s\n", *compare)
 	}
 }
 
-// compareBaseline is the CI perf gate: every permutation/* entry of the
+// comparedFamilies are the benchmark-name prefixes the CI perf gate
+// covers: the routing hot paths (table and table-free) and the sharded
+// engine, the families whose throughput the repository tracks.
+var comparedFamilies = []string{"permutation/", "table_route/", "shift_route/", "shard_run/"}
+
+// compareBaseline is the CI perf gate: every gated-family entry of the
 // baseline document must be matched by a current entry delivering at
 // least 80% of the baseline's packets/sec. Entries the baseline lacks
 // pass trivially (new sizes are not regressions).
@@ -189,7 +194,14 @@ func compareBaseline(path string, current []benchEntry) error {
 		got[e.Name] = e.DeliveredPacketsPerSec
 	}
 	for _, b := range base.Results {
-		if !strings.HasPrefix(b.Name, "permutation/") || b.DeliveredPacketsPerSec <= 0 {
+		gated := false
+		for _, fam := range comparedFamilies {
+			if strings.HasPrefix(b.Name, fam) {
+				gated = true
+				break
+			}
+		}
+		if !gated || b.DeliveredPacketsPerSec <= 0 {
 			continue
 		}
 		cur, ok := got[b.Name]
@@ -285,6 +297,85 @@ func buildSpecs(smoke, comparing bool) ([]spec, error) {
 					obs.MetricDelivered:    snap.Counters[obs.MetricDelivered],
 					obs.MetricArcTraversed: snap.Counters[obs.MetricArcTraversed],
 					obs.MetricMaxQueue:     snap.Gauges[obs.MetricMaxQueue],
+				}, nil
+			},
+		})
+	}
+
+	// Table vs table-free routing on the fused kernel: the same
+	// permutation through WithRouting(TableRouting) and
+	// WithRouting(ShiftRouting). The pair prices the O(D) closed-form
+	// next-arc against the slab gather — the shift entry is the routing
+	// cost the million-node regime pays, with zero table bytes behind it.
+	routeSizes := permSizes
+	for _, sz := range routeSizes {
+		g := debruijn.DeBruijn(sz.d, sz.D)
+		pkts := simnet.Permutation(g.N(), 1)
+		for _, rt := range []struct {
+			family string
+			mode   simnet.RoutingMode
+		}{
+			{"table_route", simnet.TableRouting},
+			{"shift_route", simnet.ShiftRouting},
+		} {
+			nw, err := simnet.NewNetwork(g, simnet.WithRouting(rt.mode))
+			if err != nil {
+				return nil, err
+			}
+			probe := nw.Run(pkts)
+			specs = append(specs, spec{
+				name:      fmt.Sprintf("%s/B(%d,%d)", rt.family, sz.d, sz.D),
+				nodes:     g.N(),
+				delivered: probe.Delivered,
+				fn: func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						nw.Run(pkts)
+					}
+				},
+			})
+		}
+	}
+
+	// The sharded engine across shard counts, on a heavier uniform load
+	// under table-free routing. Workers are capped at GOMAXPROCS, so on
+	// small CI machines the higher shard counts measure partition +
+	// barrier overhead rather than speedup; the metrics record the
+	// worker count actually used so readings are comparable across
+	// machines.
+	shardSize := permSizes[len(permSizes)-1]
+	sh := debruijn.DeBruijn(shardSize.d, shardSize.D)
+	shNet, err := simnet.NewNetwork(sh, simnet.WithRouting(simnet.ShiftRouting))
+	if err != nil {
+		return nil, err
+	}
+	shPkts := simnet.UniformRandom(sh.N(), 4*sh.N(), 9)
+	for _, s := range []int{1, 2, 4, 8} {
+		s := s
+		probe, err := shNet.RunOpts(simnet.Fixed(shPkts), simnet.WithShards(s))
+		if err != nil {
+			return nil, err
+		}
+		workers := s
+		if p := runtime.GOMAXPROCS(0); workers > p {
+			workers = p
+		}
+		specs = append(specs, spec{
+			name:      fmt.Sprintf("shard_run/B(%d,%d)/%dw", shardSize.d, shardSize.D, s),
+			nodes:     sh.N(),
+			delivered: probe.Delivered,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := shNet.RunOpts(simnet.Fixed(shPkts), simnet.WithShards(s)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			metrics: func() (map[string]int64, error) {
+				return map[string]int64{
+					"shards":  int64(s),
+					"workers": int64(workers),
 				}, nil
 			},
 		})

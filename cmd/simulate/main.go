@@ -9,6 +9,10 @@
 //	simulate -topo kautz -d 2 -diam 8 -workload broadcast
 //	simulate -topo debruijn -d 3 -diam 3 -faults
 //
+// Scale (table-free shift routing + prefix-sharded engine):
+//
+//	simulate -topo debruijn -d 2 -diam 20 -routing shift -shards 8 -workload permutation
+//
 // Overload protection (bounded queues, backpressure, admission):
 //
 //	simulate -d 3 -diam 6 -saturation 1,2,4 -qcap 4            # saturation sweep
@@ -54,6 +58,10 @@ func main() {
 	packets := flag.Int("packets", 2000, "packet count (uniform/poisson)")
 	rate := flag.Float64("rate", 0.5, "arrival rate for poisson (packets/cycle)")
 	hop := flag.Int("hop", 1, "hop latency in cycles")
+	routing := flag.String("routing", "auto",
+		"routing: auto | table | shift (shift is table-free, congruence-form de Bruijn only)")
+	shards := flag.Int("shards", 1,
+		"partition the cycle engine into this many prefix shards (plain runs only)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	sweep := flag.Bool("sweep", false, "run a load-latency sweep instead of a single workload")
 	faults := flag.Bool("faults", false, "run a fault-rate degradation sweep instead of a single workload")
@@ -135,18 +143,50 @@ func main() {
 	}
 
 	g, router, name := buildTopology(*topo, *d, *diam, rec)
-	fmt.Printf("topology: %s — %d nodes, degree %d, diameter %d\n",
-		name, g.N(), *d, g.Diameter())
-	reportRouter(router)
+	// All-pairs statistics (diameter, mean distance) are O(n·(n+m));
+	// past ~100k nodes they dwarf the simulation itself, so the big
+	// runs print only what is known analytically.
+	allPairs := g.N() <= 1<<17
+	if allPairs {
+		fmt.Printf("topology: %s — %d nodes, degree %d, diameter %d\n",
+			name, g.N(), *d, g.Diameter())
+	} else {
+		fmt.Printf("topology: %s — %d nodes, degree %d\n", name, g.N(), *d)
+	}
 
 	pkts := buildWorkload(*workload, g.N(), *packets, *rate, *seed)
 	fmt.Printf("workload: %s, %d packets\n", *workload, len(pkts))
 
-	nw, err := simnet.New(g, router, simnet.Config{HopLatency: *hop})
+	nopts := []simnet.NetworkOption{simnet.WithHopLatency(*hop)}
+	switch *routing {
+	case "auto":
+		// Historical CLI pick: native shift routing on de Bruijn,
+		// (recorder-observed) table routing elsewhere.
+		nopts = append(nopts, simnet.WithRouter(router))
+	case "table":
+		nopts = append(nopts, simnet.WithRouting(simnet.TableRouting))
+	case "shift":
+		nopts = append(nopts, simnet.WithRouting(simnet.ShiftRouting))
+	default:
+		fmt.Fprintf(os.Stderr, "simulate: unknown routing %q\n", *routing)
+		os.Exit(2)
+	}
+	if *shards > 1 {
+		nopts = append(nopts, simnet.WithShards(*shards))
+	}
+	nw, err := simnet.NewNetwork(g, nopts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("routing:  %v", nw.Routing())
+	if s := nw.Shards(); s > 1 {
+		fmt.Printf(", %d shards", s)
+	}
+	if tr, ok := router.(*simnet.TableRouter); ok && *routing == "auto" {
+		fmt.Printf(", %d-byte next-hop slab", tr.Footprint())
+	}
+	fmt.Println()
 	nw.Observe(rec)
 	var res simnet.Result
 	if opts := overloadOpts(*qcap, *holdBudget, *admit); len(opts) > 0 {
@@ -162,9 +202,11 @@ func main() {
 		res = nw.Run(pkts)
 	}
 	fmt.Printf("result:   %v\n", res)
-	if mean, ok := g.MeanDistance(); ok {
-		fmt.Printf("graph:    mean distance %.3f, diameter %d (hop-count bounds)\n",
-			mean, g.Diameter())
+	if allPairs {
+		if mean, ok := g.MeanDistance(); ok {
+			fmt.Printf("graph:    mean distance %.3f, diameter %d (hop-count bounds)\n",
+				mean, g.Diameter())
+		}
 	}
 	if res.Delivered > 0 {
 		fmt.Printf("queueing: %.3f cycles/packet average wait\n",

@@ -1,0 +1,59 @@
+package debruijn
+
+import "repro/internal/digraph"
+
+// Recognize reports whether g is exactly the congruence-form de Bruijn
+// digraph B(d, D) this package's DeBruijn constructor emits: n = d^D
+// vertices, and the out-neighbour list of every vertex u is
+//
+//	Γ⁺(u) = [(d·u + α) mod d^D  for α = 0..d−1]
+//
+// in that adjacency order — so adjacency position α is the letter shifted
+// in, which is what makes table-free shift routing (simnet's
+// DeBruijnRouter) valid on the graph. Isomorphic-but-relabelled de Bruijn
+// digraphs (OTIS layouts, σ-images, RRK with m ≠ d^D) are rejected: shift
+// routing reads the congruence labels themselves, not the abstract
+// isomorphism class. The check is a single O(M) pass.
+//
+// On success it returns the base d and diameter D (D = 1 for the single
+// self-loop vertex, the degenerate B(d, 0) ≅ B(1, D) family collapsing to
+// one node is reported as d = 1, D = 1).
+func Recognize(g *digraph.Digraph) (d, D int, ok bool) {
+	if g == nil {
+		return 0, 0, false
+	}
+	n := g.N()
+	if n == 0 {
+		return 0, 0, false
+	}
+	d = g.OutDegree(0)
+	if d < 1 {
+		return 0, 0, false
+	}
+	// n must be a pure power d^D (any D ≥ 1 serves the n = 1, d = 1 case).
+	D = 0
+	for p := 1; p < n; p *= d {
+		if d == 1 {
+			return 0, 0, false // d = 1 only realizes n = 1
+		}
+		D++
+		if p > n/d {
+			return 0, 0, false // next power overflows past n
+		}
+	}
+	if D == 0 {
+		D = 1 // n == 1: the one-node loop is B(1, 1)
+	}
+	for u := 0; u < n; u++ {
+		out := g.Out(u)
+		if len(out) != d {
+			return 0, 0, false
+		}
+		for alpha, v := range out {
+			if v != (d*u+alpha)%n {
+				return 0, 0, false
+			}
+		}
+	}
+	return d, D, true
+}

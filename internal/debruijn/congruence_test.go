@@ -1,0 +1,80 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/digraph"
+	"repro/internal/perm"
+)
+
+// TestRecognizeAcceptsCongruenceForm: every graph DeBruijn emits — and
+// RRK at n = d^D, which is the same congruence — must be recognized with
+// the right parameters.
+func TestRecognizeAcceptsCongruenceForm(t *testing.T) {
+	for _, tc := range []struct{ d, D int }{
+		{1, 1}, {2, 1}, {2, 3}, {2, 10}, {3, 4}, {4, 3}, {5, 2}, {7, 1},
+	} {
+		g := DeBruijn(tc.d, tc.D)
+		d, D, ok := Recognize(g)
+		if !ok || d != tc.d || D != tc.D {
+			t.Fatalf("Recognize(B(%d,%d)) = (%d, %d, %v), want (%d, %d, true)",
+				tc.d, tc.D, d, D, ok, tc.d, tc.D)
+		}
+	}
+	// RRK(d, d^D) is B(d, D) verbatim.
+	if d, D, ok := Recognize(RRK(3, 27)); !ok || d != 3 || D != 3 {
+		t.Fatalf("Recognize(RRK(3, 27)) = (%d, %d, %v), want (3, 3, true)", d, D, ok)
+	}
+	// BSigma with the identity permutation is also B(d, D) verbatim.
+	if d, D, ok := Recognize(BSigma(2, 4, perm.Identity(2))); !ok || d != 2 || D != 4 {
+		t.Fatalf("Recognize(BSigma(2,4,id)) = (%d, %d, %v), want (2, 4, true)", d, D, ok)
+	}
+}
+
+// TestRecognizeRejectsNonCongruence: graphs that are not the
+// congruence-form B(d, D) — including ones isomorphic to it — must be
+// rejected, because shift routing reads the labels, not the isomorphism
+// class.
+func TestRecognizeRejectsNonCongruence(t *testing.T) {
+	kautz, _ := Kautz(2, 3)
+	cases := []struct {
+		name string
+		g    *digraph.Digraph
+	}{
+		{"nil", nil},
+		{"Kautz(2,3)", kautz},
+		{"ImaseItoh(2,12)", ImaseItoh(2, 12)},
+		{"RRK non-power order", RRK(2, 12)},
+		{"BBar(2,4) complemented labels", BBar(2, 4)},
+		{"relabelled isomorph of B(2,3)", relabel(DeBruijn(2, 3))},
+		{"non-regular", digraph.FromFunc(4, func(u int) []int {
+			if u == 0 {
+				return []int{1, 2}
+			}
+			return []int{(u + 1) % 4}
+		})},
+		{"right order, wrong arcs", digraph.FromFunc(8, func(u int) []int {
+			return []int{(2*u + 1) % 8, (2 * u) % 8} // swapped letter order
+		})},
+	}
+	for _, tc := range cases {
+		if d, D, ok := Recognize(tc.g); ok {
+			t.Fatalf("%s: Recognize accepted as B(%d,%d)", tc.name, d, D)
+		}
+	}
+}
+
+// relabel returns g with its vertices renamed by the involution
+// u ↦ n−1−u: isomorphic to g, but no longer in congruence labels (the
+// same trap OTIS physical layouts fall into).
+func relabel(g *digraph.Digraph) *digraph.Digraph {
+	n := g.N()
+	return digraph.FromFunc(n, func(u int) []int {
+		src := g.Out(n - 1 - u)
+		out := make([]int, len(src))
+		for i, v := range src {
+			out[i] = n - 1 - v
+		}
+		return out
+	})
+}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -148,5 +149,26 @@ func TestOddDiameterMachine(t *testing.T) {
 	}
 	if err := m.VerifyRoutes(1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunOptsShardsPassThrough pins that the machine-level RunOpts
+// forwards WithShards to the simulator and that the sharded run
+// reproduces the sequential one exactly on the physical interconnect.
+func TestRunOptsShardsPassThrough(t *testing.T) {
+	m, err := Build(2, 8, optics.DefaultPitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := m.RunOpts(simnet.PermutationLoad(), simnet.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := m.RunOpts(simnet.PermutationLoad(), simnet.WithSeed(3), simnet.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, sh) {
+		t.Fatal("WithShards(4) through Machine.RunOpts diverged from the sequential run")
 	}
 }

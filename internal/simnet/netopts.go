@@ -1,0 +1,292 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+)
+
+// Network construction behind functional options. Historically a Network
+// was assembled positionally — New(g, router, cfg) — which forced every
+// caller to build a router by hand (almost always NewTableRouter(g)) and
+// to thread a Config struct even for the defaults. NewNetwork folds
+// router selection, Config fields and network-wide run defaults into one
+// option set:
+//
+//	nw, err := simnet.NewNetwork(g,
+//	        simnet.WithRouting(simnet.ShiftRouting),
+//	        simnet.WithHopLatency(2),
+//	        simnet.WithShards(8))
+//
+// Construction-only options (routing mode, router, hop latency, max
+// cycles) are netOption values; every RunOption is also a NetworkOption,
+// applied as a network-wide default that individual RunOpts calls
+// override field by field. Invalid options and combinations fail eagerly
+// with *OptionError values, before any table or slab is built. The old
+// positional New remains as a thin deprecated wrapper.
+
+// RoutingMode selects how a Network routes packets.
+type RoutingMode int
+
+const (
+	// AutoRouting (the default) picks per graph: congruence-form de
+	// Bruijn digraphs above autoShiftNodes vertices route table-free by
+	// left shift, everything else gets the shortest-path table.
+	AutoRouting RoutingMode = iota
+	// TableRouting always builds the shortest-path next-arc slab
+	// (NewTableRouter): n² bytes, any strongly-connected digraph.
+	TableRouting
+	// ShiftRouting routes by the de Bruijn congruence left-shift rule
+	// (DeBruijnRouter): O(D) work and O(D) state, valid only on a
+	// congruence-form B(d, D) — anything else fails eagerly.
+	ShiftRouting
+	// CustomRouting reports a caller-supplied Router (WithRouter). It is
+	// not selectable via WithRouting.
+	CustomRouting
+)
+
+// String renders the mode name.
+func (m RoutingMode) String() string {
+	switch m {
+	case AutoRouting:
+		return "auto"
+	case TableRouting:
+		return "table"
+	case ShiftRouting:
+		return "shift"
+	case CustomRouting:
+		return "custom"
+	}
+	return fmt.Sprintf("RoutingMode(%d)", int(m))
+}
+
+// autoShiftNodes is the AutoRouting crossover: at or below this many
+// nodes the n² table still fits comfortably in cache-adjacent memory
+// (4096² = 16 MB) and its one-load gather is preferred; above it the
+// table-free shift router wins on footprint (and is the only option at
+// million-node scale, where the table would need n² ≈ 1 TB).
+const autoShiftNodes = 4096
+
+// netConfig is the option state of one NewNetwork call.
+type netConfig struct {
+	cfg       Config
+	hopSet    bool
+	cyclesSet bool
+	cfgSet    bool
+	mode      RoutingMode
+	modeSet   bool
+	router    Router
+	routerSet bool
+	run       runConfig // network-wide run defaults (RunOptions)
+	errs      []error
+}
+
+// fail records an eager option error, surfaced by NewNetwork.
+func (c *netConfig) fail(option, format string, args ...any) {
+	c.errs = append(c.errs, &OptionError{Option: option, Reason: fmt.Sprintf(format, args...)})
+}
+
+// NetworkOption configures one NewNetwork call. Both construction-only
+// options (WithRouting, WithRouter, WithHopLatency, WithMaxCycles,
+// WithConfig) and every RunOption satisfy it; a RunOption passed to
+// NewNetwork becomes the network-wide default for that run knob.
+type NetworkOption interface {
+	applyNetwork(*netConfig)
+}
+
+// netOption is a construction-only NetworkOption.
+type netOption func(*netConfig)
+
+func (o netOption) applyNetwork(c *netConfig) { o(c) }
+
+// applyNetwork makes every RunOption a NetworkOption: applied at
+// construction it seeds the network-wide run defaults, which RunOpts
+// merges under any per-run options.
+func (o RunOption) applyNetwork(c *netConfig) { o(&c.run) }
+
+// WithRouting selects the routing mode. Only AutoRouting, TableRouting
+// and ShiftRouting are selectable (CustomRouting is what WithRouter
+// reports); ShiftRouting on a digraph that is not a congruence-form
+// de Bruijn B(d, D) fails eagerly at NewNetwork. Duplicate WithRouting
+// options conflict, as does combining WithRouting with WithRouter.
+func WithRouting(mode RoutingMode) NetworkOption {
+	return netOption(func(c *netConfig) {
+		if c.modeSet {
+			c.fail("WithRouting", "conflicting duplicate option (two routing modes on one network)")
+			return
+		}
+		switch mode {
+		case AutoRouting, TableRouting, ShiftRouting:
+		case CustomRouting:
+			c.fail("WithRouting", "CustomRouting is not selectable; pass the router itself via WithRouter")
+			return
+		default:
+			c.fail("WithRouting", "unknown routing mode %d", int(mode))
+			return
+		}
+		c.mode = mode
+		c.modeSet = true
+	})
+}
+
+// WithRouter supplies the Router directly, bypassing mode selection
+// (Routing() reports the mode the router implies: TableRouting for a
+// *TableRouter, ShiftRouting for a *DeBruijnRouter, CustomRouting
+// otherwise). A nil router and duplicate WithRouter options fail
+// eagerly, as does combining WithRouter with WithRouting.
+func WithRouter(r Router) NetworkOption {
+	return netOption(func(c *netConfig) {
+		if c.routerSet {
+			c.fail("WithRouter", "conflicting duplicate option (two routers on one network)")
+			return
+		}
+		if r == nil {
+			c.fail("WithRouter", "router must not be nil")
+			return
+		}
+		c.router = r
+		c.routerSet = true
+	})
+}
+
+// WithHopLatency sets the wire time of one hop in cycles (Config
+// .HopLatency, default 1). Latencies below 1 fail eagerly.
+func WithHopLatency(cycles int) NetworkOption {
+	return netOption(func(c *netConfig) {
+		if c.hopSet {
+			c.fail("WithHopLatency", "conflicting duplicate option (two hop latencies on one network)")
+			return
+		}
+		if cycles < 1 {
+			c.fail("WithHopLatency", "hop latency must be >= 1 cycle, got %d", cycles)
+			return
+		}
+		c.cfg.HopLatency = cycles
+		c.hopSet = true
+	})
+}
+
+// WithMaxCycles caps every run of the network at the given cycle budget
+// (Config.MaxCycles; 0 keeps the generous per-run default). Negative
+// budgets fail eagerly.
+func WithMaxCycles(cycles int) NetworkOption {
+	return netOption(func(c *netConfig) {
+		if c.cyclesSet {
+			c.fail("WithMaxCycles", "conflicting duplicate option (two cycle budgets on one network)")
+			return
+		}
+		if cycles < 0 {
+			c.fail("WithMaxCycles", "cycle budget must be >= 0, got %d", cycles)
+			return
+		}
+		c.cfg.MaxCycles = cycles
+		c.cyclesSet = true
+	})
+}
+
+// WithConfig folds a whole legacy Config into the option set — the
+// bridge the deprecated positional constructors ride through. Field
+// validation matches New; combining WithConfig with the per-field
+// options (WithHopLatency, WithMaxCycles) conflicts.
+func WithConfig(cfg Config) NetworkOption {
+	return netOption(func(c *netConfig) {
+		if c.cfgSet {
+			c.fail("WithConfig", "conflicting duplicate option (two configs on one network)")
+			return
+		}
+		if c.hopSet || c.cyclesSet {
+			c.fail("WithConfig", "conflicts with WithHopLatency/WithMaxCycles (pick one style)")
+			return
+		}
+		switch {
+		case cfg.HopLatency < 1:
+			c.fail("WithConfig", "HopLatency must be >= 1, got %d", cfg.HopLatency)
+			return
+		case cfg.QueueCapacity < 0:
+			c.fail("WithConfig", "QueueCapacity must be >= 0, got %d", cfg.QueueCapacity)
+			return
+		case cfg.HoldBudget < 0:
+			c.fail("WithConfig", "HoldBudget must be >= 0, got %d", cfg.HoldBudget)
+			return
+		}
+		c.cfg = cfg
+		c.cfgSet = true
+	})
+}
+
+// routingModeOf reports the mode a concrete router implies.
+func routingModeOf(r Router) RoutingMode {
+	switch r.(type) {
+	case *TableRouter:
+		return TableRouting
+	case *DeBruijnRouter:
+		return ShiftRouting
+	}
+	return CustomRouting
+}
+
+// NewNetwork creates a network simulation over g, configured by
+// functional options. With no options it is New(g, NewTableRouter(g),
+// DefaultConfig()) for small graphs; large congruence-form de Bruijn
+// graphs route table-free (AutoRouting). All validation is eager: the
+// first invalid option or combination is returned as an *OptionError
+// before any routing table is built.
+func NewNetwork(g *digraph.Digraph, opts ...NetworkOption) (*Network, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("simnet: empty digraph")
+	}
+	nc := netConfig{cfg: DefaultConfig()}
+	for _, o := range opts {
+		o.applyNetwork(&nc)
+	}
+	nc.errs = append(nc.errs, nc.run.errs...)
+	if nc.routerSet && nc.modeSet {
+		nc.fail("WithRouter", "conflicts with WithRouting (the supplied router fixes the routing mode)")
+	}
+	if nc.run.shardsSet && nc.run.shards > g.N() {
+		nc.fail("WithShards", "shard count %d exceeds the %d-node digraph", nc.run.shards, g.N())
+	}
+	if len(nc.errs) > 0 {
+		return nil, nc.errs[0]
+	}
+
+	var router Router
+	switch {
+	case nc.routerSet:
+		router = nc.router
+	case nc.mode == TableRouting:
+		router = NewTableRouter(g)
+	case nc.mode == ShiftRouting:
+		d, D, ok := debruijn.Recognize(g)
+		if !ok {
+			return nil, &OptionError{Option: "WithRouting(ShiftRouting)",
+				Reason: "digraph is not a congruence-form de Bruijn B(d, D); shift routing reads congruence labels"}
+		}
+		router = NewDeBruijnRouter(d, D)
+	default: // AutoRouting
+		if d, D, ok := debruijn.Recognize(g); ok && g.N() > autoShiftNodes {
+			router = NewDeBruijnRouter(d, D)
+		} else {
+			router = NewTableRouter(g)
+		}
+	}
+	nw := newNetwork(g, router, nc.cfg)
+	nw.defaults = nc.run
+	return nw, nil
+}
+
+// Routing reports the network's resolved routing mode: TableRouting or
+// ShiftRouting for the built-in routers (however the network was
+// constructed — AutoRouting resolves at NewNetwork and is never
+// reported), CustomRouting for a caller-supplied Router.
+func (nw *Network) Routing() RoutingMode { return routingModeOf(nw.router) }
+
+// Shards reports the network-wide default shard count (WithShards at
+// NewNetwork; 1 when unset — the sequential engine).
+func (nw *Network) Shards() int {
+	if nw.defaults.shardsSet {
+		return nw.defaults.shards
+	}
+	return 1
+}

@@ -1,0 +1,209 @@
+package simnet
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/digraph"
+	"repro/internal/otis"
+)
+
+// TestNewNetworkEquivalentToNew pins the deprecated positional
+// constructor to the options API: New(g, router, cfg) and
+// NewNetwork(g, WithRouter(router), WithConfig(cfg)) must produce
+// DeepEqual results on the same workloads, across configs and routers.
+func TestNewNetworkEquivalentToNew(t *testing.T) {
+	g := debruijn.DeBruijn(3, 3)
+	cases := []struct {
+		name   string
+		router Router
+		cfg    Config
+	}{
+		{"table/default", NewTableRouter(g), DefaultConfig()},
+		{"shift/default", NewDeBruijnRouter(3, 3), DefaultConfig()},
+		{"table/hop2", NewTableRouter(g), Config{HopLatency: 2}},
+		{"table/bounded", NewTableRouter(g), Config{HopLatency: 1, QueueCapacity: 2, HoldBudget: 8}},
+		{"table/capped", NewTableRouter(g), Config{HopLatency: 1, MaxCycles: 40}},
+	}
+	for _, tc := range cases {
+		old, err := New(g, tc.router, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: New: %v", tc.name, err)
+		}
+		nu, err := NewNetwork(g, WithRouter(tc.router), WithConfig(tc.cfg))
+		if err != nil {
+			t.Fatalf("%s: NewNetwork: %v", tc.name, err)
+		}
+		pkts := UniformRandom(g.N(), 3*g.N(), 17)
+		if want, got := old.Run(pkts), nu.Run(pkts); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: Run diverged between New and NewNetwork", tc.name)
+		}
+		a, err := old.RunOpts(PermutationLoad(), WithSeed(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := nu.RunOpts(PermutationLoad(), WithSeed(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: RunOpts diverged between New and NewNetwork", tc.name)
+		}
+	}
+}
+
+// TestNewNetworkRoutingModes pins mode resolution: explicit table and
+// shift selection, the CustomRouting report for WithRouter, and the
+// AutoRouting crossover (small graphs keep the table, large
+// congruence-form de Bruijn graphs go table-free, non-de-Bruijn graphs
+// always table).
+func TestNewNetworkRoutingModes(t *testing.T) {
+	small := debruijn.DeBruijn(3, 3)
+	if nw, err := NewNetwork(small); err != nil || nw.Routing() != TableRouting {
+		t.Fatalf("auto on B(3,3): mode %v err %v, want table", nw.Routing(), err)
+	}
+	if nw, err := NewNetwork(small, WithRouting(ShiftRouting)); err != nil || nw.Routing() != ShiftRouting {
+		t.Fatalf("explicit shift on B(3,3): mode %v err %v", nw.Routing(), err)
+	}
+	// B(2,13) = 8192 nodes > autoShiftNodes: auto resolves table-free.
+	big := debruijn.DeBruijn(2, 13)
+	if nw, err := NewNetwork(big); err != nil || nw.Routing() != ShiftRouting {
+		t.Fatalf("auto on B(2,13): mode %v err %v, want shift", nw.Routing(), err)
+	}
+	// OTIS physical graphs are de Bruijn only up to isomorphism, not in
+	// congruence labels: auto must keep the table even when large.
+	h := otis.MustH(4, 4, 2)
+	if nw, err := NewNetwork(h); err != nil || nw.Routing() != TableRouting {
+		t.Fatalf("auto on H(2,2,4): mode %v err %v, want table", nw.Routing(), err)
+	}
+	if nw, err := NewNetwork(small, WithRouter(opaqueRouter{NewTableRouter(small)})); err != nil || nw.Routing() != CustomRouting {
+		t.Fatalf("WithRouter: mode %v err %v, want custom", nw.Routing(), err)
+	}
+}
+
+// TestShiftRoutingMatchesTableOnNetwork is the network-level
+// differential: the same workload under WithRouting(TableRouting) and
+// WithRouting(ShiftRouting) must produce identical results — the
+// shortest-path next arc in congruence form is unique, so the two
+// routers never disagree.
+func TestShiftRoutingMatchesTableOnNetwork(t *testing.T) {
+	for _, tc := range []struct{ d, D int }{{2, 6}, {3, 4}, {4, 3}} {
+		g := debruijn.DeBruijn(tc.d, tc.D)
+		tab, err := NewNetwork(g, WithRouting(TableRouting))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shf, err := NewNetwork(g, WithRouting(ShiftRouting))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []int64{1, 9} {
+			a, err := tab.RunOpts(UniformLoad(4*g.N()), WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := shf.RunOpts(UniformLoad(4*g.N()), WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("B(%d,%d) seed %d: shift routing diverged from table routing", tc.d, tc.D, seed)
+			}
+		}
+	}
+}
+
+// TestNewNetworkOptionErrors is the eager-validation table for the
+// construction options.
+func TestNewNetworkOptionErrors(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	h := otis.MustH(2, 2, 2)
+	cases := []struct {
+		name   string
+		opts   []NetworkOption
+		graph  *digraph.Digraph
+		option string
+	}{
+		{"shift on non-de-Bruijn", []NetworkOption{WithRouting(ShiftRouting)}, h, "WithRouting(ShiftRouting)"},
+		{"duplicate routing", []NetworkOption{WithRouting(TableRouting), WithRouting(ShiftRouting)}, g, "WithRouting"},
+		{"custom via WithRouting", []NetworkOption{WithRouting(CustomRouting)}, g, "WithRouting"},
+		{"unknown mode", []NetworkOption{WithRouting(RoutingMode(99))}, g, "WithRouting"},
+		{"nil router", []NetworkOption{WithRouter(nil)}, g, "WithRouter"},
+		{"router+routing", []NetworkOption{WithRouter(NewTableRouter(g)), WithRouting(TableRouting)}, g, "WithRouter"},
+		{"duplicate router", []NetworkOption{WithRouter(NewTableRouter(g)), WithRouter(NewTableRouter(g))}, g, "WithRouter"},
+		{"hop latency 0", []NetworkOption{WithHopLatency(0)}, g, "WithHopLatency"},
+		{"duplicate hop latency", []NetworkOption{WithHopLatency(2), WithHopLatency(3)}, g, "WithHopLatency"},
+		{"negative max cycles", []NetworkOption{WithMaxCycles(-1)}, g, "WithMaxCycles"},
+		{"bad config", []NetworkOption{WithConfig(Config{})}, g, "WithConfig"},
+		{"config+hop", []NetworkOption{WithHopLatency(2), WithConfig(DefaultConfig())}, g, "WithConfig"},
+		{"bad run default", []NetworkOption{WithQueueCapacity(0)}, g, "WithQueueCapacity"},
+		{"shards beyond nodes", []NetworkOption{WithShards(g.N() + 1)}, g, "WithShards"},
+	}
+	for _, tc := range cases {
+		_, err := NewNetwork(tc.graph, tc.opts...)
+		var oe *OptionError
+		if err == nil || !errors.As(err, &oe) {
+			t.Fatalf("%s: want *OptionError, got %v", tc.name, err)
+		}
+		if oe.Option != tc.option {
+			t.Fatalf("%s: error names %q, want %q", tc.name, oe.Option, tc.option)
+		}
+	}
+}
+
+// TestNetworkRunDefaults pins the merge rule: RunOptions given to
+// NewNetwork act as defaults for every run, overridden field by field
+// by per-run options.
+func TestNetworkRunDefaults(t *testing.T) {
+	g := debruijn.DeBruijn(2, 5)
+	plain, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed default at construction: RunOpts with no options uses it.
+	seeded, err := NewNetwork(g, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.RunOpts(UniformLoad(64), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := seeded.RunOpts(UniformLoad(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("network-default WithSeed(7) not applied")
+	}
+	// Per-run override wins.
+	want, err = plain.RunOpts(UniformLoad(64), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = seeded.RunOpts(UniformLoad(64), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("per-run WithSeed(3) did not override the network default")
+	}
+	// A qcap default changes engine behaviour for plain Run too.
+	bounded, err := NewNetwork(g, WithQueueCapacity(1), WithHoldBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := UniformRandom(g.N(), 6*g.N(), 5)
+	wantB, err := plain.RunOpts(Fixed(pkts), WithQueueCapacity(1), WithHoldBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB := bounded.Run(pkts); !reflect.DeepEqual(wantB.Result, gotB) {
+		t.Fatalf("network-default queue bound not applied by Run")
+	}
+	if wantB.Holds == 0 && wantB.DroppedQueueFull == 0 {
+		t.Fatalf("bounded default produced no backpressure; test not exercising the bound")
+	}
+}

@@ -150,3 +150,36 @@ func TestDeBruijnRouterMatchesTableRouter(t *testing.T) {
 		}
 	}
 }
+
+// TestShiftNextArcMatchesTableEverywhere is the per-pair differential
+// for the table-free lean path: on every B(d, D) in the catalog the
+// closed-form shift decision must equal the slab gather for every
+// (at, dst) pair, so replacing the gather with DeBruijnRouter.NextArc in
+// the fused kernel cannot change a single routing decision. (The repo's
+// reverse-BFS table breaks shortest-path ties by discovery order, which
+// on congruence-form de Bruijn graphs is exactly the maximal-overlap
+// shift rule.)
+func TestShiftNextArcMatchesTableEverywhere(t *testing.T) {
+	for _, tc := range []struct{ d, D int }{
+		{2, 3}, {2, 6}, {2, 8}, {2, 10},
+		{3, 3}, {3, 4}, {3, 5},
+		{4, 3}, {4, 4},
+		{5, 2}, {6, 2},
+	} {
+		g := debruijn.DeBruijn(tc.d, tc.D)
+		tab := NewTableRouter(g)
+		shf := NewDeBruijnRouter(tc.d, tc.D)
+		n := g.N()
+		for at := 0; at < n; at++ {
+			for dst := 0; dst < n; dst++ {
+				if at == dst {
+					continue
+				}
+				if a, b := tab.NextArc(at, dst), shf.NextArc(at, dst); a != b {
+					t.Fatalf("B(%d,%d): NextArc(%d, %d) = %d (table) vs %d (shift)",
+						tc.d, tc.D, at, dst, a, b)
+				}
+			}
+		}
+	}
+}

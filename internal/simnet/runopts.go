@@ -123,13 +123,51 @@ type runConfig struct {
 	rec         *obs.Recorder
 	recOverride bool
 	seed        int64
+	seedSet     bool
 	qcap        int
 	qcapSet     bool
 	hold        int
 	holdSet     bool
 	admission   AdmissionConfig
 	admit       bool
+	shards      int
+	shardsSet   bool
 	errs        []error
+}
+
+// overriddenBy returns base with every option the per-run config set
+// layered on top — the merge rule of network-wide run defaults
+// (NewNetwork with RunOptions) under per-run options: per-run wins field
+// by field, untouched defaults persist.
+func (c runConfig) overriddenBy(per runConfig) runConfig {
+	out := c
+	out.faults = c.faults || per.faults
+	out.traced = c.traced || per.traced
+	if per.planSet {
+		out.plan, out.planSet = per.plan, true
+	}
+	if per.faultCfgSet {
+		out.faultCfg, out.faultCfgSet = per.faultCfg, true
+	}
+	if per.recOverride {
+		out.rec, out.recOverride = per.rec, true
+	}
+	if per.seedSet {
+		out.seed, out.seedSet = per.seed, true
+	}
+	if per.qcapSet {
+		out.qcap, out.qcapSet = per.qcap, true
+	}
+	if per.holdSet {
+		out.hold, out.holdSet = per.hold, true
+	}
+	if per.admit {
+		out.admission, out.admit = per.admission, true
+	}
+	if per.shardsSet {
+		out.shards, out.shardsSet = per.shards, true
+	}
+	return out
 }
 
 // fail records an eager option error, surfaced by RunOpts.
@@ -210,7 +248,37 @@ func WithRecorder(rec *obs.Recorder) RunOption {
 
 // WithSeed seeds the workload generator (default 1).
 func WithSeed(seed int64) RunOption {
-	return func(c *runConfig) { c.seed = seed }
+	return func(c *runConfig) {
+		c.seed = seed
+		c.seedSet = true
+	}
+}
+
+// WithShards partitions the run's nodes into s contiguous word-prefix
+// shards executed by a pool of min(s, GOMAXPROCS) workers — the sharded
+// cycle engine. Each shard owns its nodes' queue, pipe and activity-
+// bitmap state; cross-shard hops travel in per-cycle batched handoff
+// buffers, and the result is identical to the sequential engine for
+// every shard and worker count (pinned by the equivalence tests).
+// Sharding applies to plain unbounded uninstrumented runs; runs with
+// faults, tracing, a recorder, bounded queues or admission control fall
+// back to their sequential engines. s must be at least 1 and at most the
+// node count; out-of-range counts and duplicate WithShards options fail
+// eagerly. As a NetworkOption it sets the network-wide default shard
+// count.
+func WithShards(s int) RunOption {
+	return func(c *runConfig) {
+		if c.shardsSet {
+			c.fail("WithShards", "conflicting duplicate option (two shard counts on one run)")
+			return
+		}
+		if s < 1 {
+			c.fail("WithShards", "shard count must be >= 1, got %d", s)
+			return
+		}
+		c.shards = s
+		c.shardsSet = true
+	}
 }
 
 // WithQueueCapacity bounds every output queue of this run at cap
@@ -289,12 +357,22 @@ func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
 	if w == nil {
 		return RunReport{}, fmt.Errorf("simnet: RunOpts needs a workload")
 	}
-	cfg := runConfig{seed: 1}
+	var per runConfig
 	for _, opt := range opts {
-		opt(&cfg)
+		opt(&per)
 	}
-	if len(cfg.errs) > 0 {
-		return RunReport{}, cfg.errs[0]
+	if len(per.errs) > 0 {
+		return RunReport{}, per.errs[0]
+	}
+	// Per-run options override the network-wide defaults (NewNetwork run
+	// options, already validated there) field by field.
+	cfg := nw.defaults.overriddenBy(per)
+	if !cfg.seedSet {
+		cfg.seed = 1
+	}
+	if per.shardsSet && per.shards > nw.g.N() {
+		return RunReport{}, &OptionError{Option: "WithShards",
+			Reason: fmt.Sprintf("shard count %d exceeds the %d-node digraph", per.shards, nw.g.N())}
 	}
 	if ew, ok := w.(interface{ Err() error }); ok {
 		if err := ew.Err(); err != nil {
@@ -338,6 +416,13 @@ func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
 	if cfg.traced {
 		res, events := nw.tracedRun(pkts, tun, rec)
 		return RunReport{FaultResult: FaultResult{Result: res}, Events: events}, nil
+	}
+	// The sharded engine covers the lean configuration: plain unbounded
+	// uninstrumented runs. Anything instrumented falls back to the
+	// sequential engines above (WithShards documents this).
+	if cfg.shardsSet && cfg.shards > 1 && rec == nil && tun.qcap == 0 && tun.admit == nil {
+		res := nw.shardRun(pkts, tun, cfg.shards, shardWorkers(cfg.shards))
+		return RunReport{FaultResult: FaultResult{Result: res}}, nil
 	}
 	return RunReport{FaultResult: FaultResult{Result: nw.run(pkts, tun, rec)}}, nil
 }

@@ -1,0 +1,295 @@
+package simnet
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/debruijn"
+)
+
+// stripPackets returns r with the packet table detached, for asserting
+// aggregate equality separately from the (large) per-packet state.
+func resultsEqual(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		wp, gp := want, got
+		wp.Packets, gp.Packets = nil, nil
+		if !reflect.DeepEqual(wp, gp) {
+			t.Fatalf("%s: aggregate mismatch\nsequential: %+v\nsharded:    %+v", label, wp, gp)
+		}
+		for i := range want.Packets {
+			if want.Packets[i] != got.Packets[i] {
+				t.Fatalf("%s: packet %d mismatch: sequential %+v, sharded %+v",
+					label, i, want.Packets[i], got.Packets[i])
+			}
+		}
+		t.Fatalf("%s: results differ", label)
+	}
+}
+
+// TestShardRunMatchesSequential is the sharded engine's equivalence
+// gate: for a matrix of topologies, routing modes, workloads, hop
+// latencies and shard counts, shardRun must reproduce the sequential
+// arc-major kernel's Result exactly — every aggregate counter,
+// MaxQueue/HotNode tie-breaks, PeakResident, and the full per-packet
+// delivery table.
+func TestShardRunMatchesSequential(t *testing.T) {
+	topos := []struct {
+		name    string
+		d, D    int
+		routing RoutingMode
+	}{
+		{"B(2,5)/table", 2, 5, TableRouting},
+		{"B(2,5)/shift", 2, 5, ShiftRouting},
+		{"B(3,4)/table", 3, 4, TableRouting},
+		{"B(3,4)/shift", 3, 4, ShiftRouting},
+		{"B(2,8)/shift", 2, 8, ShiftRouting},
+		{"B(4,3)/shift", 4, 3, ShiftRouting},
+	}
+	workloads := []struct {
+		name string
+		w    func(n int) []Packet
+	}{
+		{"permutation", func(n int) []Packet { return Permutation(n, 11) }},
+		{"uniform", func(n int) []Packet { return UniformRandom(n, 4*n, 7) }},
+		{"poisson", func(n int) []Packet { return PoissonArrivals(n, 2*n, 0.5, 3) }},
+		{"broadcast", func(n int) []Packet { return Broadcast(n, 1) }},
+	}
+	for _, tp := range topos {
+		g := debruijn.DeBruijn(tp.d, tp.D)
+		nw, err := NewNetwork(g, WithRouting(tp.routing))
+		if err != nil {
+			t.Fatalf("%s: NewNetwork: %v", tp.name, err)
+		}
+		for _, wl := range workloads {
+			pkts := wl.w(g.N())
+			want := nw.run(pkts, nw.baseTuning(0), nil)
+			for _, shards := range []int{1, 2, 3, 4, 7, 8} {
+				if shards > g.N() {
+					continue
+				}
+				got := nw.shardRun(pkts, nw.baseTuning(0), shards, shardWorkers(shards))
+				resultsEqual(t, tp.name+"/"+wl.name+"/shards="+itoa(shards), want, got)
+			}
+		}
+	}
+}
+
+// TestShardRunMatchesSequentialHopLatency covers multi-entry pipes
+// (HopLatency > 1) and a custom interface router, the two paths the
+// main matrix leaves thin.
+func TestShardRunMatchesSequentialHopLatency(t *testing.T) {
+	g := debruijn.DeBruijn(3, 3)
+	for _, hop := range []int{2, 3} {
+		nw, err := NewNetwork(g, WithHopLatency(hop))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts := UniformRandom(g.N(), 5*g.N(), 13)
+		want := nw.run(pkts, nw.baseTuning(0), nil)
+		for _, shards := range []int{2, 5} {
+			got := nw.shardRun(pkts, nw.baseTuning(0), shards, shardWorkers(shards))
+			resultsEqual(t, "hop="+itoa(hop)+"/shards="+itoa(shards), want, got)
+		}
+	}
+
+	// Custom router: interface dispatch inside the shard phases.
+	custom, err := NewNetwork(g, WithRouter(opaqueRouter{NewTableRouter(g)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := Permutation(g.N(), 5)
+	want := custom.run(pkts, custom.baseTuning(0), nil)
+	got := custom.shardRun(pkts, custom.baseTuning(0), 4, shardWorkers(4))
+	resultsEqual(t, "customRouter/shards=4", want, got)
+}
+
+// opaqueRouter wraps a Router so the engines cannot devirtualize it.
+type opaqueRouter struct{ r Router }
+
+func (r opaqueRouter) NextArc(at, dst int) int { return r.r.NextArc(at, dst) }
+
+// TestShardRunTruncation pins budget-truncated equivalence: a cycle
+// budget too small to finish must leave the same partial delivery state
+// under both engines.
+func TestShardRunTruncation(t *testing.T) {
+	g := debruijn.DeBruijn(2, 6)
+	nw, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := UniformRandom(g.N(), 8*g.N(), 9)
+	tun := nw.baseTuning(5) // 5 cycles: most packets still in flight
+	want := nw.run(pkts, tun, nil)
+	for _, shards := range []int{2, 4} {
+		got := nw.shardRun(pkts, tun, shards, shardWorkers(shards))
+		resultsEqual(t, "truncated/shards="+itoa(shards), want, got)
+	}
+	if want.Delivered+want.Dropped == len(pkts) {
+		t.Fatalf("truncation test did not truncate: all %d packets settled", len(pkts))
+	}
+}
+
+// TestShardWorkerCountDeterminism is the worker-count matrix: the same
+// seeded workload under 1, 2, 4 and 8 workers (forced past GOMAXPROCS —
+// the barriers interleave on however many P's exist) must produce
+// DeepEqual results, twice over (the double-run catches state leaking
+// between runs through the pooled engine).
+func TestShardWorkerCountDeterminism(t *testing.T) {
+	g := debruijn.DeBruijn(3, 4)
+	nw, err := NewNetwork(g, WithRouting(ShiftRouting))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := UniformRandom(g.N(), 6*g.N(), 21)
+	want := nw.run(pkts, nw.baseTuning(0), nil)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for rerun := 0; rerun < 2; rerun++ {
+			got := nw.shardRun(pkts, nw.baseTuning(0), 8, workers)
+			resultsEqual(t, "workers="+itoa(workers)+"/rerun="+itoa(rerun), want, got)
+		}
+	}
+}
+
+// TestShardFaultRunsStayDeterministic is the faults-on half of the
+// worker-count matrix: WithShards combined with WithFaults falls back
+// to the sequential fault engine (documented on WithShards), so any
+// shard count must reproduce the no-shards fault run exactly.
+func TestShardFaultRunsStayDeterministic(t *testing.T) {
+	g := debruijn.DeBruijn(3, 3)
+	nw, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlanFor(g).LinkDown(2, 10, 1, 0).NodeDown(5, 8, 4)
+	base, err := nw.RunOpts(UniformLoad(2*g.N()), WithSeed(3), WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		rep, err := nw.RunOpts(UniformLoad(2*g.N()), WithSeed(3), WithFaults(plan), WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("fault run with %d shards diverged from the sequential fault run", shards)
+		}
+	}
+}
+
+// TestWithShardsDispatch pins the RunOpts dispatch rules: sharding
+// engages for plain runs (network default or per-run), per-run
+// overrides the network default, and instrumented runs fall back
+// sequentially with identical results.
+func TestWithShardsDispatch(t *testing.T) {
+	g := debruijn.DeBruijn(2, 6)
+	plain, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := plain.RunOpts(PermutationLoad(), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Network-wide default via NewNetwork(WithShards) + deprecated Run.
+	sharded, err := NewNetwork(g, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sharded.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	pkts := Permutation(g.N(), 2)
+	if got := sharded.Run(pkts); !reflect.DeepEqual(seq.Result, got) {
+		t.Fatalf("Run on a WithShards(4) network diverged from the sequential result")
+	}
+
+	// Per-run option on a plain network.
+	rep, err := plain.RunOpts(PermutationLoad(), WithSeed(2), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, rep) {
+		t.Fatalf("per-run WithShards(4) diverged from the sequential result")
+	}
+
+	// Per-run override of the network default.
+	rep, err = sharded.RunOpts(PermutationLoad(), WithSeed(2), WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, rep) {
+		t.Fatalf("WithShards(1) override diverged from the sequential result")
+	}
+}
+
+// TestWithShardsValidation is the eager-validation table for the shard
+// options.
+func TestWithShardsValidation(t *testing.T) {
+	g := debruijn.DeBruijn(2, 3)
+	nw, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero shards", func() error {
+			_, err := nw.RunOpts(PermutationLoad(), WithShards(0))
+			return err
+		}},
+		{"negative shards", func() error {
+			_, err := nw.RunOpts(PermutationLoad(), WithShards(-3))
+			return err
+		}},
+		{"shards beyond nodes (run)", func() error {
+			_, err := nw.RunOpts(PermutationLoad(), WithShards(g.N()+1))
+			return err
+		}},
+		{"duplicate shards", func() error {
+			_, err := nw.RunOpts(PermutationLoad(), WithShards(2), WithShards(4))
+			return err
+		}},
+		{"shards beyond nodes (network)", func() error {
+			_, err := NewNetwork(g, WithShards(g.N()+1))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		var oe *OptionError
+		if err == nil || !errors.As(err, &oe) {
+			t.Fatalf("%s: want *OptionError, got %v", tc.name, err)
+		}
+		if oe.Option != "WithShards" {
+			t.Fatalf("%s: error names %q, want WithShards", tc.name, oe.Option)
+		}
+	}
+}
+
+// itoa is strconv.Itoa for the tiny label ints here, avoiding the
+// import in every table test.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

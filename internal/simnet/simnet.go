@@ -315,7 +315,18 @@ type Network struct {
 	// allocation-free; WithRecorder overrides it per run.
 	rec *obs.Recorder
 
-	scratch sync.Pool // *arena
+	// shift devirtualizes the native de Bruijn router: non-nil exactly
+	// when router is a *DeBruijnRouter, letting the lean arrival path
+	// call the closed-form NextArc directly instead of through the
+	// interface — the table-free routing mode.
+	shift *DeBruijnRouter
+
+	// defaults are the network-wide run defaults (RunOptions passed to
+	// NewNetwork), merged under each RunOpts call's own options.
+	defaults runConfig
+
+	scratch      sync.Pool // *arena
+	shardScratch sync.Pool // *shardEngine
 }
 
 // Observe attaches a metrics recorder to the network: subsequent runs
@@ -333,6 +344,11 @@ func (nw *Network) Observe(rec *obs.Recorder) {
 func (nw *Network) ArcIndex(tail, k int) int { return int(nw.arcBase[tail]) + k }
 
 // New creates a network simulation over g.
+//
+// Deprecated: use NewNetwork, which folds router selection and Config
+// fields into one functional-option set (New(g, router, cfg) is
+// NewNetwork(g, WithRouter(router), WithConfig(cfg))). New remains a
+// thin equivalent wrapper and is not going away.
 func New(g *digraph.Digraph, router Router, cfg Config) (*Network, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("simnet: empty digraph")
@@ -373,7 +389,8 @@ func newNetwork(g *digraph.Digraph, router Router, cfg Config) *Network {
 			arcTail[base+int32(k)] = int32(u)
 		}
 	}
-	return &Network{g: g, router: router, cfg: cfg, arcBase: arcBase, arcHead: arcHead, arcTail: arcTail, maxDeg: maxDeg}
+	shift, _ := router.(*DeBruijnRouter)
+	return &Network{g: g, router: router, cfg: cfg, arcBase: arcBase, arcHead: arcHead, arcTail: arcTail, maxDeg: maxDeg, shift: shift}
 }
 
 // distSlab returns the fault-free all-pairs distance slab, building it
@@ -396,12 +413,21 @@ func (nw *Network) defaultBudget(pkts, hopLatency int) int {
 
 // Run simulates until every packet is delivered or dropped, or MaxCycles
 // elapses. The packets slice is copied; releases may be in any order.
+// Network-wide run defaults (RunOptions passed to NewNetwork, e.g.
+// WithShards) apply; on a network constructed without them Run is the
+// plain sequential engine it always was.
 //
 // Deprecated: use RunOpts, which unifies the run entry points behind
 // functional options (Run(pkts) is RunOpts(Fixed(pkts))). Run remains a
 // thin wrapper and is not going away.
 func (nw *Network) Run(packets []Packet) Result {
-	return nw.run(packets, nw.baseTuning(0), nw.rec)
+	rep, err := nw.RunOpts(Fixed(packets))
+	if err != nil {
+		// Unreachable for a valid Network: Fixed never fails and the
+		// network-wide defaults were validated at construction.
+		panic(fmt.Sprintf("simnet: Run: %v", err))
+	}
+	return rep.Result
 }
 
 // runTuning is the per-run overload-protection tuning threaded through
@@ -600,14 +626,18 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 	dst, rel, del, hops, holds := ar.packetSlabs(len(pkts))
 	holdq := ar.holdq[:0]
 
-	// Devirtualize the table router: the hot loop gathers next hops from
-	// the slab without the interface call (recorded or native routers
-	// keep dynamic dispatch).
+	// Devirtualize the built-in routers: the hot loop gathers next hops
+	// from the table slab, or computes them with the closed-form de
+	// Bruijn shift rule, without the interface call (recorded or custom
+	// routers keep dynamic dispatch). shift is the table-free routing
+	// mode — no n² slab exists at all, which is what admits million-node
+	// graphs.
 	var tArcs []int8
 	tN := 0
 	if tr, ok := nw.router.(*TableRouter); ok {
 		tArcs, tN = tr.arcs, tr.n // nil (interface dispatch) on a wide table
 	}
+	shift := nw.shift
 
 	res := Result{}
 	remaining := 0
@@ -635,9 +665,12 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 			continue
 		}
 		var arc int
-		if tArcs != nil {
+		switch {
+		case tArcs != nil:
 			arc = int(tArcs[pkts[i].Src*tN+pkts[i].Dst])
-		} else {
+		case shift != nil:
+			arc = shift.NextArc(pkts[i].Src, pkts[i].Dst)
+		default:
 			arc = nw.router.NextArc(pkts[i].Src, pkts[i].Dst)
 		}
 		if arc < 0 {
@@ -663,14 +696,15 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 	hopLat := int32(nw.cfg.HopLatency)
 	heldLast := false // congestion signal: a hold happened last cycle
 
-	// The lean arrival path applies when the router slab is gathered
-	// directly, nothing records and queues are unbounded (the bench hot
-	// path): arrivals are batched so the routing gather — the run's
-	// cache-miss budget, one random probe into the 4n² slab per hop —
-	// runs as a dense pass of independent loads the CPU overlaps,
+	// The lean arrival path applies when next hops come from a built-in
+	// router — the table slab gathered directly, or the closed-form de
+	// Bruijn shift — nothing records and queues are unbounded (the bench
+	// hot path): arrivals are batched so the routing step — under table
+	// routing one random probe into the n² slab per hop, the run's
+	// cache-miss budget — runs as a dense pass of independent work,
 	// instead of serializing behind each packet's queue push. Delivery,
 	// push order and all accounting stay identical to the general path.
-	lean := tArcs != nil && rec == nil && tun.qcap == 0 && tun.admit == nil
+	lean := (tArcs != nil || shift != nil) && rec == nil && tun.qcap == 0 && tun.admit == nil
 	var arrPkt, arrNode, arrArc []int32
 	var qHead, qTail, qLen, pNext []int32
 	if lean {
@@ -696,7 +730,13 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 				i := int(order[cursor])
 				cursor++
 				at := pkts[i].Src
-				flat := nw.arcBase[at] + int32(tArcs[at*tN+int(dst[i])])
+				var arc int32
+				if tArcs != nil {
+					arc = int32(tArcs[at*tN+int(dst[i])])
+				} else {
+					arc = int32(shift.NextArc(at, int(dst[i])))
+				}
+				flat := nw.arcBase[at] + arc
 				if qLen[flat] == 0 {
 					qHead[flat] = int32(i)
 				} else {
@@ -818,11 +858,19 @@ func (nw *Network) run(packets []Packet, tun runTuning, rec *obs.Recorder) Resul
 					}
 				}
 			}
-			// Pass 2: route the whole batch — independent slab gathers
-			// (pass 1 left each packet's destination in arrArc, so every
-			// iteration is a single load with no dependent chain).
-			for k := 0; k < na; k++ {
-				arrArc[k] = int32(tArcs[int(arrNode[k])*tN+int(arrArc[k])])
+			// Pass 2: route the whole batch — under table routing a pass
+			// of independent slab gathers (pass 1 left each packet's
+			// destination in arrArc, so every iteration is a single load
+			// with no dependent chain); under shift routing a pass of
+			// closed-form O(D) decisions touching no routing state at all.
+			if tArcs != nil {
+				for k := 0; k < na; k++ {
+					arrArc[k] = int32(tArcs[int(arrNode[k])*tN+int(arrArc[k])])
+				}
+			} else {
+				for k := 0; k < na; k++ {
+					arrArc[k] = int32(shift.NextArc(int(arrNode[k]), int(arrArc[k])))
+				}
 			}
 			// Pass 3: enqueue in the same ascending arc order the
 			// general path pushes in, so per-queue depth sequences (and

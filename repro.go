@@ -27,9 +27,10 @@
 //     Corollaries 4.2–4.6, OptimalLayout, and the Table 1 search;
 //   - the optical bench simulation: NewBench, beam tracing, power budgets
 //     and diffraction feasibility;
-//   - the packet-level network simulator: NewNetwork, the Network.RunOpts
-//     functional-options entry point, workloads, load sweeps and
-//     bufferless deflection routing;
+//   - the packet-level network simulator: NewNetworkOpts and the
+//     Network.RunOpts functional-options entry points, table-free shift
+//     routing, the prefix-sharded cycle engine, workloads, load sweeps
+//     and bufferless deflection routing;
 //   - runtime fault injection and fault-aware rerouting;
 //   - self-healing: oracle-free failure detection, gossip-flooded
 //     link-state events, incremental routing-slab repair, and the
@@ -59,6 +60,13 @@
 //	nw.Observe(rec)
 //	rep, err := nw.RunOpts(repro.UniformLoad(10_000), repro.WithSeed(1))
 //	doc, err := rec.Snapshot().MarshalIndent() // stable OBS_run/v1 JSON
+//
+// Million-node scale (table-free shift routing, prefix-sharded engine):
+//
+//	g := repro.DeBruijn(2, 20) // 1,048,576 nodes
+//	nw, err := repro.NewNetworkOpts(g,
+//		repro.WithRouting(repro.ShiftRouting), repro.WithShards(8))
+//	rep, err := nw.RunOpts(repro.PermutationLoad())
 package repro
 
 import (
@@ -400,10 +408,19 @@ const DefaultWavelength = optics.DefaultWavelength
 // ---------------------------------------------------------------------------
 // Packet-level network simulation.
 //
-// Network.RunOpts is the unified entry point: a Workload plus functional
-// options (WithSeed, WithFaults, WithTrace, WithRecorder). The older
-// Network.Run, Network.RunWithFaults and Network.TracedRunWithFaults
-// methods are retained as thin deprecated wrappers over it.
+// NewNetworkOpts is the unified constructor: a Digraph plus functional
+// options (WithRouting, WithRouter, WithHopLatency, WithShards, and any
+// RunOption as a network-wide default). Network.RunOpts is the unified
+// run entry point: a Workload plus functional options (WithSeed,
+// WithFaults, WithTrace, WithRecorder, WithShards). The older positional
+// NewNetwork(g, router, cfg) constructor and the Network.Run,
+// Network.RunWithFaults and Network.TracedRunWithFaults methods are
+// retained as thin deprecated wrappers.
+//
+// At scale, WithRouting(ShiftRouting) routes table-free on
+// congruence-form de Bruijn digraphs (O(D) state instead of an O(n²)
+// next-hop slab) and WithShards(s) partitions the cycle engine by word
+// prefix — results are identical for every shard count.
 // ---------------------------------------------------------------------------
 
 type (
@@ -421,14 +438,60 @@ type (
 	Workload = simnet.Workload
 	// WorkloadFunc adapts a plain generator function to Workload.
 	WorkloadFunc = simnet.WorkloadFunc
-	// RunOption is a functional option for Network.RunOpts.
+	// RunOption is a functional option for Network.RunOpts. Every
+	// RunOption is also a NetworkOption: passed to NewNetworkOpts it
+	// becomes the network-wide default, overridden per run.
 	RunOption = simnet.RunOption
 	// RunReport is the uniform result envelope of Network.RunOpts.
 	RunReport = simnet.RunReport
+	// NetworkOption is a functional option for NewNetworkOpts.
+	NetworkOption = simnet.NetworkOption
+	// RoutingMode selects how a Network resolves next arcs.
+	RoutingMode = simnet.RoutingMode
+)
+
+// Routing modes for WithRouting and Network.Routing.
+const (
+	// AutoRouting picks table routing for small graphs and table-free
+	// shift routing for large congruence-form de Bruijn graphs.
+	AutoRouting = simnet.AutoRouting
+	// TableRouting precomputes the O(n²) shortest-path next-hop slab.
+	TableRouting = simnet.TableRouting
+	// ShiftRouting routes by the O(D) de Bruijn shift closed form;
+	// requires a congruence-form B(d, D) digraph.
+	ShiftRouting = simnet.ShiftRouting
+	// CustomRouting reports a caller-supplied Router (WithRouter).
+	CustomRouting = simnet.CustomRouting
+)
+
+var (
+	// NewNetworkOpts creates a Network configured by functional options.
+	NewNetworkOpts = simnet.NewNetwork
+	// WithRouting selects the routing mode at construction.
+	WithRouting = simnet.WithRouting
+	// WithRouter supplies an explicit Router implementation.
+	WithRouter = simnet.WithRouter
+	// WithHopLatency sets the per-hop latency in cycles.
+	WithHopLatency = simnet.WithHopLatency
+	// WithMaxCycles caps the simulation length.
+	WithMaxCycles = simnet.WithMaxCycles
+	// WithSimConfig applies a whole SimConfig at construction.
+	WithSimConfig = simnet.WithConfig
+	// WithShards partitions the cycle engine into prefix shards; plain
+	// runs execute on a worker pool, identical results at any count.
+	WithShards = simnet.WithShards
+	// RecognizeDeBruijn reports whether a digraph is the congruence-form
+	// B(d, D) that shift routing requires, returning d and D.
+	RecognizeDeBruijn = debruijn.Recognize
 )
 
 var (
 	// NewNetwork binds a digraph, router and config.
+	//
+	// Deprecated: NewNetwork(g, router, cfg) is
+	// NewNetworkOpts(g, WithRouter(router), WithSimConfig(cfg)); the
+	// options constructor also resolves routing modes and network-wide
+	// run defaults. NewNetwork remains a thin equivalent wrapper.
 	NewNetwork = simnet.New
 	// NewTableRouter routes by precomputed shortest paths.
 	NewTableRouter = simnet.NewTableRouter

@@ -37,6 +37,14 @@ go test -race ./internal/...
 echo "== determinism double-run (byte-identical trace + OBS_run/v1) =="
 go test ./internal/simnet -run SeededRunIsByteIdentical -count=2
 
+echo "== shard determinism double-run (sequential equivalence + worker matrix) =="
+go test ./internal/simnet \
+    -run 'ShardRunMatchesSequential|ShardWorkerCountDeterminism' -count=2
+
+echo "== sharded table-free smoke run =="
+go run ./cmd/simulate -topo debruijn -d 2 -diam 14 -routing shift -shards 4 \
+    -workload permutation > /dev/null
+
 echo "== chaos smoke (seeded random fault plans) =="
 go test ./internal/simnet -run Chaos -count=1
 
@@ -61,7 +69,8 @@ rm -f "$metrics_out"
 
 echo "== bench smoke + perf regression gate (BENCH_simnet.json) =="
 # Build the binary so its exit code reaches us directly: the gate exits
-# 2 when any permutation/* entry regresses >20% against the committed
+# 2 when any gated-family entry (permutation/*, table_route/*,
+# shift_route/*, shard_run/*) regresses >20% against the committed
 # baseline, and go run would fold that into its own exit status.
 bench_bin=$(mktemp /tmp/bench.XXXXXX)
 go build -o "$bench_bin" ./cmd/bench
