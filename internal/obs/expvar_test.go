@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Expvar state is process-global and unpublishable, so every test here
+// uses names unique to itself and never reuses another test's names.
+
+func snapshotFromExpvar(t *testing.T, name string) RunMetrics {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	f, ok := v.(expvar.Func)
+	if !ok {
+		t.Fatalf("expvar %q is %T, want expvar.Func", name, v)
+	}
+	m, ok := f.Value().(RunMetrics)
+	if !ok {
+		t.Fatalf("expvar %q yields %T, want RunMetrics", name, f.Value())
+	}
+	return m
+}
+
+func TestPublishExpvarTwoRegistriesIndependent(t *testing.T) {
+	// Regression: a multi-tenant service publishes one live registry
+	// per tenant. Distinct names must stay fully independent and must
+	// not panic on the second Publish.
+	ra := NewRegistry()
+	rb := NewRegistry()
+	ra.Counter("delivered").Add(7)
+	rb.Counter("delivered").Add(11)
+	ra.PublishExpvar("obs_test_tenant_a")
+	rb.PublishExpvar("obs_test_tenant_b")
+
+	ma := snapshotFromExpvar(t, "obs_test_tenant_a")
+	mb := snapshotFromExpvar(t, "obs_test_tenant_b")
+	if got := ma.Counters["delivered"]; got != 7 {
+		t.Errorf("tenant a delivered = %d, want 7", got)
+	}
+	if got := mb.Counters["delivered"]; got != 11 {
+		t.Errorf("tenant b delivered = %d, want 11", got)
+	}
+}
+
+func TestPublishExpvarRebindsDuplicateName(t *testing.T) {
+	// Tenant churn: a new registry published under a previously used
+	// name must take the name over (expvar.Publish itself would panic),
+	// so restarted tenants don't serve the dead tenant's metrics.
+	old := NewRegistry()
+	old.Counter("runs").Add(3)
+	old.PublishExpvar("obs_test_tenant_churn")
+
+	fresh := NewRegistry()
+	fresh.Counter("runs").Add(1)
+	fresh.PublishExpvar("obs_test_tenant_churn") // must not panic
+
+	m := snapshotFromExpvar(t, "obs_test_tenant_churn")
+	if got := m.Counters["runs"]; got != 1 {
+		t.Errorf("after rebind runs = %d, want 1 (fresh registry)", got)
+	}
+	old.Counter("runs").Add(100)
+	m = snapshotFromExpvar(t, "obs_test_tenant_churn")
+	if got := m.Counters["runs"]; got != 1 {
+		t.Errorf("old registry still visible after rebind: runs = %d, want 1", got)
+	}
+}
+
+func TestPublishExpvarLeavesForeignNamesAlone(t *testing.T) {
+	// A name published by code outside this package is not ours to
+	// rebind; PublishExpvar must neither panic nor hijack it.
+	foreign := new(expvar.Int)
+	foreign.Set(42)
+	expvar.Publish("obs_test_foreign", foreign)
+
+	r := NewRegistry()
+	r.Counter("runs").Inc()
+	r.PublishExpvar("obs_test_foreign") // must not panic
+
+	v := expvar.Get("obs_test_foreign")
+	if got := v.String(); got != "42" {
+		t.Errorf("foreign expvar overwritten: %s, want 42", got)
+	}
+}
+
+func TestPublishExpvarManyTenantsConcurrent(t *testing.T) {
+	// Publishing and re-publishing from concurrent tenants must be
+	// race-free (run under -race in check.sh).
+	const tenants = 16
+	var wg sync.WaitGroup
+	wg.Add(tenants)
+	for i := 0; i < tenants; i++ {
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("obs_test_conc_%d", i%4)
+			for j := 0; j < 8; j++ {
+				r := NewRegistry()
+				r.Counter("runs").Inc()
+				r.PublishExpvar(name)
+				v := expvar.Get(name)
+				if v == nil {
+					t.Errorf("expvar %q not published", name)
+					return
+				}
+				if f, ok := v.(expvar.Func); ok {
+					f.Value() // exercise the snapshot path under race
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // RunMetricsSchema identifies the JSON document format emitted by
@@ -18,6 +19,43 @@ type HistogramSnapshot struct {
 	Sum     int64   `json:"sum"`
 	Max     int64   `json:"max"`
 	Buckets []int64 `json:"buckets"`
+}
+
+// Quantile returns an upper bound on the q-quantile of the recorded
+// observations, derived from the power-of-two buckets: the upper edge
+// (2^i − 1) of the bucket holding the q-th observation, clamped to the
+// recorded Max. q is clamped to [0, 1]; an empty histogram reports 0.
+// The bound is exact for bucket-0 observations (≤ 0 → 0) and otherwise
+// within 2× of the true quantile — tail-latency precision enough for
+// p99 SLO accounting without storing samples.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			ub := int64(1)<<uint(i) - 1
+			if s.Max > 0 && ub > s.Max {
+				ub = s.Max
+			}
+			return ub
+		}
+	}
+	return s.Max
 }
 
 // ArcMetrics is the per-arc utilization section: flat slabs indexed by

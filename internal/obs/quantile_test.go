@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %d, want 0", got)
+	}
+
+	// 100 observations of 1µs and one of 1000µs: the p99 must land in
+	// the dense bucket (upper edge 1), and only the extreme tail sees
+	// the outlier — reported as the clamped max, not bucket edge 1023.
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1000)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Errorf("p99 = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want 1000 (clamped to max)", got)
+	}
+
+	// Out-of-range q clamps rather than panics.
+	if got := h.Quantile(-1); got != 1 {
+		t.Errorf("q<0 = %d, want 1 (clamped to q=0 => first observation)", got)
+	}
+	if got := h.Quantile(2); got != 1000 {
+		t.Errorf("q>1 = %d, want 1000", got)
+	}
+
+	// All observations <= 0 report 0 exactly.
+	var z Histogram
+	z.Observe(0)
+	z.Observe(-5)
+	if got := z.Quantile(0.99); got != 0 {
+		t.Errorf("non-positive-only p99 = %d, want 0", got)
+	}
+
+	// Bucket upper-edge bound: values 8..15 share bucket 4; any quantile
+	// inside it reports the bucket edge 15, and the top reports max.
+	var b Histogram
+	for _, v := range []int64{8, 9, 10, 11} {
+		b.Observe(v)
+	}
+	if got := b.Quantile(0.5); got != 11 {
+		// edge 2^4-1 = 15 clamps to max 11
+		t.Errorf("bucket-bound p50 = %d, want 11", got)
+	}
+}

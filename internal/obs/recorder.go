@@ -73,6 +73,11 @@ const (
 	MetricHolds         = "sim_holds"
 	MetricHistQueueFull = "queue_full_depth"
 
+	// Sharded-engine dispatch: runs that requested WithShards but were
+	// forced onto a sequential engine (faults, tracing, recorder,
+	// bounded queues or admission control in effect).
+	MetricShardFallback = "shard_fallback"
+
 	// Self-healing control plane (simnet heal engine).
 	MetricHealNacks      = "heal_nacks"
 	MetricHealDetections = "heal_detections"
@@ -305,6 +310,20 @@ func (r *Recorder) Shed() {
 		return
 	}
 	r.shed.Inc()
+}
+
+// ShardFallback records a run that requested the sharded engine
+// (WithShards > 1) but was forced onto a sequential engine by an
+// incompatible option set — the dispatch rule WithShards documents,
+// surfaced as a counter so sweeps notice when their shard request is
+// being silently ignored. The counter is registered lazily on first
+// fallback (dispatch happens once per run, never in the cycle loop), so
+// snapshots of runs that never fell back are unchanged.
+func (r *Recorder) ShardFallback() {
+	if r == nil {
+		return
+	}
+	r.reg.Counter(MetricShardFallback).Inc()
 }
 
 // Hold records one hold-in-place backpressure event: a packet found its

@@ -125,6 +125,12 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
+// Quantile returns an upper bound on the q-quantile of the recorded
+// observations; see HistogramSnapshot.Quantile for the bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	return h.snapshot().Quantile(q)
+}
+
 // snapshot copies the histogram into its JSON form, trimming trailing
 // empty buckets so the document stays compact and stable.
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -257,12 +263,42 @@ func (r *Registry) Snapshot() RunMetrics {
 	return m
 }
 
+// expvarRegs routes every name this package has published through an
+// indirection map, because expvar.Publish panics on duplicate names and
+// offers no unpublish. A long-lived service hosts one live Registry per
+// tenant and tenants churn: the same name must be publishable again for
+// a fresh Registry (the old closure would otherwise serve a dead
+// tenant's data forever). The expvar.Func installed for a name reads
+// the map on every snapshot, so PublishExpvar rebinds by overwriting
+// the entry — latest registry wins, nothing panics.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs = map[string]*Registry{} // guarded by expvarMu
+)
+
 // PublishExpvar exposes the registry as an expvar variable under the
 // given name (so `-pprof`-style debug servers serve it at /debug/vars).
-// Publishing the same name twice is a no-op rather than a panic.
+// Names are a namespace per registry: publishing distinct registries
+// under distinct names keeps them fully independent, and publishing a
+// new registry under a previously used name rebinds that name to the
+// new registry instead of panicking (expvar itself forbids duplicate
+// Publish calls). A name already published by code outside this package
+// is left alone.
 func (r *Registry) PublishExpvar(name string) {
-	if expvar.Get(name) != nil {
-		return
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, routed := expvarRegs[name]; routed {
+		expvarRegs[name] = r
+		return // the installed Func reads the map: rebind complete
 	}
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	if expvar.Get(name) != nil {
+		return // foreign publisher owns the name; do not fight over it
+	}
+	expvarRegs[name] = r
+	expvar.Publish(name, expvar.Func(func() any {
+		expvarMu.Lock()
+		reg := expvarRegs[name]
+		expvarMu.Unlock()
+		return reg.Snapshot()
+	}))
 }

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"math/rand"
+
+	"repro/internal/digraph"
+	"repro/internal/simnet"
+)
+
+// Always-on background chaos. Every session is born with a seeded fault
+// plan spanning its chaos horizon, so faults keep firing for the whole
+// life of the session — failure is the service's steady state, and the
+// per-tenant SLO numbers are measured under it, not in a lab-clean run.
+//
+// Two deliberate differences from the PR 5 chaos smoke it descends
+// from: faults here are always transient (a permanent fault in a
+// session that lives forever would degrade the network monotonically
+// until nothing routes — real hardware gets repaired), and fault starts
+// are spread over the whole horizon (session-absolute cycles, which is
+// what SelfHealing feeds its FaultState) instead of the first 100
+// cycles of a single batch run.
+
+// chaosPlan builds a fault plan for g with an expected rate faults per
+// 1000 cycles over horizon cycles, drawn from rng. Returns the plan and
+// the number of faults injected.
+func chaosPlan(rng *rand.Rand, g *digraph.Digraph, rate float64, horizon int) (*simnet.FaultPlan, int) {
+	plan := simnet.NewFaultPlanFor(g)
+	n := int(rate * float64(horizon) / 1000)
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		start := rng.Intn(horizon)
+		duration := 20 + rng.Intn(200) // transient: always repaired
+		switch rng.Intn(3) {
+		case 0:
+			tail := rng.Intn(g.N())
+			plan.LinkDown(start, duration, tail, rng.Intn(g.OutDegree(tail)))
+		case 1:
+			plan.NodeDown(start, duration, rng.Intn(g.N()))
+		case 2:
+			group := make([]simnet.Arc, 0, 3)
+			for j := 0; j < 3; j++ {
+				tail := rng.Intn(g.N())
+				group = append(group, simnet.Arc{Tail: tail, Index: rng.Intn(g.OutDegree(tail))})
+			}
+			plan.LensDown(start, duration, rng.Intn(8), group)
+		}
+	}
+	return plan, n
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// SLOReportSchema identifies the JSON document SLOReport marshals to;
+// bump on breaking changes.
+const SLOReportSchema = "SLO_report/v1"
+
+// TenantSLO is one tenant's service-level accounting. The exactness
+// invariant every consumer may rely on: Offered == Delivered + Dropped
+// + Shed, and the six shed-cause buckets sum to Shed.
+type TenantSLO struct {
+	Tenant string `json:"tenant"`
+	// Sessions is the tenant's live session count at report time.
+	Sessions int64 `json:"sessions"`
+
+	Offered   int64 `json:"offered"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	Shed      int64 `json:"shed"`
+
+	ShedAdmission int64 `json:"shed_admission"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+	ShedDraining  int64 `json:"shed_draining"`
+	ShedClosed    int64 `json:"shed_closed"`
+	ShedFailed    int64 `json:"shed_failed"`
+
+	Runs           int64 `json:"runs"`
+	RunRetries     int64 `json:"run_retries"`
+	DeadlineMisses int64 `json:"deadline_misses"`
+
+	// DeliveredFraction and ShedFraction are over Offered (0 when
+	// nothing was offered).
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	ShedFraction      float64 `json:"shed_fraction"`
+
+	// P50/P99LatencyUS are bucketed upper bounds on request latency in
+	// microseconds (clock units / 1000); MaxLatencyUS is exact.
+	P50LatencyUS int64 `json:"p50_latency_us"`
+	P99LatencyUS int64 `json:"p99_latency_us"`
+	MaxLatencyUS int64 `json:"max_latency_us"`
+
+	// The chaos section: background faults injected into the tenant's
+	// sessions and what the self-healing control plane did about them.
+	ChaosFaults    int64 `json:"chaos_faults"`
+	HealNacks      int64 `json:"heal_nacks"`
+	HealDetections int64 `json:"heal_detections"`
+	HealRepairs    int64 `json:"heal_repairs"`
+	HealEvents     int64 `json:"heal_events"`
+}
+
+// SLOTotals is the aggregate accounting over all tenants.
+type SLOTotals struct {
+	Offered   int64 `json:"offered"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	Shed      int64 `json:"shed"`
+
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	ShedFraction      float64 `json:"shed_fraction"`
+}
+
+// SLOReport is the SLO_report/v1 document: per-tenant SLO accounting
+// (sorted by tenant name — stable output) plus the aggregate.
+type SLOReport struct {
+	Schema   string      `json:"schema"`
+	Sessions int         `json:"sessions"`
+	Tenants  []TenantSLO `json:"tenants"`
+	Total    SLOTotals   `json:"total"`
+}
+
+// SLOReport builds the current report from the live tenant registries.
+func (s *Scheduler) SLOReport() SLOReport {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	tenants := make([]*Tenant, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		tenants = append(tenants, s.tenants[name])
+	}
+	live := s.live
+	s.mu.Unlock()
+
+	rep := SLOReport{Schema: SLOReportSchema, Sessions: live, Tenants: []TenantSLO{}}
+	for _, t := range tenants {
+		e := TenantSLO{
+			Tenant:         t.name,
+			Sessions:       t.sessions.Value(),
+			Offered:        t.offered.Value(),
+			Delivered:      t.delivered.Value(),
+			Dropped:        t.dropped.Value(),
+			Shed:           t.shed.Value(),
+			ShedAdmission:  t.shedBy[ShedAdmission].Value(),
+			ShedQueueFull:  t.shedBy[ShedQueueFull].Value(),
+			ShedDeadline:   t.shedBy[ShedDeadline].Value(),
+			ShedDraining:   t.shedBy[ShedDraining].Value(),
+			ShedClosed:     t.shedBy[ShedClosed].Value(),
+			ShedFailed:     t.shedBy[ShedFailed].Value(),
+			Runs:           t.runs.Value(),
+			RunRetries:     t.runRetries.Value(),
+			DeadlineMisses: t.deadlineMiss.Value(),
+			P50LatencyUS:   t.latency.Quantile(0.50),
+			P99LatencyUS:   t.latency.Quantile(0.99),
+			MaxLatencyUS:   t.latency.Max(),
+			ChaosFaults:    t.chaosFaults.Value(),
+			HealNacks:      t.nacks.Value(),
+			HealDetections: t.detections.Value(),
+			HealRepairs:    t.repairs.Value(),
+			HealEvents:     t.healEvents.Value(),
+		}
+		if e.Offered > 0 {
+			e.DeliveredFraction = float64(e.Delivered) / float64(e.Offered)
+			e.ShedFraction = float64(e.Shed) / float64(e.Offered)
+		}
+		rep.Total.Offered += e.Offered
+		rep.Total.Delivered += e.Delivered
+		rep.Total.Dropped += e.Dropped
+		rep.Total.Shed += e.Shed
+		rep.Tenants = append(rep.Tenants, e)
+	}
+	if rep.Total.Offered > 0 {
+		rep.Total.DeliveredFraction = float64(rep.Total.Delivered) / float64(rep.Total.Offered)
+		rep.Total.ShedFraction = float64(rep.Total.Shed) / float64(rep.Total.Offered)
+	}
+	return rep
+}
+
+// MarshalIndent renders the report as stable, human-diffable JSON with
+// a trailing newline.
+func (r SLOReport) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ValidateSLOReport parses data as an SLO_report/v1 document and checks
+// every invariant consumers rely on: the schema tag, tenants sorted and
+// unique, per-tenant and aggregate Delivered+Dropped+Shed == Offered,
+// shed causes summing to Shed, fractions in [0,1] and consistent with
+// the counts, and p50 <= p99 <= max latency.
+func ValidateSLOReport(data []byte) error {
+	var r SLOReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if r.Schema != SLOReportSchema {
+		return fmt.Errorf("serve: schema %q, want %q", r.Schema, SLOReportSchema)
+	}
+	if r.Sessions < 0 {
+		return fmt.Errorf("serve: negative session count %d", r.Sessions)
+	}
+	var tot SLOTotals
+	for i, e := range r.Tenants {
+		if i > 0 && r.Tenants[i-1].Tenant >= e.Tenant {
+			return fmt.Errorf("serve: tenants not sorted/unique at %q", e.Tenant)
+		}
+		if e.Offered < 0 || e.Delivered < 0 || e.Dropped < 0 || e.Shed < 0 || e.Sessions < 0 {
+			return fmt.Errorf("serve: tenant %q has negative accounting", e.Tenant)
+		}
+		if e.Delivered+e.Dropped+e.Shed != e.Offered {
+			return fmt.Errorf("serve: tenant %q: %d delivered + %d dropped + %d shed != %d offered",
+				e.Tenant, e.Delivered, e.Dropped, e.Shed, e.Offered)
+		}
+		causes := e.ShedAdmission + e.ShedQueueFull + e.ShedDeadline + e.ShedDraining + e.ShedClosed + e.ShedFailed
+		if causes != e.Shed {
+			return fmt.Errorf("serve: tenant %q: shed causes sum to %d, shed %d", e.Tenant, causes, e.Shed)
+		}
+		if err := checkFraction(e.Tenant, "delivered_fraction", e.DeliveredFraction, e.Delivered, e.Offered); err != nil {
+			return err
+		}
+		if err := checkFraction(e.Tenant, "shed_fraction", e.ShedFraction, e.Shed, e.Offered); err != nil {
+			return err
+		}
+		if e.P50LatencyUS < 0 || e.P50LatencyUS > e.P99LatencyUS || e.P99LatencyUS > e.MaxLatencyUS {
+			return fmt.Errorf("serve: tenant %q: latency quantiles out of order (p50 %d, p99 %d, max %d)",
+				e.Tenant, e.P50LatencyUS, e.P99LatencyUS, e.MaxLatencyUS)
+		}
+		tot.Offered += e.Offered
+		tot.Delivered += e.Delivered
+		tot.Dropped += e.Dropped
+		tot.Shed += e.Shed
+	}
+	if tot.Offered != r.Total.Offered || tot.Delivered != r.Total.Delivered ||
+		tot.Dropped != r.Total.Dropped || tot.Shed != r.Total.Shed {
+		return fmt.Errorf("serve: total %+v does not sum the tenants (%+v)", r.Total, tot)
+	}
+	if r.Total.Delivered+r.Total.Dropped+r.Total.Shed != r.Total.Offered {
+		return fmt.Errorf("serve: total accounting broken: %+v", r.Total)
+	}
+	return nil
+}
+
+func checkFraction(tenant, field string, got float64, num, den int64) error {
+	if got < 0 || got > 1 {
+		return fmt.Errorf("serve: tenant %q: %s %v outside [0,1]", tenant, field, got)
+	}
+	want := 0.0
+	if den > 0 {
+		want = float64(num) / float64(den)
+	}
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("serve: tenant %q: %s %v inconsistent with %d/%d", tenant, field, got, num, den)
+	}
+	return nil
+}

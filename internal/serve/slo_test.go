@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildGoldenReport drives a fully deterministic service run: one
+// worker (so execution order is serial), the internal logical clock
+// (1000 units per reading), fixed seeds, serial submits. Every number
+// in the report is reproducible byte for byte.
+func buildGoldenReport(t *testing.T) SLOReport {
+	t.Helper()
+	s := newTestScheduler(t, Config{ChaosRate: 6, ChaosSeed: 9, QueueDepth: 4})
+	if err := s.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	acme := mustSession(t, s, TenantConfig{Tenant: "acme", QueueCapacity: 4})
+	acme2 := mustSession(t, s, TenantConfig{Tenant: "acme"})
+	zeta := mustSession(t, s, TenantConfig{
+		Tenant:    "zeta",
+		Admission: &AdmissionConfig{Rate: 1, Burst: 40},
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(acme, workload(s, 24, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Submit(acme2, workload(s, 16, int64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+		// zeta's bucket holds 40 tokens and refills ~nothing on the
+		// logical clock: submits 3 and 4 shed on admission.
+		if _, err := s.Submit(zeta, workload(s, 20, int64(20+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CloseSession(acme2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(acme2, workload(s, 8, 99)); err != nil { // sheds: closed
+		t.Fatal(err)
+	}
+	if _, err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(acme, workload(s, 8, 100)); err != nil { // sheds: draining
+		t.Fatal(err)
+	}
+	return s.SLOReport()
+}
+
+func TestSLOReportGolden(t *testing.T) {
+	rep := buildGoldenReport(t)
+	got, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "slo_report.golden")
+	if os.Getenv("UPDATE_SLO_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_SLO_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SLO report drifted from golden %s:\ngot:\n%s", golden, got)
+	}
+	if err := ValidateSLOReport(got); err != nil {
+		t.Fatalf("golden report does not validate: %v", err)
+	}
+}
+
+func TestSLOReportAccountsEveryCause(t *testing.T) {
+	rep := buildGoldenReport(t)
+	var acme, zeta *TenantSLO
+	for i := range rep.Tenants {
+		switch rep.Tenants[i].Tenant {
+		case "acme":
+			acme = &rep.Tenants[i]
+		case "zeta":
+			zeta = &rep.Tenants[i]
+		}
+	}
+	if acme == nil || zeta == nil {
+		t.Fatalf("missing tenants in %+v", rep.Tenants)
+	}
+	if acme.ShedClosed != 8 {
+		t.Errorf("acme shed_closed = %d, want 8", acme.ShedClosed)
+	}
+	if acme.ShedDraining != 8 {
+		t.Errorf("acme shed_draining = %d, want 8", acme.ShedDraining)
+	}
+	if zeta.ShedAdmission == 0 {
+		t.Error("zeta shed nothing on admission; the bucket should have run dry")
+	}
+	if acme.ChaosFaults == 0 {
+		t.Error("acme sessions carry no chaos faults; chaos should be always-on")
+	}
+	if acme.HealNacks == 0 && acme.HealEvents == 0 {
+		t.Error("chaos fired but the healing layer saw nothing")
+	}
+	if rep.Total.Offered != acme.Offered+zeta.Offered {
+		t.Errorf("total offered %d != %d + %d", rep.Total.Offered, acme.Offered, zeta.Offered)
+	}
+}
+
+func TestValidateSLOReportRejectsCorruption(t *testing.T) {
+	rep := buildGoldenReport(t)
+	good, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSLOReport(good); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(f func(*SLOReport)) []byte {
+		var r SLOReport
+		if err := json.Unmarshal(good, &r); err != nil {
+			t.Fatal(err)
+		}
+		f(&r)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"wrong schema", corrupt(func(r *SLOReport) { r.Schema = "SLO_report/v0" }), "schema"},
+		{"broken accounting", corrupt(func(r *SLOReport) { r.Tenants[0].Delivered++ }), "offered"},
+		{"broken causes", corrupt(func(r *SLOReport) { r.Tenants[0].ShedClosed++ }), "causes"},
+		{"unsorted tenants", corrupt(func(r *SLOReport) {
+			r.Tenants[0], r.Tenants[1] = r.Tenants[1], r.Tenants[0]
+		}), "sorted"},
+		{"stale total", corrupt(func(r *SLOReport) { r.Total.Offered += 5 }), "sum"},
+		{"bad fraction", corrupt(func(r *SLOReport) { r.Tenants[0].DeliveredFraction = 2 }), "[0,1]"},
+		{"not json", []byte("{"), "unexpected end"},
+	}
+	for _, tc := range cases {
+		err := ValidateSLOReport(tc.data)
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

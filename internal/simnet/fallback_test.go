@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/debruijn"
+	"repro/internal/obs"
+)
+
+// TestShardFallbackObservable pins exactly when RunOpts reports that a
+// requested sharded run was forced onto a sequential engine — the
+// dispatch rule WithShards documents, previously silent. Every
+// incompatible option must raise the flag; compatible runs (and runs
+// that never asked for shards) must not.
+func TestShardFallbackObservable(t *testing.T) {
+	g := debruijn.DeBruijn(2, 5)
+	nw, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlanFor(g).LinkDown(2, 6, 1, 0)
+	cases := []struct {
+		name string
+		opts []RunOption
+		want bool
+	}{
+		{"no shards requested", nil, false},
+		{"shards=1 is not a shard request", []RunOption{WithShards(1)}, false},
+		{"plain sharded run dispatches", []RunOption{WithShards(4)}, false},
+		{"faults force sequential", []RunOption{WithShards(4), WithFaults(plan)}, true},
+		{"trace forces sequential", []RunOption{WithShards(4), WithTrace()}, true},
+		{"recorder forces sequential", []RunOption{WithShards(4), WithRecorder(obs.NewRecorder(obs.NewRegistry()))}, true},
+		{"bounded queues force sequential", []RunOption{WithShards(4), WithQueueCapacity(64)}, true},
+		{"admission forces sequential", []RunOption{WithShards(4), WithAdmission(AdmissionConfig{Rate: 1000, Burst: 64})}, true},
+	}
+	for _, tc := range cases {
+		rep, err := nw.RunOpts(PermutationLoad(), append([]RunOption{WithSeed(5)}, tc.opts...)...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rep.ShardFallback != tc.want {
+			t.Errorf("%s: ShardFallback = %v, want %v", tc.name, rep.ShardFallback, tc.want)
+		}
+	}
+}
+
+// TestShardFallbackCounter pins the obs side of the observable: when a
+// recorder rides the run, the fallback is also counted under the
+// shard_fallback metric so sweeps see it without inspecting every
+// RunReport.
+func TestShardFallbackCounter(t *testing.T) {
+	g := debruijn.DeBruijn(2, 5)
+	nw, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(obs.NewRegistry())
+	if _, err := nw.RunOpts(PermutationLoad(), WithSeed(5), WithShards(4), WithRecorder(rec)); err != nil {
+		t.Fatal(err)
+	}
+	m := rec.Registry().Snapshot()
+	if got := m.Counters[obs.MetricShardFallback]; got != 1 {
+		t.Fatalf("shard_fallback counter = %d, want 1", got)
+	}
+	// A plain instrumented run (no shard request) must not count.
+	if _, err := nw.RunOpts(PermutationLoad(), WithSeed(5), WithRecorder(rec)); err != nil {
+		t.Fatal(err)
+	}
+	m = rec.Registry().Snapshot()
+	if got := m.Counters[obs.MetricShardFallback]; got != 1 {
+		t.Fatalf("shard_fallback counter after plain run = %d, want still 1", got)
+	}
+}

@@ -345,6 +345,14 @@ func WithAdmission(cfg AdmissionConfig) RunOption {
 type RunReport struct {
 	FaultResult
 	Events []Event
+	// ShardFallback reports that the run requested the sharded engine
+	// (WithShards > 1) but an incompatible option forced a sequential
+	// engine: faults, tracing, a recorder, bounded queues or admission
+	// control (the dispatch rule WithShards documents). The run is still
+	// correct — the engines are result-identical — but did not use the
+	// requested parallelism. Also counted as obs metric "shard_fallback"
+	// when a recorder is attached.
+	ShardFallback bool
 }
 
 // RunOpts generates the workload and runs it under the given options,
@@ -390,6 +398,18 @@ func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
 	}
 	pkts := w.Packets(nw.g.N(), cfg.seed)
 
+	// A sharded run was requested; whether dispatch honors it is decided
+	// below. Every sequential return past this point is a fallback worth
+	// surfacing (RunReport.ShardFallback + the shard_fallback counter).
+	shardReq := cfg.shardsSet && cfg.shards > 1
+	fallback := func(rep RunReport) RunReport {
+		if shardReq {
+			rep.ShardFallback = true
+			rec.ShardFallback()
+		}
+		return rep
+	}
+
 	if cfg.faults {
 		fcfg := cfg.faultCfg
 		if cfg.qcapSet {
@@ -402,7 +422,7 @@ func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
 		if err != nil {
 			return RunReport{}, err
 		}
-		return RunReport{FaultResult: res, Events: events}, nil
+		return fallback(RunReport{FaultResult: res, Events: events}), nil
 	}
 	tun := nw.baseTuning(0)
 	if cfg.qcapSet {
@@ -415,14 +435,14 @@ func (nw *Network) RunOpts(w Workload, opts ...RunOption) (RunReport, error) {
 	tun.admit = admit
 	if cfg.traced {
 		res, events := nw.tracedRun(pkts, tun, rec)
-		return RunReport{FaultResult: FaultResult{Result: res}, Events: events}, nil
+		return fallback(RunReport{FaultResult: FaultResult{Result: res}, Events: events}), nil
 	}
 	// The sharded engine covers the lean configuration: plain unbounded
 	// uninstrumented runs. Anything instrumented falls back to the
 	// sequential engines above (WithShards documents this).
-	if cfg.shardsSet && cfg.shards > 1 && rec == nil && tun.qcap == 0 && tun.admit == nil {
+	if shardReq && rec == nil && tun.qcap == 0 && tun.admit == nil {
 		res := nw.shardRun(pkts, tun, cfg.shards, shardWorkers(cfg.shards))
 		return RunReport{FaultResult: FaultResult{Result: res}}, nil
 	}
-	return RunReport{FaultResult: FaultResult{Result: nw.run(pkts, tun, rec)}}, nil
+	return fallback(RunReport{FaultResult: FaultResult{Result: nw.run(pkts, tun, rec)}}), nil
 }

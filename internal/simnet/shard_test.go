@@ -172,6 +172,10 @@ func TestShardFaultRunsStayDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if want := shards > 1; rep.ShardFallback != want {
+			t.Fatalf("fault run with %d shards: ShardFallback = %v, want %v", shards, rep.ShardFallback, want)
+		}
+		rep.ShardFallback = false // the flag is the only allowed divergence
 		if !reflect.DeepEqual(base, rep) {
 			t.Fatalf("fault run with %d shards diverged from the sequential fault run", shards)
 		}

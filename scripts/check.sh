@@ -61,6 +61,16 @@ go run ./cmd/simulate -d 3 -diam 4 -selfheal -packets 300 > /dev/null
 go run ./cmd/simulate -d 3 -diam 4 -faultlens 2 -selfheal -quarantine \
     -packets 300 > /dev/null
 
+echo "== shared-network concurrency (-race, many goroutines, one Network) =="
+go test -race ./internal/simnet -run Concurrent -count=1
+
+echo "== service smoke (cmd/serve HTTP self-drive + SLO_report/v1 validation) =="
+go run ./cmd/serve -smoke > /dev/null
+
+echo "== service load gate (1000 sessions, always-on chaos, exact accounting) =="
+go run ./cmd/serve -loadtest -sessions 1000 -tenants 50 -runs 2 -packets 8 \
+    > /dev/null
+
 echo "== metrics smoke (OBS_run/v1 schema) =="
 metrics_out=$(mktemp /tmp/OBS_run.XXXXXX.json)
 go run ./cmd/simulate -topo otis -d 3 -diam 4 -metrics "$metrics_out" > /dev/null
